@@ -1,0 +1,32 @@
+"""Benchmark E8: Figures 2 and 3 — δ-dependent cardinality and join legality.
+
+Figure 2: the estimated cardinality of a Bloom-filtered scan depends on the
+build-side relation set δ — adding a filtering relation to δ can only lower
+the estimate.  Figure 3: a Bloom filter sub-plan may only be joined with a
+sub-plan that provides all of its δ relations on the build side, except when
+the inner sub-plan is itself a Bloom filter sub-plan whose δ covers the
+outstanding relations.  The benchmark measures the micro-experiment that
+demonstrates both rules and asserts them.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_delta_semantics
+
+
+def test_figure2_figure3_delta_semantics(benchmark):
+    result = benchmark.pedantic(run_delta_semantics, rounds=3, iterations=1)
+
+    print()
+    print("|R0 ⋉̂ R1|        = %.0f rows" % result.rows_delta_r1)
+    print("|R0 ⋉̂ (R1, R2)|  = %.0f rows" % result.rows_delta_r1_r2)
+    print("Figure 3(b) illegal join rejected : %s" % result.illegal_join_rejected)
+    print("Figure 3(c) exception join allowed: %s" % result.exception_join_allowed)
+
+    benchmark.extra_info["rows_delta_r1"] = result.rows_delta_r1
+    benchmark.extra_info["rows_delta_r1_r2"] = result.rows_delta_r1_r2
+
+    assert result.delta_dependency_holds
+    assert result.rows_delta_r1_r2 < result.rows_delta_r1
+    assert result.illegal_join_rejected
+    assert result.exception_join_allowed

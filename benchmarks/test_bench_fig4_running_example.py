@@ -1,0 +1,35 @@
+"""Benchmark E4: Figure 4 and Examples 3.1–3.4 — the Section 3 running example.
+
+Regenerates the paper's worked example: candidate marking, Δ collection,
+Bloom filter sub-plan costing, and the final BF-Post vs BF-CBO plans at the
+paper's synthetic cardinalities (t1 = 600M, t2 ≈ 807K, t3 = 1M).  Asserts the
+structural outcomes the paper derives: the expected candidates and Δ lists,
+and a BF-CBO plan that applies a Bloom filter to t1 built from t2 at no higher
+estimated cost than BF-Post's plan.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_running_example
+
+
+def test_figure4_running_example(benchmark):
+    result = benchmark.pedantic(run_running_example, rounds=1, iterations=1)
+
+    print()
+    print(result.to_text())
+
+    benchmark.extra_info["bf_post_cost"] = result.bf_post.estimated_cost
+    benchmark.extra_info["bf_cbo_cost"] = result.bf_cbo.estimated_cost
+    benchmark.extra_info["bf_cbo_filters"] = result.bf_cbo.num_bloom_filters
+
+    # Example 3.1: candidates on t1 and t3 only (Heuristic 1).
+    assert set(result.candidates) == {"t1", "t3"}
+    # Example 3.2: Δ(t1) contains both {t2} and {t2, t3}.
+    t1_deltas = {frozenset(d) for d in result.deltas["t1"]}
+    assert frozenset({"t2"}) in t1_deltas
+    assert frozenset({"t2", "t3"}) in t1_deltas
+    # Figure 4: the BF-CBO plan uses at least one Bloom filter and its
+    # estimated cost is no worse than the post-processing plan.
+    assert result.bf_cbo.num_bloom_filters >= 1
+    assert result.bf_cbo.estimated_cost <= result.bf_post.estimated_cost * 1.001

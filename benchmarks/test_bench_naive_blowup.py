@@ -1,0 +1,42 @@
+"""Benchmark E6: the Section 3.1 naïve search-space blow-up.
+
+The paper measured 28 ms / 375 ms / 56 s / >30 min of optimization time for
+3 / 4 / 5 / 6-table joins when uncosted Bloom filter sub-plans are carried
+through a single bottom-up pass, against which the two-phase approach stays
+fast.  The benchmark reproduces the growth curve on chain joins of 3–5 tables
+(6 hits the safety budget by design) and asserts that the number of maintained
+sub-plans grows super-linearly while the two-phase optimizer's planning time
+stays orders of magnitude lower for the largest case.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_naive_blowup
+
+
+def test_naive_blowup_growth(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_naive_blowup(table_counts=[3, 4, 5],
+                                 naive_budget_seconds=30.0),
+        rounds=1, iterations=1)
+
+    print()
+    print(result.to_text())
+
+    for point in result.points:
+        benchmark.extra_info["naive_%d_tables_s" % point.num_tables] = \
+            point.naive_seconds
+        benchmark.extra_info["two_phase_%d_tables_s" % point.num_tables] = \
+            point.two_phase_seconds
+
+    subplans = [p.naive_subplans for p in result.points]
+    times = [p.naive_seconds for p in result.points]
+    assert subplans[0] < subplans[1] < subplans[2]
+    # Super-linear growth: each added table multiplies the maintained
+    # sub-plans, and planning time follows.
+    assert subplans[2] > subplans[0] * 10
+    assert times[2] > times[0] * 5
+    # The two-phase approach keeps orders of magnitude fewer sub-plans because
+    # unresolved Bloom filter sub-plans never have to be carried uncosted.
+    last = result.points[-1]
+    assert last.naive_subplans > last.two_phase_subplans * 5

@@ -1,0 +1,34 @@
+"""Benchmark E9: planner latency overhead (Tables 2/3, right-hand columns).
+
+At the paper's SF100 statistics the planner is run (without execution) for all
+analysed queries under BF-Post, BF-CBO and BF-CBO with Heuristic 7.  The paper
+reports totals of 254.3 ms / 540.7 ms / 421.9 ms respectively: BF-CBO pays a
+planning-time premium for its larger search space, and Heuristic 7 claws part
+of it back.  The benchmark asserts the same ordering between BF-Post and
+BF-CBO and reports all totals.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_planner_latency
+
+
+def test_planner_latency_overhead(benchmark, paper_stats_workload):
+    result = benchmark.pedantic(
+        lambda: run_planner_latency(workload=paper_stats_workload),
+        rounds=1, iterations=1)
+
+    print()
+    print(result.to_text())
+    print("(paper totals: BF-Post 254.3 ms, BF-CBO 540.7 ms, "
+          "BF-CBO+H7 421.9 ms)")
+
+    benchmark.extra_info["total_bf_post_ms"] = result.total_bf_post_ms
+    benchmark.extra_info["total_bf_cbo_ms"] = result.total_bf_cbo_ms
+    benchmark.extra_info["total_bf_cbo_h7_ms"] = result.total_bf_cbo_h7_ms
+
+    # BF-CBO explores a strictly larger search space than BF-Post.
+    assert result.total_bf_cbo_ms > result.total_bf_post_ms
+    # Heuristic 7 must not make planning more expensive than plain BF-CBO by
+    # more than measurement noise.
+    assert result.total_bf_cbo_h7_ms <= result.total_bf_cbo_ms * 1.25

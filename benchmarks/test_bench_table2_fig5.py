@@ -1,0 +1,40 @@
+"""Benchmark E1: Table 2 and Figure 5 — per-query TPC-H latencies.
+
+Regenerates the paper's main result: for every analysed TPC-H query, the
+query latency of BF-Post and BF-CBO normalised to the No-BF run, the per-query
+percentage improvement of BF-CBO over BF-Post, and the planner latencies.
+The absolute numbers differ from the paper (simulated work-unit latency on a
+small scale factor instead of wall-clock on SF100), but the expected shape is
+asserted: Bloom filters help overall, and BF-CBO does not lose to BF-Post in
+aggregate.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_tpch_suite
+
+
+def test_table2_figure5_tpch_latencies(benchmark, bench_workload):
+    result = benchmark.pedantic(
+        lambda: run_tpch_suite(workload=bench_workload),
+        rounds=1, iterations=1)
+
+    print()
+    print(result.to_text())
+    print("Overall reduction vs No-BF: BF-Post %.1f%%, BF-CBO %.1f%% "
+          "(paper: 28.8%% / 52.2%%)"
+          % (result.overall_bf_post_reduction, result.overall_bf_cbo_reduction))
+    print("BF-CBO improvement over BF-Post: %.1f%% (paper: 32.8%%)"
+          % result.overall_improvement_over_post)
+
+    series = result.figure5_series()
+    benchmark.extra_info["bf_post_reduction_pct"] = result.overall_bf_post_reduction
+    benchmark.extra_info["bf_cbo_reduction_pct"] = result.overall_bf_cbo_reduction
+    benchmark.extra_info["bf_cbo_vs_bf_post_pct"] = result.overall_improvement_over_post
+    benchmark.extra_info["figure5_bf_post"] = series["bf_post"]
+    benchmark.extra_info["figure5_bf_cbo"] = series["bf_cbo"]
+
+    # Shape assertions: Bloom filters help, BF-CBO at least matches BF-Post.
+    assert result.overall_bf_post_reduction > 0
+    assert result.total_bf_cbo <= result.total_bf_post * 1.02
+    assert len(result.rows) == len(bench_workload.query_numbers)

@@ -1,0 +1,66 @@
+"""Ablation of the search-space-limiting heuristics (Sections 3.10 and 4.4).
+
+Runs a subset of the TPC-H workload under several BF-CBO configurations:
+
+* the paper's defaults (Table 2),
+* Heuristic 7 enabled (Table 3's plan-list cap),
+* Heuristic 9 instead of Heuristic 1 (candidates on both join-clause sides),
+* a stricter selectivity threshold (Heuristic 6 at 1/3 instead of 2/3),
+* Bloom filters disabled entirely (plain CBO / BF-Post),
+
+and reports total simulated latency, total planning time and the number of
+Bloom filters chosen, illustrating the planning-time/plan-quality trade-off
+the paper discusses.
+
+Run with ``python examples/heuristic_ablation.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core import BfCboSettings, OptimizerMode
+from repro.experiments import QueryRunner, format_table, scaled_settings
+from repro.tpch import TpchWorkload
+
+QUERY_NUMBERS = [3, 5, 7, 10, 12, 16, 19, 21]
+SCALE_FACTOR = 0.01
+
+CONFIGURATIONS = [
+    ("BF-Post (baseline)", OptimizerMode.BF_POST, None),
+    ("BF-CBO defaults", OptimizerMode.BF_CBO, BfCboSettings.paper_defaults()),
+    ("BF-CBO + Heuristic 7", OptimizerMode.BF_CBO, BfCboSettings.with_heuristic7()),
+    ("BF-CBO + Heuristic 9", OptimizerMode.BF_CBO,
+     BfCboSettings.paper_defaults().with_overrides(use_heuristic9=True)),
+    ("BF-CBO strict H6 (sel <= 1/3)", OptimizerMode.BF_CBO,
+     BfCboSettings.paper_defaults().with_overrides(max_selectivity=1.0 / 3.0)),
+]
+
+
+def main() -> None:
+    print("Generating TPC-H data at scale factor %s ..." % SCALE_FACTOR)
+    workload = TpchWorkload.generate(SCALE_FACTOR, query_numbers=QUERY_NUMBERS)
+    runner = QueryRunner(workload.catalog, scale_factor=SCALE_FACTOR)
+
+    rows = []
+    for label, mode, settings in CONFIGURATIONS:
+        total_latency = 0.0
+        total_planning = 0.0
+        total_filters = 0
+        for number in QUERY_NUMBERS:
+            run = runner.run(workload.query(number), mode, settings)
+            total_latency += run.simulated_latency
+            total_planning += run.planning_time_ms
+            total_filters += run.num_bloom_filters
+        rows.append([label, "%.0f" % total_latency, "%.1f" % total_planning,
+                     total_filters])
+
+    baseline = float(rows[0][1])
+    for row in rows:
+        row.append("%.1f%%" % (100.0 * (baseline - float(row[1])) / baseline))
+    print(format_table(
+        ["configuration", "total latency", "planning (ms)", "Bloom filters",
+         "latency vs BF-Post"],
+        rows, title="Heuristic ablation over TPC-H queries %s" % QUERY_NUMBERS))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""The paper's running example (Section 3, Examples 3.1-3.4, Figure 4).
+
+Walks through every step of BF-CBO on the three-table query
+
+    SELECT * FROM t1, t2, t3
+    WHERE t1.c2 = t2.c1 AND t2.c2 = t3.c1 AND t2.c3 < 100;
+
+at the paper's cardinalities (t1 = 600M, t2 ≈ 807K after filtering, t3 = 1M),
+showing the marked Bloom filter candidates, the Δ lists collected in the first
+bottom-up phase, and the final BF-Post vs BF-CBO plans side by side.
+
+Run with ``python examples/running_example_paper.py``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_running_example
+
+
+def main() -> None:
+    result = run_running_example()
+    print(result.to_text())
+    print("\nJoin orders:")
+    print("  BF-Post:", " | ".join(result.bf_post_join_order))
+    print("  BF-CBO :", " | ".join(result.bf_cbo_join_order))
+    print("\nEstimated plan cost: BF-Post %.0f vs BF-CBO %.0f"
+          % (result.bf_post.estimated_cost, result.bf_cbo.estimated_cost))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""TPC-H Q12: the join-input reversal of Figure 1.
+
+The paper shows that without Bloom-filter-aware costing, Q12 keeps `orders`
+on the build side of the hash join (and no Bloom filter can help, because the
+probe side joins a foreign key against an unfiltered primary key), whereas
+BF-CBO reverses the join inputs so that a Bloom filter built on the filtered
+`lineitem` can prune `orders` during its scan — reducing query latency by
+49.2% in the paper.
+
+This example first shows the plan shapes at the paper's SF100 statistics, then
+executes both plans on a small generated dataset to show the observed
+per-operator row counts.
+
+Run with ``python examples/tpch_q12_join_reversal.py``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_q12_case_study
+
+
+def main() -> None:
+    print("Plan shapes at SF100 statistics (no execution):")
+    planning_only = run_q12_case_study(scale_factor=100.0, execute=False)
+    print("  BF-Post join order:", " | ".join(planning_only.bf_post_join_order))
+    print("  BF-CBO  join order:", " | ".join(planning_only.bf_cbo_join_order))
+    print("  Bloom filters: BF-Post=%d, BF-CBO=%d"
+          % (planning_only.bf_post_filters, planning_only.bf_cbo_filters))
+    print("  plan changed by BF-CBO:", planning_only.plan_changed)
+
+    print("\nExecution at scale factor 0.02:")
+    executed = run_q12_case_study(scale_factor=0.02, execute=True)
+    print(executed.to_text())
+
+
+if __name__ == "__main__":
+    main()

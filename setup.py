@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists so
+that fully offline environments (no ``wheel`` package available) can still do a
+legacy editable install via ``pip install -e . --no-use-pep517
+--no-build-isolation`` or ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

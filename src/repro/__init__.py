@@ -1,0 +1,16 @@
+"""repro: reproduction of "Including Bloom Filters in Bottom-up Optimization".
+
+The package is organised as:
+
+* :mod:`repro.bloom` — Bloom filter primitives;
+* :mod:`repro.storage` — columnar tables, catalog and statistics;
+* :mod:`repro.sql` — SQL front end for the supported subset;
+* :mod:`repro.core` — the optimizer (plain CBO, BF-Post, BF-CBO, naïve);
+* :mod:`repro.executor` — vectorised execution engine with runtime metrics;
+* :mod:`repro.tpch` — TPC-H data generator and workload;
+* :mod:`repro.experiments` — harnesses reproducing every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

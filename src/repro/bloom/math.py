@@ -1,0 +1,111 @@
+"""Analytical helpers for Bloom filter sizing and false-positive rates.
+
+The paper (Section 3.5) fixes the number of hash functions at two for
+performance reasons, derives the number of bits from an upper-bound estimate of
+the number of distinct values inserted on the build side, and restricts Bloom
+filters whose bit array would spill out of the L2 cache (Heuristic 5).  The
+functions in this module implement the standard Bloom filter mathematics used
+by both the optimizer cost model and the runtime filter implementation.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Number of hash functions used throughout the system (paper Section 3.5).
+DEFAULT_NUM_HASHES = 2
+
+#: Default bits-per-distinct-value used when sizing a filter.  Eight bits per
+#: key with two hash functions gives a false-positive rate of roughly 4.9%.
+DEFAULT_BITS_PER_KEY = 8
+
+#: Default Bloom-filter size budget, expressed as the maximum number of
+#: distinct build-side values (paper Section 4.1 uses 2 million).
+DEFAULT_MAX_BUILD_NDV = 2_000_000
+
+
+def false_positive_rate(num_bits: int, num_keys: int,
+                        num_hashes: int = DEFAULT_NUM_HASHES) -> float:
+    """Expected false-positive probability of a Bloom filter.
+
+    Uses the classic approximation ``(1 - e^(-k*n/m))^k`` where ``m`` is the
+    number of bits, ``n`` the number of inserted keys and ``k`` the number of
+    hash functions.
+
+    Args:
+        num_bits: Size of the bit array (``m``).  Must be positive.
+        num_keys: Number of distinct keys inserted (``n``).  Non-negative.
+        num_hashes: Number of hash functions (``k``).
+
+    Returns:
+        The expected false-positive probability in ``[0, 1]``.
+    """
+    if num_bits <= 0:
+        raise ValueError("num_bits must be positive, got %r" % (num_bits,))
+    if num_keys < 0:
+        raise ValueError("num_keys must be non-negative, got %r" % (num_keys,))
+    if num_hashes <= 0:
+        raise ValueError("num_hashes must be positive, got %r" % (num_hashes,))
+    if num_keys == 0:
+        return 0.0
+    fill = 1.0 - math.exp(-float(num_hashes) * num_keys / num_bits)
+    return min(1.0, fill ** num_hashes)
+
+
+def optimal_num_bits(num_keys: int, target_fpr: float,
+                     num_hashes: int = DEFAULT_NUM_HASHES) -> int:
+    """Smallest power-of-two bit count achieving ``target_fpr`` for ``num_keys``.
+
+    The optimizer sizes Bloom filters from an upper bound on the build-side
+    distinct count; rounding to a power of two keeps the runtime modulo cheap
+    and mirrors common production implementations.
+    """
+    if num_keys < 0:
+        raise ValueError("num_keys must be non-negative")
+    if not 0.0 < target_fpr < 1.0:
+        raise ValueError("target_fpr must be in (0, 1)")
+    if num_keys == 0:
+        return 64
+    bits = 64
+    while false_positive_rate(bits, num_keys, num_hashes) > target_fpr:
+        bits *= 2
+        if bits > 1 << 40:
+            break
+    return bits
+
+
+def bits_for_keys(num_keys: int,
+                  bits_per_key: int = DEFAULT_BITS_PER_KEY) -> int:
+    """Bit-array size used by default: ``bits_per_key`` bits per distinct key.
+
+    Always returns a power of two of at least 64 bits so that the hash-to-bit
+    mapping can use a mask instead of a modulo.
+    """
+    if num_keys < 0:
+        raise ValueError("num_keys must be non-negative")
+    needed = max(64, num_keys * bits_per_key)
+    bits = 64
+    while bits < needed:
+        bits *= 2
+    return bits
+
+
+def expected_fpr_for_build_ndv(build_ndv: int,
+                               bits_per_key: int = DEFAULT_BITS_PER_KEY,
+                               num_hashes: int = DEFAULT_NUM_HASHES) -> float:
+    """False-positive rate the optimizer should assume for a planned filter.
+
+    This is the planning-time counterpart of :func:`false_positive_rate`: the
+    filter has not been built yet, so its size is derived from the estimated
+    build-side distinct count exactly as the runtime will size it.
+    """
+    build_ndv = max(0, int(build_ndv))
+    bits = bits_for_keys(build_ndv, bits_per_key)
+    return false_positive_rate(bits, build_ndv, num_hashes)
+
+
+def bloom_filter_bytes(num_bits: int) -> int:
+    """Size in bytes of a bit array with ``num_bits`` bits."""
+    if num_bits < 0:
+        raise ValueError("num_bits must be non-negative")
+    return (num_bits + 7) // 8

@@ -1,0 +1,99 @@
+"""Partitioned Bloom filters for the SMP streaming strategies of Section 3.9.
+
+When a hash join runs with a degree of parallelism larger than one, the build
+side is split into partitions and a *partial* Bloom filter is built per
+partition.  Depending on the streaming strategy the probe side either:
+
+* looks up the correct partition by hashing the partition column
+  (``PartitionedBloomFilter.contains_many`` with ``aligned=True`` semantics), or
+* probes a single merged filter obtained by OR-ing the partial bit vectors
+  (broadcast / unaligned cases, ``merge()``).
+
+The executor uses this module to mirror the four strategies the paper lists:
+build-side broadcast, probe-side broadcast, partition-unaligned and
+partition-aligned joins.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from .filter import BloomFilter, _splitmix, _to_uint64
+from .math import DEFAULT_BITS_PER_KEY, DEFAULT_NUM_HASHES
+
+
+def partition_of(values: Iterable, num_partitions: int) -> np.ndarray:
+    """Deterministic partition assignment used by both build and probe sides."""
+    if num_partitions <= 0:
+        raise ValueError("num_partitions must be positive")
+    arr = np.asarray(values if isinstance(values, np.ndarray) else list(values))
+    if arr.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    hashed = _splitmix(_to_uint64(arr))
+    return (hashed % np.uint64(num_partitions)).astype(np.int64)
+
+
+class PartitionedBloomFilter:
+    """A set of per-partition Bloom filters sharing one geometry."""
+
+    def __init__(self, num_partitions: int, expected_keys_per_partition: int,
+                 bits_per_key: int = DEFAULT_BITS_PER_KEY,
+                 num_hashes: int = DEFAULT_NUM_HASHES) -> None:
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        self.num_partitions = num_partitions
+        self.partitions: List[BloomFilter] = [
+            BloomFilter(expected_keys_per_partition, bits_per_key=bits_per_key,
+                        num_hashes=num_hashes)
+            for _ in range(num_partitions)
+        ]
+
+    @classmethod
+    def from_values(cls, values: Sequence, num_partitions: int,
+                    bits_per_key: int = DEFAULT_BITS_PER_KEY,
+                    num_hashes: int = DEFAULT_NUM_HASHES) -> "PartitionedBloomFilter":
+        """Partition ``values`` by hash and build one partial filter each."""
+        arr = np.asarray(values if isinstance(values, np.ndarray) else list(values))
+        per_part = max(1, int(len(np.unique(arr)) / num_partitions)) if arr.size else 1
+        pbf = cls(num_partitions, per_part, bits_per_key=bits_per_key,
+                  num_hashes=num_hashes)
+        if arr.size:
+            parts = partition_of(arr, num_partitions)
+            for p in range(num_partitions):
+                chunk = arr[parts == p]
+                if chunk.size:
+                    pbf.partitions[p].add_many(chunk)
+        return pbf
+
+    def contains_many(self, values: Sequence) -> np.ndarray:
+        """Partition-aware probe (partition-aligned / distributed lookup case)."""
+        arr = np.asarray(values if isinstance(values, np.ndarray) else list(values))
+        if arr.size == 0:
+            return np.zeros(0, dtype=bool)
+        parts = partition_of(arr, self.num_partitions)
+        result = np.zeros(arr.shape[0], dtype=bool)
+        for p in range(self.num_partitions):
+            mask = parts == p
+            if mask.any():
+                result[mask] = self.partitions[p].contains_many(arr[mask])
+        return result
+
+    def merge(self) -> BloomFilter:
+        """OR all partial filters into one (broadcast / unaligned strategies)."""
+        geometries = {(f.num_bits, f.num_hashes) for f in self.partitions}
+        if len(geometries) != 1:
+            raise ValueError("partial filters have inconsistent geometry")
+        merged = self.partitions[0].copy()
+        for part in self.partitions[1:]:
+            merged = merged.union(part)
+        return merged
+
+    @property
+    def size_bytes(self) -> int:
+        """Total size of all partial bit vectors in bytes."""
+        return sum(f.size_bytes for f in self.partitions)
+
+    def __repr__(self) -> str:
+        return "PartitionedBloomFilter(partitions=%d)" % self.num_partitions

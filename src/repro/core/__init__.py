@@ -1,0 +1,82 @@
+"""The paper's primary contribution: Bloom-filter-aware bottom-up optimization."""
+
+from .bfcbo import BfCboReport, TwoPhaseBloomOptimizer
+from .candidates import (
+    BloomFilterCandidate,
+    BloomFilterSpec,
+    mark_bloom_filter_candidates,
+)
+from .cardinality import BloomEstimate, CardinalityEstimator
+from .cost import Cost, CostModel, CostParameters, DEFAULT_COST_PARAMETERS
+from .enumerator import JoinEnumerator, JoinPair
+from .explain import bloom_filter_summary, explain, join_order_summary
+from .expressions import (
+    AggregateCall,
+    AggregateFunction,
+    And,
+    Arithmetic,
+    ArithmeticOp,
+    Between,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    ExtractYear,
+    InList,
+    Like,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    ScalarExpression,
+    conjunction,
+    conjuncts,
+)
+from .heuristics import BfCboSettings
+from .joingraph import JoinGraph
+from .naive import NaiveBloomEnumerator, NaiveResult
+from .optimizer import OptimizationResult, Optimizer, OptimizerMode
+from .planlist import PlanList
+from .plans import (
+    AggregateNode,
+    ExchangeKind,
+    ExchangeNode,
+    JoinMethod,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    count_bloom_filters,
+    join_nodes,
+    scan_nodes,
+)
+from .postprocess import BloomPostProcessor, PostProcessReport
+from .properties import Distribution, DistributionKind, PlanProperties
+from .query import (
+    BaseRelation,
+    JoinClause,
+    JoinType,
+    OrderItem,
+    OutputItem,
+    QueryBlock,
+)
+
+__all__ = [
+    "AggregateCall", "AggregateFunction", "AggregateNode", "And", "Arithmetic",
+    "ArithmeticOp", "BaseRelation", "Between", "BfCboReport", "BfCboSettings",
+    "BloomEstimate", "BloomFilterCandidate", "BloomFilterSpec",
+    "BloomPostProcessor", "CardinalityEstimator", "ColumnRef", "Comparison",
+    "ComparisonOp", "Cost", "CostModel", "CostParameters",
+    "DEFAULT_COST_PARAMETERS", "Distribution", "DistributionKind",
+    "ExchangeKind", "ExchangeNode", "ExtractYear", "InList", "JoinClause",
+    "JoinEnumerator", "JoinGraph", "JoinMethod", "JoinNode", "JoinPair",
+    "JoinType", "Like", "LimitNode", "Literal", "NaiveBloomEnumerator",
+    "NaiveResult", "Not", "OptimizationResult", "Optimizer", "OptimizerMode",
+    "Or", "OrderItem", "OutputItem", "PlanList", "PlanNode", "PlanProperties",
+    "PostProcessReport", "Predicate", "ProjectNode", "QueryBlock",
+    "ScalarExpression", "ScanNode", "SortNode", "TwoPhaseBloomOptimizer",
+    "bloom_filter_summary", "conjunction", "conjuncts", "count_bloom_filters",
+    "explain", "join_nodes", "join_order_summary",
+    "mark_bloom_filter_candidates", "scan_nodes",
+]

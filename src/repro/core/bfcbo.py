@@ -1,0 +1,224 @@
+"""BF-CBO: the paper's two-phase Bloom-filter-aware bottom-up optimization.
+
+The four steps of Section 3.2 map directly onto this module:
+
+1. **Marking Bloom filter candidates** — delegated to
+   :func:`repro.core.candidates.mark_bloom_filter_candidates` (Heuristics 1, 2
+   and optionally 9).
+2. **First bottom-up phase** (:meth:`TwoPhaseBloomOptimizer.first_phase`) —
+   walk the same ordered join pairs the costed DP will walk, but without
+   creating or costing any plans; whenever the inner side of a pair supplies a
+   candidate's build column, record the inner relation set as a new δ for that
+   candidate (Heuristic 3 prunes lossless FK→PK δ's).  The pass also
+   accumulates the total join-input cardinality used by Heuristic 8.
+3. **Costing Bloom filter sub-plans**
+   (:meth:`TwoPhaseBloomOptimizer.cost_bloom_subplans`) — for every surviving
+   δ combination create a Bloom filter scan sub-plan with a semi-join-based
+   cardinality estimate, applying Heuristics 4, 5 and 6, and insert it into the
+   base relation's plan list where the Section 3.5 dominance rule prunes it
+   against existing sub-plans.
+4. **Second bottom-up phase** — the ordinary costed DP of
+   :class:`repro.core.enumerator.JoinEnumerator`, which enforces the δ join
+   constraints of Section 3.6.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..storage.catalog import Catalog
+from .candidates import (
+    BloomFilterCandidate,
+    BloomFilterSpec,
+    mark_bloom_filter_candidates,
+)
+from .cardinality import CardinalityEstimator
+from .cost import CostModel
+from .enumerator import JoinEnumerator
+from .heuristics import BfCboSettings
+from .joingraph import JoinGraph
+from .planlist import PlanList
+from .plans import PlanNode, ScanNode
+from .query import QueryBlock
+
+#: Safety cap on the number of δ-combination scan sub-plans per relation.
+MAX_BLOOM_SCAN_COMBINATIONS = 32
+
+
+@dataclass
+class FirstPhaseResult:
+    """Outcome of the structural first bottom-up pass."""
+
+    candidates: Dict[str, List[BloomFilterCandidate]]
+    total_join_input_rows: float = 0.0
+    join_pairs_observed: int = 0
+    deltas_pruned_heuristic3: int = 0
+
+    @property
+    def total_deltas(self) -> int:
+        return sum(len(c.deltas) for cands in self.candidates.values()
+                   for c in cands)
+
+
+@dataclass
+class BfCboReport:
+    """Diagnostics describing one BF-CBO run (used by experiments/tests)."""
+
+    first_phase: Optional[FirstPhaseResult] = None
+    bloom_subplans_created: int = 0
+    bloom_subplans_retained: int = 0
+    subplans_pruned_heuristic5: int = 0
+    subplans_pruned_heuristic6: int = 0
+    skipped_by_heuristic8: bool = False
+    specs: List[BloomFilterSpec] = field(default_factory=list)
+
+
+class TwoPhaseBloomOptimizer:
+    """Drives the two-phase BF-CBO optimization of one query block."""
+
+    def __init__(self, catalog: Catalog, query: QueryBlock,
+                 estimator: CardinalityEstimator, cost_model: CostModel,
+                 settings: Optional[BfCboSettings] = None) -> None:
+        self.catalog = catalog
+        self.query = query
+        self.estimator = estimator
+        self.cost_model = cost_model
+        self.settings = settings or BfCboSettings.paper_defaults()
+        self.join_graph = JoinGraph(query)
+        self.enumerator = JoinEnumerator(catalog, query, estimator, cost_model,
+                                         self.settings, self.join_graph)
+        self.report = BfCboReport()
+        self._spec_counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Top-level driver
+    # ------------------------------------------------------------------
+
+    def optimize(self) -> Dict[FrozenSet[str], PlanList]:
+        """Run the full two-phase optimization and return all plan lists."""
+        base_plan_lists = self.enumerator.build_base_plan_lists()
+        if not self.settings.enabled or len(self.query.relations) < 2:
+            return self.enumerator.optimize(base_plan_lists)
+
+        candidates = mark_bloom_filter_candidates(self.query, self.estimator,
+                                                  self.settings,
+                                                  self.join_graph)
+        first_phase = self.first_phase(candidates)
+        self.report.first_phase = first_phase
+
+        if self._skip_by_heuristic8(first_phase):
+            self.report.skipped_by_heuristic8 = True
+            return self.enumerator.optimize(base_plan_lists)
+
+        self.cost_bloom_subplans(candidates, base_plan_lists)
+        return self.enumerator.optimize(base_plan_lists)
+
+    # ------------------------------------------------------------------
+    # Step 2: first bottom-up phase (structural, no costing)
+    # ------------------------------------------------------------------
+
+    def first_phase(self, candidates: Dict[str, List[BloomFilterCandidate]],
+                    ) -> FirstPhaseResult:
+        """Populate every candidate's Δ list by simulating the join order DP."""
+        result = FirstPhaseResult(candidates=candidates)
+        for pair in self.enumerator.enumerate_join_pairs():
+            result.join_pairs_observed += 1
+            result.total_join_input_rows += (self.estimator.join_rows(pair.outer)
+                                             + self.estimator.join_rows(pair.inner))
+            for alias in pair.outer:
+                for candidate in candidates.get(alias, ()):
+                    if candidate.build_alias not in pair.inner:
+                        continue
+                    delta = pair.inner
+                    if (self.settings.use_heuristic3
+                            and self.estimator.is_lossless_fk_join(
+                                candidate.apply_column, candidate.build_column,
+                                delta)):
+                        result.deltas_pruned_heuristic3 += 1
+                        continue
+                    candidate.add_delta(delta)
+        return result
+
+    def _skip_by_heuristic8(self, first_phase: FirstPhaseResult) -> bool:
+        """Heuristic 8: small queries are not worth the extra search space."""
+        if not self.settings.use_heuristic8:
+            return False
+        return (first_phase.total_join_input_rows
+                < self.settings.heuristic8_min_total_join_input)
+
+    # ------------------------------------------------------------------
+    # Step 3: costing Bloom filter sub-plans
+    # ------------------------------------------------------------------
+
+    def _make_spec(self, candidate: BloomFilterCandidate,
+                   delta: FrozenSet[str]) -> Optional[BloomFilterSpec]:
+        """Build a costed spec for one (candidate, δ), applying H5/H6/H9."""
+        estimate = self.estimator.bloom_estimate(candidate.apply_column,
+                                                 candidate.build_column, delta)
+        if estimate.build_ndv > self.settings.max_build_ndv:
+            self.report.subplans_pruned_heuristic5 += 1
+            return None
+        if estimate.selectivity > self.settings.max_selectivity:
+            self.report.subplans_pruned_heuristic6 += 1
+            return None
+        if self.settings.use_heuristic9:
+            build_rows = self.estimator.join_rows(delta)
+            if build_rows >= self.estimator.scan_rows(candidate.apply_alias):
+                return None
+        filter_id = "bf%d_%s_%s" % (next(self._spec_counter),
+                                    candidate.apply_alias,
+                                    candidate.apply_column.column)
+        spec = BloomFilterSpec(filter_id=filter_id,
+                               apply_column=candidate.apply_column,
+                               build_column=candidate.build_column,
+                               delta=frozenset(delta), estimate=estimate)
+        self.report.specs.append(spec)
+        return spec
+
+    def cost_bloom_subplans(self, candidates: Dict[str, List[BloomFilterCandidate]],
+                            base_plan_lists: Dict[FrozenSet[str], PlanList]) -> None:
+        """Create Bloom filter scan sub-plans and add them to base plan lists."""
+        for alias, relation_candidates in candidates.items():
+            options: List[List[BloomFilterSpec]] = []
+            for candidate in relation_candidates:
+                specs = [spec for spec in
+                         (self._make_spec(candidate, delta)
+                          for delta in candidate.deltas)
+                         if spec is not None]
+                if specs:
+                    options.append(specs)
+            if not options:
+                continue
+            plan_list = base_plan_lists[frozenset({alias})]
+            for spec_combo in self._spec_combinations(options):
+                self.report.bloom_subplans_created += 1
+                scan = self.enumerator.make_bloom_scan(alias, spec_combo)
+                if plan_list.add(scan):
+                    self.report.bloom_subplans_retained += 1
+            if self.settings.use_heuristic7:
+                plan_list.apply_heuristic7(self.settings.heuristic7_max_subplans)
+
+    def _spec_combinations(self, options: List[List[BloomFilterSpec]],
+                           ) -> List[Tuple[BloomFilterSpec, ...]]:
+        """δ combinations for one relation's candidates.
+
+        With Heuristic 4 every candidate that has at least one valid δ is
+        applied in every sub-plan, and the sub-plans differ only in which δ is
+        chosen per candidate.  Without it (ablation), each candidate also gets
+        standalone sub-plans.
+        """
+        combos: List[Tuple[BloomFilterSpec, ...]] = []
+        if self.settings.apply_all_candidates:
+            for combo in itertools.product(*options):
+                combos.append(tuple(combo))
+                if len(combos) >= MAX_BLOOM_SCAN_COMBINATIONS:
+                    break
+        else:
+            for specs in options:
+                for spec in specs:
+                    combos.append((spec,))
+                    if len(combos) >= MAX_BLOOM_SCAN_COMBINATIONS:
+                        break
+        return combos

@@ -1,0 +1,184 @@
+"""Bloom filter candidates and Bloom filter specifications.
+
+Terminology follows Section 3.3 of the paper:
+
+* A **Bloom filter candidate** (BFC) is attached to the base relation to which
+  a Bloom filter *could* be applied.  It records the apply column, the build
+  column (from the other side of a hashable join clause) and an initially
+  empty list Δ of build-side relation sets δ, which the first bottom-up phase
+  populates.
+* A **Bloom filter specification** is one concrete, costed instance of a
+  candidate for a particular δ, carrying its cardinality estimate.  Specs are
+  what scan sub-plans and plan properties reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .cardinality import BloomEstimate, CardinalityEstimator
+from .expressions import ColumnRef
+from .heuristics import BfCboSettings
+from .joingraph import JoinGraph
+from .query import JoinClause, JoinType, QueryBlock
+
+
+@dataclass
+class BloomFilterCandidate:
+    """A potential Bloom filter application attached to a base relation.
+
+    Attributes:
+        apply_column: Column of the (larger) relation the filter will probe.
+        build_column: Column of the joining relation the filter is built from.
+        clause: The hashable join clause that gave rise to this candidate.
+        deltas: The list Δ of valid build-side relation sets collected during
+            the first bottom-up pass.
+    """
+
+    apply_column: ColumnRef
+    build_column: ColumnRef
+    clause: JoinClause
+    deltas: List[FrozenSet[str]] = field(default_factory=list)
+
+    @property
+    def apply_alias(self) -> str:
+        return self.apply_column.relation
+
+    @property
+    def build_alias(self) -> str:
+        return self.build_column.relation
+
+    def add_delta(self, delta: FrozenSet[str]) -> bool:
+        """Record a build-side relation set if not already present."""
+        delta = frozenset(delta)
+        if self.build_alias not in delta:
+            raise ValueError("delta %r must contain the build relation %r"
+                             % (sorted(delta), self.build_alias))
+        if delta in self.deltas:
+            return False
+        self.deltas.append(delta)
+        return True
+
+    def __str__(self) -> str:
+        return ("bfc(apply=%s, build=%s, deltas=%s)"
+                % (self.apply_column, self.build_column,
+                   [sorted(d) for d in self.deltas]))
+
+
+@dataclass(frozen=True)
+class BloomFilterSpec:
+    """A fully specified, costed Bloom filter application.
+
+    Attributes:
+        filter_id: Stable unique identifier, also used by the executor to link
+            the building hash join with the probing scan.
+        apply_column: Probe-side column the filter is applied to.
+        build_column: Build-side column the filter is built from.
+        delta: Required build-side relation set (δ).
+        estimate: Planning-time estimate of selectivity / FPR / build NDV.
+    """
+
+    filter_id: str
+    apply_column: ColumnRef
+    build_column: ColumnRef
+    delta: FrozenSet[str]
+    estimate: BloomEstimate
+
+    @property
+    def apply_alias(self) -> str:
+        return self.apply_column.relation
+
+    @property
+    def build_alias(self) -> str:
+        return self.build_column.relation
+
+    def __str__(self) -> str:
+        return ("BF[%s](apply=%s, build=%s, δ={%s}, sel=%.3f)"
+                % (self.filter_id, self.apply_column, self.build_column,
+                   ", ".join(sorted(self.delta)), self.estimate.selectivity))
+
+
+def _join_type_allows_candidate(clause: JoinClause, apply_alias: str) -> bool:
+    """Correctness restrictions from Section 3.3 (not heuristics).
+
+    A Bloom filter must not cross a full outer join or an anti join, and for a
+    left outer join the apply side must not be the row-preserving (left) side.
+    """
+    if clause.join_type in (JoinType.FULL, JoinType.ANTI):
+        return False
+    if clause.join_type is JoinType.LEFT:
+        return clause.left.relation != apply_alias
+    return True
+
+
+def mark_bloom_filter_candidates(query: QueryBlock,
+                                 estimator: CardinalityEstimator,
+                                 settings: BfCboSettings,
+                                 join_graph: Optional[JoinGraph] = None,
+                                 ) -> Dict[str, List[BloomFilterCandidate]]:
+    """Step 1 of BF-CBO: attach Bloom filter candidates to base relations.
+
+    Implements Heuristic 1 (candidate only on the larger relation of each
+    hashable join clause; with a multi-way equivalence class, build from the
+    smallest member and apply to the larger ones), Heuristic 2 (skip apply
+    relations below the row-count threshold), and Heuristic 9 as the optional,
+    more permissive alternative to Heuristic 1.
+
+    Returns:
+        Mapping from apply-relation alias to its list of candidates.
+    """
+    join_graph = join_graph or JoinGraph(query)
+    candidates: Dict[str, List[BloomFilterCandidate]] = {}
+
+    def add_candidate(apply_col: ColumnRef, build_col: ColumnRef,
+                      clause: JoinClause) -> None:
+        apply_alias = apply_col.relation
+        # Heuristic 2: the apply relation must be large enough to be worth it.
+        if estimator.scan_rows(apply_alias) < settings.min_apply_rows:
+            return
+        if not _join_type_allows_candidate(clause, apply_alias):
+            return
+        existing = candidates.setdefault(apply_alias, [])
+        for candidate in existing:
+            if (candidate.apply_column == apply_col
+                    and candidate.build_column == build_col):
+                return
+        existing.append(BloomFilterCandidate(apply_column=apply_col,
+                                             build_column=build_col,
+                                             clause=clause))
+
+    for clause in query.join_clauses:
+        if not clause.is_hashable:
+            continue
+        left, right = clause.left, clause.right
+        left_rows = estimator.scan_rows(left.relation)
+        right_rows = estimator.scan_rows(right.relation)
+
+        equivalence = join_graph.equivalent_columns(left)
+        if len(equivalence) > 2 and settings.use_heuristic1:
+            # Multi-way equivalence class: build only from the smallest member,
+            # apply to strictly larger members.
+            smallest = min(equivalence,
+                           key=lambda col: estimator.scan_rows(col.relation))
+            for column in (left, right):
+                if column.relation == smallest.relation:
+                    continue
+                if estimator.scan_rows(column.relation) <= estimator.scan_rows(
+                        smallest.relation):
+                    continue
+                add_candidate(column, smallest, clause)
+            continue
+
+        if settings.use_heuristic9 or not settings.use_heuristic1:
+            # Heuristic 9: candidates on both sides; δ pruning happens later
+            # (only δ's smaller than the apply relation are retained).
+            add_candidate(left, right, clause)
+            add_candidate(right, left, clause)
+        else:
+            # Heuristic 1: candidate only on the larger relation.
+            if left_rows >= right_rows:
+                add_candidate(left, right, clause)
+            else:
+                add_candidate(right, left, clause)
+    return candidates

@@ -1,0 +1,347 @@
+"""Cardinality and selectivity estimation.
+
+The paper's method is, at heart, a cardinality-estimation change: a scan with a
+Bloom filter applied gets a revised row estimate equal to the semi-join of the
+scan relation with the filter's build-side relation set δ, plus the expected
+false-positive leakage (Section 3.5).  Everything else reuses the ordinary
+bottom-up machinery: local-predicate selectivity from column statistics,
+equi-join cardinality from distinct counts, and distinct-count propagation
+through joins.
+
+The estimator works purely from catalog statistics — it never reads table data
+— so it can plan against the paper's SF100 row counts via
+:func:`repro.storage.statistics.synthetic_statistics` as well as against the
+materialised reproduction datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..bloom.math import expected_fpr_for_build_ndv
+from ..storage.catalog import Catalog
+from ..storage.statistics import ColumnStatistics
+from .expressions import (
+    Between,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    InList,
+    Like,
+    Literal,
+    Not,
+    And,
+    Or,
+    Predicate,
+)
+from .query import JoinClause, QueryBlock
+
+#: Selectivity assumed for predicates the estimator cannot analyse.
+DEFAULT_UNKNOWN_SELECTIVITY = 0.25
+
+#: Lower bound applied to every row estimate (avoid zero-cost plans).
+MIN_ROWS = 1.0
+
+
+@dataclass(frozen=True)
+class BloomEstimate:
+    """Estimated effect of one Bloom filter on a scan.
+
+    Attributes:
+        selectivity: True-match fraction (semi-join selectivity, no FPR).
+        false_positive_rate: Expected FPR given the planned filter size.
+        build_ndv: Estimated distinct build-side values (sizes the filter).
+        effective_selectivity: Fraction of rows surviving including FPR.
+    """
+
+    selectivity: float
+    false_positive_rate: float
+    build_ndv: float
+
+    @property
+    def effective_selectivity(self) -> float:
+        return min(1.0, self.selectivity
+                   + self.false_positive_rate * (1.0 - self.selectivity))
+
+
+class CardinalityEstimator:
+    """Statistics-driven cardinality estimation for one query block."""
+
+    def __init__(self, catalog: Catalog, query: QueryBlock,
+                 unknown_selectivity: float = DEFAULT_UNKNOWN_SELECTIVITY) -> None:
+        self.catalog = catalog
+        self.query = query
+        self.unknown_selectivity = unknown_selectivity
+        self._scan_rows_cache: Dict[str, float] = {}
+        self._join_rows_cache: Dict[FrozenSet[str], float] = {}
+
+    # ------------------------------------------------------------------
+    # Column statistics helpers
+    # ------------------------------------------------------------------
+
+    def _column_stats(self, alias: str, column: str) -> ColumnStatistics:
+        table_name = self.query.table_name(alias)
+        return self.catalog.statistics(table_name).column(column)
+
+    def base_rows(self, alias: str) -> float:
+        """Unfiltered row count of the base relation behind ``alias``."""
+        table_name = self.query.table_name(alias)
+        return float(max(MIN_ROWS, self.catalog.statistics(table_name).num_rows))
+
+    def local_selectivity(self, alias: str) -> float:
+        """Combined selectivity of all local predicates on ``alias``."""
+        selectivity = 1.0
+        for predicate in self.query.predicates_for(alias):
+            selectivity *= self.predicate_selectivity(predicate, alias)
+        return min(1.0, max(0.0, selectivity))
+
+    def scan_rows(self, alias: str) -> float:
+        """Rows produced by scanning ``alias`` after local predicates."""
+        if alias not in self._scan_rows_cache:
+            rows = self.base_rows(alias) * self.local_selectivity(alias)
+            self._scan_rows_cache[alias] = max(MIN_ROWS, rows)
+        return self._scan_rows_cache[alias]
+
+    def column_ndv(self, alias: str, column: str,
+                   after_local_filter: bool = True) -> float:
+        """Distinct count of ``alias.column`` (optionally after local filters)."""
+        stats = self._column_stats(alias, column)
+        ndv = float(max(1, stats.ndv))
+        if after_local_filter:
+            selectivity = self.local_selectivity(alias)
+            if selectivity < 1.0:
+                ndv = max(1.0, stats.ndv_after_filter(selectivity))
+        return ndv
+
+    # ------------------------------------------------------------------
+    # Predicate selectivity
+    # ------------------------------------------------------------------
+
+    def predicate_selectivity(self, predicate: Predicate, alias: str) -> float:
+        """Selectivity of a (local) predicate on relation ``alias``."""
+        if isinstance(predicate, And):
+            sel = 1.0
+            for operand in predicate.operands:
+                sel *= self.predicate_selectivity(operand, alias)
+            return sel
+        if isinstance(predicate, Or):
+            sel = 0.0
+            for operand in predicate.operands:
+                child = self.predicate_selectivity(operand, alias)
+                sel = sel + child - sel * child
+            return min(1.0, sel)
+        if isinstance(predicate, Not):
+            return max(0.0, 1.0 - self.predicate_selectivity(predicate.operand, alias))
+        if isinstance(predicate, Comparison):
+            return self._comparison_selectivity(predicate, alias)
+        if isinstance(predicate, Between):
+            return self._between_selectivity(predicate, alias)
+        if isinstance(predicate, InList):
+            return self._in_list_selectivity(predicate, alias)
+        if isinstance(predicate, Like):
+            # LIKE patterns with a literal prefix are moderately selective;
+            # leading-wildcard patterns are barely selective.
+            base = 0.05 if not predicate.pattern.startswith("%") else 0.25
+            return 1.0 - base if predicate.negated else base
+        return self.unknown_selectivity
+
+    @staticmethod
+    def _literal_value(expr) -> Optional[object]:
+        return expr.value if isinstance(expr, Literal) else None
+
+    def _comparison_selectivity(self, predicate: Comparison, alias: str) -> float:
+        column, literal = None, None
+        op = predicate.op
+        if isinstance(predicate.left, ColumnRef) and isinstance(predicate.right, Literal):
+            column, literal = predicate.left, predicate.right.value
+        elif isinstance(predicate.right, ColumnRef) and isinstance(predicate.left, Literal):
+            column, literal = predicate.right, predicate.left.value
+            flip = {ComparisonOp.LT: ComparisonOp.GT, ComparisonOp.GT: ComparisonOp.LT,
+                    ComparisonOp.LE: ComparisonOp.GE, ComparisonOp.GE: ComparisonOp.LE}
+            op = flip.get(op, op)
+        if column is None or column.relation != alias:
+            return self.unknown_selectivity
+        stats = self._column_stats(alias, column.column)
+        if op is ComparisonOp.EQ:
+            return stats.equality_selectivity(literal)
+        if op is ComparisonOp.NE:
+            return max(0.0, 1.0 - stats.equality_selectivity(literal))
+        numeric = self._as_number(literal)
+        if numeric is None:
+            return self.unknown_selectivity
+        if op in (ComparisonOp.LT, ComparisonOp.LE):
+            return stats.range_selectivity(low=None, high=numeric,
+                                           high_inclusive=op is ComparisonOp.LE)
+        if op in (ComparisonOp.GT, ComparisonOp.GE):
+            return stats.range_selectivity(low=numeric, high=None,
+                                           low_inclusive=op is ComparisonOp.GE)
+        return self.unknown_selectivity
+
+    def _between_selectivity(self, predicate: Between, alias: str) -> float:
+        if not isinstance(predicate.operand, ColumnRef):
+            return self.unknown_selectivity
+        if predicate.operand.relation != alias:
+            return self.unknown_selectivity
+        low = self._as_number(self._literal_value(predicate.low))
+        high = self._as_number(self._literal_value(predicate.high))
+        stats = self._column_stats(alias, predicate.operand.column)
+        return stats.range_selectivity(low=low, high=high)
+
+    def _in_list_selectivity(self, predicate: InList, alias: str) -> float:
+        if not isinstance(predicate.operand, ColumnRef):
+            return self.unknown_selectivity
+        if predicate.operand.relation != alias:
+            return self.unknown_selectivity
+        stats = self._column_stats(alias, predicate.operand.column)
+        sel = sum(stats.equality_selectivity(value) for value in predicate.values)
+        return min(1.0, sel)
+
+    @staticmethod
+    def _as_number(value) -> Optional[float]:
+        if value is None or isinstance(value, str):
+            return None
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Join cardinality
+    # ------------------------------------------------------------------
+
+    def residual_selectivity(self, relations: FrozenSet[str]) -> float:
+        """Combined selectivity of residual predicates covered by ``relations``.
+
+        Residual predicates (multi-relation filters that are not equi-joins)
+        get a fixed default selectivity each; they are rare in the workload and
+        only affect absolute estimates, not the Bloom filter machinery.
+        """
+        count = len(self.query.residuals_applicable(relations))
+        return self.unknown_selectivity ** count if count else 1.0
+
+    def join_rows(self, relations: Iterable[str]) -> float:
+        """Estimated cardinality of the join of the given relation set.
+
+        Uses the textbook formula: the product of filtered base cardinalities
+        divided, per applicable equi-join clause, by the larger of the two join
+        columns' distinct counts.
+        """
+        rel_set = frozenset(relations)
+        if not rel_set:
+            return MIN_ROWS
+        if rel_set in self._join_rows_cache:
+            return self._join_rows_cache[rel_set]
+        rows = 1.0
+        for alias in rel_set:
+            rows *= self.scan_rows(alias)
+        for clause in self.query.join_clauses:
+            if clause.relations <= rel_set:
+                rows *= self.join_clause_selectivity(clause)
+        rows *= self.residual_selectivity(rel_set)
+        rows = max(MIN_ROWS, rows)
+        self._join_rows_cache[rel_set] = rows
+        return rows
+
+    def join_clause_selectivity(self, clause: JoinClause) -> float:
+        """Selectivity contributed by a single equi-join clause."""
+        left_ndv = self.column_ndv(clause.left.relation, clause.left.column)
+        right_ndv = self.column_ndv(clause.right.relation, clause.right.column)
+        return 1.0 / max(1.0, left_ndv, right_ndv)
+
+    def join_pair_rows(self, left: FrozenSet[str], right: FrozenSet[str]) -> float:
+        """Cardinality of joining two disjoint relation sets."""
+        return self.join_rows(left | right)
+
+    def column_ndv_in_join(self, relations: FrozenSet[str], column: ColumnRef) -> float:
+        """Distinct count of ``column`` within the join of ``relations``.
+
+        The distinct count can only shrink as the column's relation is joined
+        (and thereby semi-join-filtered) with other relations, so it is capped
+        by both its filtered base NDV and the join cardinality itself.  This is
+        what makes predicate transfer visible to the estimator: joining
+        ``customer`` with a filtered ``nation`` shrinks the surviving
+        ``c_custkey`` domain, which in turn shrinks a Bloom filter built on it.
+        """
+        if column.relation not in relations:
+            raise ValueError("column %s not available in relation set %r"
+                             % (column, sorted(relations)))
+        base_ndv = self.column_ndv(column.relation, column.column)
+        join_cardinality = self.join_rows(relations)
+        return max(1.0, min(base_ndv, join_cardinality))
+
+    # ------------------------------------------------------------------
+    # Semi-joins and Bloom filters
+    # ------------------------------------------------------------------
+
+    def semijoin_selectivity(self, apply_column: ColumnRef,
+                             build_column: ColumnRef,
+                             build_relations: FrozenSet[str]) -> float:
+        """Selectivity of ``apply ⋉ build`` on the given join column pair.
+
+        Estimated as the fraction of the apply column's distinct values that
+        also appear on the build side, assuming containment of the smaller
+        distinct set in the larger (the usual equi-join assumption).
+        """
+        build_ndv = self.column_ndv_in_join(build_relations, build_column)
+        apply_ndv = self.column_ndv(apply_column.relation, apply_column.column)
+        if apply_ndv <= 0:
+            return 1.0
+        return min(1.0, build_ndv / apply_ndv)
+
+    def bloom_estimate(self, apply_column: ColumnRef, build_column: ColumnRef,
+                       build_relations: FrozenSet[str]) -> BloomEstimate:
+        """Planning-time estimate of one Bloom filter's filtering effect."""
+        selectivity = self.semijoin_selectivity(apply_column, build_column,
+                                                build_relations)
+        build_ndv = self.column_ndv_in_join(build_relations, build_column)
+        fpr = expected_fpr_for_build_ndv(int(round(build_ndv)))
+        return BloomEstimate(selectivity=selectivity, false_positive_rate=fpr,
+                             build_ndv=build_ndv)
+
+    def bloom_scan_rows(self, alias: str,
+                        estimates: Sequence[BloomEstimate]) -> float:
+        """Rows surviving a scan of ``alias`` with the given Bloom filters.
+
+        Multiple filters on the same scan (Heuristic 4 applies them all at
+        once) are assumed independent, so their effective selectivities
+        multiply.
+        """
+        rows = self.scan_rows(alias)
+        for estimate in estimates:
+            rows *= estimate.effective_selectivity
+        return max(MIN_ROWS, rows)
+
+    # ------------------------------------------------------------------
+    # Foreign-key reasoning (Heuristic 3)
+    # ------------------------------------------------------------------
+
+    def is_lossless_fk_join(self, apply_column: ColumnRef,
+                            build_column: ColumnRef,
+                            build_relations: FrozenSet[str]) -> bool:
+        """True if the Bloom filter provably cannot remove any apply-side rows.
+
+        This is the Heuristic-3 situation: the apply column is a foreign key
+        referencing the build column's primary key, and the primary-key side is
+        not reduced — neither by local predicates nor by the other relations in
+        δ.  In that case every apply-side value is guaranteed to be present in
+        the filter, so planning a Bloom filter scan sub-plan is pointless.
+        """
+        apply_table = self.query.table_name(apply_column.relation)
+        build_table = self.query.table_name(build_column.relation)
+        is_fk = self.catalog.is_foreign_key_reference(
+            apply_table, apply_column.column, build_table, build_column.column)
+        is_pk = self.catalog.is_primary_key(build_table, build_column.column)
+        if not (is_fk and is_pk):
+            return False
+        # "Unfiltered": no local predicate on the PK relation, and no other
+        # relation in δ that could shrink its key domain through a join.
+        if self.query.predicates_for(build_column.relation):
+            return False
+        others = build_relations - {build_column.relation}
+        if not others:
+            return True
+        base_ndv = self.column_ndv(build_column.relation, build_column.column,
+                                   after_local_filter=False)
+        joined_ndv = self.column_ndv_in_join(build_relations, build_column)
+        return joined_ndv >= base_ndv * 0.999

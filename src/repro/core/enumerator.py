@@ -1,0 +1,462 @@
+"""Bottom-up join enumeration (the DP at the heart of a System-R optimizer).
+
+The enumerator builds, for every connected relation subset, a
+:class:`~repro.core.planlist.PlanList` of retained sub-plans, by combining the
+plan lists of every connected (outer, inner) split of that subset.  It is used
+in three ways:
+
+* plain cost-based optimization (no Bloom filter sub-plans in the base plan
+  lists) — the "No BF" and "BF-Post" baselines;
+* the *second* bottom-up phase of BF-CBO, where base plan lists additionally
+  contain Bloom filter scan sub-plans and joins must respect the δ constraints
+  of Section 3.6 (including the Figure 3 exception);
+* structurally (``enumerate_join_pairs``) for the *first* bottom-up phase of
+  BF-CBO, which only needs to observe which relation sets can appear on the
+  build side of a join with each Bloom filter candidate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..storage.catalog import Catalog
+from .candidates import BloomFilterSpec
+from .cardinality import CardinalityEstimator
+from .cost import Cost, CostModel
+from .expressions import ColumnRef
+from .heuristics import BfCboSettings
+from .joingraph import JoinGraph
+from .planlist import PlanList
+from .plans import (
+    ExchangeKind,
+    ExchangeNode,
+    JoinMethod,
+    JoinNode,
+    PlanNode,
+    ScanNode,
+)
+from .properties import Distribution, DistributionKind, PlanProperties
+from .query import JoinClause, JoinType, QueryBlock
+
+
+@dataclass(frozen=True)
+class JoinPair:
+    """One ordered (outer, inner) split of a relation set considered by DP."""
+
+    union: FrozenSet[str]
+    outer: FrozenSet[str]
+    inner: FrozenSet[str]
+    clauses: Tuple[JoinClause, ...]
+    is_cross_product: bool = False
+
+
+@dataclass
+class EnumerationStatistics:
+    """Counters describing the work done by one enumeration run."""
+
+    join_pairs_considered: int = 0
+    subplan_combinations: int = 0
+    plans_retained: int = 0
+    plans_rejected_bloom_constraint: int = 0
+    heuristic7_pruned: int = 0
+
+
+class JoinEnumerator:
+    """Bottom-up, bushy, property-aware join enumeration."""
+
+    def __init__(self, catalog: Catalog, query: QueryBlock,
+                 estimator: CardinalityEstimator, cost_model: CostModel,
+                 settings: Optional[BfCboSettings] = None,
+                 join_graph: Optional[JoinGraph] = None) -> None:
+        self.catalog = catalog
+        self.query = query
+        self.estimator = estimator
+        self.cost_model = cost_model
+        self.settings = settings or BfCboSettings.disabled()
+        self.join_graph = join_graph or JoinGraph(query)
+        self.stats = EnumerationStatistics()
+        self._row_widths: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Relation-set enumeration (shared by both BF-CBO phases)
+    # ------------------------------------------------------------------
+
+    def connected_subsets(self) -> List[FrozenSet[str]]:
+        """All connected relation subsets, ordered by increasing size."""
+        aliases = self.query.aliases
+        subsets: List[FrozenSet[str]] = []
+        for size in range(1, len(aliases) + 1):
+            for combo in itertools.combinations(aliases, size):
+                subset = frozenset(combo)
+                if self.join_graph.is_connected_set(subset) or size == len(aliases):
+                    subsets.append(subset)
+        return subsets
+
+    def enumerate_join_pairs(self) -> Iterator[JoinPair]:
+        """Yield every ordered (outer, inner) split, bottom-up by union size.
+
+        The first bottom-up phase of BF-CBO iterates exactly this sequence to
+        populate Δ; the second phase iterates it again to build costed plans,
+        so both phases observe the same join combinations.
+        """
+        aliases = self.query.aliases
+        all_relations = frozenset(aliases)
+        for size in range(2, len(aliases) + 1):
+            for combo in itertools.combinations(aliases, size):
+                union = frozenset(combo)
+                if not (self.join_graph.is_connected_set(union)
+                        or union == all_relations):
+                    continue
+                yield from self._splits_of(union)
+
+    def _splits_of(self, union: FrozenSet[str]) -> Iterator[JoinPair]:
+        members = sorted(union)
+        connected_pairs: List[JoinPair] = []
+        cross_pairs: List[JoinPair] = []
+        # Enumerate proper, non-empty subsets via bitmask over the members.
+        for mask in range(1, (1 << len(members)) - 1):
+            outer = frozenset(members[i] for i in range(len(members))
+                              if mask & (1 << i))
+            inner = union - outer
+            if not (self.join_graph.is_connected_set(outer)
+                    and self.join_graph.is_connected_set(inner)):
+                continue
+            clauses = tuple(self.query.clauses_between(outer, inner))
+            pair = JoinPair(union=union, outer=outer, inner=inner,
+                            clauses=clauses, is_cross_product=not clauses)
+            if clauses:
+                connected_pairs.append(pair)
+            else:
+                cross_pairs.append(pair)
+        # Cross products are only considered when the union cannot be formed
+        # through join clauses at all (disconnected query graphs).
+        if connected_pairs:
+            yield from connected_pairs
+        else:
+            yield from cross_pairs
+
+    # ------------------------------------------------------------------
+    # Base relation plan lists
+    # ------------------------------------------------------------------
+
+    def row_width(self, alias: str) -> int:
+        """Approximate output row width for a base relation."""
+        if alias not in self._row_widths:
+            schema = self.catalog.schema(self.query.table_name(alias))
+            self._row_widths[alias] = max(8, schema.row_width_bytes)
+        return self._row_widths[alias]
+
+    def make_seq_scan(self, alias: str) -> ScanNode:
+        """Build and cost a plain sequential scan sub-plan for ``alias``."""
+        predicates = tuple(self.query.predicates_for(alias))
+        base_rows = self.estimator.base_rows(alias)
+        rows = self.estimator.scan_rows(alias)
+        width = self.row_width(alias)
+        cost = self.cost_model.seq_scan(base_rows, width, len(predicates))
+        return ScanNode(alias=alias, table_name=self.query.table_name(alias),
+                        predicates=predicates, bloom_filters=(),
+                        pre_bloom_rows=rows, rows=rows, cost=cost,
+                        properties=PlanProperties(), row_width=width)
+
+    def make_bloom_scan(self, alias: str,
+                        specs: Sequence[BloomFilterSpec]) -> ScanNode:
+        """Build and cost a Bloom filter scan sub-plan for ``alias``.
+
+        The Bloom filters are applied on top of the plain scan: the scan still
+        reads every base row and evaluates local predicates, then probes each
+        Bloom filter for every surviving row (the paper's ``k * input rows``
+        extra cost), producing the reduced, semi-join-sized output.
+        """
+        plain = self.make_seq_scan(alias)
+        specs = tuple(specs)
+        rows = self.estimator.bloom_scan_rows(alias,
+                                              [s.estimate for s in specs])
+        extra = self.cost_model.bloom_apply(plain.pre_bloom_rows, len(specs))
+        properties = PlanProperties(distribution=plain.properties.distribution,
+                                    pending_blooms=frozenset(specs))
+        return ScanNode(alias=alias, table_name=plain.table_name,
+                        predicates=plain.predicates, bloom_filters=specs,
+                        pre_bloom_rows=plain.pre_bloom_rows, rows=rows,
+                        cost=plain.cost + extra, properties=properties,
+                        row_width=plain.row_width)
+
+    def build_base_plan_lists(self) -> Dict[FrozenSet[str], PlanList]:
+        """Plan lists for single relations (plain scans only)."""
+        plan_lists: Dict[FrozenSet[str], PlanList] = {}
+        for alias in self.query.aliases:
+            plan_list = PlanList()
+            plan_list.add(self.make_seq_scan(alias))
+            plan_lists[frozenset({alias})] = plan_list
+        return plan_lists
+
+    # ------------------------------------------------------------------
+    # The DP itself
+    # ------------------------------------------------------------------
+
+    def optimize(self, base_plan_lists: Optional[Dict[FrozenSet[str], PlanList]] = None,
+                 ) -> Dict[FrozenSet[str], PlanList]:
+        """Run bottom-up DP and return the plan list for every relation set."""
+        plan_lists = dict(base_plan_lists or self.build_base_plan_lists())
+        for pair in self.enumerate_join_pairs():
+            self.stats.join_pairs_considered += 1
+            outer_list = plan_lists.get(pair.outer)
+            inner_list = plan_lists.get(pair.inner)
+            if not outer_list or not inner_list:
+                continue
+            target = plan_lists.setdefault(pair.union, PlanList())
+            for outer_plan in list(outer_list):
+                for inner_plan in list(inner_list):
+                    self.stats.subplan_combinations += 1
+                    for join_plan in self.combine(pair, outer_plan, inner_plan):
+                        if target.add(join_plan):
+                            self.stats.plans_retained += 1
+            if self.settings.use_heuristic7:
+                self.stats.heuristic7_pruned += target.apply_heuristic7(
+                    self.settings.heuristic7_max_subplans)
+        return plan_lists
+
+    # ------------------------------------------------------------------
+    # Combining two sub-plans into join plans
+    # ------------------------------------------------------------------
+
+    def combine(self, pair: JoinPair, outer_plan: PlanNode,
+                inner_plan: PlanNode) -> List[PlanNode]:
+        """All legal, costed join plans for one (outer, inner) sub-plan pair."""
+        join_type = self._join_type_for(pair)
+        if join_type is None:
+            return []
+        legal, resolved, pending = self._check_bloom_constraints(
+            outer_plan, inner_plan)
+        if not legal:
+            self.stats.plans_rejected_bloom_constraint += 1
+            return []
+        if resolved and not self._resolution_allowed(resolved):
+            self.stats.plans_rejected_bloom_constraint += 1
+            return []
+        must_use_hash = bool(resolved) or self._hash_required(outer_plan,
+                                                              inner_plan)
+        methods: List[JoinMethod] = [JoinMethod.HASH]
+        if not must_use_hash and pair.clauses:
+            methods.extend([JoinMethod.MERGE, JoinMethod.NESTED_LOOP])
+        if not pair.clauses:
+            methods = [JoinMethod.NESTED_LOOP]
+        if not pair.clauses and must_use_hash:
+            return []
+
+        rows = self._join_output_rows(pair, pending)
+        residuals = self._new_residuals(pair)
+        plans: List[PlanNode] = []
+        for method in methods:
+            for plan in self._physical_variants(pair, method, join_type,
+                                                 outer_plan, inner_plan, rows,
+                                                 resolved, pending, residuals):
+                plans.append(plan)
+        return plans
+
+    # -- join-type / legality helpers -----------------------------------------
+
+    def _join_type_for(self, pair: JoinPair) -> Optional[JoinType]:
+        """Join type of the pair; None if this orientation is illegal.
+
+        For outer/semi/anti joins the row-preserving (left in SQL order) side
+        must be on the probe/outer side of our physical join.
+        """
+        join_type = JoinType.INNER
+        for clause in pair.clauses:
+            if clause.join_type is JoinType.INNER:
+                continue
+            join_type = clause.join_type
+            preserved = clause.left.relation
+            if preserved not in pair.outer:
+                return None
+        return join_type
+
+    def _hash_required(self, outer_plan: PlanNode, inner_plan: PlanNode) -> bool:
+        """Hash join is forced whenever any pending Bloom filter's δ overlaps
+        the other side (Section 3.6, second constraint)."""
+        for spec in outer_plan.pending_blooms:
+            if spec.delta & inner_plan.relations:
+                return True
+        return False
+
+    def _check_bloom_constraints(self, outer_plan: PlanNode,
+                                 inner_plan: PlanNode,
+                                 ) -> Tuple[bool, List[BloomFilterSpec],
+                                            FrozenSet[BloomFilterSpec]]:
+        """Apply the δ-consistency rules of Section 3.6.
+
+        Returns ``(legal, resolved_specs, pending_specs)`` where
+        ``resolved_specs`` are the outer-side Bloom filters that this join will
+        build (fully or through the Figure-3 exception) and ``pending_specs``
+        is the property set of the joined sub-plan.
+        """
+        inner_relations = inner_plan.relations
+        inner_pending = inner_plan.pending_blooms
+        inner_delta_union: Set[str] = set()
+        for spec in inner_pending:
+            inner_delta_union |= spec.delta
+
+        resolved: List[BloomFilterSpec] = []
+        carried: List[BloomFilterSpec] = []
+        for spec in outer_plan.pending_blooms:
+            if spec.delta <= inner_relations:
+                # Fully resolved: every required build relation is on the
+                # inner side of this (necessarily hash) join.
+                resolved.append(spec)
+            elif spec.delta & inner_relations:
+                # Partially provided: only legal through the Figure 3(c)
+                # exception — the inner side is itself a Bloom filter sub-plan
+                # whose pending δ's cover the outstanding relations.
+                outstanding = spec.delta - inner_relations
+                if outstanding <= inner_delta_union:
+                    resolved.append(spec)
+                else:
+                    return False, [], frozenset()
+            else:
+                carried.append(spec)
+        pending = frozenset(carried) | inner_pending
+        return True, resolved, pending
+
+    def _resolution_allowed(self, resolved: Sequence[BloomFilterSpec]) -> bool:
+        """Heuristic 5 re-check at resolution time: the filter must still fit."""
+        if not self.settings.enabled:
+            return True
+        return all(spec.estimate.build_ndv <= self.settings.max_build_ndv
+                   for spec in resolved)
+
+    # -- cardinality ----------------------------------------------------------
+
+    def _join_output_rows(self, pair: JoinPair,
+                          pending: FrozenSet[BloomFilterSpec]) -> float:
+        """Estimated output rows of the joined relation.
+
+        Resolved Bloom filters contribute nothing here — once the build side is
+        joined, the filter only removes rows the join would have removed anyway
+        (Section 3.6: "the cardinality estimate simply becomes the original
+        cardinality estimate for the joined relation").  Unresolved filters
+        keep reducing the estimate by their effective selectivity.
+        """
+        rows = self.estimator.join_rows(pair.union)
+        for spec in pending:
+            rows *= spec.estimate.effective_selectivity
+        return max(1.0, rows)
+
+    def _new_residuals(self, pair: JoinPair) -> Tuple:
+        """Residual predicates that become applicable exactly at this join."""
+        now = set(self.query.residuals_applicable(pair.union))
+        before = set(self.query.residuals_applicable(pair.outer))
+        before |= set(self.query.residuals_applicable(pair.inner))
+        return tuple(p for p in self.query.residual_predicates
+                     if p in now and p not in before)
+
+    # -- physical variants (join method x distribution strategy) ----------------
+
+    def _physical_variants(self, pair: JoinPair, method: JoinMethod,
+                           join_type: JoinType, outer_plan: PlanNode,
+                           inner_plan: PlanNode, rows: float,
+                           resolved: Sequence[BloomFilterSpec],
+                           pending: FrozenSet[BloomFilterSpec],
+                           residuals: Tuple) -> Iterator[PlanNode]:
+        width = outer_plan.row_width + inner_plan.row_width
+        outer_cols, inner_cols = self._join_columns(pair)
+        strategies = self._distribution_strategies(method, outer_plan,
+                                                   inner_plan, outer_cols,
+                                                   inner_cols)
+        for outer_input, inner_input, distribution in strategies:
+            cost = outer_input.cost + inner_input.cost
+            cost = cost + self._join_work(method, outer_input, inner_input,
+                                          rows, len(pair.clauses))
+            if resolved:
+                cost = cost + self.cost_model.bloom_build(inner_input.rows,
+                                                          len(resolved))
+            if residuals:
+                cost = cost + self.cost_model.project(rows, len(residuals))
+            properties = PlanProperties(distribution=distribution,
+                                        pending_blooms=pending)
+            yield JoinNode(method=method, join_type=join_type,
+                           outer=outer_input, inner=inner_input,
+                           clauses=pair.clauses,
+                           built_filters=tuple(resolved),
+                           residual_predicates=residuals,
+                           rows=rows, cost=cost, properties=properties,
+                           row_width=width)
+
+    def _join_columns(self, pair: JoinPair) -> Tuple[Tuple[ColumnRef, ...],
+                                                     Tuple[ColumnRef, ...]]:
+        outer_cols: List[ColumnRef] = []
+        inner_cols: List[ColumnRef] = []
+        for clause in pair.clauses:
+            if clause.left.relation in pair.outer:
+                outer_cols.append(clause.left)
+                inner_cols.append(clause.right)
+            else:
+                outer_cols.append(clause.right)
+                inner_cols.append(clause.left)
+        return tuple(outer_cols), tuple(inner_cols)
+
+    def _distribution_strategies(self, method: JoinMethod, outer_plan: PlanNode,
+                                 inner_plan: PlanNode,
+                                 outer_cols: Tuple[ColumnRef, ...],
+                                 inner_cols: Tuple[ColumnRef, ...],
+                                 ) -> List[Tuple[PlanNode, PlanNode, Distribution]]:
+        """Streaming strategies: broadcast the build side, or shuffle both."""
+        strategies: List[Tuple[PlanNode, PlanNode, Distribution]] = []
+        # Strategy 1: broadcast the inner (build) side.
+        broadcast_inner = self._exchange(inner_plan, ExchangeKind.BROADCAST, ())
+        strategies.append((outer_plan, broadcast_inner,
+                           outer_plan.properties.distribution))
+        # Strategy 2: hash-redistribute both sides on the join columns (only
+        # meaningful when there are join columns, i.e. not a cross product).
+        if outer_cols and method is not JoinMethod.NESTED_LOOP:
+            outer_shuffled = outer_plan
+            if not outer_plan.properties.distribution.is_hashed_on(outer_cols):
+                outer_shuffled = self._exchange(outer_plan,
+                                                ExchangeKind.REDISTRIBUTE,
+                                                outer_cols)
+            inner_shuffled = inner_plan
+            if not inner_plan.properties.distribution.is_hashed_on(inner_cols):
+                inner_shuffled = self._exchange(inner_plan,
+                                                ExchangeKind.REDISTRIBUTE,
+                                                inner_cols)
+            strategies.append((outer_shuffled, inner_shuffled,
+                               Distribution.hashed(outer_cols)))
+        return strategies
+
+    def _exchange(self, child: PlanNode, kind: ExchangeKind,
+                  keys: Tuple[ColumnRef, ...]) -> ExchangeNode:
+        """Wrap ``child`` in an exchange operator and cost the data movement."""
+        if kind is ExchangeKind.BROADCAST:
+            move = self.cost_model.broadcast(child.rows, child.row_width)
+            distribution = Distribution.broadcast()
+        elif kind is ExchangeKind.REDISTRIBUTE:
+            move = self.cost_model.redistribute(child.rows, child.row_width)
+            distribution = Distribution.hashed(keys)
+        else:
+            move = self.cost_model.gather(child.rows, child.row_width)
+            distribution = Distribution.singleton()
+        properties = PlanProperties(distribution=distribution,
+                                    pending_blooms=child.pending_blooms)
+        return ExchangeNode(kind=kind, child=child, hash_keys=keys,
+                            rows=child.rows, cost=child.cost + move,
+                            properties=properties, row_width=child.row_width)
+
+    def _join_work(self, method: JoinMethod, outer_input: PlanNode,
+                   inner_input: PlanNode, output_rows: float,
+                   num_clauses: int) -> Cost:
+        """Cost of the join operator itself (inputs already costed)."""
+        dop = self.cost_model.params.degree_of_parallelism
+        build_rows = inner_input.rows
+        # A broadcast build side is materialised (and hashed) once per worker.
+        if inner_input.properties.distribution.kind is DistributionKind.BROADCAST:
+            build_rows = inner_input.rows * dop
+        if method is JoinMethod.HASH:
+            return self.cost_model.hash_join(build_rows, outer_input.rows,
+                                             output_rows, num_clauses)
+        if method is JoinMethod.MERGE:
+            return self.cost_model.merge_join(outer_input.rows,
+                                              inner_input.rows, output_rows)
+        inner_rescan = inner_input.rows * self.cost_model.params.cpu_tuple_cost
+        return self.cost_model.nested_loop(outer_input.rows, inner_input.rows,
+                                           output_rows, inner_rescan)

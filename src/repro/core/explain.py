@@ -1,0 +1,86 @@
+"""Plan rendering (EXPLAIN / EXPLAIN ANALYZE style output).
+
+Used by the examples and the case-study experiments to show, like the paper's
+Figures 1, 4 and 6, which join order was chosen, where Bloom filters are built
+and applied, which exchanges (broadcast / redistribute) were inserted, and how
+estimated row counts compare with the row counts actually observed by the
+executor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .plans import JoinNode, PlanNode, ScanNode
+
+
+def explain(plan: PlanNode, actual_rows: Optional[Dict[int, float]] = None) -> str:
+    """Render a plan as an indented text tree.
+
+    Args:
+        plan: Root plan node.
+        actual_rows: Optional mapping from ``id(node)`` to observed row counts
+            (as produced by the executor's metrics) to render alongside the
+            estimates, EXPLAIN ANALYZE style.
+    """
+    lines: List[str] = []
+    _render(plan, 0, lines, actual_rows or {})
+    return "\n".join(lines)
+
+
+def _render(node: PlanNode, depth: int, lines: List[str],
+            actual_rows: Dict[int, float]) -> None:
+    indent = "  " * depth
+    parts = ["%s-> %s" % (indent, node.label())]
+    parts.append("(rows=%s" % _format_rows(node.rows))
+    if id(node) in actual_rows:
+        parts.append("actual=%s" % _format_rows(actual_rows[id(node)]))
+    parts.append("cost=%.1f)" % node.cost.total)
+    lines.append(" ".join(parts))
+    for child in node.children:
+        _render(child, depth + 1, lines, actual_rows)
+
+
+def _format_rows(rows: float) -> str:
+    """Human formatting of row counts (150000000 -> 150M)."""
+    rows = float(rows)
+    if rows >= 1e9:
+        return "%.1fB" % (rows / 1e9)
+    if rows >= 1e6:
+        return "%.1fM" % (rows / 1e6)
+    if rows >= 1e3:
+        return "%.1fK" % (rows / 1e3)
+    return "%d" % int(round(rows))
+
+
+def join_order_summary(plan: PlanNode) -> List[str]:
+    """A compact description of every join in the plan, outer-first.
+
+    Each entry reads like ``hash join: {l, o} x {c} [builds BF on o.o_custkey]``
+    and is convenient for asserting plan shapes in tests and printing the
+    case-study comparisons.
+    """
+    summary: List[str] = []
+    for node in plan.walk():
+        if not isinstance(node, JoinNode):
+            continue
+        outer = ",".join(sorted(node.outer.relations)) if node.outer else ""
+        inner = ",".join(sorted(node.inner.relations)) if node.inner else ""
+        entry = "%s: {%s} x {%s}" % (node.method.value, outer, inner)
+        if node.built_filters:
+            entry += " [builds %s]" % ", ".join(
+                str(spec.apply_column) for spec in node.built_filters)
+        summary.append(entry)
+    return summary
+
+
+def bloom_filter_summary(plan: PlanNode) -> List[str]:
+    """One line per Bloom filter applied by a scan in the plan."""
+    summary: List[str] = []
+    for node in plan.walk():
+        if isinstance(node, ScanNode):
+            for spec in node.bloom_filters:
+                summary.append("scan %s applies BF on %s built from %s (δ={%s})"
+                               % (node.alias, spec.apply_column,
+                                  spec.build_column, ",".join(sorted(spec.delta))))
+    return summary

@@ -1,0 +1,396 @@
+"""Bound scalar expressions and predicates.
+
+These classes are the *semantic* expression model shared by the optimizer and
+the executor.  The SQL front end (:mod:`repro.sql`) parses text into a purely
+syntactic AST and the binder lowers that AST into these classes, resolving
+column references against the catalog.
+
+Every expression knows which relations (by alias) it references, can estimate
+nothing by itself (estimation lives in :mod:`repro.core.cardinality`), and can
+evaluate itself against a *column resolver* — a callable mapping a
+:class:`ColumnRef` to a numpy array — which is how the executor runs
+predicates and projections without the expression model knowing anything about
+physical storage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+ColumnResolver = Callable[["ColumnRef"], np.ndarray]
+
+
+class ExpressionError(ValueError):
+    """Raised for malformed or unevaluatable expressions."""
+
+
+# ---------------------------------------------------------------------------
+# Scalar expressions
+# ---------------------------------------------------------------------------
+
+
+class ScalarExpression:
+    """Base class for scalar (row-wise) expressions."""
+
+    def referenced_columns(self) -> List["ColumnRef"]:
+        """All column references appearing in this expression."""
+        raise NotImplementedError
+
+    def referenced_relations(self) -> FrozenSet[str]:
+        """Aliases of all relations referenced by this expression."""
+        return frozenset(col.relation for col in self.referenced_columns())
+
+    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
+        """Evaluate the expression over a batch of rows."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ColumnRef(ScalarExpression):
+    """A reference to ``relation.column`` where relation is a FROM alias."""
+
+    relation: str
+    column: str
+
+    def referenced_columns(self) -> List["ColumnRef"]:
+        return [self]
+
+    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
+        return resolve(self)
+
+    def __str__(self) -> str:
+        return "%s.%s" % (self.relation, self.column)
+
+
+@dataclass(frozen=True)
+class Literal(ScalarExpression):
+    """A constant value."""
+
+    value: object
+
+    def referenced_columns(self) -> List[ColumnRef]:
+        return []
+
+    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
+        return np.asarray(self.value)
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+class ArithmeticOp(enum.Enum):
+    """Binary arithmetic operators."""
+
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+
+
+@dataclass(frozen=True)
+class Arithmetic(ScalarExpression):
+    """Binary arithmetic over two scalar expressions."""
+
+    op: ArithmeticOp
+    left: ScalarExpression
+    right: ScalarExpression
+
+    def referenced_columns(self) -> List[ColumnRef]:
+        return self.left.referenced_columns() + self.right.referenced_columns()
+
+    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
+        lhs = np.asarray(self.left.evaluate(resolve), dtype=np.float64)
+        rhs = np.asarray(self.right.evaluate(resolve), dtype=np.float64)
+        if self.op is ArithmeticOp.ADD:
+            return lhs + rhs
+        if self.op is ArithmeticOp.SUB:
+            return lhs - rhs
+        if self.op is ArithmeticOp.MUL:
+            return lhs * rhs
+        if self.op is ArithmeticOp.DIV:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                return np.where(rhs != 0, lhs / rhs, 0.0)
+        raise ExpressionError("unknown arithmetic operator %r" % self.op)
+
+    def __str__(self) -> str:
+        return "(%s %s %s)" % (self.left, self.op.value, self.right)
+
+
+@dataclass(frozen=True)
+class ExtractYear(ScalarExpression):
+    """``EXTRACT(YEAR FROM date_column)`` over the integer date encoding."""
+
+    operand: ScalarExpression
+
+    def referenced_columns(self) -> List[ColumnRef]:
+        return self.operand.referenced_columns()
+
+    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
+        days = np.asarray(self.operand.evaluate(resolve), dtype=np.int64)
+        # Days-since-epoch to year without pulling in datetime per row.
+        dates = days.astype("datetime64[D]")
+        return dates.astype("datetime64[Y]").astype(np.int64) + 1970
+
+    def __str__(self) -> str:
+        return "extract(year from %s)" % (self.operand,)
+
+
+class AggregateFunction(enum.Enum):
+    """Supported aggregate functions."""
+
+    SUM = "sum"
+    COUNT = "count"
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+
+
+@dataclass(frozen=True)
+class AggregateCall(ScalarExpression):
+    """An aggregate function call appearing in a SELECT list."""
+
+    func: AggregateFunction
+    operand: Optional[ScalarExpression]  # None for COUNT(*)
+    distinct: bool = False
+
+    def referenced_columns(self) -> List[ColumnRef]:
+        return [] if self.operand is None else self.operand.referenced_columns()
+
+    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
+        raise ExpressionError("aggregates are evaluated by the Aggregate "
+                              "operator, not row-wise")
+
+    def __str__(self) -> str:
+        inner = "*" if self.operand is None else str(self.operand)
+        prefix = "distinct " if self.distinct else ""
+        return "%s(%s%s)" % (self.func.value, prefix, inner)
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+
+
+class Predicate:
+    """Base class for boolean (filter) expressions."""
+
+    def referenced_columns(self) -> List[ColumnRef]:
+        """All column references appearing in this predicate."""
+        raise NotImplementedError
+
+    def referenced_relations(self) -> FrozenSet[str]:
+        """Aliases of all relations referenced by this predicate."""
+        return frozenset(col.relation for col in self.referenced_columns())
+
+    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
+        """Evaluate to a boolean mask over a batch of rows."""
+        raise NotImplementedError
+
+
+class ComparisonOp(enum.Enum):
+    """Comparison operators supported in predicates."""
+
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+
+_COMPARATORS = {
+    ComparisonOp.EQ: lambda a, b: a == b,
+    ComparisonOp.NE: lambda a, b: a != b,
+    ComparisonOp.LT: lambda a, b: a < b,
+    ComparisonOp.LE: lambda a, b: a <= b,
+    ComparisonOp.GT: lambda a, b: a > b,
+    ComparisonOp.GE: lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``left <op> right`` where either side is a scalar expression."""
+
+    op: ComparisonOp
+    left: ScalarExpression
+    right: ScalarExpression
+
+    def referenced_columns(self) -> List[ColumnRef]:
+        return self.left.referenced_columns() + self.right.referenced_columns()
+
+    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
+        lhs = self.left.evaluate(resolve)
+        rhs = self.right.evaluate(resolve)
+        return np.asarray(_COMPARATORS[self.op](lhs, rhs), dtype=bool)
+
+    def is_equi_join(self) -> bool:
+        """True if this is ``col = col`` across two different relations."""
+        return (self.op is ComparisonOp.EQ
+                and isinstance(self.left, ColumnRef)
+                and isinstance(self.right, ColumnRef)
+                and self.left.relation != self.right.relation)
+
+    def __str__(self) -> str:
+        return "%s %s %s" % (self.left, self.op.value, self.right)
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``operand BETWEEN low AND high`` (inclusive on both ends)."""
+
+    operand: ScalarExpression
+    low: ScalarExpression
+    high: ScalarExpression
+
+    def referenced_columns(self) -> List[ColumnRef]:
+        return (self.operand.referenced_columns()
+                + self.low.referenced_columns()
+                + self.high.referenced_columns())
+
+    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
+        value = self.operand.evaluate(resolve)
+        return np.asarray((value >= self.low.evaluate(resolve))
+                          & (value <= self.high.evaluate(resolve)), dtype=bool)
+
+    def __str__(self) -> str:
+        return "%s between %s and %s" % (self.operand, self.low, self.high)
+
+
+@dataclass(frozen=True)
+class InList(Predicate):
+    """``operand IN (v1, v2, ...)`` with literal list elements."""
+
+    operand: ScalarExpression
+    values: Tuple[object, ...]
+
+    def referenced_columns(self) -> List[ColumnRef]:
+        return self.operand.referenced_columns()
+
+    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
+        value = self.operand.evaluate(resolve)
+        return np.isin(value, np.asarray(list(self.values)))
+
+    def __str__(self) -> str:
+        return "%s in (%s)" % (self.operand,
+                               ", ".join(repr(v) for v in self.values))
+
+
+@dataclass(frozen=True)
+class Like(Predicate):
+    """``operand LIKE pattern`` supporting ``%`` and ``_`` wildcards."""
+
+    operand: ScalarExpression
+    pattern: str
+    negated: bool = False
+
+    def referenced_columns(self) -> List[ColumnRef]:
+        return self.operand.referenced_columns()
+
+    def _regex(self):
+        import re
+
+        parts = []
+        for char in self.pattern:
+            if char == "%":
+                parts.append(".*")
+            elif char == "_":
+                parts.append(".")
+            else:
+                parts.append(re.escape(char))
+        return re.compile("^" + "".join(parts) + "$")
+
+    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
+        regex = self._regex()
+        values = self.operand.evaluate(resolve)
+        matches = np.fromiter((bool(regex.match(str(v))) for v in values),
+                              dtype=bool, count=len(values))
+        return ~matches if self.negated else matches
+
+    def __str__(self) -> str:
+        op = "not like" if self.negated else "like"
+        return "%s %s %r" % (self.operand, op, self.pattern)
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Logical negation of another predicate."""
+
+    operand: Predicate
+
+    def referenced_columns(self) -> List[ColumnRef]:
+        return self.operand.referenced_columns()
+
+    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
+        return ~self.operand.evaluate(resolve)
+
+    def __str__(self) -> str:
+        return "not (%s)" % (self.operand,)
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    operands: Tuple[Predicate, ...]
+
+    def referenced_columns(self) -> List[ColumnRef]:
+        return [col for p in self.operands for col in p.referenced_columns()]
+
+    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
+        result: Optional[np.ndarray] = None
+        for pred in self.operands:
+            mask = pred.evaluate(resolve)
+            result = mask if result is None else (result & mask)
+        if result is None:
+            raise ExpressionError("empty AND")
+        return result
+
+    def __str__(self) -> str:
+        return " and ".join("(%s)" % p for p in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    operands: Tuple[Predicate, ...]
+
+    def referenced_columns(self) -> List[ColumnRef]:
+        return [col for p in self.operands for col in p.referenced_columns()]
+
+    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
+        result: Optional[np.ndarray] = None
+        for pred in self.operands:
+            mask = pred.evaluate(resolve)
+            result = mask if result is None else (result | mask)
+        if result is None:
+            raise ExpressionError("empty OR")
+        return result
+
+    def __str__(self) -> str:
+        return " or ".join("(%s)" % p for p in self.operands)
+
+
+def conjuncts(predicate: Predicate) -> List[Predicate]:
+    """Flatten a predicate into its top-level AND conjuncts."""
+    if isinstance(predicate, And):
+        result: List[Predicate] = []
+        for operand in predicate.operands:
+            result.extend(conjuncts(operand))
+        return result
+    return [predicate]
+
+
+def conjunction(predicates: Sequence[Predicate]) -> Optional[Predicate]:
+    """Combine predicates into a single AND (or return the single / None)."""
+    preds = [p for p in predicates if p is not None]
+    if not preds:
+        return None
+    if len(preds) == 1:
+        return preds[0]
+    return And(tuple(preds))

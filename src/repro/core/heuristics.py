@@ -1,0 +1,76 @@
+"""Configuration of the BF-CBO search-space-limiting heuristics.
+
+The paper enumerates nine heuristics (Section 3.10).  All of them are
+represented here as independently togglable settings so that the ablation
+experiments (Table 3 and the heuristic-ablation example) can flip them without
+touching optimizer code.  The default values mirror Section 4.1 of the paper:
+
+* selectivity threshold 2/3 (Heuristic 6),
+* apply-side row threshold 10,000 (Heuristic 2),
+* maximum build-side distinct count 2,000,000 (Heuristic 5),
+* Heuristic 7 disabled for the main results, enabled for Table 3 with a
+  plan-list cap of four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class BfCboSettings:
+    """Tunable behaviour of Bloom-filter-aware bottom-up optimization."""
+
+    #: Master switch: when False the optimizer behaves exactly like plain CBO.
+    enabled: bool = True
+
+    # Heuristic 1: candidate only on the larger relation of a join clause.
+    use_heuristic1: bool = True
+    # Heuristic 2: minimum (filtered) row count of the apply relation.
+    min_apply_rows: float = 10_000.0
+    # Heuristic 3: skip δ's whose build side is an unfiltered, lossless PK for
+    # an FK apply column.  (A correctness-neutral skip, but listed as H3.)
+    use_heuristic3: bool = True
+    # Heuristic 4: apply all candidates on a relation simultaneously.
+    apply_all_candidates: bool = True
+    # Heuristic 5: maximum estimated distinct values on the filter build side.
+    max_build_ndv: float = 2_000_000.0
+    # Heuristic 6: keep a Bloom filter only if its true-match selectivity is at
+    # most this value (2/3 means it must remove at least a third of the rows).
+    max_selectivity: float = 2.0 / 3.0
+    # Heuristic 7: if a relation accumulates more than ``heuristic7_max_subplans``
+    # Bloom filter sub-plans, keep only the one with the fewest estimated rows.
+    use_heuristic7: bool = False
+    heuristic7_max_subplans: int = 4
+    # Heuristic 8: skip Bloom filter candidates entirely when the total
+    # join-input cardinality observed in the first pass is below the threshold
+    # (fast transactional queries are not worth the extra planning effort).
+    use_heuristic8: bool = False
+    heuristic8_min_total_join_input: float = 1_000_000.0
+    # Heuristic 9: allow candidates on both sides of a clause, keeping only
+    # δ's whose estimated build cardinality is smaller than the apply side.
+    use_heuristic9: bool = False
+
+    # Safety cap used only by the naïve single-pass baseline (Section 3.1) so
+    # that the exponential blow-up experiment terminates.
+    naive_max_subplans_per_relation: int = 64
+
+    def with_overrides(self, **kwargs) -> "BfCboSettings":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def disabled(cls) -> "BfCboSettings":
+        """Settings for plain cost-based optimization (no Bloom awareness)."""
+        return cls(enabled=False)
+
+    @classmethod
+    def paper_defaults(cls) -> "BfCboSettings":
+        """The configuration used for the paper's main results (Table 2)."""
+        return cls()
+
+    @classmethod
+    def with_heuristic7(cls) -> "BfCboSettings":
+        """The configuration used for Table 3 (Heuristic 7 enabled)."""
+        return cls(use_heuristic7=True)

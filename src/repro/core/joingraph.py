@@ -1,0 +1,133 @@
+"""Join graph utilities: connectivity, equivalence classes, FK detection.
+
+The bottom-up enumerator only combines relation sets that are connected by at
+least one join clause (unless cross products are explicitly allowed), and the
+candidate-marking step of BF-CBO needs to reason about multi-way equivalence
+classes (Section 3.3: "If we have a multi-way equivalence clause, then we only
+consider building a Bloom filter from the smallest table").  This module
+derives both from the bound :class:`~repro.core.query.QueryBlock`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from .expressions import ColumnRef
+from .query import JoinClause, QueryBlock
+
+
+@dataclass
+class EquivalenceClass:
+    """A set of columns known to be equal through equi-join clauses."""
+
+    columns: Set[ColumnRef] = field(default_factory=set)
+
+    @property
+    def relations(self) -> FrozenSet[str]:
+        """Relations participating in the equivalence class."""
+        return frozenset(col.relation for col in self.columns)
+
+    def __contains__(self, column: ColumnRef) -> bool:
+        return column in self.columns
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+
+class JoinGraph:
+    """Adjacency and equivalence-class view of a query block's join clauses."""
+
+    def __init__(self, query: QueryBlock) -> None:
+        self.query = query
+        self._adjacency: Dict[str, Set[str]] = {a: set() for a in query.aliases}
+        for clause in query.join_clauses:
+            left, right = clause.left.relation, clause.right.relation
+            self._adjacency[left].add(right)
+            self._adjacency[right].add(left)
+        self.equivalence_classes = self._build_equivalence_classes(query.join_clauses)
+
+    @staticmethod
+    def _build_equivalence_classes(clauses: Sequence[JoinClause]) -> List[EquivalenceClass]:
+        """Union-find over equi-join columns (inner joins only)."""
+        parent: Dict[ColumnRef, ColumnRef] = {}
+
+        def find(col: ColumnRef) -> ColumnRef:
+            parent.setdefault(col, col)
+            while parent[col] != col:
+                parent[col] = parent[parent[col]]
+                col = parent[col]
+            return col
+
+        def union(a: ColumnRef, b: ColumnRef) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        for clause in clauses:
+            if clause.join_type.value == "inner":
+                union(clause.left, clause.right)
+        groups: Dict[ColumnRef, Set[ColumnRef]] = {}
+        for col in parent:
+            groups.setdefault(find(col), set()).add(col)
+        return [EquivalenceClass(columns=cols) for cols in groups.values()
+                if len(cols) >= 2]
+
+    # -- connectivity ---------------------------------------------------------
+
+    def neighbours(self, alias: str) -> Set[str]:
+        """Relations directly joined to ``alias``."""
+        return set(self._adjacency.get(alias, set()))
+
+    def are_connected(self, left: FrozenSet[str], right: FrozenSet[str]) -> bool:
+        """True if some join clause connects the two disjoint relation sets."""
+        return any(clause.connects(left, right)
+                   for clause in self.query.join_clauses)
+
+    def is_connected_set(self, relations: FrozenSet[str]) -> bool:
+        """True if the induced subgraph on ``relations`` is connected."""
+        if not relations:
+            return False
+        relations = frozenset(relations)
+        if len(relations) == 1:
+            return True
+        seen = {next(iter(relations))}
+        frontier = list(seen)
+        while frontier:
+            current = frontier.pop()
+            for neighbour in self._adjacency.get(current, ()):
+                if neighbour in relations and neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return seen == set(relations)
+
+    def connected_components(self) -> List[FrozenSet[str]]:
+        """Connected components of the whole join graph."""
+        remaining = set(self.query.aliases)
+        components: List[FrozenSet[str]] = []
+        while remaining:
+            start = remaining.pop()
+            seen = {start}
+            frontier = [start]
+            while frontier:
+                current = frontier.pop()
+                for neighbour in self._adjacency.get(current, ()):
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        frontier.append(neighbour)
+            remaining -= seen
+            components.append(frozenset(seen))
+        return components
+
+    # -- equivalence-class helpers ---------------------------------------------
+
+    def equivalence_class_of(self, column: ColumnRef) -> EquivalenceClass:
+        """Equivalence class containing ``column`` (singleton if none)."""
+        for eq_class in self.equivalence_classes:
+            if column in eq_class:
+                return eq_class
+        return EquivalenceClass(columns={column})
+
+    def equivalent_columns(self, column: ColumnRef) -> Set[ColumnRef]:
+        """All columns transitively equal to ``column`` (including itself)."""
+        return set(self.equivalence_class_of(column).columns)

@@ -1,0 +1,187 @@
+"""The optimizer facade: No-BF, BF-Post and BF-CBO entry points.
+
+:class:`Optimizer` is the public API most examples and experiments use.  It
+wraps candidate marking, the two bottom-up phases, post-processing and final
+plan assembly (aggregation / sort / limit / gather) behind a single
+``optimize(query, mode)`` call and records planning time, which the paper
+reports alongside query latency (Tables 2 and 3).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from ..storage.catalog import Catalog
+from .bfcbo import BfCboReport, TwoPhaseBloomOptimizer
+from .cardinality import CardinalityEstimator
+from .cost import CostModel, CostParameters, DEFAULT_COST_PARAMETERS
+from .enumerator import EnumerationStatistics, JoinEnumerator
+from .expressions import ColumnRef
+from .heuristics import BfCboSettings
+from .planlist import PlanList
+from .plans import (
+    AggregateNode,
+    ExchangeKind,
+    ExchangeNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    SortNode,
+    count_bloom_filters,
+)
+from .postprocess import BloomPostProcessor, PostProcessReport
+from .properties import Distribution, DistributionKind, PlanProperties
+from .query import QueryBlock
+
+
+class OptimizerMode(enum.Enum):
+    """The three optimization strategies compared throughout the paper."""
+
+    NO_BF = "no-bf"      # plain CBO, Bloom filters disabled entirely
+    BF_POST = "bf-post"  # plain CBO + post-optimization Bloom filter placement
+    BF_CBO = "bf-cbo"    # the paper's two-phase Bloom-filter-aware CBO
+
+
+@dataclass
+class OptimizationResult:
+    """Everything produced by one optimizer invocation."""
+
+    query: QueryBlock
+    mode: OptimizerMode
+    plan: PlanNode
+    join_plan: PlanNode
+    plan_lists: Dict[FrozenSet[str], PlanList]
+    planning_time_ms: float
+    settings: BfCboSettings
+    enumeration_stats: EnumerationStatistics
+    bfcbo_report: Optional[BfCboReport] = None
+    postprocess_report: Optional[PostProcessReport] = None
+
+    @property
+    def num_bloom_filters(self) -> int:
+        """Number of Bloom filters applied anywhere in the final plan."""
+        return count_bloom_filters(self.plan)
+
+    @property
+    def estimated_cost(self) -> float:
+        """Total estimated cost of the final plan."""
+        return self.plan.cost.total
+
+
+class Optimizer:
+    """Plans query blocks against a catalog under a chosen optimizer mode."""
+
+    def __init__(self, catalog: Catalog,
+                 cost_parameters: CostParameters = DEFAULT_COST_PARAMETERS) -> None:
+        self.catalog = catalog
+        self.cost_model = CostModel(cost_parameters)
+
+    # ------------------------------------------------------------------
+
+    def optimize(self, query: QueryBlock,
+                 mode: OptimizerMode = OptimizerMode.BF_CBO,
+                 settings: Optional[BfCboSettings] = None) -> OptimizationResult:
+        """Optimize ``query`` and return the chosen plan plus diagnostics."""
+        started = time.perf_counter()
+        if settings is None:
+            settings = (BfCboSettings.paper_defaults()
+                        if mode is OptimizerMode.BF_CBO
+                        else BfCboSettings.disabled())
+        if mode is not OptimizerMode.BF_CBO:
+            settings = settings.with_overrides(enabled=False)
+
+        estimator = CardinalityEstimator(self.catalog, query)
+        two_phase = TwoPhaseBloomOptimizer(self.catalog, query, estimator,
+                                           self.cost_model, settings)
+        plan_lists = two_phase.optimize()
+        join_plan = self._best_join_plan(query, plan_lists)
+
+        postprocess_report: Optional[PostProcessReport] = None
+        if mode in (OptimizerMode.BF_POST, OptimizerMode.BF_CBO):
+            # BF-Post places all its filters here; BF-CBO retains the pass to
+            # catch filters its per-block costing could not claim (Section 3.7).
+            processor = BloomPostProcessor(self.catalog, query, estimator,
+                                           BfCboSettings.paper_defaults())
+            join_plan, postprocess_report = processor.process(join_plan)
+
+        final_plan = self._finalize(query, join_plan, estimator)
+        planning_time_ms = (time.perf_counter() - started) * 1e3
+        return OptimizationResult(
+            query=query, mode=mode, plan=final_plan, join_plan=join_plan,
+            plan_lists=plan_lists, planning_time_ms=planning_time_ms,
+            settings=settings, enumeration_stats=two_phase.enumerator.stats,
+            bfcbo_report=two_phase.report if settings.enabled else None,
+            postprocess_report=postprocess_report)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _best_join_plan(query: QueryBlock,
+                        plan_lists: Dict[FrozenSet[str], PlanList]) -> PlanNode:
+        """Cheapest complete (no pending Bloom filters) plan for all relations."""
+        full_set = query.all_relations
+        plan_list = plan_lists.get(full_set)
+        if plan_list is None or plan_list.best() is None:
+            raise RuntimeError("optimizer produced no plan for %s" % query.name)
+        return plan_list.best()
+
+    # ------------------------------------------------------------------
+
+    def _finalize(self, query: QueryBlock, join_plan: PlanNode,
+                  estimator: CardinalityEstimator) -> PlanNode:
+        """Add gather / aggregation / sort / limit / projection on top."""
+        plan = join_plan
+        # Bring the result to a single worker before final presentation.
+        if plan.properties.distribution.kind is not DistributionKind.SINGLETON:
+            gather_cost = self.cost_model.gather(plan.rows, plan.row_width)
+            plan = ExchangeNode(kind=ExchangeKind.GATHER, child=plan,
+                                rows=plan.rows, cost=plan.cost + gather_cost,
+                                properties=PlanProperties(
+                                    distribution=Distribution.singleton(),
+                                    pending_blooms=plan.pending_blooms),
+                                row_width=plan.row_width)
+
+        if query.has_aggregation:
+            groups = self._estimate_groups(query, plan.rows, estimator)
+            agg_cost = self.cost_model.aggregate(plan.rows, groups)
+            aggregates = tuple(item for item in query.output)
+            plan = AggregateNode(child=plan, group_by=tuple(query.group_by),
+                                 aggregates=aggregates, rows=groups,
+                                 cost=plan.cost + agg_cost,
+                                 properties=plan.properties, row_width=64)
+        elif query.output:
+            project_cost = self.cost_model.project(plan.rows, len(query.output))
+            plan = ProjectNode(child=plan, items=tuple(query.output),
+                               rows=plan.rows, cost=plan.cost + project_cost,
+                               properties=plan.properties,
+                               row_width=plan.row_width)
+
+        if query.order_by:
+            sort_cost = self.cost_model.sort(plan.rows)
+            plan = SortNode(child=plan, order_by=tuple(query.order_by),
+                            rows=plan.rows, cost=plan.cost + sort_cost,
+                            properties=plan.properties, row_width=plan.row_width)
+        if query.limit is not None:
+            rows = min(plan.rows, float(query.limit))
+            plan = LimitNode(child=plan, limit=query.limit, rows=rows,
+                             cost=plan.cost + self.cost_model.limit(rows),
+                             properties=plan.properties, row_width=plan.row_width)
+        return plan
+
+    @staticmethod
+    def _estimate_groups(query: QueryBlock, input_rows: float,
+                         estimator: CardinalityEstimator) -> float:
+        """Estimated number of output groups of the final aggregation."""
+        if not query.group_by:
+            return 1.0
+        groups = 1.0
+        for expression in query.group_by:
+            if isinstance(expression, ColumnRef):
+                groups *= estimator.column_ndv(expression.relation,
+                                               expression.column)
+            else:
+                groups *= 32.0  # derived expression: modest default
+        return max(1.0, min(input_rows, groups))

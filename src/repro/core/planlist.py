@@ -1,0 +1,117 @@
+"""Plan lists with property-aware pruning.
+
+A relation (base or join relation) keeps the lowest cost sub-plan *per property
+signature* — a higher-cost sub-plan survives only if it carries a property that
+cheaper sub-plans lack.  On top of the per-signature minimum, a dominance check
+removes sub-plans that are worse on every axis the paper cares about:
+
+* a sub-plan requiring *more* δ relations (a superset of pending Bloom filters)
+  is pruned unless it also promises *fewer* rows (Section 3.5);
+* a sub-plan that is more expensive, produces at least as many rows, has the
+  same distribution and needs a superset of pending Bloom filters is dominated.
+
+Heuristic 7 (Section 3.10 / Table 3) is implemented here as an optional cap on
+the number of Bloom filter sub-plans kept per relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .plans import PlanNode
+
+
+@dataclass
+class PlanList:
+    """The set of retained sub-plans for one relation set."""
+
+    plans: List[PlanNode] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.plans)
+
+    def __iter__(self):
+        return iter(self.plans)
+
+    # -- pruning rules -----------------------------------------------------
+
+    @staticmethod
+    def _dominates(keeper: PlanNode, challenger: PlanNode) -> bool:
+        """True if ``keeper`` makes ``challenger`` redundant."""
+        if keeper.properties.distribution.signature() != \
+                challenger.properties.distribution.signature():
+            return False
+        keeper_pending = keeper.properties.pending_blooms
+        challenger_pending = challenger.properties.pending_blooms
+        if not keeper_pending <= challenger_pending:
+            # The keeper needs something the challenger doesn't; the challenger
+            # may still be interesting.
+            return False
+        cheaper_or_equal = keeper.cost.total <= challenger.cost.total + 1e-9
+        no_more_rows = keeper.rows <= challenger.rows + 1e-9
+        if keeper_pending == challenger_pending:
+            return cheaper_or_equal and no_more_rows
+        # The challenger requires strictly more δ relations than the keeper:
+        # it is only worth keeping if it promises strictly fewer rows
+        # (Section 3.5's immediate pruning rule).
+        return challenger.rows >= keeper.rows - 1e-9
+
+    def add(self, plan: PlanNode) -> bool:
+        """Try to add ``plan``; returns True if it was retained."""
+        survivors: List[PlanNode] = []
+        for existing in self.plans:
+            if self._dominates(existing, plan):
+                return False
+        for existing in self.plans:
+            if not self._dominates(plan, existing):
+                survivors.append(existing)
+        survivors.append(plan)
+        self.plans = survivors
+        return True
+
+    def add_all(self, plans: Iterable[PlanNode]) -> int:
+        """Add several plans; returns how many were retained."""
+        return sum(1 for plan in plans if self.add(plan))
+
+    # -- queries --------------------------------------------------------------
+
+    def best(self) -> Optional[PlanNode]:
+        """The cheapest sub-plan without pending Bloom filters, if any;
+        otherwise the cheapest overall."""
+        complete = [p for p in self.plans if not p.properties.has_pending_blooms]
+        pool = complete or self.plans
+        if not pool:
+            return None
+        return min(pool, key=lambda p: p.cost.total)
+
+    def best_any(self) -> Optional[PlanNode]:
+        """The cheapest sub-plan regardless of pending Bloom filters."""
+        if not self.plans:
+            return None
+        return min(self.plans, key=lambda p: p.cost.total)
+
+    def bloom_plans(self) -> List[PlanNode]:
+        """Sub-plans that still carry pending Bloom filters."""
+        return [p for p in self.plans if p.properties.has_pending_blooms]
+
+    def non_bloom_plans(self) -> List[PlanNode]:
+        """Sub-plans with no pending Bloom filters."""
+        return [p for p in self.plans if not p.properties.has_pending_blooms]
+
+    # -- Heuristic 7 ------------------------------------------------------------
+
+    def apply_heuristic7(self, max_bloom_subplans: int) -> int:
+        """Cap the number of Bloom filter sub-plans kept for this relation.
+
+        If the relation has accumulated more than ``max_bloom_subplans``
+        Bloom filter sub-plans, keep only the one with the fewest estimated
+        rows (ties broken by total cost).  Returns the number of pruned plans.
+        """
+        bloom_plans = self.bloom_plans()
+        if len(bloom_plans) <= max_bloom_subplans:
+            return 0
+        keeper = min(bloom_plans, key=lambda p: (p.rows, p.cost.total))
+        pruned = [p for p in bloom_plans if p is not keeper]
+        self.plans = self.non_bloom_plans() + [keeper]
+        return len(pruned)

@@ -1,0 +1,238 @@
+"""Physical plan nodes.
+
+A plan node carries its children, the estimated output cardinality, the
+accumulated :class:`~repro.core.cost.Cost` and a :class:`PlanProperties`
+instance (distribution + pending Bloom filters).  Nodes are deliberately plain
+data: the enumerator constructs and costs them, the executor interprets them,
+and :mod:`repro.core.explain` renders them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from .candidates import BloomFilterSpec
+from .cost import Cost, ZERO_COST
+from .expressions import ColumnRef, Predicate, ScalarExpression
+from .properties import Distribution, PlanProperties, RANDOM_DISTRIBUTION
+from .query import JoinClause, JoinType, OrderItem, OutputItem
+
+
+class JoinMethod(enum.Enum):
+    """Physical join algorithms considered by the optimizer."""
+
+    HASH = "hash join"
+    NESTED_LOOP = "nested loop"
+    MERGE = "merge join"
+
+
+class ExchangeKind(enum.Enum):
+    """Streaming operators used in the simulated SMP deployment."""
+
+    BROADCAST = "broadcast"
+    REDISTRIBUTE = "redistribute"
+    GATHER = "gather"
+
+
+@dataclass
+class PlanNode:
+    """Base class for all physical plan nodes."""
+
+    rows: float = 0.0
+    cost: Cost = ZERO_COST
+    properties: PlanProperties = field(default_factory=PlanProperties)
+    row_width: int = 32
+
+    @property
+    def children(self) -> List["PlanNode"]:
+        """Child plan nodes, outer/probe side first."""
+        return []
+
+    @property
+    def relations(self) -> FrozenSet[str]:
+        """Relation aliases covered by this sub-plan."""
+        result: FrozenSet[str] = frozenset()
+        for child in self.children:
+            result |= child.relations
+        return result
+
+    @property
+    def pending_blooms(self) -> FrozenSet[BloomFilterSpec]:
+        """Unresolved Bloom filter specs carried by this sub-plan."""
+        return self.properties.pending_blooms
+
+    def label(self) -> str:
+        """Short human-readable operator label (used by EXPLAIN)."""
+        return type(self).__name__
+
+    def walk(self):
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """A (possibly Bloom filtered) scan over one base relation."""
+
+    alias: str = ""
+    table_name: str = ""
+    predicates: Tuple[Predicate, ...] = ()
+    bloom_filters: Tuple[BloomFilterSpec, ...] = ()
+    #: Row count before any Bloom filters are applied (after local predicates);
+    #: the cost model charges Bloom probes against this count.
+    pre_bloom_rows: float = 0.0
+
+    @property
+    def children(self) -> List[PlanNode]:
+        return []
+
+    @property
+    def relations(self) -> FrozenSet[str]:
+        return frozenset({self.alias})
+
+    @property
+    def is_bloom_scan(self) -> bool:
+        """True if at least one Bloom filter is applied during this scan."""
+        return bool(self.bloom_filters)
+
+    def label(self) -> str:
+        base = "Scan %s" % self.alias
+        if self.table_name and self.table_name != self.alias:
+            base = "Scan %s [%s]" % (self.alias, self.table_name)
+        if self.bloom_filters:
+            filters = ", ".join("BF(%s)<-{%s}" % (spec.build_column,
+                                                  ",".join(sorted(spec.delta)))
+                                for spec in self.bloom_filters)
+            base += " applying " + filters
+        return base
+
+
+@dataclass
+class JoinNode(PlanNode):
+    """A binary join; ``outer`` is the probe side, ``inner`` the build side."""
+
+    method: JoinMethod = JoinMethod.HASH
+    join_type: JoinType = JoinType.INNER
+    outer: Optional[PlanNode] = None
+    inner: Optional[PlanNode] = None
+    clauses: Tuple[JoinClause, ...] = ()
+    #: Bloom filters whose build side is provided by this join's inner input.
+    #: The executor builds these filters while building the hash table.
+    built_filters: Tuple[BloomFilterSpec, ...] = ()
+    #: Residual (non equi-join) predicates applied to the join output.
+    residual_predicates: Tuple[Predicate, ...] = ()
+
+    @property
+    def children(self) -> List[PlanNode]:
+        return [node for node in (self.outer, self.inner) if node is not None]
+
+    def label(self) -> str:
+        parts = [self.method.value.title()]
+        if self.join_type is not JoinType.INNER:
+            parts.append("(%s)" % self.join_type.value)
+        if self.clauses:
+            parts.append("on " + " and ".join(str(c) for c in self.clauses))
+        if self.built_filters:
+            parts.append("building " + ", ".join(spec.filter_id
+                                                 for spec in self.built_filters))
+        return " ".join(parts)
+
+
+@dataclass
+class ExchangeNode(PlanNode):
+    """Broadcast / redistribute / gather of a child's output."""
+
+    kind: ExchangeKind = ExchangeKind.REDISTRIBUTE
+    child: Optional[PlanNode] = None
+    hash_keys: Tuple[ColumnRef, ...] = ()
+
+    @property
+    def children(self) -> List[PlanNode]:
+        return [self.child] if self.child is not None else []
+
+    def label(self) -> str:
+        if self.kind is ExchangeKind.REDISTRIBUTE and self.hash_keys:
+            return "Redistribute on (%s)" % ", ".join(str(k) for k in self.hash_keys)
+        return self.kind.value.title()
+
+
+@dataclass
+class AggregateNode(PlanNode):
+    """Hash aggregation over group-by keys."""
+
+    child: Optional[PlanNode] = None
+    group_by: Tuple[ScalarExpression, ...] = ()
+    aggregates: Tuple[OutputItem, ...] = ()
+
+    @property
+    def children(self) -> List[PlanNode]:
+        return [self.child] if self.child is not None else []
+
+    def label(self) -> str:
+        return "Aggregate (%d keys, %d aggs)" % (len(self.group_by),
+                                                 len(self.aggregates))
+
+
+@dataclass
+class SortNode(PlanNode):
+    """Sort of a child's output."""
+
+    child: Optional[PlanNode] = None
+    order_by: Tuple[OrderItem, ...] = ()
+
+    @property
+    def children(self) -> List[PlanNode]:
+        return [self.child] if self.child is not None else []
+
+    def label(self) -> str:
+        return "Sort"
+
+
+@dataclass
+class LimitNode(PlanNode):
+    """LIMIT n."""
+
+    child: Optional[PlanNode] = None
+    limit: int = 0
+
+    @property
+    def children(self) -> List[PlanNode]:
+        return [self.child] if self.child is not None else []
+
+    def label(self) -> str:
+        return "Limit %d" % self.limit
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    """Final projection computing the SELECT-list expressions."""
+
+    child: Optional[PlanNode] = None
+    items: Tuple[OutputItem, ...] = ()
+
+    @property
+    def children(self) -> List[PlanNode]:
+        return [self.child] if self.child is not None else []
+
+    def label(self) -> str:
+        return "Project (%d items)" % len(self.items)
+
+
+def count_bloom_filters(plan: PlanNode) -> int:
+    """Number of Bloom filters applied anywhere in the plan."""
+    return sum(len(node.bloom_filters) for node in plan.walk()
+               if isinstance(node, ScanNode))
+
+
+def scan_nodes(plan: PlanNode) -> List[ScanNode]:
+    """All scan nodes in the plan, pre-order."""
+    return [node for node in plan.walk() if isinstance(node, ScanNode)]
+
+
+def join_nodes(plan: PlanNode) -> List[JoinNode]:
+    """All join nodes in the plan, pre-order."""
+    return [node for node in plan.walk() if isinstance(node, JoinNode)]

@@ -1,0 +1,137 @@
+"""BF-Post: adding Bloom filters to an already-optimized plan.
+
+This is the traditional approach the paper compares against (and also retains
+as a final pass after BF-CBO for filters that cross query-block boundaries):
+the plan tree has already been chosen by cost-based optimization *without* any
+knowledge of Bloom filters; afterwards, each hash join is inspected and a Bloom
+filter is pushed down to the probe-side table scan whenever the usual
+profitability checks pass.
+
+Crucially, BF-Post does **not** revise any cardinality estimates — the plan
+shape, join order, join methods and row estimates all remain those of the
+Bloom-filter-oblivious optimization.  That is exactly why the paper's BF-CBO
+can beat it (better join orders) and why BF-Post's intermediate cardinality
+estimates have a higher mean absolute error (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..storage.catalog import Catalog
+from .candidates import BloomFilterSpec
+from .cardinality import CardinalityEstimator
+from .expressions import ColumnRef
+from .heuristics import BfCboSettings
+from .plans import JoinMethod, JoinNode, PlanNode, ScanNode
+from .query import JoinType, QueryBlock
+
+
+@dataclass
+class PostProcessReport:
+    """What the post-processing pass did to a plan."""
+
+    filters_added: List[BloomFilterSpec] = field(default_factory=list)
+    rejected_selectivity: int = 0
+    rejected_lossless_fk: int = 0
+    rejected_too_big: int = 0
+    rejected_small_apply: int = 0
+
+    @property
+    def num_filters(self) -> int:
+        return len(self.filters_added)
+
+
+class BloomPostProcessor:
+    """Adds Bloom filters to a finished plan tree (the BF-Post baseline)."""
+
+    def __init__(self, catalog: Catalog, query: QueryBlock,
+                 estimator: CardinalityEstimator,
+                 settings: Optional[BfCboSettings] = None) -> None:
+        self.catalog = catalog
+        self.query = query
+        self.estimator = estimator
+        self.settings = settings or BfCboSettings.paper_defaults()
+        self._spec_counter = itertools.count()
+
+    def process(self, plan: PlanNode) -> Tuple[PlanNode, PostProcessReport]:
+        """Return a copy of ``plan`` with profitable Bloom filters attached."""
+        plan = copy.deepcopy(plan)
+        report = PostProcessReport()
+        for node in plan.walk():
+            if isinstance(node, JoinNode):
+                self._process_join(node, report)
+        return plan, report
+
+    # ------------------------------------------------------------------
+
+    def _process_join(self, join: JoinNode, report: PostProcessReport) -> None:
+        if join.method is not JoinMethod.HASH:
+            return
+        if join.join_type in (JoinType.FULL, JoinType.ANTI):
+            return
+        if join.outer is None or join.inner is None:
+            return
+        probe_relations = join.outer.relations
+        build_relations = join.inner.relations
+        for clause in join.clauses:
+            if clause.left.relation in probe_relations:
+                apply_column, build_column = clause.left, clause.right
+            else:
+                apply_column, build_column = clause.right, clause.left
+            if clause.join_type is JoinType.LEFT and \
+                    clause.left.relation == apply_column.relation:
+                # The row-preserving side of a left join must not be filtered.
+                continue
+            spec = self._consider_filter(apply_column, build_column,
+                                         build_relations, report)
+            if spec is None:
+                continue
+            scan = self._find_scan(join.outer, apply_column.relation)
+            if scan is None:
+                continue
+            if any(existing.apply_column == spec.apply_column
+                   and existing.build_column == spec.build_column
+                   for existing in scan.bloom_filters):
+                continue
+            scan.bloom_filters = scan.bloom_filters + (spec,)
+            join.built_filters = join.built_filters + (spec,)
+            report.filters_added.append(spec)
+
+    def _consider_filter(self, apply_column: ColumnRef,
+                         build_column: ColumnRef, build_relations,
+                         report: PostProcessReport) -> Optional[BloomFilterSpec]:
+        """Apply the standard post-processing profitability checks."""
+        apply_alias = apply_column.relation
+        if self.estimator.scan_rows(apply_alias) < self.settings.min_apply_rows:
+            report.rejected_small_apply += 1
+            return None
+        if self.estimator.is_lossless_fk_join(apply_column, build_column,
+                                              frozenset(build_relations)):
+            report.rejected_lossless_fk += 1
+            return None
+        estimate = self.estimator.bloom_estimate(apply_column, build_column,
+                                                 frozenset(build_relations))
+        if estimate.build_ndv > self.settings.max_build_ndv:
+            report.rejected_too_big += 1
+            return None
+        if estimate.selectivity > self.settings.max_selectivity:
+            report.rejected_selectivity += 1
+            return None
+        filter_id = "post%d_%s_%s" % (next(self._spec_counter), apply_alias,
+                                      apply_column.column)
+        return BloomFilterSpec(filter_id=filter_id, apply_column=apply_column,
+                               build_column=build_column,
+                               delta=frozenset(build_relations),
+                               estimate=estimate)
+
+    @staticmethod
+    def _find_scan(plan: PlanNode, alias: str) -> Optional[ScanNode]:
+        """The scan node for ``alias`` inside ``plan`` (push-down target)."""
+        for node in plan.walk():
+            if isinstance(node, ScanNode) and node.alias == alias:
+                return node
+        return None

@@ -1,0 +1,114 @@
+"""Physical plan properties.
+
+Sub-plans in a bottom-up optimizer are retained per *property set*: a more
+expensive sub-plan survives pruning if it has a property a cheaper one lacks
+(the classic example being sort order / interesting orders).  This reproduction
+tracks two properties:
+
+* **distribution** — how the sub-plan's output is spread across the simulated
+  SMP workers (random, hash-partitioned on columns, broadcast, or singleton);
+  it determines whether a join needs broadcast or redistribution exchanges.
+* **pending Bloom filters** — the paper's new property: the set of Bloom
+  filter specifications attached to scans below this sub-plan that have not yet
+  been resolved by a hash join providing their δ build relations
+  (Sections 3.5–3.6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from .expressions import ColumnRef
+
+
+class DistributionKind(enum.Enum):
+    """How a sub-plan's rows are distributed over the SMP workers."""
+
+    RANDOM = "random"        # round-robin / storage-defined, no useful key
+    HASH = "hash"            # hash partitioned on specific columns
+    BROADCAST = "broadcast"  # fully replicated on every worker
+    SINGLETON = "singleton"  # all rows on a single worker
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """A distribution property: kind plus (for hash) the partitioning columns."""
+
+    kind: DistributionKind
+    keys: Tuple[ColumnRef, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind is DistributionKind.HASH and not self.keys:
+            raise ValueError("hash distribution requires partitioning keys")
+        if self.kind is not DistributionKind.HASH and self.keys:
+            raise ValueError("only hash distribution carries keys")
+
+    @classmethod
+    def random(cls) -> "Distribution":
+        return cls(DistributionKind.RANDOM)
+
+    @classmethod
+    def hashed(cls, keys: Tuple[ColumnRef, ...]) -> "Distribution":
+        return cls(DistributionKind.HASH, tuple(keys))
+
+    @classmethod
+    def broadcast(cls) -> "Distribution":
+        return cls(DistributionKind.BROADCAST)
+
+    @classmethod
+    def singleton(cls) -> "Distribution":
+        return cls(DistributionKind.SINGLETON)
+
+    def is_hashed_on(self, columns: Tuple[ColumnRef, ...]) -> bool:
+        """True if already hash partitioned on exactly these columns."""
+        return self.kind is DistributionKind.HASH and set(self.keys) == set(columns)
+
+    def signature(self) -> Tuple:
+        """Hashable signature used in plan-list keys."""
+        return (self.kind.value, tuple(sorted(str(k) for k in self.keys)))
+
+    def __str__(self) -> str:
+        if self.kind is DistributionKind.HASH:
+            return "hash(%s)" % ", ".join(str(k) for k in self.keys)
+        return self.kind.value
+
+
+RANDOM_DISTRIBUTION = Distribution.random()
+
+
+@dataclass(frozen=True)
+class PlanProperties:
+    """The full property set attached to each sub-plan.
+
+    Attributes:
+        distribution: Physical data distribution of the sub-plan's output.
+        pending_blooms: Frozen set of Bloom filter ids (see
+            :class:`repro.core.candidates.BloomFilterSpec`) that are applied by
+            scans inside this sub-plan but whose build-side δ relations have
+            not all appeared on the inner side of a hash join yet.
+    """
+
+    distribution: Distribution = RANDOM_DISTRIBUTION
+    pending_blooms: FrozenSet = frozenset()
+
+    def signature(self) -> Tuple:
+        """Hashable plan-list key."""
+        return (self.distribution.signature(),
+                tuple(sorted(spec.filter_id for spec in self.pending_blooms)))
+
+    @property
+    def has_pending_blooms(self) -> bool:
+        """True if any Bloom filter below is still unresolved."""
+        return bool(self.pending_blooms)
+
+    def with_distribution(self, distribution: Distribution) -> "PlanProperties":
+        """Copy with a different distribution."""
+        return PlanProperties(distribution=distribution,
+                              pending_blooms=self.pending_blooms)
+
+    def with_pending(self, pending: FrozenSet) -> "PlanProperties":
+        """Copy with a different pending-Bloom set."""
+        return PlanProperties(distribution=self.distribution,
+                              pending_blooms=frozenset(pending))

@@ -1,0 +1,211 @@
+"""The bound query block: base relations, join clauses and predicates.
+
+A :class:`QueryBlock` is the unit of optimization in the paper ("a single
+select-project-join block", Section 3.7/3.8).  It is produced either by the
+SQL binder or constructed programmatically (the running example of Section 3
+and the synthetic workloads do the latter), and consumed by every optimizer
+variant (plain CBO, BF-Post, BF-CBO, naïve).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .expressions import (
+    AggregateCall,
+    ColumnRef,
+    Predicate,
+    ScalarExpression,
+)
+
+
+class JoinType(enum.Enum):
+    """Join types relevant to Bloom filter legality (Section 3.3)."""
+
+    INNER = "inner"
+    LEFT = "left"        # row-preserving side is the left input
+    FULL = "full"
+    SEMI = "semi"
+    ANTI = "anti"
+
+
+@dataclass(frozen=True)
+class BaseRelation:
+    """A FROM-list entry: a base table under an alias."""
+
+    alias: str
+    table_name: str
+
+    def __str__(self) -> str:
+        if self.alias == self.table_name:
+            return self.table_name
+        return "%s %s" % (self.table_name, self.alias)
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """A single-column equi-join clause ``left = right``.
+
+    Attributes:
+        left: Column reference on one relation.
+        right: Column reference on the other relation.
+        join_type: Logical join type connecting the two relations.  For
+            non-inner joins, ``left`` belongs to the row-preserving (outer
+            spelled in SQL order) side.
+    """
+
+    left: ColumnRef
+    right: ColumnRef
+    join_type: JoinType = JoinType.INNER
+
+    def __post_init__(self) -> None:
+        if self.left.relation == self.right.relation:
+            raise ValueError("join clause must reference two distinct relations")
+
+    @property
+    def relations(self) -> FrozenSet[str]:
+        """The two relation aliases this clause connects."""
+        return frozenset((self.left.relation, self.right.relation))
+
+    def column_for(self, alias: str) -> ColumnRef:
+        """The side of the clause belonging to relation ``alias``."""
+        if self.left.relation == alias:
+            return self.left
+        if self.right.relation == alias:
+            return self.right
+        raise KeyError("relation %r not part of join clause %s" % (alias, self))
+
+    def other(self, alias: str) -> ColumnRef:
+        """The side of the clause *not* belonging to relation ``alias``."""
+        if self.left.relation == alias:
+            return self.right
+        if self.right.relation == alias:
+            return self.left
+        raise KeyError("relation %r not part of join clause %s" % (alias, self))
+
+    def connects(self, left_set: FrozenSet[str], right_set: FrozenSet[str]) -> bool:
+        """True if this clause joins a relation in each of the two sets."""
+        return ((self.left.relation in left_set and self.right.relation in right_set)
+                or (self.left.relation in right_set and self.right.relation in left_set))
+
+    @property
+    def is_hashable(self) -> bool:
+        """True if a hash join (and hence a Bloom filter) can use this clause."""
+        return self.join_type in (JoinType.INNER, JoinType.SEMI, JoinType.LEFT)
+
+    def __str__(self) -> str:
+        suffix = "" if self.join_type is JoinType.INNER else " [%s]" % self.join_type.value
+        return "%s = %s%s" % (self.left, self.right, suffix)
+
+
+@dataclass(frozen=True)
+class OutputItem:
+    """One SELECT-list item: an expression plus its output name."""
+
+    expression: ScalarExpression
+    name: str
+
+    @property
+    def is_aggregate(self) -> bool:
+        """True if the item is an aggregate call."""
+        return isinstance(self.expression, AggregateCall)
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY item."""
+
+    expression: ScalarExpression
+    descending: bool = False
+
+
+@dataclass
+class QueryBlock:
+    """A bound select-project-join query block.
+
+    Attributes:
+        relations: FROM-list base relations, in syntactic order.
+        join_clauses: Equi-join clauses extracted from the WHERE clause.
+        local_predicates: Per-relation filters, keyed by relation alias.
+        residual_predicates: Predicates referencing two or more relations that
+            are not simple equi-joins (e.g. the nation-pair OR in TPC-H Q7);
+            they are applied once all referenced relations have been joined.
+        output: SELECT-list items (may include aggregates).
+        group_by: GROUP BY expressions.
+        order_by: ORDER BY items.
+        limit: Optional LIMIT row count.
+        name: Optional human-readable name (e.g. ``"Q7"``), used in reports.
+    """
+
+    relations: List[BaseRelation]
+    join_clauses: List[JoinClause] = field(default_factory=list)
+    local_predicates: Dict[str, List[Predicate]] = field(default_factory=dict)
+    residual_predicates: List[Predicate] = field(default_factory=list)
+    output: List[OutputItem] = field(default_factory=list)
+    group_by: List[ScalarExpression] = field(default_factory=list)
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    name: str = "query"
+
+    def __post_init__(self) -> None:
+        aliases = [rel.alias for rel in self.relations]
+        if len(set(aliases)) != len(aliases):
+            raise ValueError("duplicate relation aliases in query block")
+        self._by_alias = {rel.alias: rel for rel in self.relations}
+        for alias in self.local_predicates:
+            if alias not in self._by_alias:
+                raise ValueError("local predicate on unknown relation %r" % alias)
+        for clause in self.join_clauses:
+            for alias in clause.relations:
+                if alias not in self._by_alias:
+                    raise ValueError("join clause references unknown relation %r"
+                                     % alias)
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def aliases(self) -> List[str]:
+        """All relation aliases in FROM order."""
+        return [rel.alias for rel in self.relations]
+
+    def relation(self, alias: str) -> BaseRelation:
+        """The base relation registered under ``alias``."""
+        return self._by_alias[alias]
+
+    def table_name(self, alias: str) -> str:
+        """Catalog table name behind ``alias``."""
+        return self._by_alias[alias].table_name
+
+    def predicates_for(self, alias: str) -> List[Predicate]:
+        """Local predicates attached to relation ``alias``."""
+        return list(self.local_predicates.get(alias, []))
+
+    def clauses_between(self, left: FrozenSet[str],
+                        right: FrozenSet[str]) -> List[JoinClause]:
+        """All join clauses connecting the two relation sets."""
+        return [c for c in self.join_clauses if c.connects(left, right)]
+
+    def clauses_for_relation(self, alias: str) -> List[JoinClause]:
+        """All join clauses that touch relation ``alias``."""
+        return [c for c in self.join_clauses if alias in c.relations]
+
+    def residuals_applicable(self, relations: FrozenSet[str]) -> List[Predicate]:
+        """Residual predicates fully covered by ``relations``."""
+        return [p for p in self.residual_predicates
+                if p.referenced_relations() <= relations]
+
+    @property
+    def has_aggregation(self) -> bool:
+        """True if the SELECT list or GROUP BY implies aggregation."""
+        return bool(self.group_by) or any(item.is_aggregate for item in self.output)
+
+    @property
+    def all_relations(self) -> FrozenSet[str]:
+        """The full set of relation aliases."""
+        return frozenset(self.aliases)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "QueryBlock(%s: %d relations, %d join clauses)" % (
+            self.name, len(self.relations), len(self.join_clauses))

@@ -1,0 +1,31 @@
+"""Vectorised execution engine with runtime metrics."""
+
+from .aggregate import aggregate_batch
+from .batch import Batch
+from .context import ExecutionContext
+from .joins import (
+    combine_key_columns,
+    cross_join,
+    equi_join,
+    join_indices,
+    merge_join,
+    nested_loop_join,
+)
+from .metrics import ExecutionMetrics, OperatorMetrics
+from .runtime import ExecutionResult, Executor
+
+__all__ = [
+    "Batch",
+    "ExecutionContext",
+    "ExecutionMetrics",
+    "ExecutionResult",
+    "Executor",
+    "OperatorMetrics",
+    "aggregate_batch",
+    "combine_key_columns",
+    "cross_join",
+    "equi_join",
+    "join_indices",
+    "merge_join",
+    "nested_loop_join",
+]

@@ -1,0 +1,91 @@
+"""Hash aggregation over column batches."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.expressions import AggregateCall, AggregateFunction, ScalarExpression
+from ..core.query import OutputItem
+from .batch import Batch
+from .joins import combine_key_columns
+
+
+def _group_ids(batch: Batch, group_by: Sequence[ScalarExpression],
+               ) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Assign a dense group id to every row.
+
+    Returns ``(group_ids, first_row_index_per_group, num_groups)``.
+    """
+    if not group_by:
+        ids = np.zeros(batch.num_rows, dtype=np.int64)
+        first = np.zeros(1 if batch.num_rows else 0, dtype=np.int64)
+        return ids, first, 1 if batch.num_rows else 0
+    resolve = batch.resolver()
+    key_columns = [np.asarray(expr.evaluate(resolve)) for expr in group_by]
+    combined = combine_key_columns(key_columns)
+    _, first, inverse = np.unique(combined, return_index=True, return_inverse=True)
+    return inverse.astype(np.int64), first.astype(np.int64), int(first.shape[0])
+
+
+def _aggregate_column(call: AggregateCall, batch: Batch, group_ids: np.ndarray,
+                      num_groups: int) -> np.ndarray:
+    """Compute one aggregate over all groups."""
+    resolve = batch.resolver()
+    if call.operand is None:
+        values = np.ones(batch.num_rows, dtype=np.float64)
+    else:
+        values = np.asarray(call.operand.evaluate(resolve))
+
+    if call.distinct and call.operand is not None:
+        # Distinct aggregates: reduce to one row per (group, value) first.
+        pair_key = combine_key_columns([group_ids, np.asarray(values)])
+        _, keep = np.unique(pair_key, return_index=True)
+        group_ids = group_ids[keep]
+        values = values[keep]
+
+    if call.func is AggregateFunction.COUNT:
+        return np.bincount(group_ids, minlength=num_groups).astype(np.float64)
+    numeric = values.astype(np.float64)
+    if call.func is AggregateFunction.SUM:
+        return np.bincount(group_ids, weights=numeric, minlength=num_groups)
+    if call.func is AggregateFunction.AVG:
+        sums = np.bincount(group_ids, weights=numeric, minlength=num_groups)
+        counts = np.bincount(group_ids, minlength=num_groups)
+        return np.divide(sums, counts, out=np.zeros_like(sums),
+                         where=counts > 0)
+    if call.func is AggregateFunction.MIN:
+        out = np.full(num_groups, np.inf)
+        np.minimum.at(out, group_ids, numeric)
+        return out
+    if call.func is AggregateFunction.MAX:
+        out = np.full(num_groups, -np.inf)
+        np.maximum.at(out, group_ids, numeric)
+        return out
+    raise ValueError("unsupported aggregate %r" % call.func)
+
+
+def aggregate_batch(batch: Batch, group_by: Sequence[ScalarExpression],
+                    items: Sequence[OutputItem]) -> Batch:
+    """Group ``batch`` and compute the SELECT-list items.
+
+    The output batch contains one column per item, keyed by the item's output
+    name; non-aggregate items are evaluated on the first row of each group
+    (they are group-by expressions in a well-formed query).
+    """
+    group_ids, first_rows, num_groups = _group_ids(batch, group_by)
+    if num_groups == 0:
+        return Batch({item.name: np.asarray([]) for item in items})
+    columns: Dict[str, np.ndarray] = {}
+    resolve = batch.resolver()
+    for item in items:
+        if isinstance(item.expression, AggregateCall):
+            columns[item.name] = _aggregate_column(item.expression, batch,
+                                                   group_ids, num_groups)
+        else:
+            values = np.asarray(item.expression.evaluate(resolve))
+            if values.ndim == 0:
+                values = np.full(batch.num_rows, values)
+            columns[item.name] = values[first_rows]
+    return Batch(columns)

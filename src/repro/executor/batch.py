@@ -1,0 +1,121 @@
+"""Column batches flowing between executor operators.
+
+A :class:`Batch` is the executor's unit of data: a set of equal-length numpy
+arrays keyed by ``alias.column``.  Keeping the relation alias in the key means
+columns from different relations never collide after joins, and expression
+evaluation can resolve a :class:`~repro.core.expressions.ColumnRef` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+import numpy as np
+
+from ..core.expressions import ColumnRef
+
+
+class Batch:
+    """An immutable set of named columns of equal length."""
+
+    def __init__(self, columns: Mapping[str, np.ndarray]) -> None:
+        self._columns: Dict[str, np.ndarray] = {}
+        length: Optional[int] = None
+        for key, values in columns.items():
+            array = np.asarray(values)
+            if length is None:
+                length = array.shape[0]
+            elif array.shape[0] != length:
+                raise ValueError("column %r has %d rows, expected %d"
+                                 % (key, array.shape[0], length))
+            self._columns[key] = array
+        self._num_rows = length or 0
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_table(cls, alias: str, table) -> "Batch":
+        """Wrap a storage table's columns under ``alias.column`` keys."""
+        return cls({"%s.%s" % (alias, name): table.column(name)
+                    for name in table.column_names})
+
+    @classmethod
+    def empty(cls) -> "Batch":
+        """A batch with no columns and no rows."""
+        return cls({})
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def keys(self) -> List[str]:
+        return list(self._columns)
+
+    def column(self, key: str) -> np.ndarray:
+        if key not in self._columns:
+            raise KeyError("batch has no column %r (available: %r)"
+                           % (key, sorted(self._columns)))
+        return self._columns[key]
+
+    def has_column(self, key: str) -> bool:
+        return key in self._columns
+
+    def resolver(self):
+        """Column resolver usable by expression evaluation."""
+
+        def resolve(ref: ColumnRef) -> np.ndarray:
+            return self.column("%s.%s" % (ref.relation, ref.column))
+
+        return resolve
+
+    def resolve(self, ref: ColumnRef) -> np.ndarray:
+        """Array for one column reference."""
+        return self.column("%s.%s" % (ref.relation, ref.column))
+
+    # -- derivation ------------------------------------------------------------
+
+    def filter(self, mask: np.ndarray) -> "Batch":
+        """Rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        return Batch({key: values[mask] for key, values in self._columns.items()})
+
+    def take(self, indices: np.ndarray) -> "Batch":
+        """Rows at the given positions (may repeat / reorder)."""
+        indices = np.asarray(indices)
+        return Batch({key: values[indices] for key, values in self._columns.items()})
+
+    def merge(self, other: "Batch") -> "Batch":
+        """Column-wise concatenation of two batches with equal row counts."""
+        if other.num_rows != self.num_rows:
+            raise ValueError("cannot merge batches with %d and %d rows"
+                             % (self.num_rows, other.num_rows))
+        combined = dict(self._columns)
+        for key in other.keys:
+            if key in combined:
+                raise ValueError("duplicate column %r while merging batches" % key)
+            combined[key] = other.column(key)
+        return Batch(combined)
+
+    def with_columns(self, extra: Mapping[str, np.ndarray]) -> "Batch":
+        """A copy with additional columns appended."""
+        combined = dict(self._columns)
+        combined.update({key: np.asarray(values) for key, values in extra.items()})
+        return Batch(combined)
+
+    def select(self, keys: Iterable[str]) -> "Batch":
+        """A copy containing only the listed columns."""
+        return Batch({key: self.column(key) for key in keys})
+
+    def head(self, n: int) -> "Batch":
+        """First ``n`` rows."""
+        return self.take(np.arange(min(n, self.num_rows)))
+
+    def to_dict(self) -> Dict[str, np.ndarray]:
+        """The underlying columns (shared arrays, do not mutate)."""
+        return dict(self._columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Batch(rows=%d, columns=%d)" % (self._num_rows, len(self._columns))

@@ -1,0 +1,78 @@
+"""Execution context: catalog access, Bloom filter registry, tuning knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..bloom import BloomFilter, PartitionedBloomFilter
+from ..core.cost import CostModel, CostParameters, DEFAULT_COST_PARAMETERS
+from ..storage.catalog import Catalog
+
+
+@dataclass
+class ExecutionContext:
+    """Shared state for one query execution.
+
+    Attributes:
+        catalog: Source of table data.
+        cost_model: Charges work units for the simulated latency model; uses
+            the same constants as the optimizer so estimated and observed
+            costs are comparable.
+        degree_of_parallelism: Simulated DOP used when charging broadcast and
+            per-worker hash-table build work.
+        bloom_partitions: Number of partial Bloom filters built per filter,
+            emulating the partition-join strategies of Section 3.9 (1 means a
+            single monolithic filter, as in build-side broadcast).
+        bloom_bits_per_key: Sizing knob forwarded to runtime Bloom filters.
+    """
+
+    catalog: Catalog
+    cost_model: CostModel = field(default_factory=lambda: CostModel(DEFAULT_COST_PARAMETERS))
+    degree_of_parallelism: int = 48
+    bloom_partitions: int = 1
+    bloom_bits_per_key: int = 8
+    _filters: Dict[str, BloomFilter] = field(default_factory=dict)
+    _partitioned_filters: Dict[str, PartitionedBloomFilter] = field(default_factory=dict)
+
+    @classmethod
+    def for_catalog(cls, catalog: Catalog,
+                    parameters: Optional[CostParameters] = None,
+                    degree_of_parallelism: int = 48) -> "ExecutionContext":
+        """Convenience constructor mirroring the optimizer's defaults."""
+        params = parameters or DEFAULT_COST_PARAMETERS
+        return cls(catalog=catalog, cost_model=CostModel(params),
+                   degree_of_parallelism=degree_of_parallelism)
+
+    # -- Bloom filter registry ------------------------------------------------
+
+    def register_filter(self, filter_id: str, bloom: BloomFilter,
+                        partitioned: Optional[PartitionedBloomFilter] = None) -> None:
+        """Publish a built Bloom filter so probe-side scans can fetch it."""
+        self._filters[filter_id] = bloom
+        if partitioned is not None:
+            self._partitioned_filters[filter_id] = partitioned
+
+    def get_filter(self, filter_id: str) -> BloomFilter:
+        """Fetch a previously built Bloom filter.
+
+        Raises ``KeyError`` if the filter has not been built yet — this mirrors
+        the paper's semantics that "table scans wait for all Bloom filter
+        partitions to become available before scanning can proceed": in our
+        single-threaded executor the build side of the resolving hash join is
+        always executed before the probe side, so a missing filter indicates a
+        plan bug rather than a race.
+        """
+        if filter_id not in self._filters:
+            raise KeyError("Bloom filter %r has not been built before its "
+                           "probe-side scan" % filter_id)
+        return self._filters[filter_id]
+
+    def has_filter(self, filter_id: str) -> bool:
+        """True if the filter has already been built."""
+        return filter_id in self._filters
+
+    def reset_filters(self) -> None:
+        """Drop all registered filters (between executions)."""
+        self._filters.clear()
+        self._partitioned_filters.clear()

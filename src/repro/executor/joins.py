@@ -1,0 +1,166 @@
+"""Vectorised join kernels.
+
+All equi-joins are implemented with a sort/search kernel over the build-side
+keys (``join_indices``), which handles duplicate keys exactly and works for
+integer, float, string and composite keys.  The higher-level functions apply
+inner / left / semi / anti semantics on top of the matching index pairs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.expressions import ColumnRef
+from ..core.query import JoinClause, JoinType
+from .batch import Batch
+
+
+def combine_key_columns(columns: Sequence[np.ndarray]) -> np.ndarray:
+    """Combine one or more key columns into a single sortable key array.
+
+    Two non-negative 32-bit-ranged integer columns are packed exactly into one
+    int64 key; anything else falls back to per-row Python tuples (exact but
+    slower), which only happens for unusual composite keys in the workload.
+    """
+    if len(columns) == 1:
+        return np.asarray(columns[0])
+    arrays = [np.asarray(col) for col in columns]
+    if (len(arrays) == 2
+            and all(a.dtype.kind in ("i", "u") for a in arrays)
+            and all(a.size == 0 or (a.min() >= 0 and a.max() < 2 ** 31)
+                    for a in arrays)):
+        return (arrays[0].astype(np.int64) << np.int64(32)) | arrays[1].astype(np.int64)
+    length = arrays[0].shape[0]
+    combined = np.empty(length, dtype=object)
+    for i in range(length):
+        combined[i] = tuple(a[i] for a in arrays)
+    return combined
+
+
+def join_indices(probe_keys: np.ndarray,
+                 build_keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Matching row index pairs between probe and build key arrays.
+
+    Returns:
+        ``(probe_idx, build_idx, match_counts)`` where the first two arrays are
+        parallel and give every matching pair, and ``match_counts[i]`` is the
+        number of build matches for probe row ``i`` (used for outer / semi /
+        anti semantics).
+    """
+    probe_keys = np.asarray(probe_keys)
+    build_keys = np.asarray(build_keys)
+    if build_keys.size == 0 or probe_keys.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, np.zeros(probe_keys.shape[0], dtype=np.int64)
+    order = np.argsort(build_keys, kind="stable")
+    sorted_build = build_keys[order]
+    left = np.searchsorted(sorted_build, probe_keys, side="left")
+    right = np.searchsorted(sorted_build, probe_keys, side="right")
+    counts = (right - left).astype(np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, counts
+    probe_idx = np.repeat(np.arange(probe_keys.shape[0], dtype=np.int64), counts)
+    starts = np.repeat(left.astype(np.int64), counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts)
+    build_idx = order[starts + offsets]
+    return probe_idx, build_idx, counts
+
+
+def clause_key_columns(clauses: Sequence[JoinClause], probe: Batch,
+                       build: Batch) -> Tuple[np.ndarray, np.ndarray]:
+    """Extract and combine the probe-side and build-side key arrays."""
+    probe_cols: List[np.ndarray] = []
+    build_cols: List[np.ndarray] = []
+    for clause in clauses:
+        left_key = "%s.%s" % (clause.left.relation, clause.left.column)
+        right_key = "%s.%s" % (clause.right.relation, clause.right.column)
+        if probe.has_column(left_key):
+            probe_cols.append(probe.column(left_key))
+            build_cols.append(build.column(right_key))
+        else:
+            probe_cols.append(probe.column(right_key))
+            build_cols.append(build.column(left_key))
+    return combine_key_columns(probe_cols), combine_key_columns(build_cols)
+
+
+def _fill_value_for(array: np.ndarray):
+    """Null substitute for non-matching outer-join rows."""
+    if array.dtype.kind in ("i", "u"):
+        return -1
+    if array.dtype.kind == "f":
+        return np.nan
+    if array.dtype.kind == "b":
+        return False
+    return None
+
+
+def equi_join(probe: Batch, build: Batch, clauses: Sequence[JoinClause],
+              join_type: JoinType = JoinType.INNER) -> Batch:
+    """Join two batches on the given equi-join clauses.
+
+    ``probe`` corresponds to the plan's outer input and ``build`` to the inner
+    input; for LEFT joins the probe side is the row-preserving side, matching
+    how the enumerator orients non-inner joins.
+    """
+    if not clauses:
+        return cross_join(probe, build)
+    probe_keys, build_keys = clause_key_columns(clauses, probe, build)
+    probe_idx, build_idx, counts = join_indices(probe_keys, build_keys)
+
+    if join_type is JoinType.SEMI:
+        return probe.filter(counts > 0)
+    if join_type is JoinType.ANTI:
+        return probe.filter(counts == 0)
+
+    matched = probe.take(probe_idx).merge(build.take(build_idx))
+    if join_type is JoinType.INNER:
+        return matched
+    if join_type in (JoinType.LEFT, JoinType.FULL):
+        unmatched_mask = counts == 0
+        if not unmatched_mask.any():
+            return matched
+        unmatched = probe.filter(unmatched_mask)
+        pad = {}
+        for key in build.keys:
+            column = build.column(key)
+            fill = _fill_value_for(column)
+            pad[key] = np.full(unmatched.num_rows, fill,
+                               dtype=column.dtype if fill is not None else object)
+        padded = unmatched.merge(Batch(pad))
+        combined = {}
+        for key in matched.keys:
+            combined[key] = np.concatenate([matched.column(key), padded.column(key)])
+        return Batch(combined)
+    raise ValueError("unsupported join type %r" % join_type)
+
+
+def cross_join(probe: Batch, build: Batch) -> Batch:
+    """Cartesian product of two batches (only used for tiny inputs)."""
+    n, m = probe.num_rows, build.num_rows
+    probe_idx = np.repeat(np.arange(n, dtype=np.int64), m)
+    build_idx = np.tile(np.arange(m, dtype=np.int64), n)
+    return probe.take(probe_idx).merge(build.take(build_idx))
+
+
+def merge_join(probe: Batch, build: Batch, clauses: Sequence[JoinClause],
+               join_type: JoinType = JoinType.INNER) -> Batch:
+    """Sort-merge join; semantically identical to :func:`equi_join`.
+
+    The kernel is already sort-based, so the merge join reuses it — the cost
+    difference between hash and merge joins is modelled by the optimizer, not
+    re-measured here.
+    """
+    return equi_join(probe, build, clauses, join_type)
+
+
+def nested_loop_join(probe: Batch, build: Batch, clauses: Sequence[JoinClause],
+                     join_type: JoinType = JoinType.INNER) -> Batch:
+    """Nested-loop join; with equi-clauses it degenerates to the same kernel."""
+    if clauses:
+        return equi_join(probe, build, clauses, join_type)
+    return cross_join(probe, build)

@@ -1,0 +1,288 @@
+"""The plan interpreter.
+
+:class:`Executor` walks a physical plan produced by the optimizer and runs it
+against the catalog's materialised tables.  Hash joins execute their build
+(inner) side first, build any Bloom filters the plan assigned to them and
+publish those filters in the :class:`~repro.executor.context.ExecutionContext`
+before the probe (outer) side — and therefore any Bloom-filtered scans below
+it — is executed.  This mirrors the paper's runtime rule that "table scans
+wait for all Bloom filter partitions to become available before scanning can
+proceed" (Section 3.9).
+
+Every operator records its observed output cardinality and charges work units
+using the optimizer's cost constants with *actual* row counts, which yields
+the deterministic simulated latency used throughout the benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..bloom import BloomFilter, PartitionedBloomFilter
+from ..core.expressions import ColumnRef, ScalarExpression
+from ..core.plans import (
+    AggregateNode,
+    ExchangeKind,
+    ExchangeNode,
+    JoinMethod,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+from ..core.properties import DistributionKind
+from .aggregate import aggregate_batch
+from .batch import Batch
+from .context import ExecutionContext
+from .joins import equi_join, merge_join, nested_loop_join
+from .metrics import ExecutionMetrics
+
+
+@dataclass
+class ExecutionResult:
+    """Output rows plus runtime metrics of one plan execution."""
+
+    batch: Batch
+    metrics: ExecutionMetrics
+    plan: PlanNode
+
+    @property
+    def num_rows(self) -> int:
+        return self.batch.num_rows
+
+    @property
+    def simulated_latency(self) -> float:
+        return self.metrics.simulated_latency
+
+
+class Executor:
+    """Interprets physical plans against materialised catalog tables."""
+
+    def __init__(self, context: ExecutionContext) -> None:
+        self.context = context
+        self.metrics = ExecutionMetrics()
+
+    # ------------------------------------------------------------------
+
+    def execute(self, plan: PlanNode) -> ExecutionResult:
+        """Execute ``plan`` and return its result batch and metrics."""
+        self.metrics = ExecutionMetrics()
+        self.context.reset_filters()
+        started = time.perf_counter()
+        batch = self._execute(plan)
+        self.metrics.wall_time_seconds = time.perf_counter() - started
+        return ExecutionResult(batch=batch, metrics=self.metrics, plan=plan)
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, node: PlanNode) -> Batch:
+        if isinstance(node, ScanNode):
+            return self._execute_scan(node)
+        if isinstance(node, JoinNode):
+            return self._execute_join(node)
+        if isinstance(node, ExchangeNode):
+            return self._execute_exchange(node)
+        if isinstance(node, AggregateNode):
+            return self._execute_aggregate(node)
+        if isinstance(node, ProjectNode):
+            return self._execute_project(node)
+        if isinstance(node, SortNode):
+            return self._execute_sort(node)
+        if isinstance(node, LimitNode):
+            return self._execute_limit(node)
+        raise TypeError("executor does not support plan node %r" % type(node))
+
+    # -- scans ------------------------------------------------------------
+
+    def _execute_scan(self, node: ScanNode) -> Batch:
+        cost_model = self.context.cost_model
+        table = self.context.catalog.table(node.table_name)
+        batch = Batch.from_table(node.alias, table)
+        base_rows = batch.num_rows
+        work = cost_model.seq_scan(base_rows, node.row_width,
+                                   len(node.predicates)).total
+        self.metrics.rows_scanned += base_rows
+
+        resolve = batch.resolver()
+        for predicate in node.predicates:
+            mask = predicate.evaluate(resolve)
+            batch = batch.filter(mask)
+            resolve = batch.resolver()
+
+        pre_bloom_rows = batch.num_rows
+        for spec in node.bloom_filters:
+            bloom = self.context.get_filter(spec.filter_id)
+            values = batch.resolve(spec.apply_column)
+            mask = bloom.contains_many(values)
+            work += cost_model.bloom_apply(batch.num_rows, 1).total
+            self.metrics.bloom_probes += batch.num_rows
+            batch = batch.filter(mask)
+            self.metrics.bloom_filters_applied += 1
+        self.metrics.rows_bloom_filtered += pre_bloom_rows - batch.num_rows
+
+        self.metrics.record(node, batch.num_rows, work, input_rows=base_rows)
+        return batch
+
+    # -- joins ---------------------------------------------------------------
+
+    def _execute_join(self, node: JoinNode) -> Batch:
+        cost_model = self.context.cost_model
+        inner_batch = self._execute(node.inner)
+        self._build_bloom_filters(node, inner_batch)
+        outer_batch = self._execute(node.outer)
+
+        if node.method is JoinMethod.HASH:
+            joined = equi_join(outer_batch, inner_batch, node.clauses,
+                               node.join_type)
+        elif node.method is JoinMethod.MERGE:
+            joined = merge_join(outer_batch, inner_batch, node.clauses,
+                                node.join_type)
+        else:
+            joined = nested_loop_join(outer_batch, inner_batch, node.clauses,
+                                      node.join_type)
+
+        resolve = joined.resolver()
+        for predicate in node.residual_predicates:
+            mask = predicate.evaluate(resolve)
+            joined = joined.filter(mask)
+            resolve = joined.resolver()
+
+        build_rows = inner_batch.num_rows
+        if (node.inner is not None
+                and node.inner.properties.distribution.kind is DistributionKind.BROADCAST):
+            build_rows *= self.context.degree_of_parallelism
+        if node.method is JoinMethod.HASH:
+            work = cost_model.hash_join(build_rows, outer_batch.num_rows,
+                                        joined.num_rows, len(node.clauses)).total
+        elif node.method is JoinMethod.MERGE:
+            work = cost_model.merge_join(outer_batch.num_rows,
+                                         inner_batch.num_rows,
+                                         joined.num_rows).total
+        else:
+            work = cost_model.nested_loop(outer_batch.num_rows,
+                                          inner_batch.num_rows,
+                                          joined.num_rows).total
+        self.metrics.rows_hash_built += build_rows
+        self.metrics.rows_hash_probed += outer_batch.num_rows
+        self.metrics.record(node, joined.num_rows, work,
+                            input_rows=outer_batch.num_rows + inner_batch.num_rows)
+        return joined
+
+    def _build_bloom_filters(self, node: JoinNode, inner_batch: Batch) -> None:
+        """Build and publish the Bloom filters this hash join is charged with."""
+        for spec in node.built_filters:
+            if self.context.has_filter(spec.filter_id):
+                continue
+            values = inner_batch.resolve(spec.build_column)
+            if self.context.bloom_partitions > 1:
+                partitioned = PartitionedBloomFilter.from_values(
+                    values, self.context.bloom_partitions,
+                    bits_per_key=self.context.bloom_bits_per_key)
+                bloom = partitioned.merge()
+                self.context.register_filter(spec.filter_id, bloom, partitioned)
+            else:
+                bloom = BloomFilter.from_values(
+                    values, bits_per_key=self.context.bloom_bits_per_key)
+                self.context.register_filter(spec.filter_id, bloom)
+            self.metrics.bloom_filters_built += 1
+            build_work = self.context.cost_model.bloom_build(len(values), 1).total
+            self.metrics.total_work_units += build_work
+
+    # -- exchanges --------------------------------------------------------------
+
+    def _execute_exchange(self, node: ExchangeNode) -> Batch:
+        cost_model = self.context.cost_model
+        batch = self._execute(node.child)
+        if node.kind is ExchangeKind.BROADCAST:
+            work = cost_model.broadcast(batch.num_rows, node.row_width).total
+            bytes_moved = batch.num_rows * node.row_width * \
+                self.context.degree_of_parallelism
+        elif node.kind is ExchangeKind.REDISTRIBUTE:
+            work = cost_model.redistribute(batch.num_rows, node.row_width).total
+            bytes_moved = batch.num_rows * node.row_width
+        else:
+            work = cost_model.gather(batch.num_rows, node.row_width).total
+            bytes_moved = batch.num_rows * node.row_width
+        self.metrics.rows_exchanged += batch.num_rows
+        self.metrics.bytes_exchanged += bytes_moved
+        self.metrics.record(node, batch.num_rows, work,
+                            input_rows=batch.num_rows)
+        return batch
+
+    # -- aggregation / presentation -----------------------------------------------
+
+    def _execute_aggregate(self, node: AggregateNode) -> Batch:
+        batch = self._execute(node.child)
+        result = aggregate_batch(batch, node.group_by, node.aggregates)
+        work = self.context.cost_model.aggregate(batch.num_rows,
+                                                 result.num_rows).total
+        self.metrics.record(node, result.num_rows, work,
+                            input_rows=batch.num_rows)
+        return result
+
+    def _execute_project(self, node: ProjectNode) -> Batch:
+        batch = self._execute(node.child)
+        resolve = batch.resolver()
+        columns: Dict[str, np.ndarray] = {}
+        for item in node.items:
+            values = np.asarray(item.expression.evaluate(resolve))
+            if values.ndim == 0:
+                values = np.full(batch.num_rows, values)
+            columns[item.name] = values
+        result = Batch(columns)
+        work = self.context.cost_model.project(batch.num_rows,
+                                               len(node.items)).total
+        self.metrics.record(node, result.num_rows, work,
+                            input_rows=batch.num_rows)
+        return result
+
+    def _execute_sort(self, node: SortNode) -> Batch:
+        batch = self._execute(node.child)
+        if batch.num_rows and node.order_by:
+            keys = []
+            for item in reversed(node.order_by):
+                values = self._tolerant_eval(item.expression, batch)
+                if item.descending and values.dtype.kind in ("i", "u", "f"):
+                    values = -values.astype(np.float64)
+                keys.append(values)
+            order = np.lexsort(keys)
+            batch = batch.take(order)
+        work = self.context.cost_model.sort(batch.num_rows).total
+        self.metrics.record(node, batch.num_rows, work,
+                            input_rows=batch.num_rows)
+        return batch
+
+    def _execute_limit(self, node: LimitNode) -> Batch:
+        batch = self._execute(node.child)
+        result = batch.head(node.limit)
+        work = self.context.cost_model.limit(result.num_rows).total
+        self.metrics.record(node, result.num_rows, work,
+                            input_rows=batch.num_rows)
+        return result
+
+    # -- helpers ----------------------------------------------------------------
+
+    @staticmethod
+    def _tolerant_eval(expression: ScalarExpression, batch: Batch) -> np.ndarray:
+        """Evaluate an expression, falling back to output-column-name lookup.
+
+        After aggregation or projection the batch is keyed by output names, so
+        an ORDER BY referencing an output column (or a bare ``ColumnRef`` with
+        an empty relation) resolves by name.
+        """
+        try:
+            return np.asarray(expression.evaluate(batch.resolver()))
+        except KeyError:
+            if isinstance(expression, ColumnRef):
+                if batch.has_column(expression.column):
+                    return batch.column(expression.column)
+            name = str(expression)
+            if batch.has_column(name):
+                return batch.column(name)
+            raise

@@ -1,0 +1,40 @@
+"""Experiment harnesses reproducing every table and figure of the paper."""
+
+from .cardinality_mae import MaeResult, run_cardinality_mae
+from .case_studies import (
+    CaseStudyResult,
+    run_case_study,
+    run_q7_case_study,
+    run_q12_case_study,
+)
+from .delta_semantics import DeltaSemanticsResult, run_delta_semantics
+from .naive_blowup import BlowupResult, run_naive_blowup
+from .planner_latency import PlannerLatencyResult, run_planner_latency
+from .report import QueryRun, QueryRunner, format_table, percent_reduction, scaled_settings
+from .running_example import RunningExampleResult, run_running_example
+from .tpch_suite import SuiteResult, SuiteRow, run_tpch_suite
+
+__all__ = [
+    "BlowupResult",
+    "CaseStudyResult",
+    "DeltaSemanticsResult",
+    "MaeResult",
+    "PlannerLatencyResult",
+    "QueryRun",
+    "QueryRunner",
+    "RunningExampleResult",
+    "SuiteResult",
+    "SuiteRow",
+    "format_table",
+    "percent_reduction",
+    "run_cardinality_mae",
+    "run_case_study",
+    "run_delta_semantics",
+    "run_naive_blowup",
+    "run_planner_latency",
+    "run_q12_case_study",
+    "run_q7_case_study",
+    "run_running_example",
+    "run_tpch_suite",
+    "scaled_settings",
+]

@@ -1,0 +1,108 @@
+"""Experiments E3 and E5: the Q12 (Figure 1) and Q7 (Figure 6) case studies.
+
+At the paper's SF100 cardinalities (statistics-only catalog) the case studies
+compare the join order, the exchange strategy and the number of Bloom filters
+chosen by BF-Post and BF-CBO; at a small materialised scale factor they also
+execute both plans and report observed per-operator row counts, which is the
+information Figures 1 and 6 annotate on their plan diagrams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.explain import bloom_filter_summary, explain, join_order_summary
+from ..core.optimizer import OptimizationResult, OptimizerMode
+from ..tpch.workload import TpchWorkload
+from .report import QueryRun, QueryRunner
+
+
+@dataclass
+class CaseStudyResult:
+    """Plan comparison for one query under BF-Post vs BF-CBO."""
+
+    query_name: str
+    scale_factor: float
+    bf_post: QueryRun = None
+    bf_cbo: QueryRun = None
+
+    @property
+    def bf_post_join_order(self) -> List[str]:
+        return join_order_summary(self.bf_post.optimization.join_plan)
+
+    @property
+    def bf_cbo_join_order(self) -> List[str]:
+        return join_order_summary(self.bf_cbo.optimization.join_plan)
+
+    @property
+    def plan_changed(self) -> bool:
+        """True when BF-CBO chose a different join order than BF-Post."""
+        return self.bf_post_join_order != self.bf_cbo_join_order
+
+    @property
+    def bf_post_filters(self) -> int:
+        return self.bf_post.num_bloom_filters
+
+    @property
+    def bf_cbo_filters(self) -> int:
+        return self.bf_cbo.num_bloom_filters
+
+    @property
+    def latency_improvement(self) -> Optional[float]:
+        """% latency reduction of BF-CBO over BF-Post when both executed."""
+        if self.bf_post.simulated_latency and self.bf_cbo.simulated_latency:
+            return 100.0 * (self.bf_post.simulated_latency
+                            - self.bf_cbo.simulated_latency) \
+                / self.bf_post.simulated_latency
+        return None
+
+    def to_text(self) -> str:
+        lines = ["Case study %s (scale factor %s)" % (self.query_name,
+                                                      self.scale_factor)]
+        lines.append("\nBF-Post plan (%d Bloom filters):" % self.bf_post_filters)
+        actuals = (self.bf_post.execution.metrics.actual_rows_by_node()
+                   if self.bf_post.execution else None)
+        lines.append(explain(self.bf_post.optimization.plan, actuals))
+        lines.append("\nBF-CBO plan (%d Bloom filters):" % self.bf_cbo_filters)
+        actuals = (self.bf_cbo.execution.metrics.actual_rows_by_node()
+                   if self.bf_cbo.execution else None)
+        lines.append(explain(self.bf_cbo.optimization.plan, actuals))
+        lines.append("\nBloom filters applied by BF-CBO:")
+        lines.extend("  " + line for line in
+                     bloom_filter_summary(self.bf_cbo.optimization.plan))
+        if self.latency_improvement is not None:
+            lines.append("\nLatency improvement of BF-CBO over BF-Post: %.1f%%"
+                         % self.latency_improvement)
+        return "\n".join(lines)
+
+
+def run_case_study(query_number: int,
+                   workload: Optional[TpchWorkload] = None,
+                   scale_factor: float = 0.02,
+                   execute: bool = True) -> CaseStudyResult:
+    """Run one case study (Figure 1 uses query 12, Figure 6 uses query 7)."""
+    if workload is None:
+        workload = (TpchWorkload.generate(scale_factor,
+                                          query_numbers=[query_number])
+                    if execute else
+                    TpchWorkload.statistics_only(scale_factor,
+                                                 query_numbers=[query_number]))
+    runner = QueryRunner(workload.catalog, scale_factor=workload.scale_factor)
+    query = workload.query(query_number)
+    method = runner.run if (execute and workload.has_data) else runner.plan
+    result = CaseStudyResult(query_name=query.name,
+                             scale_factor=workload.scale_factor)
+    result.bf_post = method(query, OptimizerMode.BF_POST)
+    result.bf_cbo = method(query, OptimizerMode.BF_CBO)
+    return result
+
+
+def run_q12_case_study(**kwargs) -> CaseStudyResult:
+    """Figure 1: join-input reversal of TPC-H Q12."""
+    return run_case_study(12, **kwargs)
+
+
+def run_q7_case_study(**kwargs) -> CaseStudyResult:
+    """Figure 6: predicate transfer through five Bloom filters in TPC-H Q7."""
+    return run_case_study(7, **kwargs)

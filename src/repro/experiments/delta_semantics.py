@@ -1,0 +1,129 @@
+"""Experiment E8: δ semantics (Figures 2 and 3).
+
+Two conceptual properties of Bloom filter sub-plans are demonstrated on a
+three-table micro-schema:
+
+* **Figure 2** — the cardinality of ``R0`` with a Bloom filter built from
+  ``R1`` depends on the build-side relation set: |R0 ⋉̂ R1| ≥ |R0 ⋉̂ (R1, R2)|
+  whenever joining ``R2`` to ``R1`` removes distinct join keys.
+* **Figure 3** — during the second bottom-up pass the join of a δ = {R1, R2}
+  Bloom filter sub-plan with a sub-plan providing only ``R1`` is illegal,
+  unless that inner sub-plan is itself a Bloom filter sub-plan whose pending δ
+  covers the outstanding relation (the panel (c) exception).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from ..core.cardinality import CardinalityEstimator
+from ..core.cost import CostModel
+from ..core.enumerator import JoinEnumerator, JoinPair
+from ..core.expressions import ColumnRef, Comparison, ComparisonOp, Literal
+from ..core.heuristics import BfCboSettings
+from ..core.query import BaseRelation, JoinClause, QueryBlock
+from ..storage.catalog import Catalog
+from ..storage.schema import make_schema
+from ..storage.statistics import synthetic_statistics
+from ..storage.types import INT64
+
+
+def build_micro_catalog() -> Catalog:
+    """R0 (large), R1 (medium), R2 (small, filtered) joined in a chain."""
+    catalog = Catalog()
+    catalog.register_schema(
+        make_schema("r0", [("a", INT64)], primary_key=[]),
+        synthetic_statistics("r0", 50_000_000, {"a": 1_000_000}))
+    catalog.register_schema(
+        make_schema("r1", [("a", INT64), ("b", INT64)], primary_key=["a"]),
+        synthetic_statistics("r1", 1_000_000, {"a": 1_000_000, "b": 200_000}))
+    catalog.register_schema(
+        make_schema("r2", [("b", INT64), ("attr", INT64)], primary_key=["b"]),
+        synthetic_statistics("r2", 200_000, {"b": 200_000, "attr": 1_000},
+                             {"attr": (0.0, 999.0)}))
+    return catalog
+
+
+def build_micro_query() -> QueryBlock:
+    """``R0 ⋈ R1 ⋈ R2`` with a selective filter on R2."""
+    return QueryBlock(
+        relations=[BaseRelation("r0", "r0"), BaseRelation("r1", "r1"),
+                   BaseRelation("r2", "r2")],
+        join_clauses=[
+            JoinClause(ColumnRef("r0", "a"), ColumnRef("r1", "a")),
+            JoinClause(ColumnRef("r1", "b"), ColumnRef("r2", "b")),
+        ],
+        local_predicates={"r2": [Comparison(ComparisonOp.LT,
+                                            ColumnRef("r2", "attr"),
+                                            Literal(10))]},
+        name="delta-semantics")
+
+
+@dataclass
+class DeltaSemanticsResult:
+    """Outcomes of the Figure 2 / Figure 3 demonstrations."""
+
+    rows_delta_r1: float          # |R0 ⋉̂ R1|
+    rows_delta_r1_r2: float       # |R0 ⋉̂ (R1, R2)|
+    illegal_join_rejected: bool   # Figure 3(b) rejected
+    exception_join_allowed: bool  # Figure 3(c) allowed
+
+    @property
+    def delta_dependency_holds(self) -> bool:
+        """Figure 2's inequality |R0 ⋉̂ (R1,R2)| ≤ |R0 ⋉̂ R1|."""
+        return self.rows_delta_r1_r2 <= self.rows_delta_r1 + 1e-6
+
+
+def run_delta_semantics() -> DeltaSemanticsResult:
+    """Demonstrate the δ-dependent cardinality and the join legality rules."""
+    catalog = build_micro_catalog()
+    query = build_micro_query()
+    estimator = CardinalityEstimator(catalog, query)
+    settings = BfCboSettings.paper_defaults().with_overrides(min_apply_rows=1.0)
+    enumerator = JoinEnumerator(catalog, query, estimator, CostModel(), settings)
+
+    apply_col = ColumnRef("r0", "a")
+    build_col = ColumnRef("r1", "a")
+
+    # Figure 2: the same Bloom filter with two different δ sets.
+    est_r1 = estimator.bloom_estimate(apply_col, build_col, frozenset({"r1"}))
+    est_r1_r2 = estimator.bloom_estimate(apply_col, build_col,
+                                         frozenset({"r1", "r2"}))
+    rows_r1 = estimator.bloom_scan_rows("r0", [est_r1])
+    rows_r1_r2 = estimator.bloom_scan_rows("r0", [est_r1_r2])
+
+    # Figure 3: legality of joining the δ={r1,r2} sub-plan with r1 alone.
+    spec = None
+    two_delta_scan = None
+    for candidate_delta, estimate in ((frozenset({"r1", "r2"}), est_r1_r2),):
+        from ..core.candidates import BloomFilterSpec
+        spec = BloomFilterSpec(filter_id="bf_fig3", apply_column=apply_col,
+                               build_column=build_col, delta=candidate_delta,
+                               estimate=estimate)
+        two_delta_scan = enumerator.make_bloom_scan("r0", [spec])
+
+    plain_r1_scan = enumerator.make_seq_scan("r1")
+    pair = JoinPair(union=frozenset({"r0", "r1"}), outer=frozenset({"r0"}),
+                    inner=frozenset({"r1"}),
+                    clauses=tuple(query.clauses_between(frozenset({"r0"}),
+                                                        frozenset({"r1"}))))
+    illegal_plans = enumerator.combine(pair, two_delta_scan, plain_r1_scan)
+
+    # The exception (panel c): r1's own sub-plan carries a pending δ={r2} filter.
+    est_r1_from_r2 = estimator.bloom_estimate(ColumnRef("r1", "b"),
+                                              ColumnRef("r2", "b"),
+                                              frozenset({"r2"}))
+    from ..core.candidates import BloomFilterSpec
+    r1_spec = BloomFilterSpec(filter_id="bf_fig3_inner",
+                              apply_column=ColumnRef("r1", "b"),
+                              build_column=ColumnRef("r2", "b"),
+                              delta=frozenset({"r2"}), estimate=est_r1_from_r2)
+    bloom_r1_scan = enumerator.make_bloom_scan("r1", [r1_spec])
+    exception_plans = enumerator.combine(pair, two_delta_scan, bloom_r1_scan)
+
+    return DeltaSemanticsResult(
+        rows_delta_r1=rows_r1,
+        rows_delta_r1_r2=rows_r1_r2,
+        illegal_join_rejected=len(illegal_plans) == 0,
+        exception_join_allowed=len(exception_plans) > 0)

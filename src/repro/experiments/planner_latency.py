@@ -1,0 +1,83 @@
+"""Experiment E9: planner latency overhead (right-hand columns of Tables 2/3).
+
+The paper reports per-query planner latencies of BF-Post (254.3 ms total) and
+BF-CBO (540.7 ms total; 421.9 ms with Heuristic 7), showing that BF-CBO's
+larger search space costs planning time.  This experiment plans every analysed
+query against the SF100 statistics-only catalog (no execution) in the three
+configurations and reports per-query and total planner latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.heuristics import BfCboSettings
+from ..core.optimizer import OptimizerMode
+from ..tpch.workload import TpchWorkload
+from .report import QueryRunner, format_table
+
+
+@dataclass
+class PlannerLatencyRow:
+    """Planner latency of one query under the three configurations."""
+
+    query: str
+    bf_post_ms: float
+    bf_cbo_ms: float
+    bf_cbo_h7_ms: float
+
+
+@dataclass
+class PlannerLatencyResult:
+    """Planner latency comparison (Tables 2/3, right-hand columns)."""
+
+    rows: List[PlannerLatencyRow] = field(default_factory=list)
+    scale_factor: float = 100.0
+
+    @property
+    def total_bf_post_ms(self) -> float:
+        return sum(r.bf_post_ms for r in self.rows)
+
+    @property
+    def total_bf_cbo_ms(self) -> float:
+        return sum(r.bf_cbo_ms for r in self.rows)
+
+    @property
+    def total_bf_cbo_h7_ms(self) -> float:
+        return sum(r.bf_cbo_h7_ms for r in self.rows)
+
+    def to_text(self) -> str:
+        headers = ["Q#", "BF-Post (ms)", "BF-CBO (ms)", "BF-CBO+H7 (ms)"]
+        rows = [[r.query, "%.1f" % r.bf_post_ms, "%.1f" % r.bf_cbo_ms,
+                 "%.1f" % r.bf_cbo_h7_ms] for r in self.rows]
+        rows.append(["total", "%.1f" % self.total_bf_post_ms,
+                     "%.1f" % self.total_bf_cbo_ms,
+                     "%.1f" % self.total_bf_cbo_h7_ms])
+        return format_table(headers, rows,
+                            title="Planner latency at SF%.0f statistics"
+                            % self.scale_factor)
+
+
+def run_planner_latency(workload: Optional[TpchWorkload] = None,
+                        scale_factor: float = 100.0,
+                        query_numbers: Optional[List[int]] = None,
+                        ) -> PlannerLatencyResult:
+    """Measure planning time (no execution) for the three configurations."""
+    workload = workload or TpchWorkload.statistics_only(
+        scale_factor, query_numbers=query_numbers)
+    runner = QueryRunner(workload.catalog, scale_factor=workload.scale_factor)
+    result = PlannerLatencyResult(scale_factor=workload.scale_factor)
+    numbers = query_numbers if query_numbers is not None else workload.query_numbers
+    for number in numbers:
+        query = workload.query(number)
+        bf_post = runner.plan(query, OptimizerMode.BF_POST)
+        bf_cbo = runner.plan(query, OptimizerMode.BF_CBO,
+                             BfCboSettings.paper_defaults())
+        bf_cbo_h7 = runner.plan(query, OptimizerMode.BF_CBO,
+                                BfCboSettings.with_heuristic7())
+        result.rows.append(PlannerLatencyRow(
+            query=query.name, bf_post_ms=bf_post.planning_time_ms,
+            bf_cbo_ms=bf_cbo.planning_time_ms,
+            bf_cbo_h7_ms=bf_cbo_h7.planning_time_ms))
+    return result

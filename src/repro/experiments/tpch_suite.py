@@ -1,0 +1,168 @@
+"""Experiment E1/E2: the TPC-H latency suite (Table 2, Table 3, Figure 5).
+
+For every analysed TPC-H query the suite plans and executes the query under
+three modes — No-BF, BF-Post and BF-CBO — and reports, per query:
+
+* the simulated latency normalised to the No-BF run (the paper's Figure 5 /
+  Table 2 "normalized query latency" columns),
+* the percentage reduction of BF-CBO over BF-Post,
+* the planner latencies of BF-Post and BF-CBO (Table 2's right-hand columns),
+* whether BF-CBO chose a different join order than BF-Post.
+
+Running the suite with ``heuristic7=True`` reproduces Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.explain import join_order_summary
+from ..core.heuristics import BfCboSettings
+from ..core.optimizer import OptimizerMode
+from ..tpch.workload import TpchWorkload
+from .report import QueryRun, QueryRunner, format_table, percent_reduction
+
+
+@dataclass
+class SuiteRow:
+    """One row of the Table 2 / Table 3 reproduction."""
+
+    query: str
+    no_bf_latency: float
+    bf_post_latency: float
+    bf_cbo_latency: float
+    bf_post_planner_ms: float
+    bf_cbo_planner_ms: float
+    bf_post_filters: int
+    bf_cbo_filters: int
+    plan_changed: bool
+
+    @property
+    def bf_post_normalized(self) -> float:
+        return self.bf_post_latency / self.no_bf_latency if self.no_bf_latency else 1.0
+
+    @property
+    def bf_cbo_normalized(self) -> float:
+        return self.bf_cbo_latency / self.no_bf_latency if self.no_bf_latency else 1.0
+
+    @property
+    def percent_improvement(self) -> float:
+        """% latency reduction of BF-CBO relative to BF-Post (paper's "%↓")."""
+        return percent_reduction(self.bf_post_latency, self.bf_cbo_latency)
+
+
+@dataclass
+class SuiteResult:
+    """The full Table 2 / Table 3 reproduction."""
+
+    rows: List[SuiteRow] = field(default_factory=list)
+    heuristic7: bool = False
+    scale_factor: float = 0.0
+
+    # -- aggregates ----------------------------------------------------------
+
+    @property
+    def total_no_bf(self) -> float:
+        return sum(row.no_bf_latency for row in self.rows)
+
+    @property
+    def total_bf_post(self) -> float:
+        return sum(row.bf_post_latency for row in self.rows)
+
+    @property
+    def total_bf_cbo(self) -> float:
+        return sum(row.bf_cbo_latency for row in self.rows)
+
+    @property
+    def overall_bf_post_reduction(self) -> float:
+        """Reduction of BF-Post vs No-BF (the paper reports 28.8%)."""
+        return percent_reduction(self.total_no_bf, self.total_bf_post)
+
+    @property
+    def overall_bf_cbo_reduction(self) -> float:
+        """Reduction of BF-CBO vs No-BF (the paper reports 52.2%)."""
+        return percent_reduction(self.total_no_bf, self.total_bf_cbo)
+
+    @property
+    def overall_improvement_over_post(self) -> float:
+        """Reduction of BF-CBO vs BF-Post (the paper reports 32.8%)."""
+        return percent_reduction(self.total_bf_post, self.total_bf_cbo)
+
+    @property
+    def total_bf_post_planner_ms(self) -> float:
+        return sum(row.bf_post_planner_ms for row in self.rows)
+
+    @property
+    def total_bf_cbo_planner_ms(self) -> float:
+        return sum(row.bf_cbo_planner_ms for row in self.rows)
+
+    # -- figure 5 series ----------------------------------------------------------
+
+    def figure5_series(self) -> Dict[str, List[float]]:
+        """Normalised latencies per query, the two bar series of Figure 5."""
+        return {
+            "queries": [row.query for row in self.rows],
+            "bf_post": [row.bf_post_normalized for row in self.rows],
+            "bf_cbo": [row.bf_cbo_normalized for row in self.rows],
+        }
+
+    # -- rendering ------------------------------------------------------------------
+
+    def to_text(self) -> str:
+        headers = ["Q#", "BF-Post", "BF-CBO", "%down", "planner BF-Post (ms)",
+                   "planner BF-CBO (ms)", "plan changed"]
+        rows = []
+        for row in self.rows:
+            rows.append([row.query, "%.3f" % row.bf_post_normalized,
+                         "%.3f" % row.bf_cbo_normalized,
+                         "%.1f" % row.percent_improvement,
+                         "%.1f" % row.bf_post_planner_ms,
+                         "%.1f" % row.bf_cbo_planner_ms,
+                         "yes" if row.plan_changed else ""])
+        rows.append(["total",
+                     "%.3f" % (self.total_bf_post / self.total_no_bf
+                               if self.total_no_bf else 1.0),
+                     "%.3f" % (self.total_bf_cbo / self.total_no_bf
+                               if self.total_no_bf else 1.0),
+                     "%.1f" % self.overall_improvement_over_post,
+                     "%.1f" % self.total_bf_post_planner_ms,
+                     "%.1f" % self.total_bf_cbo_planner_ms, ""])
+        title = ("TPC-H query latencies (normalised to No-BF), Heuristic 7 %s"
+                 % ("enabled" if self.heuristic7 else "disabled"))
+        return format_table(headers, rows, title=title)
+
+
+def run_tpch_suite(workload: Optional[TpchWorkload] = None,
+                   scale_factor: float = 0.01,
+                   heuristic7: bool = False,
+                   query_numbers: Optional[List[int]] = None,
+                   degree_of_parallelism: int = 48) -> SuiteResult:
+    """Run the Table 2 (or, with ``heuristic7``, Table 3) experiment."""
+    workload = workload or TpchWorkload.generate(scale_factor,
+                                                 query_numbers=query_numbers)
+    runner = QueryRunner(workload.catalog, scale_factor=workload.scale_factor,
+                         degree_of_parallelism=degree_of_parallelism)
+    settings = (BfCboSettings.with_heuristic7() if heuristic7
+                else BfCboSettings.paper_defaults())
+    result = SuiteResult(heuristic7=heuristic7,
+                         scale_factor=workload.scale_factor)
+    numbers = query_numbers if query_numbers is not None else workload.query_numbers
+    for number in numbers:
+        query = workload.query(number)
+        no_bf = runner.run(query, OptimizerMode.NO_BF)
+        bf_post = runner.run(query, OptimizerMode.BF_POST)
+        bf_cbo = runner.run(query, OptimizerMode.BF_CBO, settings)
+        changed = (join_order_summary(bf_post.optimization.join_plan)
+                   != join_order_summary(bf_cbo.optimization.join_plan))
+        result.rows.append(SuiteRow(
+            query=query.name,
+            no_bf_latency=no_bf.simulated_latency,
+            bf_post_latency=bf_post.simulated_latency,
+            bf_cbo_latency=bf_cbo.simulated_latency,
+            bf_post_planner_ms=bf_post.planning_time_ms,
+            bf_cbo_planner_ms=bf_cbo.planning_time_ms,
+            bf_post_filters=bf_post.num_bloom_filters,
+            bf_cbo_filters=bf_cbo.num_bloom_filters,
+            plan_changed=changed))
+    return result

@@ -1,0 +1,20 @@
+"""SQL front end: lexer, parser and binder for the supported subset."""
+
+from .binder import Binder, bind_sql
+from .errors import BindError, LexerError, ParseError, SqlError
+from .lexer import Token, TokenType, tokenize
+from .parser import Parser, parse_select
+
+__all__ = [
+    "BindError",
+    "Binder",
+    "LexerError",
+    "ParseError",
+    "Parser",
+    "SqlError",
+    "Token",
+    "TokenType",
+    "bind_sql",
+    "parse_select",
+    "tokenize",
+]

@@ -1,0 +1,193 @@
+"""The purely syntactic AST produced by the parser.
+
+The syntax tree is catalog-agnostic: column references are just (qualifier,
+name) pairs and no types or relations have been resolved yet.  The binder
+(:mod:`repro.sql.binder`) lowers this tree into the bound query model of
+:mod:`repro.core.query`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class SyntaxNode:
+    """Base class for all syntax-tree nodes."""
+
+
+# -- scalar expressions -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnName(SyntaxNode):
+    """``qualifier.name`` or a bare ``name``."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    def __str__(self) -> str:
+        return "%s.%s" % (self.qualifier, self.name) if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class NumberLiteral(SyntaxNode):
+    """An integer or decimal literal."""
+
+    text: str
+
+    @property
+    def value(self):
+        return float(self.text) if "." in self.text else int(self.text)
+
+
+@dataclass(frozen=True)
+class StringLiteral(SyntaxNode):
+    """A quoted string literal."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class DateLiteral(SyntaxNode):
+    """``DATE 'YYYY-MM-DD'``."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class IntervalLiteral(SyntaxNode):
+    """``INTERVAL '<n>' <unit>`` — only day/month/year units are supported."""
+
+    amount: int
+    unit: str
+
+
+@dataclass(frozen=True)
+class BinaryOp(SyntaxNode):
+    """Binary arithmetic or string concatenation."""
+
+    op: str
+    left: SyntaxNode
+    right: SyntaxNode
+
+
+@dataclass(frozen=True)
+class FunctionCall(SyntaxNode):
+    """A function or aggregate call."""
+
+    name: str
+    args: Tuple[SyntaxNode, ...]
+    distinct: bool = False
+    star: bool = False  # COUNT(*)
+
+
+@dataclass(frozen=True)
+class ExtractExpr(SyntaxNode):
+    """``EXTRACT(field FROM expr)``."""
+
+    field_name: str
+    operand: SyntaxNode
+
+
+# -- boolean expressions ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ComparisonExpr(SyntaxNode):
+    """``left <op> right`` with op in =, <>, <, <=, >, >=."""
+
+    op: str
+    left: SyntaxNode
+    right: SyntaxNode
+
+
+@dataclass(frozen=True)
+class BetweenExpr(SyntaxNode):
+    """``operand BETWEEN low AND high``."""
+
+    operand: SyntaxNode
+    low: SyntaxNode
+    high: SyntaxNode
+
+
+@dataclass(frozen=True)
+class InExpr(SyntaxNode):
+    """``operand IN (literal, ...)``."""
+
+    operand: SyntaxNode
+    values: Tuple[SyntaxNode, ...]
+
+
+@dataclass(frozen=True)
+class LikeExpr(SyntaxNode):
+    """``operand [NOT] LIKE pattern``."""
+
+    operand: SyntaxNode
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class NotExpr(SyntaxNode):
+    """Logical negation."""
+
+    operand: SyntaxNode
+
+
+@dataclass(frozen=True)
+class AndExpr(SyntaxNode):
+    """Conjunction."""
+
+    operands: Tuple[SyntaxNode, ...]
+
+
+@dataclass(frozen=True)
+class OrExpr(SyntaxNode):
+    """Disjunction."""
+
+    operands: Tuple[SyntaxNode, ...]
+
+
+# -- query structure ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem(SyntaxNode):
+    """One SELECT-list entry with an optional alias."""
+
+    expression: SyntaxNode
+    alias: Optional[str] = None
+    star: bool = False
+
+
+@dataclass(frozen=True)
+class TableRef(SyntaxNode):
+    """A FROM-list table reference with an optional alias."""
+
+    table: str
+    alias: Optional[str] = None
+
+    @property
+    def effective_alias(self) -> str:
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class OrderByItem(SyntaxNode):
+    """One ORDER BY entry."""
+
+    expression: SyntaxNode
+    descending: bool = False
+
+
+@dataclass
+class SelectStatement(SyntaxNode):
+    """A full SELECT statement in the supported subset."""
+
+    select_items: List[SelectItem] = field(default_factory=list)
+    from_tables: List[TableRef] = field(default_factory=list)
+    where: Optional[SyntaxNode] = None
+    group_by: List[SyntaxNode] = field(default_factory=list)
+    order_by: List[OrderByItem] = field(default_factory=list)
+    limit: Optional[int] = None

@@ -1,0 +1,29 @@
+"""Errors raised by the SQL front end."""
+
+from __future__ import annotations
+
+
+class SqlError(ValueError):
+    """Base class for SQL front-end errors."""
+
+
+class LexerError(SqlError):
+    """Raised when the lexer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__("%s (at offset %d)" % (message, position))
+        self.position = position
+
+
+class ParseError(SqlError):
+    """Raised when the parser cannot make sense of the token stream."""
+
+    def __init__(self, message: str, token=None) -> None:
+        location = "" if token is None else " near %r (offset %d)" % (
+            token.text, token.position)
+        super().__init__(message + location)
+        self.token = token
+
+
+class BindError(SqlError):
+    """Raised when name resolution or semantic analysis fails."""

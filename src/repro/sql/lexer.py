@@ -1,0 +1,108 @@
+"""Tokenizer for the supported SQL subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import LexerError
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "order", "limit", "as", "and",
+    "or", "not", "between", "in", "like", "is", "null", "asc", "desc", "date",
+    "interval", "extract", "year", "distinct", "inner", "left", "right",
+    "full", "outer", "join", "on", "semi", "anti", "case", "when", "then",
+    "else", "end", "exists", "count", "sum", "avg", "min", "max",
+}
+
+
+class TokenType(enum.Enum):
+    """Lexical token categories."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token."""
+
+    type: TokenType
+    text: str
+    position: int
+
+    def is_keyword(self, *words: str) -> bool:
+        """True if this token is one of the given keywords."""
+        return self.type is TokenType.KEYWORD and self.text.lower() in {
+            w.lower() for w in words}
+
+    def __str__(self) -> str:
+        return self.text
+
+
+_OPERATORS = ("<>", "!=", ">=", "<=", "=", "<", ">", "+", "-", "*", "/", "||")
+_PUNCTUATION = "(),.;"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` into a list of tokens ending with an END token."""
+    tokens: List[Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            newline = text.find("\n", i)
+            i = length if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            end = text.find("'", i + 1)
+            if end < 0:
+                raise LexerError("unterminated string literal", i)
+            tokens.append(Token(TokenType.STRING, text[i + 1:end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < length and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                seen_dot = seen_dot or text[j] == "."
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            token_type = (TokenType.KEYWORD if word.lower() in KEYWORDS
+                          else TokenType.IDENTIFIER)
+            tokens.append(Token(token_type, word, i))
+            i = j
+            continue
+        matched_operator = None
+        for operator in _OPERATORS:
+            if text.startswith(operator, i):
+                matched_operator = operator
+                break
+        if matched_operator is not None:
+            tokens.append(Token(TokenType.OPERATOR, matched_operator, i))
+            i += len(matched_operator)
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, ch, i))
+            i += 1
+            continue
+        raise LexerError("unexpected character %r" % ch, i)
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

@@ -1,0 +1,351 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar (informal)::
+
+    select    := SELECT item (',' item)* FROM table_ref (',' table_ref)*
+                 [WHERE expr] [GROUP BY expr (',' expr)*]
+                 [ORDER BY order_item (',' order_item)*] [LIMIT number]
+    item      := '*' | expr [AS? identifier]
+    table_ref := identifier [AS? identifier]
+    expr      := or_expr
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := [NOT] predicate
+    predicate := additive [comparison | BETWEEN | IN | LIKE]
+    additive  := multiplicative (('+'|'-') multiplicative)*
+    multiplicative := unary (('*'|'/') unary)*
+    unary     := primary | '-' unary
+    primary   := literal | DATE string | INTERVAL string unit | EXTRACT(...)
+                 | function '(' [DISTINCT] args ')' | column | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (
+    AndExpr,
+    BetweenExpr,
+    BinaryOp,
+    ColumnName,
+    ComparisonExpr,
+    DateLiteral,
+    ExtractExpr,
+    FunctionCall,
+    InExpr,
+    IntervalLiteral,
+    LikeExpr,
+    NotExpr,
+    NumberLiteral,
+    OrderByItem,
+    OrExpr,
+    SelectItem,
+    SelectStatement,
+    StringLiteral,
+    SyntaxNode,
+    TableRef,
+)
+from .errors import ParseError
+from .lexer import Token, TokenType, tokenize
+
+_AGGREGATES = {"count", "sum", "avg", "min", "max"}
+_COMPARISON_OPS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+class Parser:
+    """Parses one SELECT statement from a token stream."""
+
+    def __init__(self, text: str) -> None:
+        self.tokens = tokenize(text)
+        self.position = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.END:
+            self.position += 1
+        return token
+
+    def _expect_keyword(self, *words: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(*words):
+            raise ParseError("expected %s" % "/".join(words).upper(), token)
+        return self._advance()
+
+    def _accept_keyword(self, *words: str) -> bool:
+        if self._peek().is_keyword(*words):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, symbol: str) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.PUNCTUATION or token.text != symbol:
+            raise ParseError("expected %r" % symbol, token)
+        return self._advance()
+
+    def _accept_punct(self, symbol: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.PUNCTUATION and token.text == symbol:
+            self._advance()
+            return True
+        return False
+
+    def _expect_identifier(self) -> str:
+        token = self._peek()
+        if token.type is not TokenType.IDENTIFIER:
+            raise ParseError("expected identifier", token)
+        self._advance()
+        return token.text
+
+    # -- entry point -----------------------------------------------------------
+
+    def parse(self) -> SelectStatement:
+        """Parse a complete SELECT statement."""
+        statement = self._parse_select()
+        self._accept_punct(";")
+        token = self._peek()
+        if token.type is not TokenType.END:
+            raise ParseError("unexpected trailing input", token)
+        return statement
+
+    # -- clauses ---------------------------------------------------------------
+
+    def _parse_select(self) -> SelectStatement:
+        self._expect_keyword("select")
+        statement = SelectStatement()
+        statement.select_items.append(self._parse_select_item())
+        while self._accept_punct(","):
+            statement.select_items.append(self._parse_select_item())
+        self._expect_keyword("from")
+        statement.from_tables.append(self._parse_table_ref())
+        while self._accept_punct(","):
+            statement.from_tables.append(self._parse_table_ref())
+        if self._accept_keyword("where"):
+            statement.where = self._parse_expr()
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            statement.group_by.append(self._parse_expr())
+            while self._accept_punct(","):
+                statement.group_by.append(self._parse_expr())
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            statement.order_by.append(self._parse_order_item())
+            while self._accept_punct(","):
+                statement.order_by.append(self._parse_order_item())
+        if self._accept_keyword("limit"):
+            token = self._peek()
+            if token.type is not TokenType.NUMBER:
+                raise ParseError("expected a number after LIMIT", token)
+            self._advance()
+            statement.limit = int(float(token.text))
+        return statement
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.text == "*":
+            self._advance()
+            return SelectItem(expression=ColumnName("*"), star=True)
+        expression = self._parse_expr()
+        alias: Optional[str] = None
+        if self._accept_keyword("as"):
+            alias = self._expect_identifier()
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._expect_identifier()
+        return SelectItem(expression=expression, alias=alias)
+
+    def _parse_table_ref(self) -> TableRef:
+        table = self._expect_identifier()
+        alias: Optional[str] = None
+        if self._accept_keyword("as"):
+            alias = self._expect_identifier()
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._expect_identifier()
+        return TableRef(table=table, alias=alias)
+
+    def _parse_order_item(self) -> OrderByItem:
+        expression = self._parse_expr()
+        descending = False
+        if self._accept_keyword("desc"):
+            descending = True
+        else:
+            self._accept_keyword("asc")
+        return OrderByItem(expression=expression, descending=descending)
+
+    # -- expressions --------------------------------------------------------------
+
+    def _parse_expr(self) -> SyntaxNode:
+        return self._parse_or()
+
+    def _parse_or(self) -> SyntaxNode:
+        operands = [self._parse_and()]
+        while self._accept_keyword("or"):
+            operands.append(self._parse_and())
+        return operands[0] if len(operands) == 1 else OrExpr(tuple(operands))
+
+    def _parse_and(self) -> SyntaxNode:
+        operands = [self._parse_not()]
+        while self._accept_keyword("and"):
+            operands.append(self._parse_not())
+        return operands[0] if len(operands) == 1 else AndExpr(tuple(operands))
+
+    def _parse_not(self) -> SyntaxNode:
+        if self._accept_keyword("not"):
+            return NotExpr(self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> SyntaxNode:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.text in _COMPARISON_OPS:
+            self._advance()
+            right = self._parse_additive()
+            op = "<>" if token.text == "!=" else token.text
+            return ComparisonExpr(op=op, left=left, right=right)
+        if token.is_keyword("between"):
+            self._advance()
+            low = self._parse_additive()
+            self._expect_keyword("and")
+            high = self._parse_additive()
+            return BetweenExpr(operand=left, low=low, high=high)
+        if token.is_keyword("in"):
+            self._advance()
+            self._expect_punct("(")
+            values = [self._parse_additive()]
+            while self._accept_punct(","):
+                values.append(self._parse_additive())
+            self._expect_punct(")")
+            return InExpr(operand=left, values=tuple(values))
+        negated = False
+        if token.is_keyword("not") and self._peek(1).is_keyword("like"):
+            self._advance()
+            negated = True
+            token = self._peek()
+        if token.is_keyword("like"):
+            self._advance()
+            pattern_token = self._peek()
+            if pattern_token.type is not TokenType.STRING:
+                raise ParseError("expected string pattern after LIKE", pattern_token)
+            self._advance()
+            return LikeExpr(operand=left, pattern=pattern_token.text,
+                            negated=negated)
+        return left
+
+    def _parse_additive(self) -> SyntaxNode:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.text in ("+", "-"):
+                self._advance()
+                right = self._parse_multiplicative()
+                left = BinaryOp(op=token.text, left=left, right=right)
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> SyntaxNode:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.text in ("*", "/"):
+                self._advance()
+                right = self._parse_unary()
+                left = BinaryOp(op=token.text, left=left, right=right)
+            else:
+                return left
+
+    def _parse_unary(self) -> SyntaxNode:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.text == "-":
+            self._advance()
+            operand = self._parse_unary()
+            return BinaryOp(op="-", left=NumberLiteral("0"), right=operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> SyntaxNode:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return NumberLiteral(token.text)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return StringLiteral(token.text)
+        if token.is_keyword("date"):
+            self._advance()
+            value = self._peek()
+            if value.type is not TokenType.STRING:
+                raise ParseError("expected string after DATE", value)
+            self._advance()
+            return DateLiteral(value.text)
+        if token.is_keyword("interval"):
+            self._advance()
+            amount_token = self._peek()
+            if amount_token.type not in (TokenType.STRING, TokenType.NUMBER):
+                raise ParseError("expected amount after INTERVAL", amount_token)
+            self._advance()
+            unit = self._expect_identifier_or_keyword()
+            return IntervalLiteral(amount=int(float(amount_token.text)),
+                                   unit=unit.lower().rstrip("s"))
+        if token.is_keyword("extract"):
+            self._advance()
+            self._expect_punct("(")
+            field_token = self._advance()
+            self._expect_keyword("from")
+            operand = self._parse_expr()
+            self._expect_punct(")")
+            return ExtractExpr(field_name=field_token.text.lower(),
+                               operand=operand)
+        if token.is_keyword(*_AGGREGATES) or (
+                token.type is TokenType.IDENTIFIER
+                and self._peek(1).type is TokenType.PUNCTUATION
+                and self._peek(1).text == "("):
+            return self._parse_function_call()
+        if token.type is TokenType.PUNCTUATION and token.text == "(":
+            self._advance()
+            inner = self._parse_expr()
+            self._expect_punct(")")
+            return inner
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_column()
+        raise ParseError("unexpected token", token)
+
+    def _expect_identifier_or_keyword(self) -> str:
+        token = self._peek()
+        if token.type not in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            raise ParseError("expected identifier", token)
+        self._advance()
+        return token.text
+
+    def _parse_function_call(self) -> SyntaxNode:
+        name_token = self._advance()
+        name = name_token.text.lower()
+        self._expect_punct("(")
+        distinct = self._accept_keyword("distinct")
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.text == "*":
+            self._advance()
+            self._expect_punct(")")
+            return FunctionCall(name=name, args=(), distinct=distinct, star=True)
+        args: List[SyntaxNode] = []
+        if not (token.type is TokenType.PUNCTUATION and token.text == ")"):
+            args.append(self._parse_expr())
+            while self._accept_punct(","):
+                args.append(self._parse_expr())
+        self._expect_punct(")")
+        return FunctionCall(name=name, args=tuple(args), distinct=distinct)
+
+    def _parse_column(self) -> ColumnName:
+        first = self._expect_identifier()
+        if self._accept_punct("."):
+            second = self._expect_identifier()
+            return ColumnName(name=second, qualifier=first)
+        return ColumnName(name=first)
+
+
+def parse_select(text: str) -> SelectStatement:
+    """Parse a SELECT statement and return its syntax tree."""
+    return Parser(text).parse()

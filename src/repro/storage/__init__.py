@@ -1,0 +1,42 @@
+"""Columnar storage substrate: types, tables, schemas, statistics, catalog."""
+
+from .catalog import Catalog, CatalogError
+from .column import ColumnData, ColumnDef
+from .partitioning import PartitionedTable, RangePartitionSpec
+from .schema import ForeignKey, TableSchema, make_schema
+from .statistics import (
+    ColumnStatistics,
+    Histogram,
+    TableStatistics,
+    collect_statistics,
+    synthetic_statistics,
+)
+from .table import Table
+from .types import BOOL, DATE, FLOAT64, INT64, STRING, DataType, TypeKind, date_to_int, parse_date
+
+__all__ = [
+    "Catalog",
+    "CatalogError",
+    "ColumnData",
+    "ColumnDef",
+    "ColumnStatistics",
+    "DataType",
+    "ForeignKey",
+    "Histogram",
+    "PartitionedTable",
+    "RangePartitionSpec",
+    "Table",
+    "TableSchema",
+    "TableStatistics",
+    "TypeKind",
+    "collect_statistics",
+    "synthetic_statistics",
+    "make_schema",
+    "date_to_int",
+    "parse_date",
+    "INT64",
+    "FLOAT64",
+    "STRING",
+    "DATE",
+    "BOOL",
+]

@@ -1,0 +1,119 @@
+"""The catalog: tables, schemas, statistics and key constraints.
+
+The optimizer plans exclusively against the catalog — it looks up schemas,
+statistics and foreign-key metadata but never touches the data itself.  The
+executor, in contrast, fetches the concrete :class:`~repro.storage.table.Table`
+objects to run a plan.  A catalog can also be *statistics-only* (no data), which
+is how the planner-only experiments reproduce the paper's SF100 cardinalities
+without materialising 100 GB of rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .schema import ForeignKey, TableSchema
+from .statistics import TableStatistics, collect_statistics
+from .table import Table
+
+
+class CatalogError(KeyError):
+    """Raised when a catalog lookup fails."""
+
+
+class Catalog:
+    """Registry of table schemas, optional data and optional statistics."""
+
+    def __init__(self) -> None:
+        self._schemas: Dict[str, TableSchema] = {}
+        self._tables: Dict[str, Table] = {}
+        self._statistics: Dict[str, TableStatistics] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register_table(self, table: Table,
+                       statistics: Optional[TableStatistics] = None,
+                       analyze: bool = True) -> None:
+        """Register a materialised table (and optionally analyse it)."""
+        name = table.name.lower()
+        self._schemas[name] = table.schema
+        self._tables[name] = table
+        if statistics is not None:
+            self._statistics[name] = statistics
+        elif analyze:
+            self._statistics[name] = collect_statistics(table)
+
+    def register_schema(self, schema: TableSchema,
+                        statistics: Optional[TableStatistics] = None) -> None:
+        """Register a schema without data (statistics-only planning)."""
+        name = schema.name.lower()
+        self._schemas[name] = schema
+        if statistics is not None:
+            self._statistics[name] = statistics
+
+    def set_statistics(self, table_name: str,
+                       statistics: TableStatistics) -> None:
+        """Attach or replace statistics for a registered table."""
+        name = table_name.lower()
+        if name not in self._schemas:
+            raise CatalogError("unknown table %r" % table_name)
+        self._statistics[name] = statistics
+
+    # -- lookups --------------------------------------------------------------
+
+    def has_table(self, name: str) -> bool:
+        """True if a schema with this name is registered."""
+        return name.lower() in self._schemas
+
+    def schema(self, name: str) -> TableSchema:
+        """Schema for ``name`` (case-insensitive)."""
+        try:
+            return self._schemas[name.lower()]
+        except KeyError:
+            raise CatalogError("unknown table %r" % name) from None
+
+    def table(self, name: str) -> Table:
+        """Materialised data for ``name``; raises if statistics-only."""
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError("table %r has no materialised data" % name)
+        return self._tables[key]
+
+    def has_data(self, name: str) -> bool:
+        """True if the table has materialised rows in the catalog."""
+        return name.lower() in self._tables
+
+    def statistics(self, name: str) -> TableStatistics:
+        """Statistics for ``name``; falls back to a row count of the data."""
+        key = name.lower()
+        if key in self._statistics:
+            return self._statistics[key]
+        if key in self._tables:
+            stats = collect_statistics(self._tables[key])
+            self._statistics[key] = stats
+            return stats
+        raise CatalogError("no statistics available for table %r" % name)
+
+    def table_names(self) -> List[str]:
+        """All registered table names, sorted."""
+        return sorted(self._schemas)
+
+    # -- key metadata ----------------------------------------------------------
+
+    def foreign_key(self, table: str, column: str) -> Optional[ForeignKey]:
+        """The foreign key declared on ``table.column``, if any."""
+        return self.schema(table).foreign_key_for(column)
+
+    def is_primary_key(self, table: str, column: str) -> bool:
+        """True if ``column`` is the single-column primary key of ``table``."""
+        return self.schema(table).is_primary_key_column(column)
+
+    def is_foreign_key_reference(self, apply_table: str, apply_column: str,
+                                 build_table: str, build_column: str) -> bool:
+        """True if ``apply_table.apply_column`` is an FK referencing
+        ``build_table.build_column`` (used by Heuristic 3)."""
+        fk = self.foreign_key(apply_table, apply_column)
+        if fk is None:
+            return False
+        return (fk.ref_table.lower() == build_table.lower()
+                and fk.ref_column.lower() == build_column.lower())

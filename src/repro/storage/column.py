@@ -1,0 +1,57 @@
+"""Column metadata and column data containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .types import DataType
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """Schema-level definition of a single table column.
+
+    Attributes:
+        name: Column name, unique within its table.
+        dtype: Logical data type.
+        nullable: Whether NULLs may appear (TPC-H columns are non-null).
+    """
+
+    name: str
+    dtype: DataType
+    nullable: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "%s %s" % (self.name, self.dtype)
+
+
+@dataclass
+class ColumnData:
+    """A single materialised column: definition plus a numpy value array."""
+
+    definition: ColumnDef
+    values: np.ndarray
+    null_mask: Optional[np.ndarray] = field(default=None)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values)
+        if self.null_mask is not None:
+            self.null_mask = np.asarray(self.null_mask, dtype=bool)
+            if self.null_mask.shape != self.values.shape:
+                raise ValueError("null mask shape does not match values")
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    def take(self, indices: np.ndarray) -> "ColumnData":
+        """Return a new column containing only the rows at ``indices``."""
+        mask = None if self.null_mask is None else self.null_mask[indices]
+        return ColumnData(self.definition, self.values[indices], mask)
+
+    def filter(self, mask: np.ndarray) -> "ColumnData":
+        """Return a new column with rows selected by a boolean ``mask``."""
+        nulls = None if self.null_mask is None else self.null_mask[mask]
+        return ColumnData(self.definition, self.values[mask], nulls)

@@ -1,0 +1,86 @@
+"""Table schemas and key constraints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .column import ColumnDef
+from .types import DataType
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A single-column foreign key reference.
+
+    Attributes:
+        column: Referencing column on this table.
+        ref_table: Referenced (parent) table name.
+        ref_column: Referenced column, expected to be the parent's primary key.
+    """
+
+    column: str
+    ref_table: str
+    ref_column: str
+
+
+@dataclass
+class TableSchema:
+    """Schema of a base table: columns plus primary/foreign key metadata."""
+
+    name: str
+    columns: List[ColumnDef]
+    primary_key: Tuple[str, ...] = ()
+    foreign_keys: List[ForeignKey] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate column names in table %r" % self.name)
+        self._by_name: Dict[str, ColumnDef] = {c.name: c for c in self.columns}
+        for key_col in self.primary_key:
+            if key_col not in self._by_name:
+                raise ValueError("primary key column %r not in table %r"
+                                 % (key_col, self.name))
+        for fk in self.foreign_keys:
+            if fk.column not in self._by_name:
+                raise ValueError("foreign key column %r not in table %r"
+                                 % (fk.column, self.name))
+
+    def has_column(self, name: str) -> bool:
+        """True if the schema defines a column called ``name``."""
+        return name in self._by_name
+
+    def column(self, name: str) -> ColumnDef:
+        """Column definition for ``name`` (raises ``KeyError`` otherwise)."""
+        return self._by_name[name]
+
+    def column_type(self, name: str) -> DataType:
+        """Logical type of column ``name``."""
+        return self._by_name[name].dtype
+
+    def foreign_key_for(self, column: str) -> Optional[ForeignKey]:
+        """Foreign key declared on ``column``, if any."""
+        for fk in self.foreign_keys:
+            if fk.column == column:
+                return fk
+        return None
+
+    def is_primary_key_column(self, column: str) -> bool:
+        """True if ``column`` is the table's (single-column) primary key."""
+        return len(self.primary_key) == 1 and self.primary_key[0] == column
+
+    @property
+    def row_width_bytes(self) -> int:
+        """Approximate width of one row, used for data-movement costing."""
+        return sum(c.dtype.width_bytes for c in self.columns)
+
+
+def make_schema(name: str, columns: Sequence[Tuple[str, DataType]],
+                primary_key: Sequence[str] = (),
+                foreign_keys: Sequence[ForeignKey] = ()) -> TableSchema:
+    """Convenience constructor used by the TPC-H schema and by tests."""
+    col_defs = [ColumnDef(col_name, dtype) for col_name, dtype in columns]
+    return TableSchema(name=name, columns=col_defs,
+                       primary_key=tuple(primary_key),
+                       foreign_keys=list(foreign_keys))

@@ -1,0 +1,190 @@
+"""Table and column statistics used by the cost-based optimizer.
+
+The optimizer in the paper relies on the usual bottom-up cardinality machinery:
+base-table row counts, per-column distinct counts (NDV), min/max bounds, and
+equi-height histograms for range predicates.  Statistics are computed once per
+table (``collect_statistics``) and stored in the catalog; the optimizer never
+touches raw data during planning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .table import Table
+
+#: Number of buckets used for equi-height histograms.
+DEFAULT_HISTOGRAM_BUCKETS = 64
+
+
+@dataclass
+class Histogram:
+    """Equi-height histogram over a numeric (or date) column."""
+
+    bounds: np.ndarray          # bucket upper bounds, ascending, len == buckets
+    min_value: float
+    max_value: float
+    num_rows: int
+
+    def selectivity_below(self, value: float, inclusive: bool = True) -> float:
+        """Estimated fraction of rows with column value <= / < ``value``."""
+        if self.num_rows == 0:
+            return 0.0
+        if value < self.min_value:
+            return 0.0
+        if value >= self.max_value:
+            return 1.0
+        # Each bucket holds ~1/len(bounds) of the rows; interpolate within the
+        # bucket that contains ``value``.
+        idx = int(np.searchsorted(self.bounds, value, side="right" if inclusive else "left"))
+        idx = min(idx, len(self.bounds) - 1)
+        lower = self.min_value if idx == 0 else float(self.bounds[idx - 1])
+        upper = float(self.bounds[idx])
+        frac_within = 0.0
+        if upper > lower:
+            frac_within = min(1.0, max(0.0, (value - lower) / (upper - lower)))
+        return min(1.0, (idx + frac_within) / len(self.bounds))
+
+    def selectivity_range(self, low: Optional[float], high: Optional[float],
+                          low_inclusive: bool = True,
+                          high_inclusive: bool = True) -> float:
+        """Estimated fraction of rows with value in ``[low, high]``."""
+        hi = 1.0 if high is None else self.selectivity_below(high, high_inclusive)
+        lo = 0.0 if low is None else self.selectivity_below(low, not low_inclusive)
+        return max(0.0, hi - lo)
+
+
+@dataclass
+class ColumnStatistics:
+    """Statistics for one column of one table."""
+
+    name: str
+    num_rows: int
+    ndv: int
+    null_fraction: float = 0.0
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+    histogram: Optional[Histogram] = None
+    most_common_values: Dict[object, float] = field(default_factory=dict)
+
+    def equality_selectivity(self, value=None) -> float:
+        """Selectivity of ``col = value`` (or an unknown constant)."""
+        if self.num_rows == 0:
+            return 0.0
+        if value is not None and value in self.most_common_values:
+            return self.most_common_values[value]
+        if self.ndv <= 0:
+            return 1.0 / max(1, self.num_rows)
+        return min(1.0, 1.0 / self.ndv)
+
+    def range_selectivity(self, low=None, high=None,
+                          low_inclusive: bool = True,
+                          high_inclusive: bool = True) -> float:
+        """Selectivity of a range predicate using the histogram if present."""
+        if self.histogram is not None:
+            return self.histogram.selectivity_range(low, high, low_inclusive,
+                                                    high_inclusive)
+        if self.min_value is None or self.max_value is None:
+            return 1.0 / 3.0  # classic default guess for an unbounded range
+        span = float(self.max_value) - float(self.min_value)
+        if span <= 0:
+            return 1.0
+        lo = float(self.min_value) if low is None else max(float(low), float(self.min_value))
+        hi = float(self.max_value) if high is None else min(float(high), float(self.max_value))
+        if hi < lo:
+            return 0.0
+        return min(1.0, (hi - lo) / span)
+
+    def ndv_after_filter(self, selectivity: float) -> float:
+        """Estimated distinct count surviving a filter of given selectivity.
+
+        Uses the standard "balls into bins" style estimate: with ``n`` rows
+        uniformly spread over ``d`` distinct values, keeping a fraction ``s``
+        of rows keeps approximately ``d * (1 - (1 - s)^(n/d))`` distinct values.
+        """
+        if self.ndv <= 0 or self.num_rows <= 0:
+            return 0.0
+        selectivity = min(1.0, max(0.0, selectivity))
+        rows_per_value = max(1.0, self.num_rows / self.ndv)
+        survived = self.ndv * (1.0 - (1.0 - selectivity) ** rows_per_value)
+        return max(0.0, min(float(self.ndv), survived))
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for a whole table."""
+
+    table_name: str
+    num_rows: int
+    columns: Dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStatistics:
+        """Statistics for column ``name``; a permissive default if missing."""
+        if name in self.columns:
+            return self.columns[name]
+        return ColumnStatistics(name=name, num_rows=self.num_rows,
+                                ndv=max(1, self.num_rows))
+
+
+def _column_statistics(name: str, values: np.ndarray,
+                       histogram_buckets: int) -> ColumnStatistics:
+    """Compute statistics for a single column array."""
+    num_rows = int(values.shape[0])
+    if num_rows == 0:
+        return ColumnStatistics(name=name, num_rows=0, ndv=0)
+    unique = np.unique(values)
+    ndv = int(unique.shape[0])
+    stats = ColumnStatistics(name=name, num_rows=num_rows, ndv=ndv)
+    if values.dtype.kind in ("i", "u", "f", "M"):
+        numeric = values.astype(np.float64) if values.dtype.kind != "M" else values.view(np.int64).astype(np.float64)
+        stats.min_value = float(numeric.min())
+        stats.max_value = float(numeric.max())
+        buckets = min(histogram_buckets, max(1, ndv))
+        quantiles = np.quantile(numeric, np.linspace(0.0, 1.0, buckets + 1)[1:])
+        stats.histogram = Histogram(bounds=quantiles,
+                                    min_value=stats.min_value,
+                                    max_value=stats.max_value,
+                                    num_rows=num_rows)
+    if ndv <= 64:
+        # Small domains (flags, nations, ...) get exact value frequencies.
+        counts = {}
+        for value in unique:
+            counts[value if not isinstance(value, np.generic) else value.item()] = (
+                float(np.count_nonzero(values == value)) / num_rows)
+        stats.most_common_values = counts
+    return stats
+
+
+def collect_statistics(table: Table,
+                       histogram_buckets: int = DEFAULT_HISTOGRAM_BUCKETS) -> TableStatistics:
+    """Scan a table once and compute statistics for every column."""
+    stats = TableStatistics(table_name=table.name, num_rows=table.num_rows)
+    for name in table.column_names:
+        stats.columns[name] = _column_statistics(name, table.column(name),
+                                                 histogram_buckets)
+    return stats
+
+
+def synthetic_statistics(table_name: str, num_rows: int,
+                         column_ndvs: Dict[str, int],
+                         column_ranges: Optional[Dict[str, tuple]] = None) -> TableStatistics:
+    """Create statistics without data, for paper-scale what-if planning.
+
+    The running example of Section 3 and the planner-only experiments use the
+    paper's row counts (hundreds of millions of rows) directly; this helper
+    fabricates the corresponding statistics objects.
+    """
+    stats = TableStatistics(table_name=table_name, num_rows=num_rows)
+    column_ranges = column_ranges or {}
+    for column, ndv in column_ndvs.items():
+        col_stats = ColumnStatistics(name=column, num_rows=num_rows,
+                                     ndv=int(ndv))
+        if column in column_ranges:
+            low, high = column_ranges[column]
+            col_stats.min_value = float(low)
+            col_stats.max_value = float(high)
+        stats.columns[column] = col_stats
+    return stats

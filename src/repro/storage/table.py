@@ -1,0 +1,119 @@
+"""Column-major in-memory tables.
+
+A :class:`Table` stores its data as a mapping from column name to numpy array,
+which lets the executor run whole-column (vectorised) operations.  Tables know
+their schema, may be range partitioned (see :mod:`repro.storage.partitioning`)
+and expose simple row-level accessors that the test-suite uses to verify query
+results against brute-force computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .column import ColumnData, ColumnDef
+from .schema import TableSchema
+
+
+class Table:
+    """An immutable, column-major table instance."""
+
+    def __init__(self, schema: TableSchema,
+                 columns: Mapping[str, np.ndarray]) -> None:
+        self.schema = schema
+        self._columns: Dict[str, ColumnData] = {}
+        lengths = set()
+        for col_def in schema.columns:
+            if col_def.name not in columns:
+                raise ValueError("missing data for column %r of table %r"
+                                 % (col_def.name, schema.name))
+            data = np.asarray(columns[col_def.name])
+            self._columns[col_def.name] = ColumnData(col_def, data)
+            lengths.add(data.shape[0])
+        extra = set(columns) - {c.name for c in schema.columns}
+        if extra:
+            raise ValueError("unknown columns %r for table %r" % (sorted(extra),
+                                                                  schema.name))
+        if len(lengths) > 1:
+            raise ValueError("columns of table %r have differing lengths: %r"
+                             % (schema.name, sorted(lengths)))
+        self._num_rows = lengths.pop() if lengths else 0
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Table name from the schema."""
+        return self.schema.name
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows stored."""
+        return self._num_rows
+
+    @property
+    def column_names(self) -> List[str]:
+        """Column names in schema order."""
+        return [c.name for c in self.schema.columns]
+
+    def column(self, name: str) -> np.ndarray:
+        """Raw numpy array backing column ``name``."""
+        if name not in self._columns:
+            raise KeyError("table %r has no column %r" % (self.name, name))
+        return self._columns[name].values
+
+    def column_def(self, name: str) -> ColumnDef:
+        """Schema definition for column ``name``."""
+        return self._columns[name].definition
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._columns
+
+    # -- row-oriented helpers (testing / verification) ----------------------
+
+    def rows(self) -> Iterator[Tuple]:
+        """Iterate rows as tuples in schema column order (test helper)."""
+        arrays = [self.column(name) for name in self.column_names]
+        for i in range(self._num_rows):
+            yield tuple(arr[i] for arr in arrays)
+
+    def to_dict(self) -> Dict[str, np.ndarray]:
+        """Return the underlying column arrays keyed by column name."""
+        return {name: self.column(name) for name in self.column_names}
+
+    # -- derivation ---------------------------------------------------------
+
+    def select_rows(self, mask_or_indices: np.ndarray) -> "Table":
+        """Return a new table containing only the selected rows."""
+        selector = np.asarray(mask_or_indices)
+        new_columns = {name: self.column(name)[selector]
+                       for name in self.column_names}
+        return Table(self.schema, new_columns)
+
+    def head(self, n: int) -> "Table":
+        """Return the first ``n`` rows as a new table."""
+        return self.select_rows(np.arange(min(n, self._num_rows)))
+
+    @classmethod
+    def from_rows(cls, schema: TableSchema,
+                  rows: Sequence[Sequence]) -> "Table":
+        """Build a table from an iterable of row tuples (mostly for tests)."""
+        names = [c.name for c in schema.columns]
+        if rows:
+            transposed = list(zip(*rows))
+        else:
+            transposed = [[] for _ in names]
+        columns = {}
+        for col_def, values in zip(schema.columns, transposed):
+            columns[col_def.name] = np.asarray(list(values),
+                                               dtype=col_def.dtype.numpy_dtype)
+        return cls(schema, columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Table(%s, rows=%d, cols=%d)" % (self.name, self._num_rows,
+                                                len(self.column_names))

@@ -1,0 +1,84 @@
+"""Logical column types for the storage layer.
+
+The reproduction engine only needs the handful of scalar types that TPC-H and
+the paper's running examples use.  Each logical type maps to a numpy dtype for
+column storage and carries a per-value width used by the cost model to charge
+for data movement (broadcast / redistribution).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class TypeKind(enum.Enum):
+    """Enumeration of supported logical scalar types."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STRING = "string"
+    DATE = "date"
+    BOOL = "bool"
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A logical data type plus its physical representation.
+
+    Attributes:
+        kind: Logical type kind.
+        width_bytes: Average per-value width charged by the cost model.
+    """
+
+    kind: TypeKind
+    width_bytes: int
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """Numpy dtype used to store column values of this type."""
+        mapping = {
+            TypeKind.INT64: np.dtype(np.int64),
+            TypeKind.FLOAT64: np.dtype(np.float64),
+            TypeKind.STRING: np.dtype(object),
+            TypeKind.DATE: np.dtype(np.int64),  # days since epoch
+            TypeKind.BOOL: np.dtype(bool),
+        }
+        return mapping[self.kind]
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for types that support arithmetic and range predicates."""
+        return self.kind in (TypeKind.INT64, TypeKind.FLOAT64, TypeKind.DATE)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.kind.value
+
+
+INT64 = DataType(TypeKind.INT64, 8)
+FLOAT64 = DataType(TypeKind.FLOAT64, 8)
+STRING = DataType(TypeKind.STRING, 16)
+DATE = DataType(TypeKind.DATE, 8)
+BOOL = DataType(TypeKind.BOOL, 1)
+
+
+def date_to_int(year: int, month: int, day: int) -> int:
+    """Encode a calendar date as days since 1970-01-01 (proleptic, naive).
+
+    The generator and the query predicates only ever compare dates, so a
+    monotone integer encoding is sufficient; we use an exact day count so that
+    intervals like "90 days" behave as expected.
+    """
+    import datetime
+
+    return (datetime.date(year, month, day) - datetime.date(1970, 1, 1)).days
+
+
+def parse_date(text: str) -> int:
+    """Parse a ``YYYY-MM-DD`` literal into the integer date encoding."""
+    parts = text.strip().strip("'\"").split("-")
+    if len(parts) != 3:
+        raise ValueError("invalid date literal: %r" % text)
+    return date_to_int(int(parts[0]), int(parts[1]), int(parts[2]))

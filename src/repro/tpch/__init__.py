@@ -1,0 +1,35 @@
+"""TPC-H substrate: schema, deterministic data generation and the workload."""
+
+from .datagen import (
+    DEFAULT_SEED,
+    TpchDataGenerator,
+    build_catalog,
+    statistics_only_catalog,
+)
+from .queries import (
+    ANALYZED_QUERIES,
+    OMITTED_QUERIES,
+    PLAN_CHANGED_QUERIES,
+    QUERY_TEXTS,
+    query_name,
+    query_text,
+)
+from .schema import BASE_ROW_COUNTS, scaled_row_count, tpch_schemas
+from .workload import TpchWorkload
+
+__all__ = [
+    "ANALYZED_QUERIES",
+    "BASE_ROW_COUNTS",
+    "DEFAULT_SEED",
+    "OMITTED_QUERIES",
+    "PLAN_CHANGED_QUERIES",
+    "QUERY_TEXTS",
+    "TpchDataGenerator",
+    "TpchWorkload",
+    "build_catalog",
+    "query_name",
+    "query_text",
+    "scaled_row_count",
+    "statistics_only_catalog",
+    "tpch_schemas",
+]

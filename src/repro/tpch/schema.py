@@ -1,0 +1,131 @@
+"""TPC-H schema definitions (the columns used by the reproduction workload).
+
+The full TPC-H schema has several wide text columns (comments, addresses,
+phones) that play no role in any of the paper's queries; they are omitted to
+keep the generated datasets small, but every join key, every predicate column
+and every aggregation column used by the analysed queries is present, together
+with the primary-key / foreign-key constraints the paper's Heuristic 3 relies
+on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..storage.schema import ForeignKey, TableSchema, make_schema
+from ..storage.types import DATE, FLOAT64, INT64, STRING
+
+#: Base row counts at scale factor 1.0 (per the TPC-H specification).
+BASE_ROW_COUNTS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+REGION_NAMES = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+NATION_NAMES = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+    "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+]
+
+#: region each nation belongs to (aligned with the TPC-H specification).
+NATION_REGIONS = [0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3,
+                  4, 2, 3, 3, 1]
+
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+MARKET_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                   "HOUSEHOLD"]
+ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+                    "5-LOW"]
+CONTAINERS = ["SM CASE", "SM BOX", "MED BOX", "MED BAG", "LG CASE", "LG BOX",
+              "JUMBO PACK", "WRAP JAR"]
+BRANDS = ["Brand#%d%d" % (i, j) for i in range(1, 6) for j in range(1, 6)]
+TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+PART_TYPES = ["%s %s %s" % (a, b, c) for a in TYPE_SYLLABLE_1
+              for b in TYPE_SYLLABLE_2 for c in TYPE_SYLLABLE_3]
+PART_NAME_WORDS = ["almond", "antique", "aquamarine", "azure", "beige",
+                   "bisque", "black", "blanched", "blue", "blush", "brown",
+                   "burlywood", "chartreuse", "chiffon", "chocolate", "coral",
+                   "cornflower", "cream", "cyan", "dark", "deep", "dim",
+                   "dodger", "drab", "firebrick", "forest", "frosted",
+                   "gainsboro", "ghost", "goldenrod", "green", "grey",
+                   "honeydew", "hot", "indian", "ivory", "khaki", "lace",
+                   "lavender", "lawn", "lemon", "light", "lime", "linen"]
+
+
+def tpch_schemas() -> Dict[str, TableSchema]:
+    """All eight TPC-H table schemas keyed by table name."""
+    schemas: Dict[str, TableSchema] = {}
+    schemas["region"] = make_schema(
+        "region",
+        [("r_regionkey", INT64), ("r_name", STRING)],
+        primary_key=["r_regionkey"])
+    schemas["nation"] = make_schema(
+        "nation",
+        [("n_nationkey", INT64), ("n_name", STRING), ("n_regionkey", INT64)],
+        primary_key=["n_nationkey"],
+        foreign_keys=[ForeignKey("n_regionkey", "region", "r_regionkey")])
+    schemas["supplier"] = make_schema(
+        "supplier",
+        [("s_suppkey", INT64), ("s_name", STRING), ("s_nationkey", INT64),
+         ("s_acctbal", FLOAT64)],
+        primary_key=["s_suppkey"],
+        foreign_keys=[ForeignKey("s_nationkey", "nation", "n_nationkey")])
+    schemas["customer"] = make_schema(
+        "customer",
+        [("c_custkey", INT64), ("c_name", STRING), ("c_nationkey", INT64),
+         ("c_acctbal", FLOAT64), ("c_mktsegment", STRING)],
+        primary_key=["c_custkey"],
+        foreign_keys=[ForeignKey("c_nationkey", "nation", "n_nationkey")])
+    schemas["part"] = make_schema(
+        "part",
+        [("p_partkey", INT64), ("p_name", STRING), ("p_brand", STRING),
+         ("p_type", STRING), ("p_size", INT64), ("p_container", STRING),
+         ("p_retailprice", FLOAT64)],
+        primary_key=["p_partkey"])
+    schemas["partsupp"] = make_schema(
+        "partsupp",
+        [("ps_partkey", INT64), ("ps_suppkey", INT64), ("ps_availqty", INT64),
+         ("ps_supplycost", FLOAT64)],
+        primary_key=[],
+        foreign_keys=[ForeignKey("ps_partkey", "part", "p_partkey"),
+                      ForeignKey("ps_suppkey", "supplier", "s_suppkey")])
+    schemas["orders"] = make_schema(
+        "orders",
+        [("o_orderkey", INT64), ("o_custkey", INT64), ("o_orderstatus", STRING),
+         ("o_totalprice", FLOAT64), ("o_orderdate", DATE),
+         ("o_orderpriority", STRING)],
+        primary_key=["o_orderkey"],
+        foreign_keys=[ForeignKey("o_custkey", "customer", "c_custkey")])
+    schemas["lineitem"] = make_schema(
+        "lineitem",
+        [("l_orderkey", INT64), ("l_partkey", INT64), ("l_suppkey", INT64),
+         ("l_linenumber", INT64), ("l_quantity", FLOAT64),
+         ("l_extendedprice", FLOAT64), ("l_discount", FLOAT64),
+         ("l_tax", FLOAT64), ("l_returnflag", STRING),
+         ("l_shipdate", DATE), ("l_commitdate", DATE), ("l_receiptdate", DATE),
+         ("l_shipmode", STRING)],
+        primary_key=[],
+        foreign_keys=[ForeignKey("l_orderkey", "orders", "o_orderkey"),
+                      ForeignKey("l_partkey", "part", "p_partkey"),
+                      ForeignKey("l_suppkey", "supplier", "s_suppkey")])
+    return schemas
+
+
+def scaled_row_count(table: str, scale_factor: float) -> int:
+    """Row count of a table at the given scale factor (fixed-size dimensions
+    like nation and region never scale)."""
+    base = BASE_ROW_COUNTS[table]
+    if table in ("region", "nation"):
+        return base
+    return max(1, int(round(base * scale_factor)))

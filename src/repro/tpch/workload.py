@@ -1,0 +1,69 @@
+"""The TPC-H workload: catalog plus bound query blocks.
+
+:class:`TpchWorkload` bundles everything the experiments need: a generated (or
+statistics-only) catalog and the analysed queries bound against it.  It is the
+single entry point used by the examples, the experiment harness and the
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.query import QueryBlock
+from ..sql.binder import bind_sql
+from ..storage.catalog import Catalog
+from .datagen import DEFAULT_SEED, TpchDataGenerator, statistics_only_catalog
+from .queries import ANALYZED_QUERIES, QUERY_TEXTS, query_name
+
+
+@dataclass
+class TpchWorkload:
+    """A catalog and the bound, analysed TPC-H queries."""
+
+    catalog: Catalog
+    scale_factor: float
+    queries: Dict[int, QueryBlock] = field(default_factory=dict)
+
+    @classmethod
+    def generate(cls, scale_factor: float = 0.01,
+                 seed: int = DEFAULT_SEED,
+                 query_numbers: Optional[List[int]] = None) -> "TpchWorkload":
+        """Generate data at ``scale_factor`` and bind the analysed queries."""
+        catalog = TpchDataGenerator(scale_factor, seed).populate_catalog()
+        return cls._bind(catalog, scale_factor, query_numbers)
+
+    @classmethod
+    def statistics_only(cls, scale_factor: float = 100.0,
+                        query_numbers: Optional[List[int]] = None) -> "TpchWorkload":
+        """A planner-only workload at (by default) the paper's SF100 scale."""
+        catalog = statistics_only_catalog(scale_factor)
+        return cls._bind(catalog, scale_factor, query_numbers)
+
+    @classmethod
+    def _bind(cls, catalog: Catalog, scale_factor: float,
+              query_numbers: Optional[List[int]]) -> "TpchWorkload":
+        workload = cls(catalog=catalog, scale_factor=scale_factor)
+        numbers = query_numbers if query_numbers is not None else ANALYZED_QUERIES
+        for number in numbers:
+            workload.queries[number] = bind_sql(catalog, QUERY_TEXTS[number],
+                                                name=query_name(number))
+        return workload
+
+    # ------------------------------------------------------------------
+
+    @property
+    def query_numbers(self) -> List[int]:
+        """The bound query numbers in ascending order."""
+        return sorted(self.queries)
+
+    def query(self, number: int) -> QueryBlock:
+        """The bound query block for TPC-H query ``number``."""
+        return self.queries[number]
+
+    @property
+    def has_data(self) -> bool:
+        """True if the catalog holds materialised tables (not stats-only)."""
+        return all(self.catalog.has_data(name)
+                   for name in ("lineitem", "orders"))

@@ -1,0 +1,110 @@
+"""Unit tests for Bloom filter sizing and FPR mathematics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bloom import (
+    bits_for_keys,
+    bloom_filter_bytes,
+    expected_fpr_for_build_ndv,
+    false_positive_rate,
+    optimal_num_bits,
+)
+
+
+class TestFalsePositiveRate:
+    def test_empty_filter_has_zero_fpr(self):
+        assert false_positive_rate(1024, 0) == 0.0
+
+    def test_fpr_increases_with_keys(self):
+        sparse = false_positive_rate(1024, 10)
+        dense = false_positive_rate(1024, 500)
+        assert dense > sparse
+
+    def test_fpr_decreases_with_bits(self):
+        small = false_positive_rate(256, 100)
+        large = false_positive_rate(4096, 100)
+        assert large < small
+
+    def test_fpr_bounded_by_one(self):
+        assert false_positive_rate(64, 10_000) <= 1.0
+
+    def test_matches_closed_form(self):
+        m, n, k = 2048, 200, 2
+        expected = (1.0 - math.exp(-k * n / m)) ** k
+        assert false_positive_rate(m, n, k) == pytest.approx(expected)
+
+    def test_invalid_bits_raises(self):
+        with pytest.raises(ValueError):
+            false_positive_rate(0, 10)
+
+    def test_negative_keys_raises(self):
+        with pytest.raises(ValueError):
+            false_positive_rate(64, -1)
+
+    def test_invalid_hashes_raises(self):
+        with pytest.raises(ValueError):
+            false_positive_rate(64, 1, num_hashes=0)
+
+
+class TestSizing:
+    def test_bits_for_keys_is_power_of_two(self):
+        for keys in (0, 1, 5, 100, 10_000, 1_000_000):
+            bits = bits_for_keys(keys)
+            assert bits & (bits - 1) == 0
+
+    def test_bits_for_keys_minimum(self):
+        assert bits_for_keys(0) == 64
+        assert bits_for_keys(1) == 64
+
+    def test_bits_for_keys_scales_with_keys(self):
+        assert bits_for_keys(100_000) > bits_for_keys(1_000)
+
+    def test_bits_for_keys_negative_raises(self):
+        with pytest.raises(ValueError):
+            bits_for_keys(-5)
+
+    def test_optimal_num_bits_achieves_target(self):
+        keys, target = 10_000, 0.05
+        bits = optimal_num_bits(keys, target)
+        assert false_positive_rate(bits, keys) <= target
+
+    def test_optimal_num_bits_invalid_target(self):
+        with pytest.raises(ValueError):
+            optimal_num_bits(100, 1.5)
+
+    def test_bloom_filter_bytes(self):
+        assert bloom_filter_bytes(64) == 8
+        assert bloom_filter_bytes(65) == 9
+        assert bloom_filter_bytes(0) == 0
+
+    def test_bloom_filter_bytes_negative(self):
+        with pytest.raises(ValueError):
+            bloom_filter_bytes(-1)
+
+
+class TestExpectedFpr:
+    def test_default_sizing_keeps_fpr_small(self):
+        # Eight bits per key with two hashes should be well under 10% FPR.
+        assert expected_fpr_for_build_ndv(100_000) < 0.1
+
+    def test_zero_ndv(self):
+        assert expected_fpr_for_build_ndv(0) == 0.0
+
+    @given(st.integers(min_value=1, max_value=5_000_000))
+    @settings(max_examples=50, deadline=None)
+    def test_fpr_always_a_probability(self, ndv):
+        fpr = expected_fpr_for_build_ndv(ndv)
+        assert 0.0 <= fpr <= 1.0
+
+    @given(st.integers(min_value=64, max_value=1 << 22),
+           st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=50, deadline=None)
+    def test_fpr_monotone_in_keys(self, bits, keys):
+        bits = 1 << int(math.log2(bits))
+        assert false_positive_rate(bits, keys) <= false_positive_rate(bits, keys + 10)

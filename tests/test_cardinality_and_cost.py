@@ -1,0 +1,234 @@
+"""Tests for the cardinality estimator and the cost model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BaseRelation,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Cost,
+    CostModel,
+    CostParameters,
+    InList,
+    JoinClause,
+    Literal,
+    QueryBlock,
+)
+from repro.core.cardinality import CardinalityEstimator
+from repro.storage import Catalog, INT64, STRING, make_schema, synthetic_statistics
+from repro.storage.schema import ForeignKey
+
+
+@pytest.fixture()
+def star_catalog():
+    """A small star schema: fact (1M rows) with two dimensions."""
+    catalog = Catalog()
+    catalog.register_schema(
+        make_schema("fact", [("fk_a", INT64), ("fk_b", INT64), ("v", INT64)],
+                    foreign_keys=[ForeignKey("fk_a", "dim_a", "pk"),
+                                  ForeignKey("fk_b", "dim_b", "pk")]),
+        synthetic_statistics("fact", 1_000_000,
+                             {"fk_a": 10_000, "fk_b": 1_000, "v": 100}))
+    catalog.register_schema(
+        make_schema("dim_a", [("pk", INT64), ("attr", INT64)], primary_key=["pk"]),
+        synthetic_statistics("dim_a", 10_000, {"pk": 10_000, "attr": 100},
+                             {"attr": (0.0, 99.0)}))
+    catalog.register_schema(
+        make_schema("dim_b", [("pk", INT64), ("name", STRING)], primary_key=["pk"]),
+        synthetic_statistics("dim_b", 1_000, {"pk": 1_000, "name": 50}))
+    return catalog
+
+
+@pytest.fixture()
+def star_query():
+    return QueryBlock(
+        relations=[BaseRelation("f", "fact"), BaseRelation("a", "dim_a"),
+                   BaseRelation("b", "dim_b")],
+        join_clauses=[
+            JoinClause(ColumnRef("f", "fk_a"), ColumnRef("a", "pk")),
+            JoinClause(ColumnRef("f", "fk_b"), ColumnRef("b", "pk")),
+        ],
+        local_predicates={"a": [Comparison(ComparisonOp.LT,
+                                           ColumnRef("a", "attr"),
+                                           Literal(10))]},
+        name="star")
+
+
+class TestScanEstimates:
+    def test_base_rows(self, star_catalog, star_query):
+        estimator = CardinalityEstimator(star_catalog, star_query)
+        assert estimator.base_rows("f") == 1_000_000
+        assert estimator.base_rows("a") == 10_000
+
+    def test_local_predicate_reduces_rows(self, star_catalog, star_query):
+        estimator = CardinalityEstimator(star_catalog, star_query)
+        assert estimator.scan_rows("a") < estimator.base_rows("a")
+        assert estimator.scan_rows("a") == pytest.approx(1_000, rel=0.5)
+
+    def test_unfiltered_scan(self, star_catalog, star_query):
+        estimator = CardinalityEstimator(star_catalog, star_query)
+        assert estimator.scan_rows("f") == 1_000_000
+
+    def test_ndv_after_filter_shrinks(self, star_catalog, star_query):
+        estimator = CardinalityEstimator(star_catalog, star_query)
+        assert estimator.column_ndv("a", "pk") < 10_000
+        assert estimator.column_ndv("a", "pk", after_local_filter=False) == 10_000
+
+    def test_in_list_selectivity(self, star_catalog, star_query):
+        estimator = CardinalityEstimator(star_catalog, star_query)
+        predicate = InList(ColumnRef("b", "name"), ("x", "y"))
+        sel = estimator.predicate_selectivity(predicate, "b")
+        assert sel == pytest.approx(2.0 / 50.0, rel=0.01)
+
+
+class TestJoinEstimates:
+    def test_fk_pk_join_preserves_fact_rows(self, star_catalog, star_query):
+        estimator = CardinalityEstimator(star_catalog, star_query)
+        rows = estimator.join_rows({"f", "b"})
+        assert rows == pytest.approx(1_000_000, rel=0.05)
+
+    def test_filtered_dimension_reduces_join(self, star_catalog, star_query):
+        estimator = CardinalityEstimator(star_catalog, star_query)
+        rows = estimator.join_rows({"f", "a"})
+        assert rows < 1_000_000 * 0.3
+
+    def test_join_rows_cached_and_consistent(self, star_catalog, star_query):
+        estimator = CardinalityEstimator(star_catalog, star_query)
+        assert estimator.join_rows({"f", "a"}) == estimator.join_rows({"a", "f"})
+
+    def test_column_ndv_in_join_capped(self, star_catalog, star_query):
+        estimator = CardinalityEstimator(star_catalog, star_query)
+        ndv = estimator.column_ndv_in_join(frozenset({"a"}), ColumnRef("a", "pk"))
+        assert ndv <= 10_000
+        joined = estimator.column_ndv_in_join(frozenset({"a", "f"}),
+                                              ColumnRef("a", "pk"))
+        assert joined <= ndv * 1.001
+
+    def test_column_not_in_set_raises(self, star_catalog, star_query):
+        estimator = CardinalityEstimator(star_catalog, star_query)
+        with pytest.raises(ValueError):
+            estimator.column_ndv_in_join(frozenset({"f"}), ColumnRef("a", "pk"))
+
+
+class TestSemijoinAndBloom:
+    def test_semijoin_selectivity_with_filtered_build(self, star_catalog, star_query):
+        estimator = CardinalityEstimator(star_catalog, star_query)
+        sel = estimator.semijoin_selectivity(ColumnRef("f", "fk_a"),
+                                             ColumnRef("a", "pk"),
+                                             frozenset({"a"}))
+        assert 0.0 < sel < 0.5
+
+    def test_semijoin_selectivity_unfiltered_is_one(self, star_catalog, star_query):
+        estimator = CardinalityEstimator(star_catalog, star_query)
+        sel = estimator.semijoin_selectivity(ColumnRef("f", "fk_b"),
+                                             ColumnRef("b", "pk"),
+                                             frozenset({"b"}))
+        assert sel == pytest.approx(1.0)
+
+    def test_bloom_estimate_includes_fpr(self, star_catalog, star_query):
+        estimator = CardinalityEstimator(star_catalog, star_query)
+        estimate = estimator.bloom_estimate(ColumnRef("f", "fk_a"),
+                                            ColumnRef("a", "pk"),
+                                            frozenset({"a"}))
+        assert estimate.effective_selectivity >= estimate.selectivity
+        assert estimate.build_ndv <= 10_000
+
+    def test_bloom_scan_rows_multiplicative(self, star_catalog, star_query):
+        estimator = CardinalityEstimator(star_catalog, star_query)
+        one = estimator.bloom_estimate(ColumnRef("f", "fk_a"),
+                                       ColumnRef("a", "pk"), frozenset({"a"}))
+        rows_one = estimator.bloom_scan_rows("f", [one])
+        rows_two = estimator.bloom_scan_rows("f", [one, one])
+        assert rows_two <= rows_one <= estimator.scan_rows("f")
+
+    def test_lossless_fk_detection(self, star_catalog, star_query):
+        estimator = CardinalityEstimator(star_catalog, star_query)
+        # dim_b is unfiltered: BF on fact.fk_b from dim_b.pk is lossless.
+        assert estimator.is_lossless_fk_join(ColumnRef("f", "fk_b"),
+                                             ColumnRef("b", "pk"),
+                                             frozenset({"b"}))
+        # dim_a is filtered: the BF can remove rows.
+        assert not estimator.is_lossless_fk_join(ColumnRef("f", "fk_a"),
+                                                 ColumnRef("a", "pk"),
+                                                 frozenset({"a"}))
+
+    def test_lossless_fk_with_reducing_delta(self):
+        """An unfiltered PK build side stops being lossless once another
+        relation in δ reduces it through a join (chain r0 -> r1 -> r2 with a
+        selective filter on r2)."""
+        from repro.experiments.naive_blowup import (
+            build_chain_catalog,
+            build_chain_query,
+        )
+
+        catalog = build_chain_catalog(3)
+        query = build_chain_query(3)
+        estimator = CardinalityEstimator(catalog, query)
+        # δ = {r1}: r1.pk is an unfiltered primary key -> lossless.
+        assert estimator.is_lossless_fk_join(ColumnRef("r0", "fk"),
+                                             ColumnRef("r1", "pk"),
+                                             frozenset({"r1"}))
+        # δ = {r1, r2}: the filtered r2 shrinks r1's key domain -> not lossless.
+        assert not estimator.is_lossless_fk_join(ColumnRef("r0", "fk"),
+                                                 ColumnRef("r1", "pk"),
+                                                 frozenset({"r1", "r2"}))
+
+
+class TestCostModel:
+    def test_cost_ordering_operations(self):
+        a, b = Cost(1.0, 5.0), Cost(0.0, 7.0)
+        assert a < b
+        assert (a + b).total == 12.0
+        assert a.add_work(3.0).total == 8.0
+        assert a.add_work(3.0, blocking=True).startup == 4.0
+
+    def test_total_never_below_startup(self):
+        cost = Cost(startup=10.0, total=5.0)
+        assert cost.total == 10.0
+
+    def test_bloom_probe_cheaper_than_hash_probe(self):
+        params = CostParameters()
+        assert params.bloom_probe_row_cost < params.hash_probe_row_cost
+
+    def test_bloom_build_defaults_to_free(self):
+        model = CostModel()
+        assert model.bloom_build(1_000_000, 2).total == 0.0
+
+    def test_hash_join_scales_with_inputs(self):
+        model = CostModel()
+        small = model.hash_join(1_000, 10_000, 10_000)
+        large = model.hash_join(1_000, 1_000_000, 1_000_000)
+        assert large.total > small.total
+
+    def test_broadcast_more_expensive_than_redistribute(self):
+        model = CostModel()
+        rows, width = 100_000, 32
+        assert model.broadcast(rows, width).total > \
+            model.redistribute(rows, width).total
+
+    def test_nested_loop_quadratic(self):
+        model = CostModel()
+        assert model.nested_loop(1_000, 1_000, 10).total > \
+            model.hash_join(1_000, 1_000, 10).total
+
+    def test_sort_superlinear(self):
+        model = CostModel()
+        assert model.sort(100_000).total > 10 * model.sort(10_000).total / 2
+
+    def test_with_dop(self):
+        params = CostParameters().with_dop(8)
+        assert params.degree_of_parallelism == 8
+
+    @given(st.floats(min_value=1, max_value=1e8),
+           st.floats(min_value=1, max_value=1e8))
+    @settings(max_examples=30, deadline=None)
+    def test_costs_are_non_negative(self, rows_a, rows_b):
+        model = CostModel()
+        assert model.hash_join(rows_a, rows_b, rows_a).total >= 0
+        assert model.seq_scan(rows_a, 32).total >= 0
+        assert model.bloom_apply(rows_a, 2).total >= 0

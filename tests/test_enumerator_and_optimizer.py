@@ -1,0 +1,170 @@
+"""Tests for the join enumerator, the δ join constraints, the optimizer facade
+and the BF-Post post-processing baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BfCboSettings,
+    CostModel,
+    JoinMethod,
+    Optimizer,
+    OptimizerMode,
+    count_bloom_filters,
+    explain,
+    join_nodes,
+    join_order_summary,
+    scan_nodes,
+)
+from repro.core.cardinality import CardinalityEstimator
+from repro.core.enumerator import JoinEnumerator
+from repro.core.plans import ExchangeNode, JoinNode, ScanNode
+from repro.experiments.delta_semantics import run_delta_semantics
+
+
+class TestEnumeration:
+    def test_connected_subsets(self, running_example_catalog, running_example_query):
+        estimator = CardinalityEstimator(running_example_catalog,
+                                         running_example_query)
+        enumerator = JoinEnumerator(running_example_catalog,
+                                    running_example_query, estimator,
+                                    CostModel())
+        subsets = enumerator.connected_subsets()
+        # {t1,t3} is not connected, so 3 singletons + 2 pairs + the full set.
+        assert frozenset({"t1", "t3"}) not in subsets
+        assert frozenset({"t1", "t2", "t3"}) in subsets
+        assert len(subsets) == 6
+
+    def test_join_pairs_cover_both_orders(self, running_example_catalog,
+                                          running_example_query):
+        estimator = CardinalityEstimator(running_example_catalog,
+                                         running_example_query)
+        enumerator = JoinEnumerator(running_example_catalog,
+                                    running_example_query, estimator,
+                                    CostModel())
+        pairs = {(p.outer, p.inner) for p in enumerator.enumerate_join_pairs()}
+        assert (frozenset({"t1"}), frozenset({"t2"})) in pairs
+        assert (frozenset({"t2"}), frozenset({"t1"})) in pairs
+        assert (frozenset({"t1", "t2"}), frozenset({"t3"})) in pairs
+        assert (frozenset({"t3"}), frozenset({"t1", "t2"})) in pairs
+
+    def test_plain_dp_produces_full_plan(self, running_example_catalog,
+                                         running_example_query):
+        estimator = CardinalityEstimator(running_example_catalog,
+                                         running_example_query)
+        enumerator = JoinEnumerator(running_example_catalog,
+                                    running_example_query, estimator,
+                                    CostModel())
+        plan_lists = enumerator.optimize()
+        full = plan_lists[frozenset({"t1", "t2", "t3"})]
+        best = full.best()
+        assert best is not None
+        assert best.relations == frozenset({"t1", "t2", "t3"})
+        assert enumerator.stats.join_pairs_considered > 0
+        assert enumerator.stats.plans_retained > 0
+
+    def test_exchange_nodes_inserted(self, running_example_catalog,
+                                     running_example_query):
+        optimizer = Optimizer(running_example_catalog)
+        result = optimizer.optimize(running_example_query, OptimizerMode.NO_BF)
+        kinds = {type(node) for node in result.plan.walk()}
+        assert ExchangeNode in kinds
+
+
+class TestDeltaJoinConstraints:
+    def test_figure2_and_figure3_semantics(self):
+        result = run_delta_semantics()
+        assert result.delta_dependency_holds
+        assert result.illegal_join_rejected
+        assert result.exception_join_allowed
+        assert result.rows_delta_r1_r2 < result.rows_delta_r1
+
+
+class TestOptimizerModes:
+    @pytest.fixture()
+    def results(self, running_example_catalog, running_example_query):
+        optimizer = Optimizer(running_example_catalog)
+        return {mode: optimizer.optimize(running_example_query, mode)
+                for mode in OptimizerMode}
+
+    def test_no_bf_has_no_filters(self, results):
+        assert results[OptimizerMode.NO_BF].num_bloom_filters == 0
+
+    def test_bf_cbo_uses_filters(self, results):
+        assert results[OptimizerMode.BF_CBO].num_bloom_filters >= 1
+
+    def test_bf_cbo_cost_not_worse(self, results):
+        assert results[OptimizerMode.BF_CBO].estimated_cost <= \
+            results[OptimizerMode.NO_BF].estimated_cost * 1.001
+
+    def test_bf_post_keeps_no_bf_estimates(self, results):
+        """BF-Post must not change the plan shape or cost of the No-BF plan."""
+
+        def shape(plan):
+            # Drop the "[builds ...]" annotation: BF-Post adds filters to the
+            # existing joins, which is exactly what this test allows.
+            return [entry.split(" [builds")[0]
+                    for entry in join_order_summary(plan)]
+
+        assert shape(results[OptimizerMode.BF_POST].join_plan) == \
+            shape(results[OptimizerMode.NO_BF].join_plan)
+        assert results[OptimizerMode.BF_POST].estimated_cost == \
+            pytest.approx(results[OptimizerMode.NO_BF].estimated_cost)
+
+    def test_final_plan_has_no_pending_blooms(self, results):
+        for result in results.values():
+            assert not result.plan.pending_blooms
+
+    def test_bloom_scans_fed_by_building_joins(self, results):
+        """Every Bloom filter applied by a scan must be built by a hash join
+        above it whose inner side provides the build relation."""
+        plan = results[OptimizerMode.BF_CBO].join_plan
+        built = {spec.filter_id for node in join_nodes(plan)
+                 for spec in node.built_filters}
+        applied = {spec.filter_id for node in scan_nodes(plan)
+                   for spec in node.bloom_filters}
+        assert applied <= built
+
+    def test_building_joins_are_hash_joins(self, results):
+        plan = results[OptimizerMode.BF_CBO].join_plan
+        for node in join_nodes(plan):
+            if node.built_filters:
+                assert node.method is JoinMethod.HASH
+
+    def test_explain_renders(self, results):
+        text = explain(results[OptimizerMode.BF_CBO].plan)
+        assert "Scan" in text
+        assert "rows=" in text
+
+    def test_planning_time_recorded(self, results):
+        for result in results.values():
+            assert result.planning_time_ms > 0
+
+
+class TestBfPostBaseline:
+    def test_post_processing_adds_filters(self, running_example_catalog,
+                                          running_example_query):
+        optimizer = Optimizer(running_example_catalog)
+        result = optimizer.optimize(running_example_query, OptimizerMode.BF_POST)
+        assert result.postprocess_report is not None
+        assert result.num_bloom_filters == result.postprocess_report.num_filters
+
+    def test_post_processing_idempotent_filters(self, running_example_catalog,
+                                                running_example_query):
+        """The same (apply, build) pair is never attached twice to one scan."""
+        optimizer = Optimizer(running_example_catalog)
+        result = optimizer.optimize(running_example_query, OptimizerMode.BF_POST)
+        for scan in scan_nodes(result.join_plan):
+            pairs = [(s.apply_column, s.build_column) for s in scan.bloom_filters]
+            assert len(pairs) == len(set(pairs))
+
+    def test_estimated_rows_not_revised(self, running_example_catalog,
+                                        running_example_query):
+        """BF-Post leaves scan row estimates untouched (Section 4.2)."""
+        optimizer = Optimizer(running_example_catalog)
+        no_bf = optimizer.optimize(running_example_query, OptimizerMode.NO_BF)
+        bf_post = optimizer.optimize(running_example_query, OptimizerMode.BF_POST)
+        no_bf_rows = {node.alias: node.rows for node in scan_nodes(no_bf.join_plan)}
+        post_rows = {node.alias: node.rows for node in scan_nodes(bf_post.join_plan)}
+        assert no_bf_rows == post_rows

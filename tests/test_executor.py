@@ -1,0 +1,200 @@
+"""Tests for the execution engine: batches, join kernels, aggregation and the
+plan interpreter (verified against brute-force computation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AggregateCall,
+    AggregateFunction,
+    ColumnRef,
+    JoinClause,
+    JoinType,
+    Literal,
+    OutputItem,
+)
+from repro.executor import (
+    Batch,
+    combine_key_columns,
+    cross_join,
+    equi_join,
+    join_indices,
+    aggregate_batch,
+)
+from repro.executor.aggregate import aggregate_batch as aggregate
+from repro.core.expressions import Arithmetic, ArithmeticOp
+
+
+class TestBatch:
+    def test_from_columns_and_filter(self):
+        batch = Batch({"t.a": np.arange(10), "t.b": np.arange(10) * 2})
+        filtered = batch.filter(batch.column("t.a") < 3)
+        assert filtered.num_rows == 3
+        assert list(filtered.column("t.b")) == [0, 2, 4]
+
+    def test_take_and_merge(self):
+        left = Batch({"l.a": np.asarray([1, 2, 3])})
+        right = Batch({"r.b": np.asarray([10, 20, 30])})
+        merged = left.merge(right)
+        assert merged.keys == ["l.a", "r.b"]
+        taken = merged.take(np.asarray([2, 0]))
+        assert list(taken.column("l.a")) == [3, 1]
+
+    def test_merge_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Batch({"a": np.arange(3)}).merge(Batch({"b": np.arange(4)}))
+
+    def test_merge_duplicate_column(self):
+        with pytest.raises(ValueError):
+            Batch({"a": np.arange(3)}).merge(Batch({"a": np.arange(3)}))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Batch({"a": np.arange(3), "b": np.arange(4)})
+
+    def test_resolver(self):
+        batch = Batch({"t.a": np.asarray([5, 6])})
+        assert list(batch.resolve(ColumnRef("t", "a"))) == [5, 6]
+        with pytest.raises(KeyError):
+            batch.resolve(ColumnRef("t", "zzz"))
+
+
+class TestJoinKernels:
+    def test_join_indices_with_duplicates(self):
+        probe = np.asarray([1, 2, 3])
+        build = np.asarray([2, 2, 3, 5])
+        probe_idx, build_idx, counts = join_indices(probe, build)
+        pairs = sorted(zip(probe[probe_idx], build[build_idx]))
+        assert pairs == [(2, 2), (2, 2), (3, 3)]
+        assert list(counts) == [0, 2, 1]
+
+    def test_join_indices_empty(self):
+        probe_idx, build_idx, counts = join_indices(np.asarray([1, 2]),
+                                                    np.asarray([]))
+        assert probe_idx.size == 0
+        assert list(counts) == [0, 0]
+
+    def test_combine_two_int_columns_exact(self):
+        a = np.asarray([1, 1, 2], dtype=np.int64)
+        b = np.asarray([7, 8, 7], dtype=np.int64)
+        keys = combine_key_columns([a, b])
+        assert len(np.unique(keys)) == 3
+
+    def test_combine_object_columns(self):
+        a = np.asarray(["x", "y"], dtype=object)
+        b = np.asarray([1, 1], dtype=np.int64)
+        keys = combine_key_columns([a, b])
+        assert keys[0] != keys[1]
+
+    def _batches(self):
+        probe = Batch({"p.k": np.asarray([1, 2, 3, 4]),
+                       "p.v": np.asarray([10, 20, 30, 40])})
+        build = Batch({"b.k": np.asarray([2, 4, 4]),
+                       "b.w": np.asarray([200, 400, 401])})
+        clause = JoinClause(ColumnRef("p", "k"), ColumnRef("b", "k"))
+        return probe, build, [clause]
+
+    def test_inner_join(self):
+        probe, build, clauses = self._batches()
+        joined = equi_join(probe, build, clauses, JoinType.INNER)
+        assert joined.num_rows == 3
+        assert sorted(joined.column("b.w")) == [200, 400, 401]
+
+    def test_semi_and_anti_join(self):
+        probe, build, clauses = self._batches()
+        semi = equi_join(probe, build, clauses, JoinType.SEMI)
+        anti = equi_join(probe, build, clauses, JoinType.ANTI)
+        assert sorted(semi.column("p.k")) == [2, 4]
+        assert sorted(anti.column("p.k")) == [1, 3]
+        assert semi.num_rows + anti.num_rows == probe.num_rows
+
+    def test_left_join_pads_unmatched(self):
+        probe, build, clauses = self._batches()
+        left = equi_join(probe, build, clauses, JoinType.LEFT)
+        assert left.num_rows == 5  # 3 matches + 2 unmatched probe rows
+        assert sorted(left.column("p.k")) == [1, 2, 3, 4, 4]
+
+    def test_cross_join(self):
+        left = Batch({"l.a": np.asarray([1, 2])})
+        right = Batch({"r.b": np.asarray([10, 20, 30])})
+        assert cross_join(left, right).num_rows == 6
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=0,
+                    max_size=60),
+           st.lists(st.integers(min_value=0, max_value=20), min_size=0,
+                    max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_inner_join_matches_brute_force(self, probe_keys, build_keys):
+        probe = Batch({"p.k": np.asarray(probe_keys, dtype=np.int64)})
+        build = Batch({"b.k": np.asarray(build_keys, dtype=np.int64)})
+        clause = JoinClause(ColumnRef("p", "k"), ColumnRef("b", "k"))
+        joined = equi_join(probe, build, [clause])
+        expected = sum(build_keys.count(k) for k in probe_keys)
+        assert joined.num_rows == expected
+
+
+class TestAggregation:
+    def test_group_by_sum_count(self):
+        batch = Batch({"t.g": np.asarray(["a", "b", "a", "a"], dtype=object),
+                       "t.v": np.asarray([1.0, 2.0, 3.0, 4.0])})
+        items = [
+            OutputItem(ColumnRef("t", "g"), "g"),
+            OutputItem(AggregateCall(AggregateFunction.SUM, ColumnRef("t", "v")), "s"),
+            OutputItem(AggregateCall(AggregateFunction.COUNT, None), "c"),
+        ]
+        result = aggregate(batch, [ColumnRef("t", "g")], items)
+        by_group = dict(zip(result.column("g"), zip(result.column("s"),
+                                                    result.column("c"))))
+        assert by_group["a"] == (8.0, 3.0)
+        assert by_group["b"] == (2.0, 1.0)
+
+    def test_min_max_avg(self):
+        batch = Batch({"t.g": np.asarray([1, 1, 2]),
+                       "t.v": np.asarray([5.0, 1.0, 7.0])})
+        items = [
+            OutputItem(AggregateCall(AggregateFunction.MIN, ColumnRef("t", "v")), "lo"),
+            OutputItem(AggregateCall(AggregateFunction.MAX, ColumnRef("t", "v")), "hi"),
+            OutputItem(AggregateCall(AggregateFunction.AVG, ColumnRef("t", "v")), "avg"),
+        ]
+        result = aggregate(batch, [ColumnRef("t", "g")], items)
+        assert sorted(result.column("lo")) == [1.0, 7.0]
+        assert sorted(result.column("hi")) == [5.0, 7.0]
+        assert sorted(result.column("avg")) == [3.0, 7.0]
+
+    def test_count_distinct(self):
+        batch = Batch({"t.g": np.asarray([1, 1, 1, 2]),
+                       "t.v": np.asarray([7, 7, 8, 9])})
+        items = [OutputItem(AggregateCall(AggregateFunction.COUNT,
+                                          ColumnRef("t", "v"), distinct=True),
+                            "d")]
+        result = aggregate(batch, [ColumnRef("t", "g")], items)
+        assert sorted(result.column("d")) == [1.0, 2.0]
+
+    def test_global_aggregate_without_group_by(self):
+        batch = Batch({"t.v": np.asarray([1.0, 2.0, 3.0])})
+        items = [OutputItem(AggregateCall(AggregateFunction.SUM,
+                                          ColumnRef("t", "v")), "s")]
+        result = aggregate(batch, [], items)
+        assert result.num_rows == 1
+        assert result.column("s")[0] == 6.0
+
+    def test_aggregate_over_expression(self):
+        batch = Batch({"t.p": np.asarray([10.0, 20.0]),
+                       "t.d": np.asarray([0.1, 0.5])})
+        expr = Arithmetic(ArithmeticOp.MUL, ColumnRef("t", "p"),
+                          Arithmetic(ArithmeticOp.SUB, Literal(1.0),
+                                     ColumnRef("t", "d")))
+        items = [OutputItem(AggregateCall(AggregateFunction.SUM, expr), "rev")]
+        result = aggregate(batch, [], items)
+        assert result.column("rev")[0] == pytest.approx(9.0 + 10.0)
+
+    def test_empty_input(self):
+        batch = Batch({"t.g": np.asarray([]), "t.v": np.asarray([])})
+        items = [OutputItem(AggregateCall(AggregateFunction.SUM,
+                                          ColumnRef("t", "v")), "s")]
+        result = aggregate(batch, [ColumnRef("t", "g")], items)
+        assert result.num_rows == 0

@@ -1,0 +1,224 @@
+"""Unit tests for the columnar storage substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (
+    Catalog,
+    CatalogError,
+    INT64,
+    FLOAT64,
+    STRING,
+    PartitionedTable,
+    RangePartitionSpec,
+    Table,
+    collect_statistics,
+    date_to_int,
+    make_schema,
+    parse_date,
+    synthetic_statistics,
+)
+from repro.storage.schema import ForeignKey
+
+
+def make_test_table(rows=100):
+    schema = make_schema("items", [("id", INT64), ("price", FLOAT64),
+                                   ("category", STRING)],
+                         primary_key=["id"])
+    rng = np.random.default_rng(0)
+    return Table(schema, {
+        "id": np.arange(rows, dtype=np.int64),
+        "price": rng.uniform(1.0, 100.0, size=rows),
+        "category": np.asarray(["cat%d" % (i % 5) for i in range(rows)],
+                               dtype=object),
+    })
+
+
+class TestTypes:
+    def test_date_round_trip(self):
+        assert parse_date("1995-03-15") == date_to_int(1995, 3, 15)
+
+    def test_date_ordering(self):
+        assert parse_date("1994-01-01") < parse_date("1995-01-01")
+
+    def test_parse_date_strips_quotes(self):
+        assert parse_date("'1995-03-15'") == date_to_int(1995, 3, 15)
+
+    def test_parse_date_invalid(self):
+        with pytest.raises(ValueError):
+            parse_date("not-a-date")
+
+    def test_numpy_dtypes(self):
+        assert INT64.numpy_dtype == np.dtype(np.int64)
+        assert STRING.numpy_dtype == np.dtype(object)
+        assert INT64.is_numeric and FLOAT64.is_numeric
+        assert not STRING.is_numeric
+
+
+class TestTable:
+    def test_basic_shape(self):
+        table = make_test_table(50)
+        assert table.num_rows == 50
+        assert table.column_names == ["id", "price", "category"]
+
+    def test_column_access(self):
+        table = make_test_table(10)
+        assert table.column("id").shape == (10,)
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_missing_column_data_raises(self):
+        schema = make_schema("t", [("a", INT64), ("b", INT64)])
+        with pytest.raises(ValueError):
+            Table(schema, {"a": np.arange(3)})
+
+    def test_unknown_column_data_raises(self):
+        schema = make_schema("t", [("a", INT64)])
+        with pytest.raises(ValueError):
+            Table(schema, {"a": np.arange(3), "z": np.arange(3)})
+
+    def test_mismatched_lengths_raise(self):
+        schema = make_schema("t", [("a", INT64), ("b", INT64)])
+        with pytest.raises(ValueError):
+            Table(schema, {"a": np.arange(3), "b": np.arange(4)})
+
+    def test_select_rows_and_head(self):
+        table = make_test_table(20)
+        subset = table.select_rows(table.column("id") < 5)
+        assert subset.num_rows == 5
+        assert table.head(3).num_rows == 3
+
+    def test_from_rows_round_trip(self):
+        schema = make_schema("t", [("a", INT64), ("b", INT64)])
+        table = Table.from_rows(schema, [(1, 2), (3, 4)])
+        assert list(table.rows()) == [(1, 2), (3, 4)]
+
+
+class TestStatistics:
+    def test_row_count_and_ndv(self):
+        table = make_test_table(200)
+        stats = collect_statistics(table)
+        assert stats.num_rows == 200
+        assert stats.column("id").ndv == 200
+        assert stats.column("category").ndv == 5
+
+    def test_equality_selectivity_small_domain(self):
+        stats = collect_statistics(make_test_table(100))
+        sel = stats.column("category").equality_selectivity("cat0")
+        assert sel == pytest.approx(0.2, abs=0.05)
+
+    def test_range_selectivity_with_histogram(self):
+        stats = collect_statistics(make_test_table(1000))
+        price = stats.column("price")
+        half = price.range_selectivity(low=None, high=50.0)
+        assert 0.3 < half < 0.7
+
+    def test_range_selectivity_out_of_bounds(self):
+        stats = collect_statistics(make_test_table(100))
+        price = stats.column("price")
+        assert price.range_selectivity(low=1000.0, high=None) == pytest.approx(0.0, abs=1e-6)
+        assert price.range_selectivity(low=None, high=1000.0) == pytest.approx(1.0)
+
+    def test_ndv_after_filter_bounds(self):
+        stats = collect_statistics(make_test_table(500))
+        column = stats.column("category")
+        assert column.ndv_after_filter(1.0) == pytest.approx(column.ndv)
+        assert column.ndv_after_filter(0.0) == 0.0
+        assert 0 < column.ndv_after_filter(0.3) <= column.ndv
+
+    def test_missing_column_defaults(self):
+        stats = synthetic_statistics("t", 1000, {"a": 10})
+        fallback = stats.column("unknown")
+        assert fallback.num_rows == 1000
+        assert fallback.ndv == 1000
+
+    def test_synthetic_statistics_ranges(self):
+        stats = synthetic_statistics("t", 100, {"a": 50}, {"a": (0, 99)})
+        assert stats.column("a").min_value == 0.0
+        assert stats.column("a").max_value == 99.0
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_ndv_after_filter_monotone(self, selectivity):
+        stats = collect_statistics(make_test_table(300))
+        column = stats.column("id")
+        assert column.ndv_after_filter(selectivity) <= column.ndv
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        catalog = Catalog()
+        catalog.register_table(make_test_table())
+        assert catalog.has_table("items")
+        assert catalog.has_table("ITEMS")
+        assert catalog.table("items").num_rows == 100
+        assert catalog.statistics("items").num_rows == 100
+
+    def test_statistics_only_registration(self):
+        catalog = Catalog()
+        schema = make_schema("ghost", [("a", INT64)])
+        catalog.register_schema(schema, synthetic_statistics("ghost", 42, {"a": 42}))
+        assert catalog.has_table("ghost")
+        assert not catalog.has_data("ghost")
+        assert catalog.statistics("ghost").num_rows == 42
+        with pytest.raises(CatalogError):
+            catalog.table("ghost")
+
+    def test_unknown_table_raises(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.schema("missing")
+
+    def test_foreign_key_lookup(self):
+        catalog = Catalog()
+        parent = make_schema("parent", [("pk", INT64)], primary_key=["pk"])
+        child = make_schema("child", [("fk", INT64)],
+                            foreign_keys=[ForeignKey("fk", "parent", "pk")])
+        catalog.register_schema(parent, synthetic_statistics("parent", 10, {"pk": 10}))
+        catalog.register_schema(child, synthetic_statistics("child", 100, {"fk": 10}))
+        assert catalog.is_primary_key("parent", "pk")
+        assert not catalog.is_primary_key("child", "fk")
+        assert catalog.is_foreign_key_reference("child", "fk", "parent", "pk")
+        assert not catalog.is_foreign_key_reference("parent", "pk", "child", "fk")
+
+
+class TestPartitioning:
+    def test_partition_pruning(self):
+        table = make_test_table(100)
+        spec = RangePartitionSpec(column="id", boundaries=(25.0, 50.0, 75.0))
+        partitioned = PartitionedTable(table, spec)
+        assert partitioned.num_partitions == 4
+        scanned, touched = partitioned.scan(low=0, high=10)
+        assert touched == 1
+        assert scanned.num_rows == sum(1 for v in table.column("id") if v <= 25)
+
+    def test_full_scan_touches_all_partitions(self):
+        table = make_test_table(100)
+        spec = RangePartitionSpec(column="id", boundaries=(50.0,))
+        partitioned = PartitionedTable(table, spec)
+        scanned, touched = partitioned.scan()
+        assert touched == 2
+        assert scanned.num_rows == 100
+
+    def test_partitions_cover_all_rows(self):
+        table = make_test_table(97)
+        spec = RangePartitionSpec(column="id", boundaries=(20.0, 40.0, 60.0, 80.0))
+        partitioned = PartitionedTable(table, spec)
+        total = sum(partitioned.partition(i).num_rows
+                    for i in range(partitioned.num_partitions))
+        assert total == 97
+
+    def test_invalid_partition_column(self):
+        table = make_test_table(10)
+        with pytest.raises(ValueError):
+            PartitionedTable(table, RangePartitionSpec(column="zzz", boundaries=(1.0,)))
+
+    def test_schema_validation(self):
+        with pytest.raises(ValueError):
+            make_schema("bad", [("a", INT64), ("a", INT64)])
+        with pytest.raises(ValueError):
+            make_schema("bad", [("a", INT64)], primary_key=["zzz"])

@@ -1,0 +1,141 @@
+"""Tests for the TPC-H schema, data generator, queries and workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage.types import date_to_int
+from repro.tpch import (
+    ANALYZED_QUERIES,
+    OMITTED_QUERIES,
+    TpchDataGenerator,
+    TpchWorkload,
+    query_text,
+    scaled_row_count,
+    statistics_only_catalog,
+    tpch_schemas,
+)
+
+
+class TestSchema:
+    def test_all_tables_present(self):
+        schemas = tpch_schemas()
+        assert set(schemas) == {"region", "nation", "supplier", "customer",
+                                "part", "partsupp", "orders", "lineitem"}
+
+    def test_primary_keys(self):
+        schemas = tpch_schemas()
+        assert schemas["orders"].is_primary_key_column("o_orderkey")
+        assert schemas["customer"].is_primary_key_column("c_custkey")
+        assert not schemas["lineitem"].is_primary_key_column("l_orderkey")
+
+    def test_foreign_keys(self):
+        schemas = tpch_schemas()
+        fk = schemas["lineitem"].foreign_key_for("l_orderkey")
+        assert fk.ref_table == "orders" and fk.ref_column == "o_orderkey"
+        fk = schemas["orders"].foreign_key_for("o_custkey")
+        assert fk.ref_table == "customer" and fk.ref_column == "c_custkey"
+
+    def test_scaled_row_counts(self):
+        assert scaled_row_count("nation", 100.0) == 25
+        assert scaled_row_count("region", 0.01) == 5
+        assert scaled_row_count("lineitem", 0.01) == 60_000
+        assert scaled_row_count("orders", 1.0) == 1_500_000
+
+
+class TestDataGenerator:
+    def test_row_counts_match_scale(self, tpch_catalog):
+        from tests.conftest import TEST_SCALE_FACTOR
+        lineitem = tpch_catalog.table("lineitem")
+        expected = scaled_row_count("lineitem", TEST_SCALE_FACTOR)
+        assert abs(lineitem.num_rows - expected) / expected < 0.15
+        assert tpch_catalog.table("nation").num_rows == 25
+
+    def test_foreign_keys_reference_existing_rows(self, tpch_catalog):
+        orders = tpch_catalog.table("orders")
+        customers = tpch_catalog.table("customer")
+        assert set(np.unique(orders.column("o_custkey"))) <= \
+            set(customers.column("c_custkey"))
+        lineitem = tpch_catalog.table("lineitem")
+        assert set(np.unique(lineitem.column("l_orderkey"))) <= \
+            set(orders.column("o_orderkey"))
+
+    def test_dates_within_spec_range(self, tpch_catalog):
+        orders = tpch_catalog.table("orders")
+        dates = orders.column("o_orderdate")
+        assert dates.min() >= date_to_int(1992, 1, 1)
+        assert dates.max() <= date_to_int(1998, 8, 2)
+        lineitem = tpch_catalog.table("lineitem")
+        assert bool((lineitem.column("l_shipdate")
+                     < lineitem.column("l_receiptdate")).all())
+
+    def test_determinism(self):
+        first = TpchDataGenerator(0.001, seed=1).generate()
+        second = TpchDataGenerator(0.001, seed=1).generate()
+        assert np.array_equal(first["orders"].column("o_custkey"),
+                              second["orders"].column("o_custkey"))
+
+    def test_different_seed_differs(self):
+        first = TpchDataGenerator(0.001, seed=1).generate()
+        second = TpchDataGenerator(0.001, seed=2).generate()
+        assert not np.array_equal(first["orders"].column("o_custkey"),
+                                  second["orders"].column("o_custkey"))
+
+    def test_statistics_collected(self, tpch_catalog):
+        stats = tpch_catalog.statistics("lineitem")
+        assert stats.column("l_shipmode").ndv == 7
+        assert stats.column("l_returnflag").ndv == 3
+        nation_stats = tpch_catalog.statistics("nation")
+        assert nation_stats.column("n_name").ndv == 25
+
+
+class TestStatisticsOnlyCatalog:
+    def test_sf100_row_counts(self):
+        catalog = statistics_only_catalog(100.0)
+        assert catalog.statistics("lineitem").num_rows == 600_000_000
+        assert catalog.statistics("orders").num_rows == 150_000_000
+        assert not catalog.has_data("lineitem")
+
+    def test_key_ndvs(self):
+        catalog = statistics_only_catalog(100.0)
+        assert catalog.statistics("orders").column("o_orderkey").ndv == 150_000_000
+        # Only two thirds of customers have orders.
+        assert catalog.statistics("orders").column("o_custkey").ndv == \
+            pytest.approx(10_000_000, rel=0.01)
+
+
+class TestQueriesAndWorkload:
+    def test_analyzed_query_set_matches_paper(self):
+        assert set(ANALYZED_QUERIES) == {2, 3, 4, 5, 7, 8, 9, 10, 11, 12, 16,
+                                         17, 18, 19, 20, 21}
+        assert OMITTED_QUERIES == {1, 6, 13, 14, 15, 22}
+        assert not (set(ANALYZED_QUERIES) & OMITTED_QUERIES)
+
+    def test_query_text_lookup(self):
+        assert "lineitem" in query_text(12)
+        with pytest.raises(KeyError):
+            query_text(6)
+
+    def test_all_queries_bind(self, tpch_workload):
+        assert sorted(tpch_workload.queries) == ANALYZED_QUERIES
+        for number, query in tpch_workload.queries.items():
+            assert query.relations, "Q%d has no relations" % number
+            assert query.join_clauses, "Q%d has no join clauses" % number
+
+    def test_q7_structure(self, tpch_workload):
+        q7 = tpch_workload.query(7)
+        assert len(q7.relations) == 6
+        aliases = {rel.alias for rel in q7.relations}
+        assert {"n1", "n2"} <= aliases
+        assert q7.residual_predicates, "the nation-pair OR must be residual"
+
+    def test_q12_structure(self, tpch_workload):
+        q12 = tpch_workload.query(12)
+        assert {rel.table_name for rel in q12.relations} == {"orders", "lineitem"}
+        assert len(q12.predicates_for("lineitem")) >= 3
+
+    def test_statistics_only_workload(self):
+        workload = TpchWorkload.statistics_only(100.0, query_numbers=[12])
+        assert not workload.has_data
+        assert workload.query(12).name == "Q12"
