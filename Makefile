@@ -1,0 +1,23 @@
+# Developer entry points.  `make check` is the gate CI runs: the tier-1 unit
+# suite plus a planner-latency smoke benchmark that fails fast if the join
+# enumeration regresses to subset scanning (see docs/enumeration.md).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: check test smoke bench golden
+
+check: test smoke
+
+test:
+	$(PYTHON) -m pytest tests -x -q
+
+smoke:
+	$(PYTHON) -m pytest benchmarks/test_bench_planner_latency.py -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -x -q
+
+# Regenerate the golden TPC-H plan file (review the diff before committing).
+golden:
+	$(PYTHON) scripts/dump_plan_golden.py > tests/golden/tpch_plans.txt

@@ -1,4 +1,5 @@
-"""Benchmark E9: planner latency overhead (Tables 2/3, right-hand columns).
+"""Benchmark E9: planner latency overhead (Tables 2/3, right-hand columns),
+plus the large-topology enumeration latency microbenchmark.
 
 At the paper's SF100 statistics the planner is run (without execution) for all
 analysed queries under BF-Post, BF-CBO and BF-CBO with Heuristic 7.  The paper
@@ -6,11 +7,16 @@ reports totals of 254.3 ms / 540.7 ms / 421.9 ms respectively: BF-CBO pays a
 planning-time premium for its larger search space, and Heuristic 7 claws part
 of it back.  The benchmark asserts the same ordering between BF-Post and
 BF-CBO and reports all totals.
+
+The second benchmark stresses the enumeration layer itself on synthetic 10+
+relation chain / star / clique queries (TPC-H tops out at eight relations) —
+the workload that motivated the bitmask DPccp rewrite (docs/enumeration.md).
 """
 
 from __future__ import annotations
 
 from repro.experiments import run_planner_latency
+from repro.experiments.enumeration_latency import run_enumeration_latency
 
 
 def test_planner_latency_overhead(benchmark, paper_stats_workload):
@@ -32,3 +38,37 @@ def test_planner_latency_overhead(benchmark, paper_stats_workload):
     # Heuristic 7 must not make planning more expensive than plain BF-CBO by
     # more than measurement noise.
     assert result.total_bf_cbo_h7_ms <= result.total_bf_cbo_ms * 1.25
+
+
+def test_enumeration_latency_large_topologies(benchmark):
+    """DPccp enumeration on 10+-relation chain/star/clique queries.
+
+    Before the bitmask rewrite the raw pair walk alone took ~57 ms (chain-12),
+    ~1.2 s (star-12) and ~0.8 s (clique-10); the walk must now stay well under
+    those numbers — the assertions leave generous headroom for slow CI
+    machines while still catching a regression to subset scanning.
+    """
+    result = benchmark.pedantic(
+        lambda: run_enumeration_latency(
+            [("chain", 12), ("star", 12), ("clique", 10)],
+            plan_topologies=("chain",)),
+        rounds=1, iterations=1)
+
+    print()
+    print(result.to_text())
+
+    for point in result.points:
+        benchmark.extra_info["%s_enum_ms" % point.query] = point.enumeration_ms
+        benchmark.extra_info["%s_plan_ms" % point.query] = point.planning_ms
+    # Pair counts are a pure function of the topology — pin them so a walk
+    # change that silently drops or duplicates pairs fails loudly.
+    assert result.point("chain-12").join_pairs == 572
+    assert result.point("star-12").join_pairs == 22528
+    assert result.point("clique-10").join_pairs == 57002
+    # Latency canaries: a regression to subset scanning emits the SAME pairs
+    # (the count pins can't see it) but took ~54 ms / ~1213 ms on these two
+    # queries, so the bounds must reject seed-speed while leaving ~5-8x
+    # headroom over the DPccp walk (~4 ms / ~120 ms) for slow CI machines.
+    # Cliques have no disconnected subsets to skip, hence no latency bound.
+    assert result.point("chain-12").enumeration_ms < 30
+    assert result.point("star-12").enumeration_ms < 600

@@ -1,0 +1,46 @@
+"""Regenerate the golden TPC-H plan file used by tests/test_plan_stability.py.
+
+Run from the repository root:
+
+    PYTHONPATH=src python scripts/dump_plan_golden.py > tests/golden/tpch_plans.txt
+
+The golden file pins the exact plans (join order, methods, Bloom filter specs,
+estimated rows and costs) chosen at the paper's SF100 statistics for every
+analysed TPC-H query under all optimizer modes.  Any enumeration refactor must
+keep these byte-identical.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import Optimizer, OptimizerMode, explain, join_order_summary
+from repro.core.heuristics import BfCboSettings
+from repro.tpch import TpchWorkload
+
+
+def render_workload_plans(out=sys.stdout) -> None:
+    workload = TpchWorkload.statistics_only(scale_factor=100.0)
+    optimizer = Optimizer(workload.catalog)
+    configurations = [
+        ("no-bf", OptimizerMode.NO_BF, None),
+        ("bf-post", OptimizerMode.BF_POST, None),
+        ("bf-cbo", OptimizerMode.BF_CBO, BfCboSettings.paper_defaults()),
+        ("bf-cbo-h7", OptimizerMode.BF_CBO, BfCboSettings.with_heuristic7()),
+    ]
+    for number in workload.query_numbers:
+        query = workload.query(number)
+        for label, mode, settings in configurations:
+            result = optimizer.optimize(query, mode, settings)
+            print("==== %s %s ====" % (query.name, label), file=out)
+            print("cost=%.6g rows=%.6g blooms=%d"
+                  % (result.estimated_cost, result.plan.rows,
+                     result.num_bloom_filters), file=out)
+            for entry in join_order_summary(result.join_plan):
+                print("join: %s" % entry, file=out)
+            print(explain(result.plan), file=out)
+            print(file=out)
+
+
+if __name__ == "__main__":
+    render_workload_plans()

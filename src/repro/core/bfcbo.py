@@ -39,7 +39,7 @@ from .cost import CostModel
 from .enumerator import JoinEnumerator
 from .heuristics import BfCboSettings
 from .joingraph import JoinGraph
-from .planlist import PlanList
+from .planlist import PlanList, PlanTable
 from .plans import PlanNode, ScanNode
 from .query import QueryBlock
 
@@ -96,11 +96,11 @@ class TwoPhaseBloomOptimizer:
     # Top-level driver
     # ------------------------------------------------------------------
 
-    def optimize(self) -> Dict[FrozenSet[str], PlanList]:
-        """Run the full two-phase optimization and return all plan lists."""
-        base_plan_lists = self.enumerator.build_base_plan_lists()
+    def optimize_table(self) -> PlanTable:
+        """Run the full two-phase optimization and return the DP memo."""
+        base_table = self.enumerator.build_base_plan_table()
         if not self.settings.enabled or len(self.query.relations) < 2:
-            return self.enumerator.optimize(base_plan_lists)
+            return self.enumerator.optimize_table(base_table)
 
         candidates = mark_bloom_filter_candidates(self.query, self.estimator,
                                                   self.settings,
@@ -110,10 +110,14 @@ class TwoPhaseBloomOptimizer:
 
         if self._skip_by_heuristic8(first_phase):
             self.report.skipped_by_heuristic8 = True
-            return self.enumerator.optimize(base_plan_lists)
+            return self.enumerator.optimize_table(base_table)
 
-        self.cost_bloom_subplans(candidates, base_plan_lists)
-        return self.enumerator.optimize(base_plan_lists)
+        self.cost_bloom_subplans(candidates, base_table)
+        return self.enumerator.optimize_table(base_table)
+
+    def optimize(self) -> Dict[FrozenSet[str], PlanList]:
+        """Frozenset-keyed view of :meth:`optimize_table` (public seam)."""
+        return self.optimize_table().to_alias_dict(self.join_graph)
 
     # ------------------------------------------------------------------
     # Step 2: first bottom-up phase (structural, no costing)
@@ -121,23 +125,51 @@ class TwoPhaseBloomOptimizer:
 
     def first_phase(self, candidates: Dict[str, List[BloomFilterCandidate]],
                     ) -> FirstPhaseResult:
-        """Populate every candidate's Δ list by simulating the join order DP."""
+        """Populate every candidate's Δ list by simulating the join order DP.
+
+        The walk is keyed on the pair bitmasks: candidates are bucketed per
+        apply-relation bit (only buckets intersecting the outer mask are
+        visited), the build relation is tested against the inner mask, and
+        each candidate's already-recorded δ's are tracked as a mask set so the
+        dedup check is O(1) per pair.
+        """
         result = FirstPhaseResult(candidates=candidates)
+        graph = self.join_graph
+        estimator = self.estimator
+        use_heuristic3 = self.settings.use_heuristic3
+        # One bucket of (build-bit-mask, candidate, seen-delta-masks) rows per
+        # apply-relation bit, OR-ed into candidate_bits for a cheap per-pair
+        # "any candidate on the outer side?" test.
+        buckets: Dict[int, List] = {}
+        candidate_bits = 0
+        for alias, relation_candidates in candidates.items():
+            apply_mask = graph.mask_of_alias(alias)
+            candidate_bits |= apply_mask
+            buckets[apply_mask] = [
+                (graph.mask_of_alias(c.build_alias), c,
+                 {graph.mask_of(delta) for delta in c.deltas})
+                for c in relation_candidates]
         for pair in self.enumerator.enumerate_join_pairs():
             result.join_pairs_observed += 1
-            result.total_join_input_rows += (self.estimator.join_rows(pair.outer)
-                                             + self.estimator.join_rows(pair.inner))
-            for alias in pair.outer:
-                for candidate in candidates.get(alias, ()):
-                    if candidate.build_alias not in pair.inner:
+            result.total_join_input_rows += (estimator.join_rows(pair.outer)
+                                             + estimator.join_rows(pair.inner))
+            applicable = pair.outer_mask & candidate_bits
+            while applicable:
+                apply_mask = applicable & -applicable
+                applicable ^= apply_mask
+                for build_mask, candidate, seen in buckets[apply_mask]:
+                    if not build_mask & pair.inner_mask:
+                        continue
+                    if pair.inner_mask in seen:
                         continue
                     delta = pair.inner
-                    if (self.settings.use_heuristic3
-                            and self.estimator.is_lossless_fk_join(
+                    if (use_heuristic3
+                            and estimator.is_lossless_fk_join(
                                 candidate.apply_column, candidate.build_column,
                                 delta)):
                         result.deltas_pruned_heuristic3 += 1
                         continue
+                    seen.add(pair.inner_mask)
                     candidate.add_delta(delta)
         return result
 
@@ -178,7 +210,7 @@ class TwoPhaseBloomOptimizer:
         return spec
 
     def cost_bloom_subplans(self, candidates: Dict[str, List[BloomFilterCandidate]],
-                            base_plan_lists: Dict[FrozenSet[str], PlanList]) -> None:
+                            base_table: PlanTable) -> None:
         """Create Bloom filter scan sub-plans and add them to base plan lists."""
         for alias, relation_candidates in candidates.items():
             options: List[List[BloomFilterSpec]] = []
@@ -191,7 +223,7 @@ class TwoPhaseBloomOptimizer:
                     options.append(specs)
             if not options:
                 continue
-            plan_list = base_plan_lists[frozenset({alias})]
+            plan_list = base_table.target(self.join_graph.mask_of_alias(alias))
             for spec_combo in self._spec_combinations(options):
                 self.report.bloom_subplans_created += 1
                 scan = self.enumerator.make_bloom_scan(alias, spec_combo)

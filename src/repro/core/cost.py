@@ -87,15 +87,30 @@ class Cost:
     total: float = 0.0
 
     def __post_init__(self) -> None:
+        # Keep in sync with the fast path in Cost._clamped.
         if self.total < self.startup - 1e-9:
             object.__setattr__(self, "total", self.startup)
 
+    @staticmethod
+    def _clamped(startup: float, total: float) -> "Cost":
+        """Allocation-fast constructor (runs for every candidate sub-plan):
+        builds the instance directly, applying the same clamp as
+        ``__post_init__``."""
+        if total < startup - 1e-9:
+            total = startup
+        result = object.__new__(Cost)
+        object.__setattr__(result, "startup", startup)
+        object.__setattr__(result, "total", total)
+        return result
+
     def __add__(self, other: "Cost") -> "Cost":
-        return Cost(self.startup + other.startup, self.total + other.total)
+        return Cost._clamped(self.startup + other.startup,
+                             self.total + other.total)
 
     def add_work(self, work: float, blocking: bool = False) -> "Cost":
         """Return a new cost with ``work`` added (optionally to startup too)."""
-        return Cost(self.startup + (work if blocking else 0.0), self.total + work)
+        return Cost._clamped(self.startup + (work if blocking else 0.0),
+                             self.total + work)
 
     def __lt__(self, other: "Cost") -> bool:
         return self.total < other.total

@@ -13,11 +13,19 @@ in three ways:
 * structurally (``enumerate_join_pairs``) for the *first* bottom-up phase of
   BF-CBO, which only needs to observe which relation sets can appear on the
   build side of a join with each Bloom filter candidate.
+
+Relation sets travel through the DP as integer bitmasks (see
+:class:`~repro.core.joingraph.JoinGraph` for the alias↔bit mapping and the
+DPccp connected-subgraph/complement generators).  The (csg, cmp) pairs are
+collected per component, cross-product stitching joins disconnected components
+in FROM order, and the whole sequence is sorted into the canonical bottom-up
+order — union size, then FROM-order bit tuple, then split rank — so both
+BF-CBO phases observe the identical pair sequence.  ``FrozenSet[str]`` appears
+only at the public seams (:class:`JoinPair` fields, plan-list dict keys).
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -28,7 +36,7 @@ from .cost import Cost, CostModel
 from .expressions import ColumnRef
 from .heuristics import BfCboSettings
 from .joingraph import JoinGraph
-from .planlist import PlanList
+from .planlist import PlanList, PlanTable
 from .plans import (
     ExchangeKind,
     ExchangeNode,
@@ -43,13 +51,21 @@ from .query import JoinClause, JoinType, QueryBlock
 
 @dataclass(frozen=True)
 class JoinPair:
-    """One ordered (outer, inner) split of a relation set considered by DP."""
+    """One ordered (outer, inner) split of a relation set considered by DP.
+
+    The frozenset fields are the public seam; the ``*_mask`` fields carry the
+    same sets as bitmasks for mask-keyed consumers (0 when constructed
+    directly without a graph, e.g. in experiments).
+    """
 
     union: FrozenSet[str]
     outer: FrozenSet[str]
     inner: FrozenSet[str]
     clauses: Tuple[JoinClause, ...]
     is_cross_product: bool = False
+    union_mask: int = 0
+    outer_mask: int = 0
+    inner_mask: int = 0
 
 
 @dataclass
@@ -61,6 +77,10 @@ class EnumerationStatistics:
     plans_retained: int = 0
     plans_rejected_bloom_constraint: int = 0
     heuristic7_pruned: int = 0
+    #: Ordered cross-product pairs considered while stitching disconnected
+    #: components — like join_pairs_considered, this counts both orientations
+    #: of each stitch step, so a query with k+1 components reports 2k.
+    cross_products_stitched: int = 0
 
 
 class JoinEnumerator:
@@ -78,64 +98,156 @@ class JoinEnumerator:
         self.join_graph = join_graph or JoinGraph(query)
         self.stats = EnumerationStatistics()
         self._row_widths: Dict[str, int] = {}
+        self._pair_masks_cache: Optional[List[Tuple[int, int, int]]] = None
+        self._pair_cache: Optional[List[JoinPair]] = None
+        # (id(child), kind, keys) -> ExchangeNode.  Exchange placement is a
+        # pure function of its inputs and plan nodes are immutable during
+        # planning, so identical exchanges are shared instead of rebuilt for
+        # every combination; the node value keeps its child alive, which keeps
+        # the id() key stable.
+        self._exchange_cache: Dict[Tuple[int, ExchangeKind, Tuple[ColumnRef, ...]],
+                                   ExchangeNode] = {}
+        # Single-slot per-pair memos, keyed by pair identity (one JoinPair
+        # object is live per DP step).
+        self._residuals_memo: Tuple[Optional[JoinPair], Tuple] = (None, ())
+        self._join_columns_memo: Tuple[Optional[JoinPair], Tuple] = (None, ())
+        # (id(outer), id(inner), outer_cols, nested_loop?) -> strategy list;
+        # the hash and merge variants of one sub-plan combination share it.
+        # A sub-plan combination only recurs within one DP pair, so
+        # optimize_table clears this per pair — entries must not outlive the
+        # pair or they would pin dominated plans in memory.
+        self._strategy_cache: Dict[Tuple, List] = {}
 
     # ------------------------------------------------------------------
     # Relation-set enumeration (shared by both BF-CBO phases)
     # ------------------------------------------------------------------
 
     def connected_subsets(self) -> List[FrozenSet[str]]:
-        """All connected relation subsets, ordered by increasing size."""
-        aliases = self.query.aliases
-        subsets: List[FrozenSet[str]] = []
-        for size in range(1, len(aliases) + 1):
-            for combo in itertools.combinations(aliases, size):
-                subset = frozenset(combo)
-                if self.join_graph.is_connected_set(subset) or size == len(aliases):
-                    subsets.append(subset)
-        return subsets
+        """All plannable relation subsets, ordered by increasing size.
+
+        Connected subsets come from the DPccp walk; for a disconnected join
+        graph the cross-product-stitched prefix unions (components joined in
+        FROM order, culminating in the full relation set) are plannable too and
+        are included.
+        """
+        graph = self.join_graph
+        masks = [mask for component in graph.component_masks()
+                 for mask in graph.connected_subset_masks(component)]
+        masks.extend(self._stitched_union_masks())
+        masks.sort(key=self._union_order_key)
+        return [graph.aliases_of(mask) for mask in masks]
 
     def enumerate_join_pairs(self) -> Iterator[JoinPair]:
         """Yield every ordered (outer, inner) split, bottom-up by union size.
 
         The first bottom-up phase of BF-CBO iterates exactly this sequence to
         populate Δ; the second phase iterates it again to build costed plans,
-        so both phases observe the same join combinations.
+        so both phases observe the same join combinations.  The constructed
+        pair sequence is cached — the second walk is free.
         """
-        aliases = self.query.aliases
-        all_relations = frozenset(aliases)
-        for size in range(2, len(aliases) + 1):
-            for combo in itertools.combinations(aliases, size):
-                union = frozenset(combo)
-                if not (self.join_graph.is_connected_set(union)
-                        or union == all_relations):
-                    continue
-                yield from self._splits_of(union)
+        if self._pair_cache is None:
+            self._pair_cache = self._build_pairs()
+        return iter(self._pair_cache)
 
-    def _splits_of(self, union: FrozenSet[str]) -> Iterator[JoinPair]:
-        members = sorted(union)
-        connected_pairs: List[JoinPair] = []
-        cross_pairs: List[JoinPair] = []
-        # Enumerate proper, non-empty subsets via bitmask over the members.
-        for mask in range(1, (1 << len(members)) - 1):
-            outer = frozenset(members[i] for i in range(len(members))
-                              if mask & (1 << i))
-            inner = union - outer
-            if not (self.join_graph.is_connected_set(outer)
-                    and self.join_graph.is_connected_set(inner)):
-                continue
-            clauses = tuple(self.query.clauses_between(outer, inner))
-            pair = JoinPair(union=union, outer=outer, inner=inner,
-                            clauses=clauses, is_cross_product=not clauses)
-            if clauses:
-                connected_pairs.append(pair)
-            else:
-                cross_pairs.append(pair)
-        # Cross products are only considered when the union cannot be formed
-        # through join clauses at all (disconnected query graphs).
-        if connected_pairs:
-            yield from connected_pairs
-        else:
-            yield from cross_pairs
+    def _build_pairs(self) -> List[JoinPair]:
+        graph = self.join_graph
+        aliases_of = graph.aliases_of
+        clause_pairs = list(zip(self.query.join_clauses, graph.clause_bits))
+        # clauses_between is symmetric: both orientations of a split share one
+        # clause tuple, keyed by the unordered (mask, mask) pair.
+        clause_cache: Dict[Tuple[int, int], Tuple[JoinClause, ...]] = {}
+        cache_get = clause_cache.get
+        pairs: List[JoinPair] = []
+        append = pairs.append
+        make_pair = JoinPair
+        for union_mask, outer_mask, inner_mask in self._pair_masks():
+            key = ((outer_mask, inner_mask) if outer_mask < inner_mask
+                   else (inner_mask, outer_mask))
+            clauses = cache_get(key)
+            if clauses is None:
+                clauses = tuple(
+                    clause for clause, (left_bit, right_bit) in clause_pairs
+                    if (left_bit & outer_mask and right_bit & inner_mask)
+                    or (left_bit & inner_mask and right_bit & outer_mask))
+                clause_cache[key] = clauses
+            append(make_pair(aliases_of(union_mask), aliases_of(outer_mask),
+                             aliases_of(inner_mask), clauses, not clauses,
+                             union_mask, outer_mask, inner_mask))
+        return pairs
+
+    def _pair_masks(self) -> List[Tuple[int, int, int]]:
+        """The ordered (union, outer, inner) mask triples of the DP walk.
+
+        Computed once per enumerator (the query is fixed): DPccp emits each
+        unordered connected (csg, cmp) pair once per component, both
+        orientations are kept, cross-product stitching appends the
+        component-prefix unions, and everything is sorted into the canonical
+        bottom-up order.
+        """
+        if self._pair_masks_cache is None:
+            graph = self.join_graph
+            unordered_by_union: Dict[int, List[Tuple[int, int]]] = {}
+            for component in graph.component_masks():
+                for csg, cmp_mask in graph.csg_cmp_pairs(component):
+                    unordered_by_union.setdefault(csg | cmp_mask, []).append(
+                        (csg, cmp_mask))
+            for union, prefix, component in self._stitch_steps():
+                unordered_by_union[union] = [(prefix, component)]
+            ordered_unions = sorted(unordered_by_union,
+                                    key=self._union_order_key)
+            triples: List[Tuple[int, int, int]] = []
+            for union in ordered_unions:
+                # Rank a split by its outer side's bit pattern over the
+                # union's alphabetically sorted members (the seed enumerator's
+                # subset-mask iteration order).  Each unordered pair is ranked
+                # once: the swapped orientation's rank is the complement.
+                position_of = {graph.bit_of[alias]: position
+                               for position, alias
+                               in enumerate(sorted(graph.aliases_of(union)))}
+                full_rank = (1 << len(position_of)) - 1
+                ranked: List[Tuple[int, int, int]] = []
+                for csg, cmp_mask in unordered_by_union[union]:
+                    rank = 0
+                    remaining = csg
+                    while remaining:
+                        low = remaining & -remaining
+                        rank |= 1 << position_of[low.bit_length() - 1]
+                        remaining ^= low
+                    ranked.append((rank, csg, cmp_mask))
+                    ranked.append((full_rank ^ rank, cmp_mask, csg))
+                ranked.sort()
+                triples.extend((union, outer, inner)
+                               for _, outer, inner in ranked)
+            self._pair_masks_cache = triples
+        return self._pair_masks_cache
+
+    def _stitch_steps(self) -> List[Tuple[int, int, int]]:
+        """Cross-product stitching plan for disconnected join graphs.
+
+        Components (ordered by lowest FROM-order bit) are stitched
+        incrementally: C1∪C2, C1∪C2∪C3, ... — giving every intermediate
+        disconnected union an explicit cross-product split instead of leaving
+        multi-component queries unplannable.  Returns one
+        ``(union, prefix, newest component)`` triple per stitch step; the
+        single source of truth for both the pair walk and
+        :meth:`connected_subsets`.
+        """
+        components = self.join_graph.component_masks()
+        steps: List[Tuple[int, int, int]] = []
+        accumulated = components[0] if components else 0
+        for component in components[1:]:
+            steps.append((accumulated | component, accumulated, component))
+            accumulated |= component
+        return steps
+
+    def _stitched_union_masks(self) -> List[int]:
+        """The stitched prefix unions (see :meth:`_stitch_steps`)."""
+        return [union for union, _, _ in self._stitch_steps()]
+
+    def _union_order_key(self, mask: int) -> Tuple[int, Tuple[int, ...]]:
+        """Bottom-up union order: size first, then FROM-order combination rank."""
+        bits = tuple(JoinGraph._bit_indices(mask))
+        return len(bits), bits
 
     # ------------------------------------------------------------------
     # Base relation plan lists
@@ -182,30 +294,36 @@ class JoinEnumerator:
                         cost=plain.cost + extra, properties=properties,
                         row_width=plain.row_width)
 
-    def build_base_plan_lists(self) -> Dict[FrozenSet[str], PlanList]:
-        """Plan lists for single relations (plain scans only)."""
-        plan_lists: Dict[FrozenSet[str], PlanList] = {}
+    def build_base_plan_table(self) -> PlanTable:
+        """Plan lists for single relations (plain scans only), mask-keyed."""
+        table = PlanTable()
         for alias in self.query.aliases:
             plan_list = PlanList()
             plan_list.add(self.make_seq_scan(alias))
-            plan_lists[frozenset({alias})] = plan_list
-        return plan_lists
+            table.set(self.join_graph.mask_of_alias(alias), plan_list)
+        return table
+
+    def build_base_plan_lists(self) -> Dict[FrozenSet[str], PlanList]:
+        """Plan lists for single relations, keyed by frozenset (public seam)."""
+        return self.build_base_plan_table().to_alias_dict(self.join_graph)
 
     # ------------------------------------------------------------------
     # The DP itself
     # ------------------------------------------------------------------
 
-    def optimize(self, base_plan_lists: Optional[Dict[FrozenSet[str], PlanList]] = None,
-                 ) -> Dict[FrozenSet[str], PlanList]:
-        """Run bottom-up DP and return the plan list for every relation set."""
-        plan_lists = dict(base_plan_lists or self.build_base_plan_lists())
+    def optimize_table(self, base_table: Optional[PlanTable] = None) -> PlanTable:
+        """Run the bottom-up DP over the mask-keyed memo and return it."""
+        table = base_table if base_table is not None \
+            else self.build_base_plan_table()
         for pair in self.enumerate_join_pairs():
             self.stats.join_pairs_considered += 1
-            outer_list = plan_lists.get(pair.outer)
-            inner_list = plan_lists.get(pair.inner)
+            if pair.is_cross_product:
+                self.stats.cross_products_stitched += 1
+            outer_list = table.get(pair.outer_mask)
+            inner_list = table.get(pair.inner_mask)
             if not outer_list or not inner_list:
                 continue
-            target = plan_lists.setdefault(pair.union, PlanList())
+            target = table.target(pair.union_mask)
             for outer_plan in list(outer_list):
                 for inner_plan in list(inner_list):
                     self.stats.subplan_combinations += 1
@@ -215,7 +333,18 @@ class JoinEnumerator:
             if self.settings.use_heuristic7:
                 self.stats.heuristic7_pruned += target.apply_heuristic7(
                     self.settings.heuristic7_max_subplans)
-        return plan_lists
+            self._strategy_cache.clear()
+        return table
+
+    def optimize(self, base_plan_lists: Optional[Dict[FrozenSet[str], PlanList]] = None,
+                 ) -> Dict[FrozenSet[str], PlanList]:
+        """Run bottom-up DP and return the plan list for every relation set."""
+        base_table = None
+        if base_plan_lists is not None:
+            base_table = PlanTable.from_alias_dict(base_plan_lists,
+                                                   self.join_graph)
+        table = self.optimize_table(base_table)
+        return table.to_alias_dict(self.join_graph)
 
     # ------------------------------------------------------------------
     # Combining two sub-plans into join plans
@@ -246,7 +375,7 @@ class JoinEnumerator:
             return []
 
         rows = self._join_output_rows(pair, pending)
-        residuals = self._new_residuals(pair)
+        residuals = self._pair_residuals(pair)
         plans: List[PlanNode] = []
         for method in methods:
             for plan in self._physical_variants(pair, method, join_type,
@@ -254,6 +383,16 @@ class JoinEnumerator:
                                                  resolved, pending, residuals):
                 plans.append(plan)
         return plans
+
+    def _pair_residuals(self, pair: JoinPair) -> Tuple:
+        """Per-pair memo of :meth:`_new_residuals` (combine runs once per
+        sub-plan combination but residuals only depend on the pair)."""
+        key, cached = self._residuals_memo
+        if key is pair:
+            return cached
+        residuals = self._new_residuals(pair)
+        self._residuals_memo = (pair, residuals)
+        return residuals
 
     # -- join-type / legality helpers -----------------------------------------
 
@@ -300,7 +439,11 @@ class JoinEnumerator:
 
         resolved: List[BloomFilterSpec] = []
         carried: List[BloomFilterSpec] = []
-        for spec in outer_plan.pending_blooms:
+        # Deterministic spec order: the resolved list becomes the join's
+        # built_filters tuple, and frozenset iteration order varies with the
+        # per-process string hash seed.
+        for spec in sorted(outer_plan.pending_blooms,
+                           key=lambda s: s.filter_id):
             if spec.delta <= inner_relations:
                 # Fully resolved: every required build relation is on the
                 # inner side of this (necessarily hash) join.
@@ -339,7 +482,8 @@ class JoinEnumerator:
         keep reducing the estimate by their effective selectivity.
         """
         rows = self.estimator.join_rows(pair.union)
-        for spec in pending:
+        # Sorted so the float product is bitwise-stable across processes.
+        for spec in sorted(pending, key=lambda s: s.filter_id):
             rows *= spec.estimate.effective_selectivity
         return max(1.0, rows)
 
@@ -360,10 +504,15 @@ class JoinEnumerator:
                            pending: FrozenSet[BloomFilterSpec],
                            residuals: Tuple) -> Iterator[PlanNode]:
         width = outer_plan.row_width + inner_plan.row_width
-        outer_cols, inner_cols = self._join_columns(pair)
-        strategies = self._distribution_strategies(method, outer_plan,
-                                                   inner_plan, outer_cols,
-                                                   inner_cols)
+        outer_cols, inner_cols = self._pair_join_columns(pair)
+        strategy_key = (id(outer_plan), id(inner_plan), outer_cols,
+                        method is JoinMethod.NESTED_LOOP)
+        strategies = self._strategy_cache.get(strategy_key)
+        if strategies is None:
+            strategies = self._distribution_strategies(method, outer_plan,
+                                                       inner_plan, outer_cols,
+                                                       inner_cols)
+            self._strategy_cache[strategy_key] = strategies
         for outer_input, inner_input, distribution in strategies:
             cost = outer_input.cost + inner_input.cost
             cost = cost + self._join_work(method, outer_input, inner_input,
@@ -382,6 +531,16 @@ class JoinEnumerator:
                            residual_predicates=residuals,
                            rows=rows, cost=cost, properties=properties,
                            row_width=width)
+
+    def _pair_join_columns(self, pair: JoinPair) -> Tuple[Tuple[ColumnRef, ...],
+                                                          Tuple[ColumnRef, ...]]:
+        """Per-pair memo of :meth:`_join_columns`."""
+        key, cached = self._join_columns_memo
+        if key is pair:
+            return cached
+        columns = self._join_columns(pair)
+        self._join_columns_memo = (pair, columns)
+        return columns
 
     def _join_columns(self, pair: JoinPair) -> Tuple[Tuple[ColumnRef, ...],
                                                      Tuple[ColumnRef, ...]]:
@@ -427,6 +586,16 @@ class JoinEnumerator:
     def _exchange(self, child: PlanNode, kind: ExchangeKind,
                   keys: Tuple[ColumnRef, ...]) -> ExchangeNode:
         """Wrap ``child`` in an exchange operator and cost the data movement."""
+        cache_key = (id(child), kind, keys)
+        cached = self._exchange_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        node = self._make_exchange(child, kind, keys)
+        self._exchange_cache[cache_key] = node
+        return node
+
+    def _make_exchange(self, child: PlanNode, kind: ExchangeKind,
+                       keys: Tuple[ColumnRef, ...]) -> ExchangeNode:
         if kind is ExchangeKind.BROADCAST:
             move = self.cost_model.broadcast(child.rows, child.row_width)
             distribution = Distribution.broadcast()

@@ -1,17 +1,30 @@
-"""Join graph utilities: connectivity, equivalence classes, FK detection.
+"""Join graph utilities: bitmask connectivity, DPccp enumeration primitives,
+equivalence classes and FK detection.
 
 The bottom-up enumerator only combines relation sets that are connected by at
-least one join clause (unless cross products are explicitly allowed), and the
-candidate-marking step of BF-CBO needs to reason about multi-way equivalence
-classes (Section 3.3: "If we have a multi-way equivalence clause, then we only
-consider building a Bloom filter from the smallest table").  This module
-derives both from the bound :class:`~repro.core.query.QueryBlock`.
+least one join clause (unless cross products are explicitly stitched in), and
+the candidate-marking step of BF-CBO needs to reason about multi-way
+equivalence classes (Section 3.3: "If we have a multi-way equivalence clause,
+then we only consider building a Bloom filter from the smallest table").  This
+module derives both from the bound :class:`~repro.core.query.QueryBlock`.
+
+Relation sets are represented internally as **integer bitmasks** over a stable
+alias↔bit mapping (bit ``i`` is the ``i``-th relation in FROM order).  All
+connectivity questions are answered with word-level bit operations against
+precomputed per-relation neighbor masks, and the connected-subgraph /
+complement-pair walk at the heart of the enumerator is the DPccp algorithm of
+Moerkotte & Neumann ("Analysis of Two Existing and One New Dynamic Programming
+Algorithm for the Generation of Optimal Bushy Join Trees without Cross
+Products", VLDB 2006): it emits exactly the connected subsets and connected
+(csg, cmp) pairs, never scanning the exponentially many disconnected subsets.
+``FrozenSet[str]`` conversions are provided (and memoized) for the public
+seams; see ``docs/enumeration.md``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .expressions import ColumnRef
 from .query import JoinClause, QueryBlock
@@ -40,11 +53,29 @@ class JoinGraph:
 
     def __init__(self, query: QueryBlock) -> None:
         self.query = query
+        #: Stable alias <-> bit mapping: bit ``i`` is ``aliases[i]`` (FROM order).
+        self.aliases: Tuple[str, ...] = tuple(query.aliases)
+        self.bit_of: Dict[str, int] = {alias: i
+                                       for i, alias in enumerate(self.aliases)}
+        self.num_relations = len(self.aliases)
+        self.all_mask = (1 << self.num_relations) - 1
+
         self._adjacency: Dict[str, Set[str]] = {a: set() for a in query.aliases}
+        #: neighbor_masks[i] = OR of the bits of every relation joined to bit i.
+        self.neighbor_masks: List[int] = [0] * self.num_relations
+        #: Per join clause (in clause order): the bit of its left / right relation.
+        self.clause_bits: List[Tuple[int, int]] = []
         for clause in query.join_clauses:
             left, right = clause.left.relation, clause.right.relation
             self._adjacency[left].add(right)
             self._adjacency[right].add(left)
+            left_bit, right_bit = self.bit_of[left], self.bit_of[right]
+            self.neighbor_masks[left_bit] |= 1 << right_bit
+            self.neighbor_masks[right_bit] |= 1 << left_bit
+            self.clause_bits.append((1 << left_bit, 1 << right_bit))
+
+        self._alias_sets: Dict[int, FrozenSet[str]] = {}
+        self._component_masks: Optional[List[int]] = None
         self.equivalence_classes = self._build_equivalence_classes(query.join_clauses)
 
     @staticmethod
@@ -73,7 +104,144 @@ class JoinGraph:
         return [EquivalenceClass(columns=cols) for cols in groups.values()
                 if len(cols) >= 2]
 
-    # -- connectivity ---------------------------------------------------------
+    # -- mask <-> alias-set conversion ----------------------------------------
+
+    def mask_of_alias(self, alias: str) -> int:
+        """The single-bit mask of one relation alias."""
+        return 1 << self.bit_of[alias]
+
+    def mask_of(self, relations: Iterable[str]) -> int:
+        """Bitmask of an alias collection."""
+        mask = 0
+        for alias in relations:
+            mask |= 1 << self.bit_of[alias]
+        return mask
+
+    def aliases_of(self, mask: int) -> FrozenSet[str]:
+        """Frozen alias set for ``mask`` (memoized: masks recur constantly)."""
+        cached = self._alias_sets.get(mask)
+        if cached is None:
+            cached = frozenset(self.aliases[i]
+                               for i in self._bit_indices(mask))
+            self._alias_sets[mask] = cached
+        return cached
+
+    @staticmethod
+    def _bit_indices(mask: int) -> Iterator[int]:
+        """Indices of the set bits of ``mask``, ascending."""
+        while mask:
+            low = mask & -mask
+            yield low.bit_length() - 1
+            mask ^= low
+
+    # -- connectivity (bitmask core) ------------------------------------------
+
+    def neighbor_mask(self, mask: int) -> int:
+        """All relations adjacent to ``mask``, excluding ``mask`` itself."""
+        result = 0
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            result |= self.neighbor_masks[low.bit_length() - 1]
+            remaining ^= low
+        return result & ~mask
+
+    def is_connected_mask(self, mask: int) -> bool:
+        """True if the induced subgraph on ``mask`` is connected."""
+        if mask == 0:
+            return False
+        reached = mask & -mask
+        frontier = reached
+        while frontier:
+            grown = 0
+            while frontier:
+                low = frontier & -frontier
+                grown |= self.neighbor_masks[low.bit_length() - 1]
+                frontier ^= low
+            frontier = grown & mask & ~reached
+            reached |= frontier
+        return reached == mask
+
+    def component_masks(self) -> List[int]:
+        """Connected components as masks, ordered by their lowest bit."""
+        if self._component_masks is None:
+            components: List[int] = []
+            remaining = self.all_mask
+            while remaining:
+                seed = remaining & -remaining
+                component = seed
+                frontier = seed
+                while frontier:
+                    grown = 0
+                    while frontier:
+                        low = frontier & -frontier
+                        grown |= self.neighbor_masks[low.bit_length() - 1]
+                        frontier ^= low
+                    frontier = grown & remaining & ~component
+                    component |= frontier
+                components.append(component)
+                remaining &= ~component
+            self._component_masks = components
+        return list(self._component_masks)
+
+    # -- DPccp: connected subgraph / complement enumeration --------------------
+
+    def connected_subset_masks(self, component: Optional[int] = None) -> Iterator[int]:
+        """Every connected subset of ``component``, exactly once (EnumerateCsg).
+
+        Starts one expansion per vertex, forbidding lower-numbered vertices, so
+        each connected set is produced from its minimum vertex only.  Emission
+        order is an implementation detail — callers needing a particular order
+        must sort.
+        """
+        comp = self.all_mask if component is None else component
+        forbidden_outside = self.all_mask ^ comp
+        for i in reversed(list(self._bit_indices(comp))):
+            seed = 1 << i
+            yield seed
+            prohibited = ((seed << 1) - 1) | forbidden_outside
+            yield from self._enumerate_csg_rec(seed, prohibited)
+
+    def _enumerate_csg_rec(self, subgraph: int, prohibited: int) -> Iterator[int]:
+        """Connected supersets of ``subgraph`` grown through its neighborhood."""
+        neighborhood = self.neighbor_mask(subgraph) & ~prohibited
+        if not neighborhood:
+            return
+        extension = neighborhood
+        extensions = []
+        while extension:
+            extensions.append(extension)
+            extension = (extension - 1) & neighborhood
+        for extension in extensions:
+            yield subgraph | extension
+        for extension in extensions:
+            yield from self._enumerate_csg_rec(subgraph | extension,
+                                               prohibited | neighborhood)
+
+    def csg_cmp_pairs(self, component: Optional[int] = None,
+                      ) -> Iterator[Tuple[int, int]]:
+        """Every connected (csg, cmp) pair of ``component``, once per unordered pair.
+
+        Both halves are connected, disjoint, and joined by at least one edge;
+        the complement always carries a higher minimum vertex than the csg
+        (DPccp's dedup invariant).  Callers wanting both join orientations emit
+        the swapped pair themselves.
+        """
+        comp = self.all_mask if component is None else component
+        forbidden_outside = self.all_mask ^ comp
+        for csg in self.connected_subset_masks(comp):
+            min_bit = csg & -csg
+            prohibited = ((min_bit << 1) - 1) | csg | forbidden_outside
+            neighborhood = self.neighbor_mask(csg) & ~prohibited
+            for i in reversed(list(self._bit_indices(neighborhood))):
+                seed = 1 << i
+                yield csg, seed
+                seeded_prohibited = (prohibited
+                                     | (neighborhood & ((seed << 1) - 1)))
+                for cmp_mask in self._enumerate_csg_rec(seed, seeded_prohibited):
+                    yield csg, cmp_mask
+
+    # -- connectivity (frozenset seams) ---------------------------------------
 
     def neighbours(self, alias: str) -> Set[str]:
         """Relations directly joined to ``alias``."""
@@ -88,36 +256,11 @@ class JoinGraph:
         """True if the induced subgraph on ``relations`` is connected."""
         if not relations:
             return False
-        relations = frozenset(relations)
-        if len(relations) == 1:
-            return True
-        seen = {next(iter(relations))}
-        frontier = list(seen)
-        while frontier:
-            current = frontier.pop()
-            for neighbour in self._adjacency.get(current, ()):
-                if neighbour in relations and neighbour not in seen:
-                    seen.add(neighbour)
-                    frontier.append(neighbour)
-        return seen == set(relations)
+        return self.is_connected_mask(self.mask_of(relations))
 
     def connected_components(self) -> List[FrozenSet[str]]:
         """Connected components of the whole join graph."""
-        remaining = set(self.query.aliases)
-        components: List[FrozenSet[str]] = []
-        while remaining:
-            start = remaining.pop()
-            seen = {start}
-            frontier = [start]
-            while frontier:
-                current = frontier.pop()
-                for neighbour in self._adjacency.get(current, ()):
-                    if neighbour not in seen:
-                        seen.add(neighbour)
-                        frontier.append(neighbour)
-            remaining -= seen
-            components.append(frozenset(seen))
-        return components
+        return [self.aliases_of(mask) for mask in self.component_masks()]
 
     # -- equivalence-class helpers ---------------------------------------------
 

@@ -87,12 +87,13 @@ class NaiveBloomEnumerator:
 
     # ------------------------------------------------------------------
 
-    def _base_subplans(self) -> Dict[FrozenSet[str], List[NaiveSubPlan]]:
-        """Per-relation sub-plans: one plain scan plus uncosted Bloom scans."""
+    def _base_subplans(self) -> Dict[int, List[NaiveSubPlan]]:
+        """Per-relation sub-plans keyed by relation-set bitmask: one plain
+        scan plus uncosted Bloom scans."""
         candidates = mark_bloom_filter_candidates(self.query, self.estimator,
                                                   self.settings,
                                                   self.join_graph)
-        plan_lists: Dict[FrozenSet[str], List[NaiveSubPlan]] = {}
+        plan_lists: Dict[int, List[NaiveSubPlan]] = {}
         for alias in self.query.aliases:
             rows = self.estimator.scan_rows(alias)
             width = self.enumerator.row_width(alias)
@@ -106,7 +107,7 @@ class NaiveBloomEnumerator:
                 plans.append(NaiveSubPlan(relations=frozenset({alias}),
                                           unresolved=(marker,), rows=None,
                                           cost=None, shape=(alias, marker)))
-            plan_lists[frozenset({alias})] = plans
+            plan_lists[self.join_graph.mask_of_alias(alias)] = plans
         return plan_lists
 
     def _resolve(self, plan: NaiveSubPlan, inner: NaiveSubPlan,
@@ -144,11 +145,11 @@ class NaiveBloomEnumerator:
 
         for pair in self.enumerator.enumerate_join_pairs():
             pairs += 1
-            outer_plans = plan_lists.get(pair.outer, [])
-            inner_plans = plan_lists.get(pair.inner, [])
+            outer_plans = plan_lists.get(pair.outer_mask, [])
+            inner_plans = plan_lists.get(pair.inner_mask, [])
             if not outer_plans or not inner_plans:
                 continue
-            target = plan_lists.setdefault(pair.union, [])
+            target = plan_lists.setdefault(pair.union_mask, [])
             best_cost: Optional[float] = None
             for existing in target:
                 if existing.cost is not None:

@@ -96,8 +96,9 @@ class Optimizer:
         estimator = CardinalityEstimator(self.catalog, query)
         two_phase = TwoPhaseBloomOptimizer(self.catalog, query, estimator,
                                            self.cost_model, settings)
-        plan_lists = two_phase.optimize()
-        join_plan = self._best_join_plan(query, plan_lists)
+        table = two_phase.optimize_table()
+        join_plan = self._best_join_plan(query, two_phase.join_graph, table)
+        plan_lists = table.to_alias_dict(two_phase.join_graph)
 
         postprocess_report: Optional[PostProcessReport] = None
         if mode in (OptimizerMode.BF_POST, OptimizerMode.BF_CBO):
@@ -119,11 +120,9 @@ class Optimizer:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _best_join_plan(query: QueryBlock,
-                        plan_lists: Dict[FrozenSet[str], PlanList]) -> PlanNode:
+    def _best_join_plan(query: QueryBlock, join_graph, table) -> PlanNode:
         """Cheapest complete (no pending Bloom filters) plan for all relations."""
-        full_set = query.all_relations
-        plan_list = plan_lists.get(full_set)
+        plan_list = table.get(join_graph.all_mask)
         if plan_list is None or plan_list.best() is None:
             raise RuntimeError("optimizer produced no plan for %s" % query.name)
         return plan_list.best()

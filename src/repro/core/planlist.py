@@ -12,21 +12,37 @@ removes sub-plans that are worse on every axis the paper cares about:
 
 Heuristic 7 (Section 3.10 / Table 3) is implemented here as an optional cap on
 the number of Bloom filter sub-plans kept per relation.
+
+The DP memo itself is a :class:`PlanTable`: plan lists keyed by the integer
+bitmask of their relation set (see :class:`~repro.core.joingraph.JoinGraph`
+for the alias↔bit mapping).  Frozenset-keyed dictionaries appear only at the
+public seams via :meth:`PlanTable.to_alias_dict`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .plans import PlanNode
 
 
 @dataclass
 class PlanList:
-    """The set of retained sub-plans for one relation set."""
+    """The set of retained sub-plans for one relation set.
+
+    Plans are additionally bucketed by distribution signature: dominance can
+    only hold between plans with the same distribution, so :meth:`add` scans
+    one bucket instead of the whole list.
+    """
 
     plans: List[PlanNode] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._buckets: Dict[Tuple, List[PlanNode]] = {}
+        for plan in self.plans:
+            self._buckets.setdefault(
+                plan.properties.distribution.signature(), []).append(plan)
 
     def __len__(self) -> int:
         return len(self.plans)
@@ -59,15 +75,20 @@ class PlanList:
 
     def add(self, plan: PlanNode) -> bool:
         """Try to add ``plan``; returns True if it was retained."""
-        survivors: List[PlanNode] = []
-        for existing in self.plans:
+        signature = plan.properties.distribution.signature()
+        bucket = self._buckets.setdefault(signature, [])
+        for existing in bucket:
             if self._dominates(existing, plan):
                 return False
-        for existing in self.plans:
-            if not self._dominates(plan, existing):
-                survivors.append(existing)
-        survivors.append(plan)
-        self.plans = survivors
+        dominated = [existing for existing in bucket
+                     if self._dominates(plan, existing)]
+        if dominated:
+            dominated_ids = {id(existing) for existing in dominated}
+            self.plans = [p for p in self.plans
+                          if id(p) not in dominated_ids]
+            bucket[:] = [p for p in bucket if id(p) not in dominated_ids]
+        self.plans.append(plan)
+        bucket.append(plan)
         return True
 
     def add_all(self, plans: Iterable[PlanNode]) -> int:
@@ -114,4 +135,48 @@ class PlanList:
         keeper = min(bloom_plans, key=lambda p: (p.rows, p.cost.total))
         pruned = [p for p in bloom_plans if p is not keeper]
         self.plans = self.non_bloom_plans() + [keeper]
+        self.__post_init__()  # rebuild the signature buckets
         return len(pruned)
+
+
+@dataclass
+class PlanTable:
+    """The bottom-up DP memo: one :class:`PlanList` per relation-set bitmask."""
+
+    lists: Dict[int, PlanList] = field(default_factory=dict)
+
+    def get(self, mask: int) -> Optional[PlanList]:
+        """The plan list for ``mask``, or None if the set was never planned."""
+        return self.lists.get(mask)
+
+    def target(self, mask: int) -> PlanList:
+        """The plan list for ``mask``, created empty on first use."""
+        plan_list = self.lists.get(mask)
+        if plan_list is None:
+            plan_list = PlanList()
+            self.lists[mask] = plan_list
+        return plan_list
+
+    def set(self, mask: int, plan_list: PlanList) -> None:
+        """Install ``plan_list`` as the memo entry for ``mask``."""
+        self.lists[mask] = plan_list
+
+    def __len__(self) -> int:
+        return len(self.lists)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.lists)
+
+    def items(self):
+        return self.lists.items()
+
+    def to_alias_dict(self, join_graph) -> Dict:
+        """Frozenset-keyed view for the public optimizer seams."""
+        return {join_graph.aliases_of(mask): plan_list
+                for mask, plan_list in self.lists.items()}
+
+    @classmethod
+    def from_alias_dict(cls, plan_lists: Dict, join_graph) -> "PlanTable":
+        """Mask-keyed table from a frozenset-keyed dictionary."""
+        return cls(lists={join_graph.mask_of(relations): plan_list
+                          for relations, plan_list in plan_lists.items()})

@@ -52,11 +52,18 @@ class PlanNode:
 
     @property
     def relations(self) -> FrozenSet[str]:
-        """Relation aliases covered by this sub-plan."""
-        result: FrozenSet[str] = frozenset()
-        for child in self.children:
-            result |= child.relations
-        return result
+        """Relation aliases covered by this sub-plan.
+
+        Memoized per node: the enumerator asks for this on every δ-constraint
+        check and plan trees are immutable once constructed.
+        """
+        cached = self.__dict__.get("_relations")
+        if cached is None:
+            result: FrozenSet[str] = frozenset()
+            for child in self.children:
+                result |= child.relations
+            self.__dict__["_relations"] = cached = result
+        return cached
 
     @property
     def pending_blooms(self) -> FrozenSet[BloomFilterSpec]:
@@ -92,7 +99,10 @@ class ScanNode(PlanNode):
 
     @property
     def relations(self) -> FrozenSet[str]:
-        return frozenset({self.alias})
+        cached = self.__dict__.get("_relations")
+        if cached is None:
+            self.__dict__["_relations"] = cached = frozenset({self.alias})
+        return cached
 
     @property
     def is_bloom_scan(self) -> bool:

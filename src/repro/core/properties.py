@@ -66,8 +66,18 @@ class Distribution:
         return self.kind is DistributionKind.HASH and set(self.keys) == set(columns)
 
     def signature(self) -> Tuple:
-        """Hashable signature used in plan-list keys."""
-        return (self.kind.value, tuple(sorted(str(k) for k in self.keys)))
+        """Hashable signature used in plan-list keys.
+
+        Memoized on the (frozen, immutable) instance: dominance checks in
+        :class:`~repro.core.planlist.PlanList` call this for every plan pair.
+        """
+        try:
+            return self._signature  # type: ignore[attr-defined]
+        except AttributeError:
+            signature = (self.kind.value,
+                         tuple(sorted(str(k) for k in self.keys)))
+            object.__setattr__(self, "_signature", signature)
+            return signature
 
     def __str__(self) -> str:
         if self.kind is DistributionKind.HASH:
@@ -94,9 +104,15 @@ class PlanProperties:
     pending_blooms: FrozenSet = frozenset()
 
     def signature(self) -> Tuple:
-        """Hashable plan-list key."""
-        return (self.distribution.signature(),
-                tuple(sorted(spec.filter_id for spec in self.pending_blooms)))
+        """Hashable plan-list key (memoized; the instance is immutable)."""
+        try:
+            return self._signature  # type: ignore[attr-defined]
+        except AttributeError:
+            signature = (self.distribution.signature(),
+                         tuple(sorted(spec.filter_id
+                                      for spec in self.pending_blooms)))
+            object.__setattr__(self, "_signature", signature)
+            return signature
 
     @property
     def has_pending_blooms(self) -> bool:

@@ -96,7 +96,21 @@ def _fill_value_for(array: np.ndarray):
         return np.nan
     if array.dtype.kind == "b":
         return False
+    if array.dtype.kind in ("U", "S"):
+        return array.dtype.type()  # empty string of the column's dtype
     return None
+
+
+def _pad_columns(batch: Batch, num_rows: int) -> Batch:
+    """A ``num_rows``-row batch of null substitutes matching ``batch``'s
+    columns — with every column keeping its original dtype, so concatenating
+    matched and padded rows never silently promotes the column type."""
+    pad = {}
+    for key in batch.keys:
+        column = batch.column(key)
+        pad[key] = np.full(num_rows, _fill_value_for(column),
+                           dtype=column.dtype)
+    return Batch(pad)
 
 
 def equi_join(probe: Batch, build: Batch, clauses: Sequence[JoinClause],
@@ -105,7 +119,9 @@ def equi_join(probe: Batch, build: Batch, clauses: Sequence[JoinClause],
 
     ``probe`` corresponds to the plan's outer input and ``build`` to the inner
     input; for LEFT joins the probe side is the row-preserving side, matching
-    how the enumerator orients non-inner joins.
+    how the enumerator orients non-inner joins.  FULL joins preserve both
+    sides: unmatched probe rows are padded on the build columns and unmatched
+    build rows are padded on the probe columns.
     """
     if not clauses:
         return cross_join(probe, build)
@@ -121,20 +137,25 @@ def equi_join(probe: Batch, build: Batch, clauses: Sequence[JoinClause],
     if join_type is JoinType.INNER:
         return matched
     if join_type in (JoinType.LEFT, JoinType.FULL):
+        pieces = [matched]
         unmatched_mask = counts == 0
-        if not unmatched_mask.any():
+        if unmatched_mask.any():
+            unmatched = probe.filter(unmatched_mask)
+            pieces.append(unmatched.merge(_pad_columns(build,
+                                                       unmatched.num_rows)))
+        if join_type is JoinType.FULL:
+            build_matched = np.zeros(build.num_rows, dtype=bool)
+            build_matched[build_idx] = True
+            if not build_matched.all():
+                unmatched_build = build.filter(~build_matched)
+                pieces.append(_pad_columns(
+                    probe, unmatched_build.num_rows).merge(unmatched_build))
+        if len(pieces) == 1:
             return matched
-        unmatched = probe.filter(unmatched_mask)
-        pad = {}
-        for key in build.keys:
-            column = build.column(key)
-            fill = _fill_value_for(column)
-            pad[key] = np.full(unmatched.num_rows, fill,
-                               dtype=column.dtype if fill is not None else object)
-        padded = unmatched.merge(Batch(pad))
         combined = {}
         for key in matched.keys:
-            combined[key] = np.concatenate([matched.column(key), padded.column(key)])
+            combined[key] = np.concatenate([piece.column(key)
+                                            for piece in pieces])
         return Batch(combined)
     raise ValueError("unsupported join type %r" % join_type)
 

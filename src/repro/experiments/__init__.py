@@ -8,6 +8,10 @@ from .case_studies import (
     run_q12_case_study,
 )
 from .delta_semantics import DeltaSemanticsResult, run_delta_semantics
+from .enumeration_latency import (
+    EnumerationLatencyResult,
+    run_enumeration_latency,
+)
 from .naive_blowup import BlowupResult, run_naive_blowup
 from .planner_latency import PlannerLatencyResult, run_planner_latency
 from .report import QueryRun, QueryRunner, format_table, percent_reduction, scaled_settings
@@ -18,6 +22,7 @@ __all__ = [
     "BlowupResult",
     "CaseStudyResult",
     "DeltaSemanticsResult",
+    "EnumerationLatencyResult",
     "MaeResult",
     "PlannerLatencyResult",
     "QueryRun",
@@ -30,6 +35,7 @@ __all__ = [
     "run_cardinality_mae",
     "run_case_study",
     "run_delta_semantics",
+    "run_enumeration_latency",
     "run_naive_blowup",
     "run_planner_latency",
     "run_q12_case_study",

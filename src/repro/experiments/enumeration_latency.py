@@ -1,0 +1,169 @@
+"""Planner-latency microbenchmark on large synthetic join topologies.
+
+The TPC-H queries top out at eight relations, which hides the asymptotic cost
+of join enumeration.  This experiment builds statistics-only chain, star and
+clique queries of 10+ relations — the shapes with the fewest, an intermediate
+number, and the most connected subgraphs respectively — and measures
+
+* the time to exhaust :meth:`JoinEnumerator.enumerate_join_pairs` (the
+  structural walk both BF-CBO phases pay), and
+* full planning time through the :class:`Optimizer` facade.
+
+It is the benchmark used to validate the bitmask DPccp enumeration rewrite
+(see ``docs/enumeration.md``): the pair walk must emit exactly the connected
+(csg, cmp) pairs without scanning the 2^n disconnected subsets.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.cardinality import CardinalityEstimator
+from ..core.cost import CostModel
+from ..core.enumerator import JoinEnumerator
+from ..core.expressions import ColumnRef
+from ..core.heuristics import BfCboSettings
+from ..core.optimizer import Optimizer, OptimizerMode
+from ..core.query import BaseRelation, JoinClause, QueryBlock
+from ..storage.catalog import Catalog
+from ..storage.schema import make_schema
+from ..storage.statistics import synthetic_statistics
+from ..storage.types import INT64
+from .report import format_table
+
+#: The topologies the benchmark understands.
+TOPOLOGIES = ("chain", "star", "clique")
+
+
+def build_topology_catalog(num_tables: int, topology: str,
+                           base_rows: int = 10_000_000) -> Catalog:
+    """Statistics-only catalog for one synthetic join topology.
+
+    Every table carries a primary key ``pk`` plus one join column per edge it
+    participates in, so each clause joins distinct columns and the estimator
+    sees sensible per-column distinct counts.
+    """
+    catalog = Catalog()
+    for index in range(num_tables):
+        name = "r%d" % index
+        rows = max(1_000, int(base_rows / (2 ** index)))
+        columns = [("pk", INT64)]
+        ndv = {"pk": rows}
+        for other in _edge_partners(num_tables, topology, index):
+            column = "j%d" % other
+            columns.append((column, INT64))
+            ndv[column] = max(1, rows // 2)
+        schema = make_schema(name, columns, primary_key=["pk"])
+        catalog.register_schema(schema, synthetic_statistics(name, rows, ndv))
+    return catalog
+
+
+def build_topology_query(num_tables: int, topology: str) -> QueryBlock:
+    """Chain / star / clique query over the matching synthetic catalog."""
+    relations = [BaseRelation("r%d" % i, "r%d" % i) for i in range(num_tables)]
+    clauses = [JoinClause(ColumnRef("r%d" % i, "j%d" % j),
+                          ColumnRef("r%d" % j, "j%d" % i))
+               for i, j in _edges(num_tables, topology)]
+    return QueryBlock(relations=relations, join_clauses=clauses,
+                      name="%s-%d" % (topology, num_tables))
+
+
+def _edges(num_tables: int, topology: str) -> List[Tuple[int, int]]:
+    if topology == "chain":
+        return [(i, i + 1) for i in range(num_tables - 1)]
+    if topology == "star":
+        return [(0, i) for i in range(1, num_tables)]
+    if topology == "clique":
+        return [(i, j) for i in range(num_tables)
+                for j in range(i + 1, num_tables)]
+    raise ValueError("unknown topology %r (expected one of %r)"
+                     % (topology, TOPOLOGIES))
+
+
+def _edge_partners(num_tables: int, topology: str, index: int) -> List[int]:
+    partners = []
+    for i, j in _edges(num_tables, topology):
+        if i == index:
+            partners.append(j)
+        elif j == index:
+            partners.append(i)
+    return partners
+
+
+@dataclass
+class EnumerationLatencyPoint:
+    """Measurements for one (topology, size) query."""
+
+    query: str
+    num_tables: int
+    join_pairs: int
+    enumeration_ms: float
+    #: Full planning latency; 0.0 when planning was skipped for the point
+    #: (the clique DP is orders of magnitude larger than its enumeration).
+    planning_ms: float = 0.0
+
+
+@dataclass
+class EnumerationLatencyResult:
+    """All measured topology points."""
+
+    points: List[EnumerationLatencyPoint] = field(default_factory=list)
+
+    def point(self, query: str) -> EnumerationLatencyPoint:
+        for point in self.points:
+            if point.query == query:
+                return point
+        raise KeyError(query)
+
+    def to_text(self) -> str:
+        headers = ["query", "tables", "join pairs", "enumeration (ms)",
+                   "planning (ms)"]
+        rows = [[p.query, p.num_tables, p.join_pairs,
+                 "%.2f" % p.enumeration_ms, "%.2f" % p.planning_ms]
+                for p in self.points]
+        return format_table(headers, rows,
+                            title="Join enumeration latency on synthetic topologies")
+
+
+def measure_enumeration(catalog: Catalog, query: QueryBlock) -> Tuple[int, float]:
+    """(pair count, milliseconds) to exhaust the structural pair walk."""
+    estimator = CardinalityEstimator(catalog, query)
+    enumerator = JoinEnumerator(catalog, query, estimator, CostModel(),
+                                BfCboSettings.disabled())
+    started = time.perf_counter()
+    pairs = sum(1 for _ in enumerator.enumerate_join_pairs())
+    elapsed_ms = (time.perf_counter() - started) * 1e3
+    return pairs, elapsed_ms
+
+
+def run_enumeration_latency(specs: Optional[List[Tuple[str, int]]] = None,
+                            plan_topologies: Tuple[str, ...] = ("chain", "star"),
+                            ) -> EnumerationLatencyResult:
+    """Measure enumeration (and, for ``plan_topologies``, planning) latency.
+
+    Clique queries are excluded from full planning by default: their DP has
+    Θ(3^n) (csg, cmp) pairs, so end-to-end planning dwarfs the enumeration
+    walk this experiment is about.
+    """
+    specs = specs or [("chain", 12), ("chain", 14), ("star", 12),
+                      ("clique", 10)]
+    result = EnumerationLatencyResult()
+    for topology, num_tables in specs:
+        catalog = build_topology_catalog(num_tables, topology)
+        query = build_topology_query(num_tables, topology)
+        pairs, enumeration_ms = measure_enumeration(catalog, query)
+        planning_ms = 0.0
+        if topology in plan_topologies:
+            optimizer = Optimizer(catalog)
+            planned = optimizer.optimize(query, OptimizerMode.NO_BF)
+            planning_ms = planned.planning_time_ms
+        result.points.append(EnumerationLatencyPoint(
+            query=query.name, num_tables=num_tables, join_pairs=pairs,
+            enumeration_ms=enumeration_ms, planning_ms=planning_ms))
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual benchmark entry point
+    print(run_enumeration_latency().to_text())

@@ -78,6 +78,24 @@ class TestSizing:
         with pytest.raises(ValueError):
             optimal_num_bits(100, 1.5)
 
+    def test_optimal_num_bits_zero_keys(self):
+        assert optimal_num_bits(0, 0.01) == 64
+
+    def test_optimal_num_bits_negative_keys_raises(self):
+        with pytest.raises(ValueError):
+            optimal_num_bits(-1, 0.01)
+
+    def test_optimal_num_bits_hits_cap_for_impossible_targets(self):
+        """An unachievable target stops doubling at the 1 << 40 cap instead of
+        looping forever; the result is the first power of two past the cap."""
+        bits = optimal_num_bits(1 << 50, 1e-12)
+        assert bits == 1 << 41
+        assert false_positive_rate(bits, 1 << 50) > 1e-12
+
+    def test_optimal_num_bits_cap_not_hit_for_achievable_targets(self):
+        bits = optimal_num_bits(2_000_000, 0.049)
+        assert bits < 1 << 40
+
     def test_bloom_filter_bytes(self):
         assert bloom_filter_bytes(64) == 8
         assert bloom_filter_bytes(65) == 9
@@ -95,6 +113,19 @@ class TestExpectedFpr:
 
     def test_zero_ndv(self):
         assert expected_fpr_for_build_ndv(0) == 0.0
+
+    def test_negative_ndv_clamped_to_zero(self):
+        assert expected_fpr_for_build_ndv(-7) == 0.0
+
+    @given(st.integers(min_value=0, max_value=3_000_000))
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_runtime_sized_filter(self, ndv):
+        """The planning-time FPR must equal the analytical FPR of the filter
+        the runtime would actually build for that distinct count (same
+        ``bits_for_keys`` sizing, same key count)."""
+        runtime_bits = bits_for_keys(ndv)
+        assert expected_fpr_for_build_ndv(ndv) == pytest.approx(
+            false_positive_rate(runtime_bits, ndv))
 
     @given(st.integers(min_value=1, max_value=5_000_000))
     @settings(max_examples=50, deadline=None)

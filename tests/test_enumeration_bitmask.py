@@ -1,0 +1,241 @@
+"""Tests for the bitmask DPccp enumeration core.
+
+Three layers of guarantees:
+
+* the :class:`JoinGraph` mask primitives (alias↔bit mapping, neighbor masks,
+  mask connectivity, components) agree with their definitions;
+* the DPccp (csg, cmp) walk emits exactly the valid connected pairs, and the
+  ordered pair sequence of :meth:`JoinEnumerator.enumerate_join_pairs` is
+  byte-identical to the seed enumerator's subset-scanning walk on every
+  connected or two-component graph shape;
+* disconnected queries (3+ components) are planned through explicit
+  cross-product stitching — the seed enumerator produced no plan for them.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import CostModel, Optimizer, OptimizerMode
+from repro.core.cardinality import CardinalityEstimator
+from repro.core.enumerator import JoinEnumerator
+from repro.core.expressions import ColumnRef
+from repro.core.joingraph import JoinGraph
+from repro.core.query import BaseRelation, JoinClause, QueryBlock
+from repro.storage import Catalog, INT64, make_schema, synthetic_statistics
+
+
+def make_query(num_relations, edges, name="g"):
+    relations = [BaseRelation("t%02d" % i, "t%02d" % i)
+                 for i in range(num_relations)]
+    clauses = [JoinClause(ColumnRef("t%02d" % i, "c%d" % j),
+                          ColumnRef("t%02d" % j, "c%d" % i))
+               for i, j in edges]
+    return QueryBlock(relations=relations, join_clauses=clauses, name=name)
+
+
+def make_catalog(query, rows=10_000):
+    catalog = Catalog()
+    for relation in query.relations:
+        columns = [("pk", INT64)]
+        ndv = {"pk": rows}
+        for clause in query.join_clauses:
+            for side in (clause.left, clause.right):
+                if side.relation == relation.alias:
+                    columns.append((side.column, INT64))
+                    ndv[side.column] = rows // 2
+        schema = make_schema(relation.table_name, columns, primary_key=["pk"])
+        catalog.register_schema(schema, synthetic_statistics(
+            relation.table_name, rows, ndv))
+    return catalog
+
+
+def reference_pairs(query, graph):
+    """The seed enumerator's pair walk: scan all 2^n subsets, filter for
+    connectivity, split each union by scanning all 2^k subset masks."""
+    aliases = query.aliases
+    all_relations = frozenset(aliases)
+    out = []
+    for size in range(2, len(aliases) + 1):
+        for combo in itertools.combinations(aliases, size):
+            union = frozenset(combo)
+            if not (graph.is_connected_set(union) or union == all_relations):
+                continue
+            members = sorted(union)
+            connected_pairs, cross_pairs = [], []
+            for mask in range(1, (1 << len(members)) - 1):
+                outer = frozenset(members[i] for i in range(len(members))
+                                  if mask & (1 << i))
+                inner = union - outer
+                if not (graph.is_connected_set(outer)
+                        and graph.is_connected_set(inner)):
+                    continue
+                clauses = tuple(query.clauses_between(outer, inner))
+                entry = (union, outer, inner, clauses)
+                (connected_pairs if clauses else cross_pairs).append(entry)
+            out.extend(connected_pairs if connected_pairs else cross_pairs)
+    return out
+
+
+def enumerator_for(query):
+    enumerator = JoinEnumerator.__new__(JoinEnumerator)
+    enumerator.query = query
+    enumerator.join_graph = JoinGraph(query)
+    enumerator._pair_masks_cache = None
+    enumerator._pair_cache = None
+    return enumerator
+
+
+GRAPH_SHAPES = []
+for n in range(2, 7):
+    GRAPH_SHAPES.append((n, [(i, i + 1) for i in range(n - 1)], "chain"))
+    GRAPH_SHAPES.append((n, [(0, i) for i in range(1, n)], "star"))
+    GRAPH_SHAPES.append((n, [(i, j) for i in range(n)
+                             for j in range(i + 1, n)], "clique"))
+    if n >= 3:
+        GRAPH_SHAPES.append((n, [(i, (i + 1) % n) for i in range(n)], "cycle"))
+GRAPH_SHAPES.append((5, [(0, 1), (1, 2), (3, 4)], "two-components"))
+GRAPH_SHAPES.append((4, [(0, 1), (2, 3)], "two-pairs"))
+GRAPH_SHAPES.append((2, [], "two-singletons"))
+
+
+class TestJoinGraphMasks:
+    def test_bit_mapping_follows_from_order(self):
+        query = make_query(4, [(0, 1), (1, 2), (2, 3)])
+        graph = JoinGraph(query)
+        assert graph.aliases == ("t00", "t01", "t02", "t03")
+        assert [graph.bit_of[a] for a in graph.aliases] == [0, 1, 2, 3]
+        assert graph.all_mask == 0b1111
+        assert graph.mask_of(["t02", "t00"]) == 0b0101
+        assert graph.aliases_of(0b0101) == frozenset({"t00", "t02"})
+
+    def test_neighbor_masks(self):
+        query = make_query(4, [(0, 1), (1, 2), (2, 3)])
+        graph = JoinGraph(query)
+        assert graph.neighbor_masks[0] == 0b0010
+        assert graph.neighbor_masks[1] == 0b0101
+        assert graph.neighbor_mask(0b0011) == 0b0100  # neighbours of {t0,t1}
+
+    def test_mask_connectivity_matches_bfs(self):
+        for n, edges, _ in GRAPH_SHAPES:
+            query = make_query(n, edges)
+            graph = JoinGraph(query)
+            for mask in range(1, 1 << n):
+                subset = graph.aliases_of(mask)
+                adjacency = {a: graph.neighbours(a) & subset for a in subset}
+                seen = {next(iter(subset))}
+                frontier = list(seen)
+                while frontier:
+                    for neighbour in adjacency[frontier.pop()]:
+                        if neighbour not in seen:
+                            seen.add(neighbour)
+                            frontier.append(neighbour)
+                assert graph.is_connected_mask(mask) == (seen == set(subset))
+
+    def test_component_masks_ordered_and_disjoint(self):
+        query = make_query(5, [(0, 1), (1, 2), (3, 4)])
+        graph = JoinGraph(query)
+        components = graph.component_masks()
+        assert components == [0b00111, 0b11000]
+        assert graph.connected_components() == [
+            frozenset({"t00", "t01", "t02"}), frozenset({"t03", "t04"})]
+
+
+class TestDpccp:
+    @pytest.mark.parametrize("n,edges,shape", GRAPH_SHAPES,
+                             ids=[f"{s}-{n}" for n, e, s in GRAPH_SHAPES])
+    def test_csg_cmp_pairs_complete_and_unique(self, n, edges, shape):
+        query = make_query(n, edges)
+        graph = JoinGraph(query)
+        emitted = []
+        for component in graph.component_masks():
+            emitted.extend(graph.csg_cmp_pairs(component))
+        # Uniqueness per unordered pair.
+        unordered = {frozenset((a, b)) for a, b in emitted}
+        assert len(unordered) == len(emitted)
+        # Validity: connected halves, disjoint, joined by an edge.
+        for csg, cmp_mask in emitted:
+            assert csg & cmp_mask == 0
+            assert graph.is_connected_mask(csg)
+            assert graph.is_connected_mask(cmp_mask)
+            assert graph.neighbor_mask(csg) & cmp_mask
+        # Completeness against brute force over all disjoint mask pairs.
+        expected = set()
+        for a in range(1, 1 << n):
+            for b in range(a + 1, 1 << n):
+                if a & b:
+                    continue
+                if (graph.is_connected_mask(a) and graph.is_connected_mask(b)
+                        and graph.neighbor_mask(a) & b):
+                    expected.add(frozenset((a, b)))
+        assert unordered == expected
+
+    @pytest.mark.parametrize("n,edges,shape", GRAPH_SHAPES,
+                             ids=[f"{s}-{n}" for n, e, s in GRAPH_SHAPES])
+    def test_pair_sequence_identical_to_seed_walk(self, n, edges, shape):
+        query = make_query(n, edges)
+        graph = JoinGraph(query)
+        if len(graph.component_masks()) > 2:
+            pytest.skip("seed walk produced no full plan for 3+ components")
+        enumerator = enumerator_for(query)
+        new = [(p.union, p.outer, p.inner, p.clauses)
+               for p in enumerator.enumerate_join_pairs()]
+        assert new == reference_pairs(query, graph)
+
+    def test_pair_masks_match_frozensets(self):
+        query = make_query(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        enumerator = enumerator_for(query)
+        graph = enumerator.join_graph
+        for pair in enumerator.enumerate_join_pairs():
+            assert graph.aliases_of(pair.union_mask) == pair.union
+            assert graph.aliases_of(pair.outer_mask) == pair.outer
+            assert graph.aliases_of(pair.inner_mask) == pair.inner
+            assert pair.union_mask == pair.outer_mask | pair.inner_mask
+
+
+class TestDisconnectedQueries:
+    def three_component_query(self):
+        return make_query(5, [(0, 1), (2, 3)], name="three-components")
+
+    def test_connected_subsets_include_stitched_prefixes(self):
+        query = self.three_component_query()
+        catalog = make_catalog(query)
+        estimator = CardinalityEstimator(catalog, query)
+        enumerator = JoinEnumerator(catalog, query, estimator, CostModel())
+        subsets = enumerator.connected_subsets()
+        assert frozenset({"t00", "t01", "t02", "t03"}) in subsets
+        assert frozenset(query.aliases) in subsets
+        sizes = [len(s) for s in subsets]
+        assert sizes == sorted(sizes)
+
+    def test_three_component_query_gets_a_plan(self):
+        """Regression: the seed enumerator admitted the full relation set but
+        never stitched intermediate components, so 3+ component queries had no
+        valid plan at all."""
+        query = self.three_component_query()
+        catalog = make_catalog(query)
+        result = Optimizer(catalog).optimize(query, OptimizerMode.NO_BF)
+        assert result.join_plan.relations == frozenset(query.aliases)
+        # Two stitch steps, each considered in both orientations.
+        assert result.enumeration_stats.cross_products_stitched == 4
+
+    def test_two_component_query_still_plans(self):
+        query = make_query(4, [(0, 1), (2, 3)], name="two-components")
+        catalog = make_catalog(query)
+        result = Optimizer(catalog).optimize(query, OptimizerMode.NO_BF)
+        assert result.join_plan.relations == frozenset(query.aliases)
+        assert result.enumeration_stats.cross_products_stitched == 2
+
+    def test_pure_cross_product_query(self):
+        query = make_query(3, [], name="all-singletons")
+        catalog = make_catalog(query)
+        result = Optimizer(catalog).optimize(query, OptimizerMode.NO_BF)
+        assert result.join_plan.relations == frozenset(query.aliases)
+
+    def test_connected_query_counts_no_cross_products(self):
+        query = make_query(4, [(0, 1), (1, 2), (2, 3)], name="chain")
+        catalog = make_catalog(query)
+        result = Optimizer(catalog).optimize(query, OptimizerMode.NO_BF)
+        assert result.enumeration_stats.cross_products_stitched == 0

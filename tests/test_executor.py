@@ -118,10 +118,92 @@ class TestJoinKernels:
         assert left.num_rows == 5  # 3 matches + 2 unmatched probe rows
         assert sorted(left.column("p.k")) == [1, 2, 3, 4, 4]
 
+    def test_full_join_preserves_both_sides(self):
+        """Regression: FULL previously reused the LEFT path and silently
+        dropped unmatched build rows."""
+        probe = Batch({"p.k": np.asarray([1, 2, 3]),
+                       "p.v": np.asarray([10, 20, 30])})
+        build = Batch({"b.k": np.asarray([2, 2, 7, 9]),
+                       "b.w": np.asarray([200, 201, 700, 900])})
+        clause = JoinClause(ColumnRef("p", "k"), ColumnRef("b", "k"))
+        full = equi_join(probe, build, [clause], JoinType.FULL)
+        # 2 matches (k=2 twice) + 2 unmatched probe rows + 2 unmatched build.
+        assert full.num_rows == 6
+        assert sorted(full.column("b.w")) == [-1, -1, 200, 201, 700, 900]
+        assert sorted(full.column("p.k")) == [-1, -1, 1, 2, 2, 3]
+        # Every unmatched build row is padded on ALL probe columns.
+        pk, bw = full.column("p.k"), full.column("b.w")
+        assert sorted(bw[pk == -1]) == [700, 900]
+
+    def test_full_join_without_unmatched_build_rows(self):
+        probe, build, clauses = self._batches()
+        full = equi_join(probe, build, clauses, JoinType.FULL)
+        left = equi_join(probe, build, clauses, JoinType.LEFT)
+        assert full.num_rows == left.num_rows  # build side fully matched
+
+    def test_full_join_matches_brute_force(self):
+        rng = np.random.default_rng(1234)
+        for _ in range(20):
+            probe_keys = rng.integers(0, 8, size=rng.integers(0, 15))
+            build_keys = rng.integers(0, 8, size=rng.integers(0, 15))
+            probe = Batch({"p.k": probe_keys.astype(np.int64)})
+            build = Batch({"b.k": build_keys.astype(np.int64)})
+            clause = JoinClause(ColumnRef("p", "k"), ColumnRef("b", "k"))
+            if probe.num_rows == 0 or build.num_rows == 0:
+                continue
+            full = equi_join(probe, build, [clause], JoinType.FULL)
+            matches = sum(list(build_keys).count(k) for k in probe_keys)
+            unmatched_probe = sum(1 for k in probe_keys
+                                  if k not in set(build_keys))
+            unmatched_build = sum(1 for k in build_keys
+                                  if k not in set(probe_keys))
+            assert full.num_rows == matches + unmatched_probe + unmatched_build
+
+    def test_outer_join_padding_keeps_dtypes(self):
+        """Regression: string pads were built as dtype=object, silently
+        promoting numpy string columns on the padded path."""
+        probe = Batch({"p.k": np.asarray([1, 2], dtype=np.int64),
+                       "p.s": np.asarray(["x", "y"]),
+                       "p.o": np.asarray(["ox", "oy"], dtype=object)})
+        build = Batch({"b.k": np.asarray([2, 7], dtype=np.int64),
+                       "b.s": np.asarray(["bb", "cc"]),
+                       "b.f": np.asarray([1.5, 2.5]),
+                       "b.o": np.asarray(["bo", "co"], dtype=object)})
+        clause = JoinClause(ColumnRef("p", "k"), ColumnRef("b", "k"))
+        for join_type in (JoinType.LEFT, JoinType.FULL):
+            joined = equi_join(probe, build, [clause], join_type)
+            assert joined.column("p.k").dtype == probe.column("p.k").dtype
+            assert joined.column("b.k").dtype == build.column("b.k").dtype
+            assert joined.column("p.s").dtype.kind == "U"
+            assert joined.column("b.s").dtype.kind == "U"
+            assert joined.column("b.f").dtype == np.dtype(np.float64)
+            assert joined.column("p.o").dtype == np.dtype(object)
+            assert joined.column("b.o").dtype == np.dtype(object)
+
     def test_cross_join(self):
         left = Batch({"l.a": np.asarray([1, 2])})
         right = Batch({"r.b": np.asarray([10, 20, 30])})
         assert cross_join(left, right).num_rows == 6
+
+    @given(st.lists(st.integers(min_value=0, max_value=4), min_size=0,
+                    max_size=50),
+           st.lists(st.integers(min_value=0, max_value=4), min_size=0,
+                    max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_join_indices_matches_nested_loop(self, probe_keys, build_keys):
+        """Property test on duplicate-heavy keys (tiny domain → many dups):
+        the sort/search kernel must produce exactly the nested-loop pairs and
+        per-probe match counts."""
+        probe = np.asarray(probe_keys, dtype=np.int64)
+        build = np.asarray(build_keys, dtype=np.int64)
+        probe_idx, build_idx, counts = join_indices(probe, build)
+        kernel_pairs = sorted(zip(probe_idx.tolist(), build_idx.tolist()))
+        brute_pairs = sorted((i, j) for i in range(len(probe_keys))
+                             for j in range(len(build_keys))
+                             if probe_keys[i] == build_keys[j])
+        assert kernel_pairs == brute_pairs
+        brute_counts = [build_keys.count(k) for k in probe_keys]
+        assert counts.tolist() == brute_counts
 
     @given(st.lists(st.integers(min_value=0, max_value=20), min_size=0,
                     max_size=60),

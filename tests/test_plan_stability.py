@@ -1,0 +1,36 @@
+"""Golden-file test: TPC-H plan choices are pinned byte-for-byte.
+
+The bitmask DPccp enumeration rewrite must not change any plan the optimizer
+chooses: ``tests/golden/tpch_plans.txt`` records the join orders, join
+methods, Bloom filter specs, row estimates and costs for every analysed TPC-H
+query under all optimizer modes at the paper's SF100 statistics.  Regenerate
+with::
+
+    PYTHONPATH=src python scripts/dump_plan_golden.py > tests/golden/tpch_plans.txt
+
+and review the diff like any other behavioural change.
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+import sys
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "tpch_plans.txt"
+
+
+def test_tpch_plans_match_golden():
+    sys.path.insert(0, str(pathlib.Path(__file__).parents[1] / "scripts"))
+    try:
+        from dump_plan_golden import render_workload_plans
+    finally:
+        sys.path.pop(0)
+    out = io.StringIO()
+    render_workload_plans(out)
+    actual = out.getvalue()
+    expected = GOLDEN.read_text()
+    assert actual == expected, (
+        "TPC-H plans diverged from tests/golden/tpch_plans.txt — if the "
+        "change is intentional, regenerate the golden file and review the "
+        "diff")
