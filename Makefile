@@ -1,19 +1,25 @@
 # Developer entry points.  `make check` is the gate CI runs: the tier-1 unit
-# suite plus a planner-latency smoke benchmark that fails fast if the join
-# enumeration regresses to subset scanning (see docs/enumeration.md).
+# suite, a planner-latency smoke benchmark that fails fast if the join
+# enumeration regresses to subset scanning (see docs/enumeration.md), and an
+# examples smoke run that drives the session API (docs/api.md) end to end at
+# tiny scale.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test smoke bench golden
+.PHONY: check test smoke examples bench golden
 
-check: test smoke
+check: test smoke examples
 
 test:
 	$(PYTHON) -m pytest tests -x -q
 
 smoke:
 	$(PYTHON) -m pytest benchmarks/test_bench_planner_latency.py -x -q
+
+examples:
+	$(PYTHON) examples/quickstart.py --scale 0.01
+	$(PYTHON) examples/heuristic_ablation.py --scale 0.005 --queries 3,12,19
 
 bench:
 	$(PYTHON) -m pytest benchmarks -x -q

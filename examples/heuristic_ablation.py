@@ -10,16 +10,18 @@ Runs a subset of the TPC-H workload under several BF-CBO configurations:
 
 and reports total simulated latency, total planning time and the number of
 Bloom filters chosen, illustrating the planning-time/plan-quality trade-off
-the paper discusses.
+the paper discusses.  The database is opened with both caches disabled so
+every reported planning time is a real, cold optimization.
 
-Run with ``python examples/heuristic_ablation.py``.
+Run with ``python examples/heuristic_ablation.py`` (``--scale`` and
+``--queries`` shrink the run for smoke tests).
 """
 
 from __future__ import annotations
 
-from repro.core import BfCboSettings, OptimizerMode
-from repro.experiments import QueryRunner, format_table, scaled_settings
-from repro.tpch import TpchWorkload
+import argparse
+
+from repro.api import BfCboSettings, Database, OptimizerMode, format_table
 
 QUERY_NUMBERS = [3, 5, 7, 10, 12, 16, 19, 21]
 SCALE_FACTOR = 0.01
@@ -36,20 +38,30 @@ CONFIGURATIONS = [
 
 
 def main() -> None:
-    print("Generating TPC-H data at scale factor %s ..." % SCALE_FACTOR)
-    workload = TpchWorkload.generate(SCALE_FACTOR, query_numbers=QUERY_NUMBERS)
-    runner = QueryRunner(workload.catalog, scale_factor=SCALE_FACTOR)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=SCALE_FACTOR,
+                        help="TPC-H scale factor (default %s)" % SCALE_FACTOR)
+    parser.add_argument("--queries", type=str, default=None,
+                        help="comma-separated TPC-H query numbers")
+    args = parser.parse_args()
+    numbers = ([int(n) for n in args.queries.split(",")]
+               if args.queries else QUERY_NUMBERS)
+
+    print("Generating TPC-H data at scale factor %s ..." % args.scale)
+    db = Database.from_tpch(scale_factor=args.scale, query_numbers=numbers,
+                            plan_cache_size=0, sequence_cache_size=0)
+    session = db.connect()
 
     rows = []
     for label, mode, settings in CONFIGURATIONS:
         total_latency = 0.0
         total_planning = 0.0
         total_filters = 0
-        for number in QUERY_NUMBERS:
-            run = runner.run(workload.query(number), mode, settings)
-            total_latency += run.simulated_latency
-            total_planning += run.planning_time_ms
-            total_filters += run.num_bloom_filters
+        for number in numbers:
+            result = session.execute(db.tpch_query(number), mode, settings)
+            total_latency += result.simulated_latency
+            total_planning += result.optimization.planning_time_ms
+            total_filters += result.num_bloom_filters
         rows.append([label, "%.0f" % total_latency, "%.1f" % total_planning,
                      total_filters])
 
@@ -59,7 +71,7 @@ def main() -> None:
     print(format_table(
         ["configuration", "total latency", "planning (ms)", "Bloom filters",
          "latency vs BF-Post"],
-        rows, title="Heuristic ablation over TPC-H queries %s" % QUERY_NUMBERS))
+        rows, title="Heuristic ablation over TPC-H queries %s" % numbers))
 
 
 if __name__ == "__main__":

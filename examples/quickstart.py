@@ -1,23 +1,25 @@
-"""Quickstart: plan and run a SQL query with and without Bloom-filter-aware CBO.
+"""Quickstart: plan and run SQL through the embeddable session API.
 
 This example:
 
-1. generates a small deterministic TPC-H dataset (scale factor 0.05),
-2. binds an ad-hoc SQL query against it,
-3. optimizes it under the three modes the paper compares
-   (No-BF, BF-Post, BF-CBO),
-4. executes each plan and prints the plan tree, the number of Bloom filters
-   applied and the simulated latency.
+1. builds a :class:`repro.api.Database` over a small deterministic TPC-H
+   dataset (``Database.from_tpch``),
+2. opens a session and prepares an ad-hoc SQL query,
+3. executes it under the three modes the paper compares
+   (No-BF, BF-Post, BF-CBO), printing the plan tree, the number of Bloom
+   filters applied and the simulated latency,
+4. executes the BF-CBO variant a second time to show the database's plan
+   cache at work (``db.cache_stats()``).
 
-Run with ``python examples/quickstart.py``.
+Run with ``python examples/quickstart.py`` (``--scale`` shrinks the dataset
+for smoke runs).
 """
 
 from __future__ import annotations
 
-from repro.core import Optimizer, OptimizerMode, explain
-from repro.executor import ExecutionContext, Executor
-from repro.sql import bind_sql
-from repro.tpch import build_catalog
+import argparse
+
+from repro.api import Database, OptimizerMode
 
 QUERY = """
     select n_name, count(*) as num_orders, sum(o_totalprice) as total_price
@@ -32,26 +34,36 @@ QUERY = """
 
 
 def main() -> None:
-    print("Generating TPC-H data at scale factor 0.05 ...")
-    catalog = build_catalog(scale_factor=0.05)
-    query = bind_sql(catalog, QUERY, name="quickstart")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="TPC-H scale factor (default 0.05)")
+    args = parser.parse_args()
 
-    optimizer = Optimizer(catalog)
-    context = ExecutionContext.for_catalog(catalog)
+    print("Generating TPC-H data at scale factor %s ..." % args.scale)
+    db = Database.from_tpch(scale_factor=args.scale)
+    session = db.connect()
+    prepared = session.prepare(QUERY, name="quickstart")
 
     for mode in (OptimizerMode.NO_BF, OptimizerMode.BF_POST,
                  OptimizerMode.BF_CBO):
-        result = optimizer.optimize(query, mode)
-        execution = Executor(context).execute(result.plan)
+        result = prepared.execute(mode=mode)
         print("\n=== %s ===" % mode.value)
         print("planning time: %.1f ms, Bloom filters: %d"
               % (result.planning_time_ms, result.num_bloom_filters))
-        print(explain(result.plan,
-                      execution.metrics.actual_rows_by_node()))
+        print(result.explain())
         print("simulated latency: %.0f work units, result rows: %d"
-              % (execution.simulated_latency, execution.num_rows))
-        for name in sorted(execution.batch.keys):
-            print("  %s: %s" % (name, list(execution.batch.column(name))))
+              % (result.simulated_latency, result.num_rows))
+        for name in sorted(result.columns):
+            print("  %s: %s" % (name, list(result.column(name))))
+
+    # Re-running the same query hits the plan cache: no re-optimization.
+    again = prepared.execute(mode=OptimizerMode.BF_CBO)
+    stats = db.cache_stats()
+    print("\nre-run from plan cache: %s (%.2f ms to fetch the plan)"
+          % (again.from_plan_cache, again.planning_time_ms))
+    print("cache stats: %d/%d plan hits, %d/%d enumeration-sequence hits"
+          % (stats.plan_hits, stats.plan_lookups,
+             stats.sequence_hits, stats.sequence_lookups))
 
 
 if __name__ == "__main__":

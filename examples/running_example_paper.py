@@ -1,30 +1,85 @@
 """The paper's running example (Section 3, Examples 3.1-3.4, Figure 4).
 
-Walks through every step of BF-CBO on the three-table query
+Walks through BF-CBO on the three-table query
 
     SELECT * FROM t1, t2, t3
     WHERE t1.c2 = t2.c1 AND t2.c2 = t3.c1 AND t2.c3 < 100;
 
 at the paper's cardinalities (t1 = 600M, t2 ≈ 807K after filtering, t3 = 1M),
-showing the marked Bloom filter candidates, the Δ lists collected in the first
-bottom-up phase, and the final BF-Post vs BF-CBO plans side by side.
+entirely through the session API: a statistics-only catalog is registered on
+a :class:`repro.api.Database`, the SQL is planned by a session, and the
+marked Bloom filter candidates with their Δ lists are read off the
+optimization's BF-CBO report before the final BF-Post and BF-CBO plans are
+compared side by side.
 
 Run with ``python examples/running_example_paper.py``.
 """
 
 from __future__ import annotations
 
-from repro.experiments import run_running_example
+from repro.api import (
+    Catalog,
+    Database,
+    ForeignKey,
+    INT64,
+    OptimizerMode,
+    join_order_summary,
+    make_schema,
+    synthetic_statistics,
+)
+
+QUERY = """
+    select *
+    from t1, t2, t3
+    where t1.c2 = t2.c1 and t2.c2 = t3.c1 and t2.c3 < 100
+"""
+
+#: Paper cardinalities: t1 600M rows, t2 807K rows after its local predicate,
+#: t3 1M rows.
+T1_ROWS = 600_000_000
+T2_ROWS = 8_070_000
+T3_ROWS = 1_000_000
 
 
 def main() -> None:
-    result = run_running_example()
-    print(result.to_text())
+    db = Database(Catalog())
+    db.register_schema(
+        make_schema("t1", [("c1", INT64), ("c2", INT64)], primary_key=["c1"]),
+        synthetic_statistics("t1", T1_ROWS, {"c1": T1_ROWS, "c2": 22_000_000}))
+    db.register_schema(
+        make_schema("t2", [("c1", INT64), ("c2", INT64), ("c3", INT64)],
+                    primary_key=["c1"],
+                    foreign_keys=[ForeignKey("c2", "t3", "c1")]),
+        synthetic_statistics("t2", T2_ROWS,
+                             {"c1": T2_ROWS, "c2": 770_000, "c3": 1_000},
+                             {"c3": (0.0, 999.0)}))
+    db.register_schema(
+        make_schema("t3", [("c1", INT64)], primary_key=["c1"]),
+        synthetic_statistics("t3", T3_ROWS, {"c1": T3_ROWS}))
+
+    session = db.connect()
+    bf_post = session.plan(QUERY, OptimizerMode.BF_POST, name="running-example")
+    bf_cbo = session.plan(QUERY, OptimizerMode.BF_CBO, name="running-example")
+
+    print("Running example (Section 3)")
+    report = bf_cbo.optimization.bfcbo_report
+    print("\nBloom filter candidates (Example 3.1) and Δ lists (Example 3.2):")
+    for alias, cands in sorted(report.first_phase.candidates.items()):
+        for cand in cands:
+            print("  %s.bfc: apply=%s build=%s Δ=%s"
+                  % (alias, cand.apply_column, cand.build_column,
+                     [sorted(d) for d in cand.deltas]))
+
+    print("\nBF-Post plan (Figure 4a):")
+    print(bf_post.explain())
+    print("\nBF-CBO plan (Figure 4b):")
+    print(bf_cbo.explain())
+
     print("\nJoin orders:")
-    print("  BF-Post:", " | ".join(result.bf_post_join_order))
-    print("  BF-CBO :", " | ".join(result.bf_cbo_join_order))
+    print("  BF-Post:", " | ".join(join_order_summary(bf_post.optimization.join_plan)))
+    print("  BF-CBO :", " | ".join(join_order_summary(bf_cbo.optimization.join_plan)))
     print("\nEstimated plan cost: BF-Post %.0f vs BF-CBO %.0f"
-          % (result.bf_post.estimated_cost, result.bf_cbo.estimated_cost))
+          % (bf_post.estimated_cost, bf_cbo.estimated_cost))
 
 
 if __name__ == "__main__":

@@ -7,30 +7,53 @@ BF-CBO reverses the join inputs so that a Bloom filter built on the filtered
 `lineitem` can prune `orders` during its scan — reducing query latency by
 49.2% in the paper.
 
-This example first shows the plan shapes at the paper's SF100 statistics, then
-executes both plans on a small generated dataset to show the observed
-per-operator row counts.
+Everything runs through the session API: a statistics-only database shows the
+plan shapes at the paper's SF100 cardinalities, then a small materialised
+database executes both plans and reports the observed per-operator row
+counts.
 
 Run with ``python examples/tpch_q12_join_reversal.py``.
 """
 
 from __future__ import annotations
 
-from repro.experiments import run_q12_case_study
+import argparse
+
+from repro.api import Database, OptimizerMode, join_order_summary, percent_reduction
 
 
 def main() -> None:
-    print("Plan shapes at SF100 statistics (no execution):")
-    planning_only = run_q12_case_study(scale_factor=100.0, execute=False)
-    print("  BF-Post join order:", " | ".join(planning_only.bf_post_join_order))
-    print("  BF-CBO  join order:", " | ".join(planning_only.bf_cbo_join_order))
-    print("  Bloom filters: BF-Post=%d, BF-CBO=%d"
-          % (planning_only.bf_post_filters, planning_only.bf_cbo_filters))
-    print("  plan changed by BF-CBO:", planning_only.plan_changed)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="scale factor of the executed run (default 0.02)")
+    args = parser.parse_args()
 
-    print("\nExecution at scale factor 0.02:")
-    executed = run_q12_case_study(scale_factor=0.02, execute=True)
-    print(executed.to_text())
+    print("Plan shapes at SF100 statistics (no execution):")
+    paper_db = Database.from_tpch(scale_factor=100.0, statistics_only=True,
+                                  query_numbers=[12])
+    planner = paper_db.connect()
+    bf_post = planner.plan(paper_db.tpch_query(12), OptimizerMode.BF_POST)
+    bf_cbo = planner.plan(paper_db.tpch_query(12), OptimizerMode.BF_CBO)
+    post_order = join_order_summary(bf_post.optimization.join_plan)
+    cbo_order = join_order_summary(bf_cbo.optimization.join_plan)
+    print("  BF-Post join order:", " | ".join(post_order))
+    print("  BF-CBO  join order:", " | ".join(cbo_order))
+    print("  Bloom filters: BF-Post=%d, BF-CBO=%d"
+          % (bf_post.num_bloom_filters, bf_cbo.num_bloom_filters))
+    print("  plan changed by BF-CBO:", post_order != cbo_order)
+
+    print("\nExecution at scale factor %s:" % args.scale)
+    db = Database.from_tpch(scale_factor=args.scale, query_numbers=[12])
+    session = db.connect()
+    executed_post = session.execute(db.tpch_query(12), OptimizerMode.BF_POST)
+    executed_cbo = session.execute(db.tpch_query(12), OptimizerMode.BF_CBO)
+    print("\nBF-Post plan (%d Bloom filters):" % executed_post.num_bloom_filters)
+    print(executed_post.explain())
+    print("\nBF-CBO plan (%d Bloom filters):" % executed_cbo.num_bloom_filters)
+    print(executed_cbo.explain())
+    print("\nLatency improvement of BF-CBO over BF-Post: %.1f%%"
+          % percent_reduction(executed_post.simulated_latency,
+                              executed_cbo.simulated_latency))
 
 
 if __name__ == "__main__":

@@ -3,33 +3,63 @@
 The paper's Figure 6 shows that BF-CBO changes the join order of Q7 so that
 five Bloom filters can be applied instead of one, transferring the nation
 predicates through customer to orders and on to lineitem, and improving query
-latency by 83.7%.  This example reproduces the comparison: plan shape and
-Bloom filter placement at SF100 statistics, then an execution at a small scale
-factor with observed row counts.
+latency by 83.7%.  This example reproduces the comparison through the session
+API: plan shape and Bloom filter placement at SF100 statistics, then an
+execution at a small scale factor with observed row counts.
 
 Run with ``python examples/tpch_q7_predicate_transfer.py``.
 """
 
 from __future__ import annotations
 
-from repro.core import bloom_filter_summary
-from repro.experiments import run_q7_case_study
+import argparse
+
+from repro.api import (
+    Database,
+    OptimizerMode,
+    bloom_filter_summary,
+    join_order_summary,
+    percent_reduction,
+)
 
 
 def main() -> None:
-    print("Plan shapes at SF100 statistics (no execution):")
-    planning_only = run_q7_case_study(scale_factor=100.0, execute=False)
-    print("  BF-Post applies %d Bloom filters:" % planning_only.bf_post_filters)
-    for line in bloom_filter_summary(planning_only.bf_post.optimization.join_plan):
-        print("    " + line)
-    print("  BF-CBO applies %d Bloom filters:" % planning_only.bf_cbo_filters)
-    for line in bloom_filter_summary(planning_only.bf_cbo.optimization.join_plan):
-        print("    " + line)
-    print("  plan changed by BF-CBO:", planning_only.plan_changed)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="scale factor of the executed run (default 0.02)")
+    args = parser.parse_args()
 
-    print("\nExecution at scale factor 0.02:")
-    executed = run_q7_case_study(scale_factor=0.02, execute=True)
-    print(executed.to_text())
+    print("Plan shapes at SF100 statistics (no execution):")
+    paper_db = Database.from_tpch(scale_factor=100.0, statistics_only=True,
+                                  query_numbers=[7])
+    planner = paper_db.connect()
+    bf_post = planner.plan(paper_db.tpch_query(7), OptimizerMode.BF_POST)
+    bf_cbo = planner.plan(paper_db.tpch_query(7), OptimizerMode.BF_CBO)
+    print("  BF-Post applies %d Bloom filters:" % bf_post.num_bloom_filters)
+    for line in bloom_filter_summary(bf_post.optimization.join_plan):
+        print("    " + line)
+    print("  BF-CBO applies %d Bloom filters:" % bf_cbo.num_bloom_filters)
+    for line in bloom_filter_summary(bf_cbo.optimization.join_plan):
+        print("    " + line)
+    post_order = join_order_summary(bf_post.optimization.join_plan)
+    cbo_order = join_order_summary(bf_cbo.optimization.join_plan)
+    print("  plan changed by BF-CBO:", post_order != cbo_order)
+
+    print("\nExecution at scale factor %s:" % args.scale)
+    db = Database.from_tpch(scale_factor=args.scale, query_numbers=[7])
+    session = db.connect()
+    executed_post = session.execute(db.tpch_query(7), OptimizerMode.BF_POST)
+    executed_cbo = session.execute(db.tpch_query(7), OptimizerMode.BF_CBO)
+    print("\nBF-Post plan (%d Bloom filters):" % executed_post.num_bloom_filters)
+    print(executed_post.explain())
+    print("\nBF-CBO plan (%d Bloom filters):" % executed_cbo.num_bloom_filters)
+    print(executed_cbo.explain())
+    print("\nBloom filters applied by BF-CBO:")
+    for line in bloom_filter_summary(executed_cbo.optimization.plan):
+        print("  " + line)
+    print("\nLatency improvement of BF-CBO over BF-Post: %.1f%%"
+          % percent_reduction(executed_post.simulated_latency,
+                              executed_cbo.simulated_latency))
 
 
 if __name__ == "__main__":

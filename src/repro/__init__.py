@@ -2,6 +2,9 @@
 
 The package is organised as:
 
+* :mod:`repro.api` — the embeddable session API (``Database`` / ``Session``)
+  with the shared plan and enumeration-sequence caches;
+* :mod:`repro.errors` — the typed error hierarchy (``ReproError``);
 * :mod:`repro.bloom` — Bloom filter primitives;
 * :mod:`repro.storage` — columnar tables, catalog and statistics;
 * :mod:`repro.sql` — SQL front end for the supported subset;
@@ -9,8 +12,32 @@ The package is organised as:
 * :mod:`repro.executor` — vectorised execution engine with runtime metrics;
 * :mod:`repro.tpch` — TPC-H data generator and workload;
 * :mod:`repro.experiments` — harnesses reproducing every table and figure.
+
+The facade types are re-exported at top level: ``repro.Database`` is the
+single entry point most embedders need.
 """
 
-__version__ = "1.0.0"
+from .api import (
+    CacheStats,
+    Database,
+    PreparedQuery,
+    QueryResult,
+    Session,
+)
+from .errors import ExecutionError, PlanningError, ReproError
+from .sql.errors import SqlError
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "CacheStats",
+    "Database",
+    "ExecutionError",
+    "PlanningError",
+    "PreparedQuery",
+    "QueryResult",
+    "ReproError",
+    "Session",
+    "SqlError",
+    "__version__",
+]

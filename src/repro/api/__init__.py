@@ -1,0 +1,73 @@
+"""The embeddable session API: one entry point over the whole pipeline.
+
+Instead of hand-wiring ``build_catalog → bind_sql → Optimizer.optimize →
+ExecutionContext.for_catalog → Executor.execute``, consumers create a
+:class:`Database` (which owns the catalog, the default optimizer
+configuration and the shared plan / enumeration-sequence caches), open a
+:class:`Session` with :meth:`Database.connect`, and call
+:meth:`Session.execute` / :meth:`Session.explain` /
+:meth:`Session.prepare`::
+
+    from repro.api import Database
+
+    db = Database.from_tpch(scale_factor=0.05)
+    session = db.connect()
+    result = session.execute("select count(*) as n from orders")
+    print(result.column("n"), db.cache_stats())
+
+The configuration surface (:class:`OptimizerMode`, :class:`BfCboSettings`),
+the typed error hierarchy, the plan-introspection helpers
+(:func:`explain`, :func:`join_order_summary`, :func:`bloom_filter_summary`)
+and the schema toolkit needed to define ad-hoc catalogs are re-exported here
+so examples and embedders need only ``repro.api`` imports.
+"""
+
+from ..core.explain import bloom_filter_summary, explain, join_order_summary
+from ..core.heuristics import BfCboSettings, scaled_settings
+from ..core.optimizer import OptimizationResult, OptimizerMode
+from ..errors import ExecutionError, PlanningError, ReproError
+from ..sql.errors import SqlError
+from ..storage import (
+    BOOL,
+    Catalog,
+    DATE,
+    FLOAT64,
+    ForeignKey,
+    INT64,
+    STRING,
+    make_schema,
+    synthetic_statistics,
+)
+from ..textutil import format_table, percent_reduction
+from .database import CacheStats, Database
+from .session import PreparedQuery, QueryResult, Session
+
+__all__ = [
+    "BOOL",
+    "BfCboSettings",
+    "CacheStats",
+    "Catalog",
+    "DATE",
+    "Database",
+    "ExecutionError",
+    "FLOAT64",
+    "ForeignKey",
+    "INT64",
+    "OptimizationResult",
+    "OptimizerMode",
+    "PlanningError",
+    "PreparedQuery",
+    "QueryResult",
+    "ReproError",
+    "STRING",
+    "Session",
+    "SqlError",
+    "bloom_filter_summary",
+    "explain",
+    "format_table",
+    "join_order_summary",
+    "make_schema",
+    "percent_reduction",
+    "scaled_settings",
+    "synthetic_statistics",
+]

@@ -1,0 +1,311 @@
+"""The embeddable :class:`Database` facade.
+
+A :class:`Database` owns everything that outlives a single query: the
+catalog, the default optimizer configuration, and — the part that makes
+repeated traffic cheap — two caches shared by every session:
+
+* the **plan cache**: complete :class:`~repro.core.optimizer.OptimizationResult`
+  objects keyed by ``(bound-query fingerprint, mode, settings)``, so an
+  identical logical query is planned exactly once;
+* the **enumeration-sequence cache**
+  (:class:`~repro.core.enumerator.EnumerationSequenceCache`): the canonical
+  DPccp (union, outer, inner) mask-triple sequence keyed by the join graph's
+  edge-bitmask signature, so a *same-shape* query with different predicates
+  (a plan-cache miss) still skips the enumeration walk entirely.
+
+Sessions (:class:`~repro.api.session.Session`) are created with
+:meth:`Database.connect` and own the per-connection state: an execution
+context, setting overrides and a metrics history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cache import LruCache
+from ..core.cost import CostParameters, DEFAULT_COST_PARAMETERS
+from ..core.enumerator import EnumerationSequenceCache
+from ..core.heuristics import BfCboSettings, scaled_settings
+from ..core.optimizer import (
+    OptimizationResult,
+    Optimizer,
+    OptimizerMode,
+    resolve_optimizer_settings,
+)
+from ..core.query import QueryBlock
+from ..errors import PlanningError, raise_as
+from ..sql.binder import bind_sql
+from ..storage.catalog import Catalog
+from ..storage.schema import ForeignKey, TableSchema, make_schema
+from ..storage.statistics import TableStatistics
+from ..storage.table import Table
+from ..storage.types import BOOL, DATE, FLOAT64, INT64, STRING, DataType
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of a database's plan and enumeration caches."""
+
+    plan_hits: int
+    plan_misses: int
+    plan_entries: int
+    sequence_hits: int
+    sequence_misses: int
+    sequence_entries: int
+
+    @property
+    def plan_lookups(self) -> int:
+        """Total plan-cache lookups."""
+        return self.plan_hits + self.plan_misses
+
+    @property
+    def sequence_lookups(self) -> int:
+        """Total enumeration-sequence-cache lookups."""
+        return self.sequence_hits + self.sequence_misses
+
+
+def _infer_column_type(values: np.ndarray) -> DataType:
+    """Map a numpy array's dtype onto the storage layer's logical types."""
+    kind = values.dtype.kind
+    if kind == "b":
+        return BOOL
+    if kind in ("i", "u"):
+        return INT64
+    if kind == "f":
+        return FLOAT64
+    if kind == "M":
+        return DATE
+    if kind in ("U", "S", "O"):
+        return STRING
+    raise ValueError("cannot infer a column type for dtype %r" % values.dtype)
+
+
+def _storage_array(values: np.ndarray) -> np.ndarray:
+    """Convert an array to the engine's physical representation.
+
+    Dates are stored as days-since-epoch int64 throughout the engine, so
+    ``datetime64`` input is converted here.  Unsigned integers are widened to
+    the signed int64 their schema declares — outer-join padding uses -1,
+    which an unsigned dtype cannot represent.  Byte strings are decoded to
+    unicode, because predicates compare against ``str`` literals and a
+    ``bytes`` vs ``str`` comparison silently matches nothing in numpy.
+    """
+    if values.dtype.kind == "M":
+        return values.astype("datetime64[D]").astype(np.int64)
+    if values.dtype.kind == "u":
+        if values.size and int(values.max()) > np.iinfo(np.int64).max:
+            raise ValueError("unsigned column values exceed int64 range; "
+                             "max is %d" % int(values.max()))
+        return values.astype(np.int64)
+    if values.dtype.kind == "S":
+        return values.astype(np.str_)
+    return values
+
+
+class Database:
+    """One embeddable entry point: a catalog plus shared planning caches.
+
+    Args:
+        catalog: The catalog to plan and execute against.
+        mode: Default optimizer mode for sessions (BF-CBO unless overridden).
+        settings: Default BF-CBO settings; ``None`` uses the paper defaults.
+        cost_parameters: Cost-model constants shared by planner and executor.
+        scale_factor: When set, the paper's absolute heuristic thresholds are
+            rescaled to this TPC-H scale factor
+            (:func:`~repro.core.heuristics.scaled_settings`), exactly as the
+            experiment harness does.
+        plan_cache_size: Maximum cached optimization results (0 disables).
+        sequence_cache_size: Maximum cached DPccp sequences (0 disables).
+    """
+
+    def __init__(self, catalog: Catalog, *,
+                 mode: OptimizerMode = OptimizerMode.BF_CBO,
+                 settings: Optional[BfCboSettings] = None,
+                 cost_parameters: Optional[CostParameters] = None,
+                 scale_factor: Optional[float] = None,
+                 plan_cache_size: int = 256,
+                 sequence_cache_size: int = 128) -> None:
+        self.catalog = catalog
+        self.default_mode = mode
+        self.default_settings = settings
+        self.cost_parameters = cost_parameters or DEFAULT_COST_PARAMETERS
+        self.scale_factor = scale_factor
+        self.sequence_cache: Optional[EnumerationSequenceCache] = (
+            EnumerationSequenceCache(sequence_cache_size)
+            if sequence_cache_size > 0 else None)
+        self.optimizer = Optimizer(catalog, self.cost_parameters,
+                                   sequence_cache=self.sequence_cache)
+        #: The TPC-H workload this database was built from, if any
+        #: (see :meth:`from_tpch`).
+        self.workload = None
+        self._plan_cache: "LruCache" = LruCache(plan_cache_size)
+        #: Catalog version the cached plans were built against; any catalog
+        #: change — even one made directly on ``db.catalog`` — bumps the
+        #: version and invalidates them on the next lookup.
+        self._catalog_version = catalog.version
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_tpch(cls, scale_factor: float = 0.01, *,
+                  statistics_only: bool = False,
+                  query_numbers: Optional[List[int]] = None,
+                  **database_kwargs) -> "Database":
+        """A database over a generated (or statistics-only) TPC-H catalog.
+
+        The bound workload queries stay reachable through :meth:`tpch_query`,
+        and the heuristic thresholds are rescaled to ``scale_factor`` unless
+        an explicit ``scale_factor=None`` override is passed.
+        """
+        from ..tpch.workload import TpchWorkload
+
+        workload = (TpchWorkload.statistics_only(scale_factor,
+                                                 query_numbers=query_numbers)
+                    if statistics_only else
+                    TpchWorkload.generate(scale_factor,
+                                          query_numbers=query_numbers))
+        database_kwargs.setdefault("scale_factor", scale_factor)
+        database = cls(workload.catalog, **database_kwargs)
+        database.workload = workload
+        return database
+
+    def tpch_query(self, number: int) -> QueryBlock:
+        """The bound TPC-H query ``number`` of the backing workload."""
+        if self.workload is None:
+            raise KeyError("database was not built with Database.from_tpch")
+        return self.workload.query(number)
+
+    def register_table(self, name: str,
+                       columns: Mapping[str, Sequence], *,
+                       primary_key: Sequence[str] = (),
+                       foreign_keys: Sequence[ForeignKey] = (),
+                       statistics: Optional[TableStatistics] = None) -> Table:
+        """Register an ad-hoc table from column arrays and analyse it.
+
+        Column types are inferred from the numpy dtypes, so
+        ``db.register_table("t", {"k": np.arange(10)})`` is all it takes to
+        make a table queryable.  Returns the materialised table.
+        """
+        arrays = {col: np.asarray(values) for col, values in columns.items()}
+        schema = make_schema(name,
+                             [(col, _infer_column_type(arrays[col]))
+                              for col in arrays],
+                             primary_key=primary_key,
+                             foreign_keys=foreign_keys)
+        table = Table(schema, {col: _storage_array(data)
+                               for col, data in arrays.items()})
+        # The catalog version bump invalidates cached plans on the next
+        # lookup; the shape-only sequence cache stays valid by construction.
+        self.catalog.register_table(table, statistics=statistics)
+        return table
+
+    def register_schema(self, schema: TableSchema,
+                        statistics: Optional[TableStatistics] = None) -> None:
+        """Register a statistics-only table (planning without data)."""
+        self.catalog.register_schema(schema, statistics)
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+
+    def connect(self, **session_kwargs) -> "Session":
+        """Open a new session against this database."""
+        from .session import Session
+
+        return Session(self, **session_kwargs)
+
+    # ------------------------------------------------------------------
+    # Planning (the shared plan cache)
+    # ------------------------------------------------------------------
+
+    def bind(self, sql: str, name: str = "query") -> QueryBlock:
+        """Parse and bind a SQL string against the catalog."""
+        return bind_sql(self.catalog, sql, name=name)
+
+    def resolve_settings(self, mode: OptimizerMode,
+                         settings: Optional[BfCboSettings]) -> BfCboSettings:
+        """The effective settings for ``mode`` (defaults, scaling, disabling).
+
+        Delegates the mode defaulting to the optimizer's own
+        :func:`~repro.core.optimizer.resolve_optimizer_settings` (so the plan
+        cache keys on exactly what the optimizer runs with), then applies the
+        scale-factor threshold rescaling the experiment harness uses.
+        """
+        if settings is None:
+            settings = self.default_settings
+        settings = resolve_optimizer_settings(mode, settings)
+        if mode is OptimizerMode.BF_CBO and self.scale_factor is not None:
+            settings = scaled_settings(self.scale_factor, settings)
+        return settings
+
+    def optimize(self, query: QueryBlock,
+                 mode: Optional[OptimizerMode] = None,
+                 settings: Optional[BfCboSettings] = None,
+                 ) -> Tuple[OptimizationResult, bool]:
+        """Plan ``query``, consulting the plan cache.
+
+        Returns ``(result, from_cache)``.  A cached result is returned as-is
+        (plans are immutable during execution); its ``planning_time_ms`` still
+        reports the original cold planning time.
+        """
+        mode = mode or self.default_mode
+        settings = self.resolve_settings(mode, settings)
+        caching = self._plan_cache.max_entries > 0
+        if caching:
+            # Snapshot the version *before* the invalidation check: a
+            # mutation landing anywhere after this line makes the guards
+            # below treat the lookup as a miss and refuse the store, so a
+            # stale result is neither served nor kept.
+            planned_version = self.catalog.version
+            self._invalidate_if_catalog_changed()
+            key = (query.fingerprint(), mode, settings)
+            cached = self._plan_cache.lookup(key)
+            if cached is not None and self.catalog.version == planned_version:
+                return cached, True
+        with raise_as(PlanningError, "planning %s failed" % query.name):
+            result = self.optimizer.optimize(query, mode, settings)
+        if caching and self.catalog.version == planned_version:
+            self._plan_cache.store(key, result)
+        return result, False
+
+    def _invalidate_if_catalog_changed(self) -> None:
+        """Drop cached plans when the catalog was mutated (any path).
+
+        Only the entries are dropped — the lifetime hit/miss counters keep
+        counting so ``cache_stats()`` hit rates survive catalog changes.
+        Eviction happens *before* the version mark: a concurrent caller
+        racing this method either re-evicts (idempotent) or finds the cache
+        already empty, never a stale entry behind a fresh mark.
+        """
+        version = self.catalog.version
+        if version != self._catalog_version:
+            self._plan_cache.evict_all()
+            self._catalog_version = version
+
+    # ------------------------------------------------------------------
+    # Cache introspection
+    # ------------------------------------------------------------------
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss counters for the plan and enumeration-sequence caches."""
+        self._invalidate_if_catalog_changed()
+        plans = self._plan_cache
+        sequence = self.sequence_cache
+        return CacheStats(
+            plan_hits=plans.hits, plan_misses=plans.misses,
+            plan_entries=len(plans),
+            sequence_hits=sequence.hits if sequence else 0,
+            sequence_misses=sequence.misses if sequence else 0,
+            sequence_entries=len(sequence) if sequence else 0)
+
+    def clear_caches(self) -> None:
+        """Drop all cached plans and sequences (e.g. after new statistics)."""
+        self._plan_cache.clear()
+        self._catalog_version = self.catalog.version
+        if self.sequence_cache is not None:
+            self.sequence_cache.clear()

@@ -1,0 +1,263 @@
+"""Sessions: per-connection execution state over a shared :class:`Database`.
+
+A :class:`Session` owns an :class:`~repro.executor.context.ExecutionContext`,
+optional per-session mode/setting overrides, and a metrics history of every
+query it ran.  Plans come from the database's shared plan cache; executions
+run in per-call filter scopes, so any number of sessions can run concurrently
+against one catalog without interfering.
+
+All failures surface as typed :class:`~repro.errors.ReproError` subclasses:
+``SqlError`` from parsing/binding, ``PlanningError`` from the optimizer and
+``ExecutionError`` from the executor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..core.explain import explain as explain_plan
+from ..core.heuristics import BfCboSettings
+from ..core.optimizer import OptimizationResult, OptimizerMode
+from ..core.query import QueryBlock
+from ..errors import ExecutionError, raise_as
+from ..executor.context import ExecutionContext
+from ..executor.runtime import ExecutionResult, Executor
+from .database import Database
+
+QueryLike = Union[str, QueryBlock]
+
+
+@dataclass
+class QueryResult:
+    """Everything one :meth:`Session.execute` / :meth:`Session.plan` produced.
+
+    ``planning_time_ms`` is the time *this call* spent obtaining a plan — a
+    plan-cache hit makes it near zero, while
+    ``optimization.planning_time_ms`` always reports the original cold
+    optimization time.
+    """
+
+    query: QueryBlock
+    mode: OptimizerMode
+    settings: BfCboSettings
+    optimization: OptimizationResult
+    planning_time_ms: float
+    from_plan_cache: bool
+    execution: Optional[ExecutionResult] = None
+
+    # -- result rows ---------------------------------------------------------
+
+    @property
+    def executed(self) -> bool:
+        """True if the plan was actually run (not just planned)."""
+        return self.execution is not None
+
+    @property
+    def num_rows(self) -> int:
+        """Number of result rows (0 for plan-only results)."""
+        return self.execution.num_rows if self.execution else 0
+
+    @property
+    def columns(self) -> List[str]:
+        """Result column names, in batch order."""
+        return self.execution.batch.keys if self.execution else []
+
+    def column(self, name: str) -> np.ndarray:
+        """One result column as a numpy array.
+
+        Raises ``RuntimeError`` (a caller-state error, deliberately outside
+        the :class:`~repro.errors.ReproError` hierarchy) when the result was
+        only planned, never executed.
+        """
+        if self.execution is None:
+            raise RuntimeError("query %r was planned but not executed"
+                               % self.query.name)
+        return self.execution.batch.column(name)
+
+    def to_dict(self) -> Dict[str, np.ndarray]:
+        """All result columns keyed by name (``RuntimeError`` if plan-only)."""
+        if self.execution is None:
+            raise RuntimeError("query %r was planned but not executed"
+                               % self.query.name)
+        return self.execution.batch.to_dict()
+
+    # -- metrics --------------------------------------------------------------
+
+    @property
+    def simulated_latency(self) -> Optional[float]:
+        """Deterministic work-unit latency of the execution, if any."""
+        return self.execution.simulated_latency if self.execution else None
+
+    @property
+    def num_bloom_filters(self) -> int:
+        """Bloom filters applied anywhere in the chosen plan."""
+        return self.optimization.num_bloom_filters
+
+    @property
+    def estimated_cost(self) -> float:
+        """Optimizer's total cost estimate of the chosen plan."""
+        return self.optimization.estimated_cost
+
+    def explain(self) -> str:
+        """EXPLAIN (ANALYZE when executed) rendering of the chosen plan."""
+        actuals = (self.execution.metrics.actual_rows_by_node()
+                   if self.execution else None)
+        return explain_plan(self.optimization.plan, actuals)
+
+
+class PreparedQuery:
+    """A query bound once and executable many times on its session.
+
+    Prepared queries skip re-parsing and re-binding; re-planning is already
+    absorbed by the database plan cache, so repeated :meth:`execute` calls do
+    catalog work only for the actual execution.
+    """
+
+    def __init__(self, session: "Session", query: QueryBlock) -> None:
+        self.session = session
+        self.query = query
+
+    def execute(self, mode: Optional[OptimizerMode] = None,
+                settings: Optional[BfCboSettings] = None) -> QueryResult:
+        """Run the prepared query (modes/settings may override per call)."""
+        return self.session.execute(self.query, mode, settings)
+
+    def plan(self, mode: Optional[OptimizerMode] = None,
+             settings: Optional[BfCboSettings] = None) -> QueryResult:
+        """Plan the prepared query without executing it."""
+        return self.session.plan(self.query, mode, settings)
+
+    def explain(self, mode: Optional[OptimizerMode] = None,
+                settings: Optional[BfCboSettings] = None) -> str:
+        """EXPLAIN rendering of the prepared query's plan."""
+        return self.session.explain(self.query, mode, settings)
+
+
+class Session:
+    """One connection: execution context, overrides and metrics history.
+
+    Args:
+        database: The shared database this session plans and executes against.
+        mode: Per-session default optimizer mode (falls back to the
+            database's default).
+        settings: Per-session default BF-CBO settings (falls back to the
+            database's default, then the paper defaults).
+        degree_of_parallelism: Simulated DOP of this session's executions.
+        bloom_partitions: Partitioned-Bloom-filter knob of the context.
+        history_limit: Maximum number of results retained in
+            :attr:`history` (oldest dropped first); 0 disables recording
+            entirely.  Results hold full batches and plans, so an unbounded
+            history would grow with every query served.
+    """
+
+    def __init__(self, database: Database, *,
+                 mode: Optional[OptimizerMode] = None,
+                 settings: Optional[BfCboSettings] = None,
+                 degree_of_parallelism: int = 48,
+                 bloom_partitions: int = 1,
+                 history_limit: int = 128) -> None:
+        self.database = database
+        self.mode = mode
+        self.settings = settings
+        self.history_limit = history_limit
+        self.context = ExecutionContext.for_catalog(
+            database.catalog, parameters=database.cost_parameters,
+            degree_of_parallelism=degree_of_parallelism)
+        self.context.bloom_partitions = bloom_partitions
+        #: The most recent results this session produced (every `plan`,
+        #: `execute` and `explain` call), oldest first, capped at
+        #: ``history_limit``.
+        self.history: List[QueryResult] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def catalog(self):
+        """The catalog behind the session's database."""
+        return self.database.catalog
+
+    @property
+    def last(self) -> Optional[QueryResult]:
+        """The most recent result, if any."""
+        return self.history[-1] if self.history else None
+
+    def clear_history(self) -> None:
+        """Forget all recorded results."""
+        self.history.clear()
+
+    @property
+    def total_simulated_latency(self) -> float:
+        """Sum of the simulated latencies of the recorded executions."""
+        return sum(result.simulated_latency or 0.0 for result in self.history)
+
+    def _record(self, result: QueryResult) -> QueryResult:
+        if self.history_limit > 0:
+            self.history.append(result)
+            if len(self.history) > self.history_limit:
+                del self.history[:len(self.history) - self.history_limit]
+        return result
+
+    # ------------------------------------------------------------------
+    # The query pipeline
+    # ------------------------------------------------------------------
+
+    def prepare(self, query: QueryLike, name: str = "query") -> PreparedQuery:
+        """Parse and bind once, returning a re-executable handle."""
+        return PreparedQuery(self, self._resolve_query(query, name))
+
+    def plan(self, query: QueryLike,
+             mode: Optional[OptimizerMode] = None,
+             settings: Optional[BfCboSettings] = None,
+             name: str = "query") -> QueryResult:
+        """Plan a query (through the plan cache) without executing it."""
+        block = self._resolve_query(query, name)
+        return self._record(self._plan_block(block, mode, settings))
+
+    def execute(self, query: QueryLike,
+                mode: Optional[OptimizerMode] = None,
+                settings: Optional[BfCboSettings] = None,
+                name: str = "query") -> QueryResult:
+        """Plan (through the plan cache) and execute a query."""
+        block = self._resolve_query(query, name)
+        result = self._plan_block(block, mode, settings)
+        with raise_as(ExecutionError, "executing %s failed" % block.name):
+            result.execution = Executor(self.context).execute(
+                result.optimization.plan)
+        return self._record(result)
+
+    def explain(self, query: QueryLike,
+                mode: Optional[OptimizerMode] = None,
+                settings: Optional[BfCboSettings] = None,
+                analyze: bool = False, name: str = "query") -> str:
+        """EXPLAIN (or, with ``analyze``, EXPLAIN ANALYZE) a query."""
+        if analyze:
+            return self.execute(query, mode, settings, name=name).explain()
+        return self.plan(query, mode, settings, name=name).explain()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _resolve_query(self, query: QueryLike, name: str) -> QueryBlock:
+        if isinstance(query, QueryBlock):
+            return query
+        return self.database.bind(query, name=name)
+
+    def _plan_block(self, block: QueryBlock,
+                    mode: Optional[OptimizerMode],
+                    settings: Optional[BfCboSettings]) -> QueryResult:
+        mode = mode or self.mode or self.database.default_mode
+        if settings is None:
+            settings = self.settings
+        started = time.perf_counter()
+        optimization, from_cache = self.database.optimize(block, mode, settings)
+        planning_time_ms = (time.perf_counter() - started) * 1e3
+        return QueryResult(query=block, mode=mode,
+                           settings=optimization.settings,
+                           optimization=optimization,
+                           planning_time_ms=planning_time_ms,
+                           from_plan_cache=from_cache)

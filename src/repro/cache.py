@@ -1,0 +1,70 @@
+"""A small, lock-guarded LRU cache shared by the planning layers.
+
+Both cross-query caches — the :class:`repro.api.Database` plan cache and the
+enumerator's DPccp sequence cache
+(:class:`repro.core.enumerator.EnumerationSequenceCache`) — need the same
+thing: bounded, least-recently-used keyed storage with hit/miss counters,
+safe under concurrent sessions.  One implementation lives here so the two
+cannot drift.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+
+class LruCache:
+    """Bounded LRU mapping with hit/miss counters and internal locking.
+
+    ``max_entries <= 0`` means disabled: lookups miss and stores are
+    discarded, so callers can pass a size of 0 without special-casing.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def lookup(self, key: Hashable) -> Optional[Any]:
+        """The cached value for ``key`` (marked most-recent), counting hit/miss."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return value
+
+    def store(self, key: Hashable, value: Any) -> None:
+        """Insert or overwrite a value, evicting LRU entries beyond the cap."""
+        if self.max_entries <= 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries[key] = value
+                self._entries.move_to_end(key)
+                return
+            while len(self._entries) >= self.max_entries:
+                self._entries.popitem(last=False)
+            self._entries[key] = value
+
+    def evict_all(self) -> None:
+        """Drop all entries but keep the lifetime hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0

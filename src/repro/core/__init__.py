@@ -8,7 +8,7 @@ from .candidates import (
 )
 from .cardinality import BloomEstimate, CardinalityEstimator
 from .cost import Cost, CostModel, CostParameters, DEFAULT_COST_PARAMETERS
-from .enumerator import JoinEnumerator, JoinPair
+from .enumerator import EnumerationSequenceCache, JoinEnumerator, JoinPair
 from .explain import bloom_filter_summary, explain, join_order_summary
 from .expressions import (
     AggregateCall,
@@ -69,6 +69,7 @@ __all__ = [
     "BloomPostProcessor", "CardinalityEstimator", "ColumnRef", "Comparison",
     "ComparisonOp", "Cost", "CostModel", "CostParameters",
     "DEFAULT_COST_PARAMETERS", "Distribution", "DistributionKind",
+    "EnumerationSequenceCache",
     "ExchangeKind", "ExchangeNode", "ExtractYear", "InList", "JoinClause",
     "JoinEnumerator", "JoinGraph", "JoinMethod", "JoinNode", "JoinPair",
     "JoinType", "Like", "LimitNode", "Literal", "NaiveBloomEnumerator",

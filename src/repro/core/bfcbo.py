@@ -36,7 +36,7 @@ from .candidates import (
 )
 from .cardinality import CardinalityEstimator
 from .cost import CostModel
-from .enumerator import JoinEnumerator
+from .enumerator import EnumerationSequenceCache, JoinEnumerator
 from .heuristics import BfCboSettings
 from .joingraph import JoinGraph
 from .planlist import PlanList, PlanTable
@@ -80,7 +80,8 @@ class TwoPhaseBloomOptimizer:
 
     def __init__(self, catalog: Catalog, query: QueryBlock,
                  estimator: CardinalityEstimator, cost_model: CostModel,
-                 settings: Optional[BfCboSettings] = None) -> None:
+                 settings: Optional[BfCboSettings] = None,
+                 sequence_cache: Optional[EnumerationSequenceCache] = None) -> None:
         self.catalog = catalog
         self.query = query
         self.estimator = estimator
@@ -88,7 +89,8 @@ class TwoPhaseBloomOptimizer:
         self.settings = settings or BfCboSettings.paper_defaults()
         self.join_graph = JoinGraph(query)
         self.enumerator = JoinEnumerator(catalog, query, estimator, cost_model,
-                                         self.settings, self.join_graph)
+                                         self.settings, self.join_graph,
+                                         sequence_cache=sequence_cache)
         self.report = BfCboReport()
         self._spec_counter = itertools.count()
 

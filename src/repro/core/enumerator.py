@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..cache import LruCache
 from ..storage.catalog import Catalog
 from .candidates import BloomFilterSpec
 from .cardinality import CardinalityEstimator
@@ -83,13 +84,31 @@ class EnumerationStatistics:
     cross_products_stitched: int = 0
 
 
+class EnumerationSequenceCache(LruCache):
+    """Cross-query cache of canonical DPccp mask-triple sequences.
+
+    The (union, outer, inner) triple sequence of the bottom-up walk is a pure
+    function of the join graph's *shape*
+    (:meth:`~repro.core.joingraph.JoinGraph.edge_signature`), not of its
+    predicates or statistics.  Repeated workloads — the same query template
+    with different constants, or different queries over the same join
+    topology — therefore share one sequence: the first query pays for the
+    DPccp walk, every later same-shape query skips it entirely.
+
+    Keys are edge signatures, values are tuples of (union, outer, inner)
+    mask triples; storage, LRU eviction, locking and the hit/miss counters
+    feeding ``Database.cache_stats()`` come from :class:`repro.cache.LruCache`.
+    """
+
+
 class JoinEnumerator:
     """Bottom-up, bushy, property-aware join enumeration."""
 
     def __init__(self, catalog: Catalog, query: QueryBlock,
                  estimator: CardinalityEstimator, cost_model: CostModel,
                  settings: Optional[BfCboSettings] = None,
-                 join_graph: Optional[JoinGraph] = None) -> None:
+                 join_graph: Optional[JoinGraph] = None,
+                 sequence_cache: Optional[EnumerationSequenceCache] = None) -> None:
         self.catalog = catalog
         self.query = query
         self.estimator = estimator
@@ -97,8 +116,9 @@ class JoinEnumerator:
         self.settings = settings or BfCboSettings.disabled()
         self.join_graph = join_graph or JoinGraph(query)
         self.stats = EnumerationStatistics()
+        self._sequence_cache = sequence_cache
         self._row_widths: Dict[str, int] = {}
-        self._pair_masks_cache: Optional[List[Tuple[int, int, int]]] = None
+        self._pair_masks_cache: Optional[Sequence[Tuple[int, int, int]]] = None
         self._pair_cache: Optional[List[JoinPair]] = None
         # (id(child), kind, keys) -> ExchangeNode.  Exchange placement is a
         # pure function of its inputs and plan nodes are immutable during
@@ -175,16 +195,26 @@ class JoinEnumerator:
                              union_mask, outer_mask, inner_mask))
         return pairs
 
-    def _pair_masks(self) -> List[Tuple[int, int, int]]:
+    def _pair_masks(self) -> Sequence[Tuple[int, int, int]]:
         """The ordered (union, outer, inner) mask triples of the DP walk.
 
         Computed once per enumerator (the query is fixed): DPccp emits each
         unordered connected (csg, cmp) pair once per component, both
         orientations are kept, cross-product stitching appends the
         component-prefix unions, and everything is sorted into the canonical
-        bottom-up order.
+        bottom-up order.  With a shared :class:`EnumerationSequenceCache` the
+        whole walk is skipped for join graphs whose shape
+        (:meth:`~repro.core.joingraph.JoinGraph.edge_signature`) was already
+        enumerated by an earlier query.
         """
         if self._pair_masks_cache is None:
+            signature: Optional[Tuple] = None
+            if self._sequence_cache is not None:
+                signature = self.join_graph.edge_signature()
+                cached = self._sequence_cache.lookup(signature)
+                if cached is not None:
+                    self._pair_masks_cache = cached
+                    return cached
             graph = self.join_graph
             unordered_by_union: Dict[int, List[Tuple[int, int]]] = {}
             for component in graph.component_masks():
@@ -218,7 +248,10 @@ class JoinEnumerator:
                 ranked.sort()
                 triples.extend((union, outer, inner)
                                for _, outer, inner in ranked)
-            self._pair_masks_cache = triples
+            sequence = tuple(triples)
+            self._pair_masks_cache = sequence
+            if signature is not None:
+                self._sequence_cache.store(signature, sequence)
         return self._pair_masks_cache
 
     def _stitch_steps(self) -> List[Tuple[int, int, int]]:
@@ -399,14 +432,25 @@ class JoinEnumerator:
     def _join_type_for(self, pair: JoinPair) -> Optional[JoinType]:
         """Join type of the pair; None if this orientation is illegal.
 
-        For outer/semi/anti joins the row-preserving (left in SQL order) side
-        must be on the probe/outer side of our physical join.
+        For left-outer/semi/anti joins the row-preserving (left in SQL order)
+        side must be on the probe/outer side of our physical join.  FULL
+        joins preserve *both* sides and the executor's FULL kernel pads
+        unmatched rows from either input, so both orientations are legal —
+        the DP is free to pick whichever side is the cheaper build side.
+        A pair whose clauses carry *conflicting* non-inner types (e.g. one
+        LEFT and one FULL between the same relation sets) has no
+        well-defined single-join semantics and is rejected outright.
         """
         join_type = JoinType.INNER
         for clause in pair.clauses:
             if clause.join_type is JoinType.INNER:
                 continue
+            if join_type is not JoinType.INNER \
+                    and clause.join_type is not join_type:
+                return None
             join_type = clause.join_type
+            if clause.join_type is JoinType.FULL:
+                continue
             preserved = clause.left.relation
             if preserved not in pair.outer:
                 return None

@@ -74,3 +74,22 @@ class BfCboSettings:
     def with_heuristic7(cls) -> "BfCboSettings":
         """The configuration used for Table 3 (Heuristic 7 enabled)."""
         return cls(use_heuristic7=True)
+
+
+def scaled_settings(scale_factor: float,
+                    base: Optional[BfCboSettings] = None) -> BfCboSettings:
+    """Scale the paper's absolute heuristic thresholds to a scale factor.
+
+    The paper's thresholds (Heuristic 2's 10,000-row apply minimum and
+    Heuristic 5's 2,000,000-distinct-value filter cap) were chosen for TPC-H
+    SF100.  When the reproduction runs at a smaller scale factor the same
+    *relative* behaviour is obtained by scaling both thresholds by
+    ``scale_factor / 100``.
+    """
+    base = base or BfCboSettings.paper_defaults()
+    ratio = max(scale_factor / 100.0, 1e-9)
+    return base.with_overrides(
+        min_apply_rows=max(1.0, base.min_apply_rows * ratio),
+        max_build_ndv=max(64.0, base.max_build_ndv * ratio),
+        heuristic8_min_total_join_input=base.heuristic8_min_total_join_input * ratio,
+    )

@@ -76,6 +76,7 @@ class JoinGraph:
 
         self._alias_sets: Dict[int, FrozenSet[str]] = {}
         self._component_masks: Optional[List[int]] = None
+        self._edge_signature: Optional[Tuple] = None
         self.equivalence_classes = self._build_equivalence_classes(query.join_clauses)
 
     @staticmethod
@@ -133,6 +134,38 @@ class JoinGraph:
             low = mask & -mask
             yield low.bit_length() - 1
             mask ^= low
+
+    # -- shape signature --------------------------------------------------------
+
+    def edge_signature(self) -> Tuple:
+        """Hashable key identifying the *shape* of the DPccp walk.
+
+        Two join graphs with equal signatures produce the identical canonical
+        (union, outer, inner) mask-triple sequence, regardless of their
+        predicates, table names or statistics.  The signature therefore keys
+        the cross-query enumeration-sequence cache.  It captures everything
+        the walk depends on:
+
+        * the relation count (the bit universe),
+        * the undirected edge set over bit indices (adjacency drives the
+          csg/cmp generators, component discovery and cross-product
+          stitching),
+        * the alphabetical rank permutation of the aliases — the per-union
+          split ranking sorts a union's members alphabetically, so two
+          same-shape queries only share a sequence when their aliases sort
+          into the same bit order.
+        """
+        if self._edge_signature is None:
+            edges = set()
+            for bit, mask in enumerate(self.neighbor_masks):
+                for other in self._bit_indices(mask):
+                    if other > bit:
+                        edges.add((bit, other))
+            alpha_rank = tuple(sorted(range(self.num_relations),
+                                      key=self.aliases.__getitem__))
+            self._edge_signature = (self.num_relations,
+                                    tuple(sorted(edges)), alpha_rank)
+        return self._edge_signature
 
     # -- connectivity (bitmask core) ------------------------------------------
 

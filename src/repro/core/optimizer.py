@@ -14,11 +14,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional
 
+from ..errors import PlanningError
 from ..storage.catalog import Catalog
 from .bfcbo import BfCboReport, TwoPhaseBloomOptimizer
 from .cardinality import CardinalityEstimator
 from .cost import CostModel, CostParameters, DEFAULT_COST_PARAMETERS
-from .enumerator import EnumerationStatistics, JoinEnumerator
+from .enumerator import (
+    EnumerationSequenceCache,
+    EnumerationStatistics,
+    JoinEnumerator,
+)
 from .expressions import ColumnRef
 from .heuristics import BfCboSettings
 from .planlist import PlanList
@@ -43,6 +48,24 @@ class OptimizerMode(enum.Enum):
     NO_BF = "no-bf"      # plain CBO, Bloom filters disabled entirely
     BF_POST = "bf-post"  # plain CBO + post-optimization Bloom filter placement
     BF_CBO = "bf-cbo"    # the paper's two-phase Bloom-filter-aware CBO
+
+
+def resolve_optimizer_settings(mode: OptimizerMode,
+                               settings: Optional[BfCboSettings]) -> BfCboSettings:
+    """The effective settings ``optimize`` runs under for ``mode``.
+
+    BF-CBO defaults to the paper configuration; every other mode runs with
+    Bloom awareness forced off.  The single source of truth for this
+    defaulting — the :class:`repro.api.Database` plan cache keys on its
+    output, so it must match what the optimizer actually uses.
+    """
+    if settings is None:
+        settings = (BfCboSettings.paper_defaults()
+                    if mode is OptimizerMode.BF_CBO
+                    else BfCboSettings.disabled())
+    if mode is not OptimizerMode.BF_CBO:
+        settings = settings.with_overrides(enabled=False)
+    return settings
 
 
 @dataclass
@@ -75,9 +98,14 @@ class Optimizer:
     """Plans query blocks against a catalog under a chosen optimizer mode."""
 
     def __init__(self, catalog: Catalog,
-                 cost_parameters: CostParameters = DEFAULT_COST_PARAMETERS) -> None:
+                 cost_parameters: CostParameters = DEFAULT_COST_PARAMETERS,
+                 sequence_cache: Optional[EnumerationSequenceCache] = None) -> None:
         self.catalog = catalog
         self.cost_model = CostModel(cost_parameters)
+        #: Optional cross-query DPccp sequence cache (see
+        #: :class:`~repro.core.enumerator.EnumerationSequenceCache`), shared
+        #: by every optimization this optimizer runs.
+        self.sequence_cache = sequence_cache
 
     # ------------------------------------------------------------------
 
@@ -86,16 +114,12 @@ class Optimizer:
                  settings: Optional[BfCboSettings] = None) -> OptimizationResult:
         """Optimize ``query`` and return the chosen plan plus diagnostics."""
         started = time.perf_counter()
-        if settings is None:
-            settings = (BfCboSettings.paper_defaults()
-                        if mode is OptimizerMode.BF_CBO
-                        else BfCboSettings.disabled())
-        if mode is not OptimizerMode.BF_CBO:
-            settings = settings.with_overrides(enabled=False)
+        settings = resolve_optimizer_settings(mode, settings)
 
         estimator = CardinalityEstimator(self.catalog, query)
         two_phase = TwoPhaseBloomOptimizer(self.catalog, query, estimator,
-                                           self.cost_model, settings)
+                                           self.cost_model, settings,
+                                           sequence_cache=self.sequence_cache)
         table = two_phase.optimize_table()
         join_plan = self._best_join_plan(query, two_phase.join_graph, table)
         plan_lists = table.to_alias_dict(two_phase.join_graph)
@@ -124,7 +148,7 @@ class Optimizer:
         """Cheapest complete (no pending Bloom filters) plan for all relations."""
         plan_list = table.get(join_graph.all_mask)
         if plan_list is None or plan_list.best() is None:
-            raise RuntimeError("optimizer produced no plan for %s" % query.name)
+            raise PlanningError("optimizer produced no plan for %s" % query.name)
         return plan_list.best()
 
     # ------------------------------------------------------------------

@@ -154,6 +154,8 @@ class QueryBlock:
         if len(set(aliases)) != len(aliases):
             raise ValueError("duplicate relation aliases in query block")
         self._by_alias = {rel.alias: rel for rel in self.relations}
+        self._fingerprint: Optional[str] = None
+        self._fingerprint_shape: Optional[Tuple] = None
         for alias in self.local_predicates:
             if alias not in self._by_alias:
                 raise ValueError("local predicate on unknown relation %r" % alias)
@@ -205,6 +207,52 @@ class QueryBlock:
     def all_relations(self) -> FrozenSet[str]:
         """The full set of relation aliases."""
         return frozenset(self.aliases)
+
+    # -- identity --------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable textual identity of the bound query.
+
+        Two query blocks with equal fingerprints describe the same logical
+        query (same relations, join clauses and types, predicates, output,
+        grouping, ordering and limit) and therefore optimize to the same plan
+        under the same mode and settings — the fingerprint keys the
+        :class:`repro.api.Database` plan cache.  Every component renders
+        through the deterministic ``__str__`` of the expression tree, so the
+        fingerprint is independent of object identity and hash seeds.  The
+        query ``name`` is deliberately excluded: renaming a query must not
+        defeat the cache.  Memoized: blocks are bound once and treated as
+        immutable afterwards, and re-executing a prepared query must not
+        re-stringify the whole tree just to hit the cache.  As a guard
+        against callers that nevertheless append predicates or output items
+        after binding, the memo is keyed on the component counts and
+        recomputed when they change (in-place *replacement* of an element
+        remains undetected — don't do that to a block you already executed).
+        """
+        shape = (len(self.relations), len(self.join_clauses),
+                 sum(len(preds) for preds in self.local_predicates.values()),
+                 len(self.residual_predicates), len(self.output),
+                 len(self.group_by), len(self.order_by), self.limit)
+        if self._fingerprint is not None and shape == self._fingerprint_shape:
+            return self._fingerprint
+        parts: List[str] = ["R:" + ";".join(str(rel) for rel in self.relations)]
+        parts.append("J:" + ";".join(str(c) for c in self.join_clauses))
+        parts.append("L:" + ";".join(
+            "%s(%s)" % (alias, "&".join(str(p) for p in
+                                        self.local_predicates[alias]))
+            for alias in sorted(self.local_predicates)
+            if self.local_predicates[alias]))
+        parts.append("P:" + ";".join(str(p) for p in self.residual_predicates))
+        parts.append("O:" + ";".join("%s=%s" % (item.name, item.expression)
+                                     for item in self.output))
+        parts.append("G:" + ";".join(str(e) for e in self.group_by))
+        parts.append("S:" + ";".join(
+            "%s%s" % (item.expression, " desc" if item.descending else "")
+            for item in self.order_by))
+        parts.append("T:%s" % self.limit)
+        self._fingerprint = "|".join(parts)
+        self._fingerprint_shape = shape
+        return self._fingerprint
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return "QueryBlock(%s: %d relations, %d join clauses)" % (

@@ -1,0 +1,66 @@
+"""The unified error surface of the reproduction.
+
+Every failure the library raises on behalf of a user query descends from
+:class:`ReproError`, split by pipeline stage:
+
+* :class:`~repro.sql.errors.SqlError` — lexing, parsing or binding failed
+  (semantic-analysis failures are typed, catchable errors rather than ad-hoc
+  ``ValueError``\\ s);
+* :class:`PlanningError` — the optimizer could not produce a plan;
+* :class:`ExecutionError` — the executor failed while running a plan (for
+  example because the catalog is statistics-only and holds no data).
+
+``except ReproError`` therefore catches everything a bad query can cause,
+while programming errors (wrong argument types, broken invariants) keep
+raising their natural exception types.  :class:`~repro.sql.errors.SqlError`
+additionally remains a ``ValueError`` subclass for backwards compatibility
+with pre-hierarchy callers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Type
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro query pipeline."""
+
+
+class PlanningError(ReproError):
+    """Raised when the optimizer cannot produce a plan for a query."""
+
+
+class ExecutionError(ReproError):
+    """Raised when executing a plan fails.
+
+    The original executor exception, if any, is preserved as ``__cause__``.
+    """
+
+
+#: Exception types treated as data-dependent pipeline failures: these (and
+#: only these) are converted into the typed hierarchy by :func:`raise_as`.
+#: Everything else — TypeError, AttributeError, broken invariants — is a
+#: programming error and keeps its natural type.
+DATA_ERROR_TYPES = (ValueError, LookupError, ArithmeticError)
+
+
+@contextlib.contextmanager
+def raise_as(error_cls: Type[ReproError], context: str) -> Iterator[None]:
+    """Convert data-dependent failures inside the block into ``error_cls``.
+
+    Existing :class:`ReproError`\\ s pass through untouched; the original
+    exception is preserved as ``__cause__``.  The single conversion point for
+    both the planning and execution stages, so they can never drift on which
+    exception types count as query failures.
+    """
+    try:
+        yield
+    except ReproError:
+        raise
+    except DATA_ERROR_TYPES as exc:
+        raise error_cls("%s: %s" % (context, exc)) from exc
+
+
+__all__ = ["DATA_ERROR_TYPES", "ExecutionError", "PlanningError",
+           "ReproError", "raise_as"]

@@ -2,7 +2,7 @@
 
 from .aggregate import aggregate_batch
 from .batch import Batch
-from .context import ExecutionContext
+from .context import ExecutionContext, FilterScope
 from .joins import (
     combine_key_columns,
     cross_join,
@@ -20,6 +20,7 @@ __all__ = [
     "ExecutionMetrics",
     "ExecutionResult",
     "Executor",
+    "FilterScope",
     "OperatorMetrics",
     "aggregate_batch",
     "combine_key_columns",

@@ -1,4 +1,4 @@
-"""Execution context: catalog access, Bloom filter registry, tuning knobs."""
+"""Execution context: catalog access, Bloom filter scoping, tuning knobs."""
 
 from __future__ import annotations
 
@@ -10,41 +10,20 @@ from ..core.cost import CostModel, CostParameters, DEFAULT_COST_PARAMETERS
 from ..storage.catalog import Catalog
 
 
-@dataclass
-class ExecutionContext:
-    """Shared state for one query execution.
+class FilterScope:
+    """Bloom filters published during a *single* plan execution.
 
-    Attributes:
-        catalog: Source of table data.
-        cost_model: Charges work units for the simulated latency model; uses
-            the same constants as the optimizer so estimated and observed
-            costs are comparable.
-        degree_of_parallelism: Simulated DOP used when charging broadcast and
-            per-worker hash-table build work.
-        bloom_partitions: Number of partial Bloom filters built per filter,
-            emulating the partition-join strategies of Section 3.9 (1 means a
-            single monolithic filter, as in build-side broadcast).
-        bloom_bits_per_key: Sizing knob forwarded to runtime Bloom filters.
+    Build-side hash joins publish their filters here and the probe-side scans
+    below them fetch them.  Each :meth:`Executor.execute
+    <repro.executor.runtime.Executor.execute>` call creates its own scope, so
+    two in-flight executions against one shared :class:`ExecutionContext`
+    (e.g. two API sessions over the same catalog) can never observe — or
+    clobber — each other's filters.
     """
 
-    catalog: Catalog
-    cost_model: CostModel = field(default_factory=lambda: CostModel(DEFAULT_COST_PARAMETERS))
-    degree_of_parallelism: int = 48
-    bloom_partitions: int = 1
-    bloom_bits_per_key: int = 8
-    _filters: Dict[str, BloomFilter] = field(default_factory=dict)
-    _partitioned_filters: Dict[str, PartitionedBloomFilter] = field(default_factory=dict)
-
-    @classmethod
-    def for_catalog(cls, catalog: Catalog,
-                    parameters: Optional[CostParameters] = None,
-                    degree_of_parallelism: int = 48) -> "ExecutionContext":
-        """Convenience constructor mirroring the optimizer's defaults."""
-        params = parameters or DEFAULT_COST_PARAMETERS
-        return cls(catalog=catalog, cost_model=CostModel(params),
-                   degree_of_parallelism=degree_of_parallelism)
-
-    # -- Bloom filter registry ------------------------------------------------
+    def __init__(self) -> None:
+        self._filters: Dict[str, BloomFilter] = {}
+        self._partitioned_filters: Dict[str, PartitionedBloomFilter] = {}
 
     def register_filter(self, filter_id: str, bloom: BloomFilter,
                         partitioned: Optional[PartitionedBloomFilter] = None) -> None:
@@ -72,7 +51,54 @@ class ExecutionContext:
         """True if the filter has already been built."""
         return filter_id in self._filters
 
-    def reset_filters(self) -> None:
-        """Drop all registered filters (between executions)."""
+    def clear(self) -> None:
+        """Drop all registered filters."""
         self._filters.clear()
         self._partitioned_filters.clear()
+
+
+@dataclass
+class ExecutionContext:
+    """Shared state for query executions against one catalog.
+
+    Attributes:
+        catalog: Source of table data.
+        cost_model: Charges work units for the simulated latency model; uses
+            the same constants as the optimizer so estimated and observed
+            costs are comparable.
+        degree_of_parallelism: Simulated DOP used when charging broadcast and
+            per-worker hash-table build work.
+        bloom_partitions: Number of partial Bloom filters built per filter,
+            emulating the partition-join strategies of Section 3.9 (1 means a
+            single monolithic filter, as in build-side broadcast).
+        bloom_bits_per_key: Sizing knob forwarded to runtime Bloom filters.
+
+    Bloom filters built at runtime are *not* shared context state: every
+    execution publishes them into its own :class:`FilterScope` (see
+    :meth:`new_filter_scope`), which keeps concurrent executions on one
+    context independent.  Callers driving scans by hand construct a scope,
+    register filters on it and pass it to
+    :meth:`Executor.execute(plan, filters=scope)
+    <repro.executor.runtime.Executor.execute>`.
+    """
+
+    catalog: Catalog
+    cost_model: CostModel = field(default_factory=lambda: CostModel(DEFAULT_COST_PARAMETERS))
+    degree_of_parallelism: int = 48
+    bloom_partitions: int = 1
+    bloom_bits_per_key: int = 8
+
+    @classmethod
+    def for_catalog(cls, catalog: Catalog,
+                    parameters: Optional[CostParameters] = None,
+                    degree_of_parallelism: int = 48) -> "ExecutionContext":
+        """Convenience constructor mirroring the optimizer's defaults."""
+        params = parameters or DEFAULT_COST_PARAMETERS
+        return cls(catalog=catalog, cost_model=CostModel(params),
+                   degree_of_parallelism=degree_of_parallelism)
+
+    # -- Bloom filter scoping -------------------------------------------------
+
+    def new_filter_scope(self) -> FilterScope:
+        """A fresh, empty filter scope for one plan execution."""
+        return FilterScope()

@@ -39,7 +39,7 @@ from ..core.plans import (
 from ..core.properties import DistributionKind
 from .aggregate import aggregate_batch
 from .batch import Batch
-from .context import ExecutionContext
+from .context import ExecutionContext, FilterScope
 from .joins import equi_join, merge_join, nested_loop_join
 from .metrics import ExecutionMetrics
 
@@ -67,13 +67,26 @@ class Executor:
     def __init__(self, context: ExecutionContext) -> None:
         self.context = context
         self.metrics = ExecutionMetrics()
+        #: The filter scope of the current/last execution; assigned by
+        #: :meth:`execute` (pass ``filters=`` there to supply your own scope
+        #: — anything registered on a scope created before ``execute`` would
+        #: be discarded, so none is allocated here).
+        self.filters: Optional[FilterScope] = None
 
     # ------------------------------------------------------------------
 
-    def execute(self, plan: PlanNode) -> ExecutionResult:
-        """Execute ``plan`` and return its result batch and metrics."""
+    def execute(self, plan: PlanNode,
+                filters: Optional[FilterScope] = None) -> ExecutionResult:
+        """Execute ``plan`` and return its result batch and metrics.
+
+        Each call runs in a fresh :class:`FilterScope` by default, so
+        concurrent executions sharing one context never see each other's
+        published Bloom filters.  Pass ``filters`` to supply a pre-populated
+        scope (e.g. filters built by an earlier run you want reused).
+        """
         self.metrics = ExecutionMetrics()
-        self.context.reset_filters()
+        self.filters = filters if filters is not None \
+            else self.context.new_filter_scope()
         started = time.perf_counter()
         batch = self._execute(plan)
         self.metrics.wall_time_seconds = time.perf_counter() - started
@@ -117,7 +130,7 @@ class Executor:
 
         pre_bloom_rows = batch.num_rows
         for spec in node.bloom_filters:
-            bloom = self.context.get_filter(spec.filter_id)
+            bloom = self.filters.get_filter(spec.filter_id)
             values = batch.resolve(spec.apply_column)
             mask = bloom.contains_many(values)
             work += cost_model.bloom_apply(batch.num_rows, 1).total
@@ -177,7 +190,7 @@ class Executor:
     def _build_bloom_filters(self, node: JoinNode, inner_batch: Batch) -> None:
         """Build and publish the Bloom filters this hash join is charged with."""
         for spec in node.built_filters:
-            if self.context.has_filter(spec.filter_id):
+            if self.filters.has_filter(spec.filter_id):
                 continue
             values = inner_batch.resolve(spec.build_column)
             if self.context.bloom_partitions > 1:
@@ -185,11 +198,11 @@ class Executor:
                     values, self.context.bloom_partitions,
                     bits_per_key=self.context.bloom_bits_per_key)
                 bloom = partitioned.merge()
-                self.context.register_filter(spec.filter_id, bloom, partitioned)
+                self.filters.register_filter(spec.filter_id, bloom, partitioned)
             else:
                 bloom = BloomFilter.from_values(
                     values, bits_per_key=self.context.bloom_bits_per_key)
-                self.context.register_filter(spec.filter_id, bloom)
+                self.filters.register_filter(spec.filter_id, bloom)
             self.metrics.bloom_filters_built += 1
             build_work = self.context.cost_model.bloom_build(len(values), 1).total
             self.metrics.total_work_units += build_work

@@ -2,40 +2,24 @@
 
 Every experiment module produces plain dataclasses plus a text rendering, so
 the same code backs the runnable examples, the pytest-benchmark harness and
-EXPERIMENTS.md.
+EXPERIMENTS.md.  ``scaled_settings``, ``format_table`` and
+``percent_reduction`` are re-exported from their new homes
+(:mod:`repro.core.heuristics`, :mod:`repro.textutil`) for backwards
+compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional
 
-from ..core.heuristics import BfCboSettings
-from ..core.optimizer import OptimizationResult, Optimizer, OptimizerMode
-from ..core.plans import count_bloom_filters
+from ..api.database import Database
+from ..core.heuristics import BfCboSettings, scaled_settings
+from ..core.optimizer import OptimizationResult, OptimizerMode
 from ..core.query import QueryBlock
-from ..executor.context import ExecutionContext
-from ..executor.runtime import ExecutionResult, Executor
+from ..executor.runtime import ExecutionResult
 from ..storage.catalog import Catalog
-
-
-def scaled_settings(scale_factor: float,
-                    base: Optional[BfCboSettings] = None) -> BfCboSettings:
-    """Scale the paper's absolute heuristic thresholds to a scale factor.
-
-    The paper's thresholds (Heuristic 2's 10,000-row apply minimum and
-    Heuristic 5's 2,000,000-distinct-value filter cap) were chosen for TPC-H
-    SF100.  When the reproduction runs at a smaller scale factor the same
-    *relative* behaviour is obtained by scaling both thresholds by
-    ``scale_factor / 100``.
-    """
-    base = base or BfCboSettings.paper_defaults()
-    ratio = max(scale_factor / 100.0, 1e-9)
-    return base.with_overrides(
-        min_apply_rows=max(1.0, base.min_apply_rows * ratio),
-        max_build_ndv=max(64.0, base.max_build_ndv * ratio),
-        heuristic8_min_total_join_input=base.heuristic8_min_total_join_input * ratio,
-    )
+from ..textutil import format_table, percent_reduction
 
 
 @dataclass
@@ -56,77 +40,58 @@ class QueryRun:
 
 
 class QueryRunner:
-    """Plans and executes query blocks under the three optimizer modes."""
+    """Plans and executes query blocks under the three optimizer modes.
+
+    A thin wrapper over the session API: a private
+    :class:`~repro.api.database.Database` (with *both caches disabled*, so
+    every planning time reported by an experiment is a real, cold
+    optimization — the paper's planner-latency numbers must not be amortised
+    away) and one :class:`~repro.api.session.Session` that executes the
+    plans.  Session history is disabled too: experiments keep their own
+    result rows and must not pin every batch and plan in memory.
+    """
 
     def __init__(self, catalog: Catalog, scale_factor: Optional[float] = None,
                  degree_of_parallelism: int = 48) -> None:
         self.catalog = catalog
         self.scale_factor = scale_factor
-        self.optimizer = Optimizer(catalog)
-        self.context = ExecutionContext.for_catalog(
-            catalog, degree_of_parallelism=degree_of_parallelism)
+        self.database = Database(catalog, scale_factor=scale_factor,
+                                 plan_cache_size=0, sequence_cache_size=0)
+        self.session = self.database.connect(
+            degree_of_parallelism=degree_of_parallelism, history_limit=0)
+        # Backwards-compatible seams for callers that poked the internals.
+        self.optimizer = self.database.optimizer
+        self.context = self.session.context
 
-    def settings_for(self, mode: OptimizerMode,
-                     settings: Optional[BfCboSettings]) -> Optional[BfCboSettings]:
-        """Apply scale-factor threshold scaling when requested."""
-        if settings is None and mode is OptimizerMode.BF_CBO \
-                and self.scale_factor is not None:
-            return scaled_settings(self.scale_factor)
-        if settings is not None and self.scale_factor is not None \
-                and mode is OptimizerMode.BF_CBO:
-            return scaled_settings(self.scale_factor, settings)
-        return settings
+    @staticmethod
+    def _to_query_run(query: QueryBlock, mode: OptimizerMode,
+                      session_result) -> QueryRun:
+        """Map a session QueryResult onto the experiment QueryRun record."""
+        result = session_result.optimization
+        run = QueryRun(query_name=query.name, mode=mode,
+                       planning_time_ms=result.planning_time_ms,
+                       estimated_cost=result.estimated_cost,
+                       num_bloom_filters=result.num_bloom_filters,
+                       optimization=result)
+        execution = session_result.execution
+        if execution is not None:
+            run.execution = execution
+            run.simulated_latency = execution.simulated_latency
+            run.wall_time_seconds = execution.metrics.wall_time_seconds
+            run.output_rows = execution.num_rows
+            run.cardinality_mae = execution.metrics.mean_absolute_error()
+        return run
 
     def plan(self, query: QueryBlock, mode: OptimizerMode,
              settings: Optional[BfCboSettings] = None) -> QueryRun:
         """Plan a query without executing it."""
-        result = self.optimizer.optimize(query, mode,
-                                         self.settings_for(mode, settings))
-        return QueryRun(query_name=query.name, mode=mode,
-                        planning_time_ms=result.planning_time_ms,
-                        estimated_cost=result.estimated_cost,
-                        num_bloom_filters=result.num_bloom_filters,
-                        optimization=result)
+        return self._to_query_run(query, mode,
+                                  self.session.plan(query, mode, settings))
 
     def run(self, query: QueryBlock, mode: OptimizerMode,
             settings: Optional[BfCboSettings] = None) -> QueryRun:
         """Plan and execute a query, collecting runtime metrics."""
-        run = self.plan(query, mode, settings)
-        executor = Executor(self.context)
-        execution = executor.execute(run.optimization.plan)
-        run.execution = execution
-        run.simulated_latency = execution.simulated_latency
-        run.wall_time_seconds = execution.metrics.wall_time_seconds
-        run.output_rows = execution.num_rows
-        run.cardinality_mae = execution.metrics.mean_absolute_error()
-        return run
+        return self._to_query_run(query, mode,
+                                  self.session.execute(query, mode, settings))
 
 
-# ---------------------------------------------------------------------------
-# Text tables
-# ---------------------------------------------------------------------------
-
-
-def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
-                 title: Optional[str] = None) -> str:
-    """Render a fixed-width text table (used by examples and EXPERIMENTS.md)."""
-    columns = [list(map(str, column)) for column in
-               zip(*([headers] + [list(map(str, row)) for row in rows]))] \
-        if rows else [[str(h)] for h in headers]
-    widths = [max(len(value) for value in column) for column in columns]
-    lines: List[str] = []
-    if title:
-        lines.append(title)
-    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
-    lines.append(header_line)
-    lines.append("  ".join("-" * w for w in widths))
-    for row in rows:
-        lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
-    return "\n".join(lines)
-
-
-def percent_reduction(baseline: float, improved: float) -> float:
-    """Percent reduction of ``improved`` relative to ``baseline``."""
-    if baseline <= 0:
-        return 0.0
-    return 100.0 * (baseline - improved) / baseline

@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
+from ..errors import ReproError
 
-class SqlError(ValueError):
-    """Base class for SQL front-end errors."""
+
+class SqlError(ReproError, ValueError):
+    """Base class for SQL front-end errors.
+
+    Part of the :class:`~repro.errors.ReproError` hierarchy; still a
+    ``ValueError`` so pre-hierarchy ``except ValueError`` callers keep working.
+    """
 
 
 class LexerError(SqlError):

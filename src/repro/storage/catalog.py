@@ -28,6 +28,17 @@ class Catalog:
         self._schemas: Dict[str, TableSchema] = {}
         self._tables: Dict[str, Table] = {}
         self._statistics: Dict[str, TableStatistics] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every schema/data/statistics change.
+
+        Plan caches key their validity on this: any registration — whether it
+        goes through :class:`repro.api.Database` or straight through the
+        catalog — invalidates previously cached plans.
+        """
+        return self._version
 
     # -- registration -------------------------------------------------------
 
@@ -42,6 +53,7 @@ class Catalog:
             self._statistics[name] = statistics
         elif analyze:
             self._statistics[name] = collect_statistics(table)
+        self._version += 1
 
     def register_schema(self, schema: TableSchema,
                         statistics: Optional[TableStatistics] = None) -> None:
@@ -50,6 +62,7 @@ class Catalog:
         self._schemas[name] = schema
         if statistics is not None:
             self._statistics[name] = statistics
+        self._version += 1
 
     def set_statistics(self, table_name: str,
                        statistics: TableStatistics) -> None:
@@ -58,6 +71,7 @@ class Catalog:
         if name not in self._schemas:
             raise CatalogError("unknown table %r" % table_name)
         self._statistics[name] = statistics
+        self._version += 1
 
     # -- lookups --------------------------------------------------------------
 

@@ -80,12 +80,10 @@ def reference_pairs(query, graph):
 
 
 def enumerator_for(query):
-    enumerator = JoinEnumerator.__new__(JoinEnumerator)
-    enumerator.query = query
-    enumerator.join_graph = JoinGraph(query)
-    enumerator._pair_masks_cache = None
-    enumerator._pair_cache = None
-    return enumerator
+    # The mask walk never touches catalog/estimator/cost model, so the real
+    # constructor works with None stubs — future __init__ fields are then
+    # initialised for free instead of being hand-mirrored here.
+    return JoinEnumerator(None, query, None, None)
 
 
 GRAPH_SHAPES = []

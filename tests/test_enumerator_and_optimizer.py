@@ -3,10 +3,12 @@ and the BF-Post post-processing baseline."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core import (
     BfCboSettings,
+    ColumnRef,
     CostModel,
     JoinMethod,
     Optimizer,
@@ -20,7 +22,11 @@ from repro.core import (
 from repro.core.cardinality import CardinalityEstimator
 from repro.core.enumerator import JoinEnumerator
 from repro.core.plans import ExchangeNode, JoinNode, ScanNode
+from repro.core.query import BaseRelation, JoinClause, JoinType, QueryBlock
+from repro.executor import ExecutionContext, Executor
 from repro.experiments.delta_semantics import run_delta_semantics
+from repro.storage import Catalog, INT64, make_schema
+from repro.storage.table import Table
 
 
 class TestEnumeration:
@@ -70,6 +76,115 @@ class TestEnumeration:
         result = optimizer.optimize(running_example_query, OptimizerMode.NO_BF)
         kinds = {type(node) for node in result.plan.walk()}
         assert ExchangeNode in kinds
+
+
+class TestFullJoinOrientationFreedom:
+    """FULL preserves both sides, so the enumerator may flip the join inputs.
+
+    ``big`` (SQL-left / preserved side of the clause) is much larger than
+    ``small``; before the orientation fix the SQL-left side was pinned to the
+    probe side, forcing ``big`` onto probe and forbidding the (small probe,
+    big build) orientation outright — here the *cheap* orientation is the one
+    with the small build side, which the DP must now be free to pick either
+    way around.
+    """
+
+    @pytest.fixture()
+    def full_join_setup(self):
+        catalog = Catalog()
+        big_schema = make_schema("big", [("k", INT64), ("payload", INT64)])
+        small_schema = make_schema("small", [("k", INT64)])
+        catalog.register_table(Table(big_schema, {
+            "k": np.arange(5000, dtype=np.int64),
+            "payload": np.arange(5000, dtype=np.int64) * 2,
+        }))
+        # small straddles big's key range: 50 matched keys (4950..4999) and
+        # 50 unmatched ones (5000..5049), so a reversed orientation must
+        # exercise the unmatched-*build*-row padding path of the FULL kernel.
+        catalog.register_table(Table(small_schema, {
+            "k": np.arange(4950, 5050, dtype=np.int64),
+        }))
+        query = QueryBlock(
+            relations=[BaseRelation("big", "big"),
+                       BaseRelation("small", "small")],
+            join_clauses=[JoinClause(ColumnRef("big", "k"),
+                                     ColumnRef("small", "k"),
+                                     join_type=JoinType.FULL)],
+            name="full-join")
+        return catalog, query
+
+    def test_both_orientations_enumerated(self, full_join_setup):
+        catalog, query = full_join_setup
+        estimator = CardinalityEstimator(catalog, query)
+        enumerator = JoinEnumerator(catalog, query, estimator, CostModel())
+        orientations = set()
+        for pair in enumerator.enumerate_join_pairs():
+            if enumerator._join_type_for(pair) is JoinType.FULL:
+                orientations.add((pair.outer, pair.inner))
+        assert orientations == {
+            (frozenset({"big"}), frozenset({"small"})),
+            (frozenset({"small"}), frozenset({"big"})),
+        }
+
+    def test_optimizer_picks_small_build_side(self, full_join_setup):
+        catalog, query = full_join_setup
+        result = Optimizer(catalog).optimize(query, OptimizerMode.NO_BF)
+        joins = list(join_nodes(result.join_plan))
+        assert len(joins) == 1
+        assert joins[0].join_type is JoinType.FULL
+        # The freed orientation with the 100-row build side must win over the
+        # previously forced 5000-row build side.
+        assert joins[0].inner.relations == frozenset({"small"})
+
+    def test_full_semantics_preserved_under_reversal(self, full_join_setup):
+        catalog, query = full_join_setup
+        result = Optimizer(catalog).optimize(query, OptimizerMode.NO_BF)
+        execution = Executor(ExecutionContext.for_catalog(catalog)).execute(
+            result.join_plan)
+        # 50 matched + 4950 unmatched big + 50 unmatched small (build-side
+        # rows the reversed orientation must preserve) = 5050.
+        assert execution.num_rows == 5050
+        small_keys = execution.batch.column("small.k")
+        assert int((small_keys >= 0).sum()) == 100  # -1 pads the unmatched
+        big_keys = execution.batch.column("big.k")
+        # The 50 unmatched small rows survive with big padded out.
+        assert int((small_keys >= 5000).sum()) == 50
+        assert int((big_keys < 0).sum()) == 50
+
+    def test_conflicting_outer_join_types_rejected(self, full_join_setup):
+        catalog, query = full_join_setup
+        mixed = QueryBlock(
+            relations=list(query.relations),
+            join_clauses=[JoinClause(ColumnRef("big", "k"),
+                                     ColumnRef("small", "k"),
+                                     join_type=JoinType.LEFT),
+                          JoinClause(ColumnRef("big", "payload"),
+                                     ColumnRef("small", "k"),
+                                     join_type=JoinType.FULL)],
+            name="mixed-outer")
+        estimator = CardinalityEstimator(catalog, mixed)
+        enumerator = JoinEnumerator(catalog, mixed, estimator, CostModel())
+        # LEFT + FULL between one relation pair has no single-join semantics:
+        # both orientations must be rejected regardless of clause order.
+        for pair in enumerator.enumerate_join_pairs():
+            assert enumerator._join_type_for(pair) is None
+
+    def test_left_join_orientation_still_pinned(self, full_join_setup):
+        catalog, query = full_join_setup
+        pinned = QueryBlock(
+            relations=list(query.relations),
+            join_clauses=[JoinClause(ColumnRef("big", "k"),
+                                     ColumnRef("small", "k"),
+                                     join_type=JoinType.LEFT)],
+            name="left-join")
+        estimator = CardinalityEstimator(catalog, pinned)
+        enumerator = JoinEnumerator(catalog, pinned, estimator, CostModel())
+        orientations = set()
+        for pair in enumerator.enumerate_join_pairs():
+            if enumerator._join_type_for(pair) is not None:
+                orientations.add((pair.outer, pair.inner))
+        # LEFT keeps the row-preserving side on the probe side only.
+        assert orientations == {(frozenset({"big"}), frozenset({"small"}))}
 
 
 class TestDeltaJoinConstraints:
