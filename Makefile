@@ -1,8 +1,10 @@
 # Developer entry points.  `make check` is the gate CI runs: the tier-1 unit
 # suite, a planner-latency smoke benchmark that fails fast if the join
-# enumeration regresses to subset scanning (see docs/enumeration.md), and an
-# examples smoke run that drives the session API (docs/api.md) end to end at
-# tiny scale.
+# enumeration regresses to subset scanning (see docs/enumeration.md), a
+# null-overhead smoke benchmark that fails if the mask=None fast path stops
+# being free on NULL-free workloads (see docs/nulls.md), and an examples
+# smoke run that drives the session API (docs/api.md) end to end at tiny
+# scale.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -15,7 +17,8 @@ test:
 	$(PYTHON) -m pytest tests -x -q
 
 smoke:
-	$(PYTHON) -m pytest benchmarks/test_bench_planner_latency.py -x -q
+	$(PYTHON) -m pytest benchmarks/test_bench_planner_latency.py \
+		benchmarks/test_bench_null_overhead.py -x -q
 
 examples:
 	$(PYTHON) examples/quickstart.py --scale 0.01

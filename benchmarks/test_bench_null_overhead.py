@@ -1,0 +1,115 @@
+"""Smoke benchmark: the masked executor must not slow the all-valid path.
+
+The validity-mask refactor keeps ``mask=None`` columns on the original
+vectorised code paths, so a NULL-free workload (all of TPC-H) should pay
+essentially nothing for NULL support.  The seed executor no longer exists to
+compare against, so the gate has two halves:
+
+* **structural** (the actual regression gate) — scanning each Q12 table must
+  yield mask-free batches and executing Q12 must produce a mask-free result,
+  proving the all-valid fast path is taken end to end;
+* **timing sanity ceiling** — the ``mask=None`` run must not exceed the same
+  query executed with explicit all-valid masks forced onto every column
+  (which pays the mask bookkeeping: per-operator mask slicing plus the
+  all-False short-circuit checks) by more than 10%.  The masked run does a
+  strict superset of the fast-path work, so this bounds absolute fast-path
+  bloat; it cannot by itself detect the fast path converging onto the masked
+  path — that is what the structural half is for.
+
+Wired into ``make check`` / CI next to the planner-latency smoke benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.api import Database
+from repro.executor.batch import Batch
+from repro.storage.catalog import Catalog
+from repro.storage.schema import TableSchema
+from repro.storage.column import ColumnDef
+from repro.storage.table import Table
+
+#: Measured executions per variant; the minimum is compared (robust against
+#: one-off scheduler noise in CI).
+ROUNDS = 5
+
+#: Allowed fast-path overhead relative to the forced-mask run.
+TOLERANCE = 1.10
+
+
+def _nullable_clone(catalog: Catalog, names) -> Catalog:
+    """A catalog whose listed tables carry explicit all-valid masks.
+
+    An all-``False`` mask is normalised away at the storage layer, so the
+    masks are injected straight into the column containers; the executor's
+    batches then carry and slice them through every operator (the expensive
+    kernels short-circuit on ``mask.any()`` — that check is part of the
+    bookkeeping this variant measures).
+    """
+    clone = Catalog()
+    for name in names:
+        table = catalog.table(name)
+        columns = [ColumnDef(c.name, c.dtype, nullable=True)
+                   for c in table.schema.columns]
+        schema = TableSchema(name=table.schema.name, columns=columns,
+                             primary_key=table.schema.primary_key,
+                             foreign_keys=list(table.schema.foreign_keys))
+        masked = Table(schema, {c: table.column(c)
+                                for c in table.column_names})
+        for column_name in masked.column_names:
+            data = masked.column_data(column_name)
+            data.null_mask = np.zeros(masked.num_rows, dtype=bool)
+        clone.register_table(masked,
+                             statistics=catalog.statistics(name))
+    return clone
+
+
+def _min_execution_seconds(session, query) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        session.execute(query)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_null_mask_overhead_on_q12(bench_workload):
+    db = Database(bench_workload.catalog,
+                  scale_factor=bench_workload.scale_factor)
+    query = bench_workload.query(12)
+    session = db.connect()
+
+    # Structural gate: the fast path must hold at the source (scans yield
+    # no masks) and at the sink (the result carries none).
+    for relation in query.relations:
+        scan = Batch.from_table(relation.alias,
+                                bench_workload.catalog.table(relation.table_name))
+        assert not scan.has_masks(), \
+            "TPC-H table %r produced masks on all-valid data" % relation.table_name
+    result = session.execute(query)
+    assert result.execution is not None
+    assert not result.execution.batch.has_masks(), \
+        "TPC-H Q12 produced masks on an all-valid workload"
+
+    masked_catalog = _nullable_clone(bench_workload.catalog,
+                                     [rel.table_name for rel in query.relations])
+    masked_db = Database(masked_catalog,
+                         scale_factor=bench_workload.scale_factor)
+    masked_session = masked_db.connect()
+    masked_result = masked_session.execute(query)
+    assert masked_result.num_rows == result.num_rows
+    for name in result.columns:
+        assert np.array_equal(masked_result.column(name),
+                              result.column(name)), \
+            "masked execution changed column %r" % name
+
+    fast = _min_execution_seconds(session, query)
+    masked = _min_execution_seconds(masked_session, query)
+    assert fast <= masked * TOLERANCE, (
+        "mask=None fast path took %.4fs, exceeding the forced-mask run "
+        "%.4fs by more than %d%% — the all-valid path is doing work the "
+        "masked path does not"
+        % (fast, masked, round((TOLERANCE - 1) * 100)))

@@ -41,13 +41,18 @@ from ..sql.binder import bind_sql
 from ..storage.catalog import Catalog
 from ..storage.schema import ForeignKey, TableSchema, make_schema
 from ..storage.statistics import TableStatistics
-from ..storage.table import Table
+from ..storage.table import Table, infer_null_mask
 from ..storage.types import BOOL, DATE, FLOAT64, INT64, STRING, DataType
 
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters of a database's plan and enumeration caches."""
+    """Hit/miss counters of a database's plan and enumeration caches.
+
+    ``plan_evictions`` counts entries dropped by invalidation — targeted
+    (per-table, when a dependency is re-registered) and full (out-of-band
+    catalog changes) alike; LRU-capacity replacement is not counted.
+    """
 
     plan_hits: int
     plan_misses: int
@@ -55,6 +60,7 @@ class CacheStats:
     sequence_hits: int
     sequence_misses: int
     sequence_entries: int
+    plan_evictions: int = 0
 
     @property
     def plan_lookups(self) -> int:
@@ -88,8 +94,7 @@ def _storage_array(values: np.ndarray) -> np.ndarray:
 
     Dates are stored as days-since-epoch int64 throughout the engine, so
     ``datetime64`` input is converted here.  Unsigned integers are widened to
-    the signed int64 their schema declares — outer-join padding uses -1,
-    which an unsigned dtype cannot represent.  Byte strings are decoded to
+    the signed int64 their schema declares.  Byte strings are decoded to
     unicode, because predicates compare against ``str`` literals and a
     ``bytes`` vs ``str`` comparison silently matches nothing in numpy.
     """
@@ -103,6 +108,34 @@ def _storage_array(values: np.ndarray) -> np.ndarray:
     if values.dtype.kind == "S":
         return values.astype(np.str_)
     return values
+
+
+def _infer_storage_column(values: np.ndarray,
+                          explicit_mask) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Physical array plus inferred/merged null mask for one input column.
+
+    NaN in float input and ``None`` in object input mark NULLs
+    (:func:`~repro.storage.table.infer_null_mask`, merged with any
+    ``explicit_mask``) instead of masquerading as data; the filler stored
+    under the mask is zero / empty and never read back.
+    """
+    mask: Optional[np.ndarray] = None
+    if explicit_mask is not None:
+        mask = np.asarray(explicit_mask, dtype=bool)
+        if mask.shape != values.shape:
+            raise ValueError("null mask shape %r does not match values %r"
+                             % (mask.shape, values.shape))
+    inferred = infer_null_mask(values)
+    if inferred is not None:
+        mask = inferred if mask is None else (mask | inferred)
+        if values.dtype.kind == "O":
+            # Replace the None markers so the stored array is analysable
+            # (np.unique cannot sort None against str).
+            values = values.copy()
+            values[inferred] = ""
+    if mask is not None and not mask.any():
+        mask = None
+    return _storage_array(values), mask
 
 
 class Database:
@@ -182,6 +215,7 @@ class Database:
 
     def register_table(self, name: str,
                        columns: Mapping[str, Sequence], *,
+                       null_masks: Optional[Mapping[str, Sequence]] = None,
                        primary_key: Sequence[str] = (),
                        foreign_keys: Sequence[ForeignKey] = (),
                        statistics: Optional[TableStatistics] = None) -> Table:
@@ -189,25 +223,57 @@ class Database:
 
         Column types are inferred from the numpy dtypes, so
         ``db.register_table("t", {"k": np.arange(10)})`` is all it takes to
-        make a table queryable.  Returns the materialised table.
+        make a table queryable.  NULLs come in two ways: pass explicit
+        boolean ``null_masks`` per column, or let NaN floats and
+        ``None``-bearing object arrays be inferred as nullable columns with
+        a proper mask (NaN never masquerades as data).  Returns the
+        materialised table.
+
+        Registration only evicts the cached plans that depend on ``name``
+        (see :meth:`cache_stats` for eviction counts); plans over other
+        tables stay cached.
         """
         arrays = {col: np.asarray(values) for col, values in columns.items()}
+        null_masks = null_masks or {}
+        unknown = set(null_masks) - set(arrays)
+        if unknown:
+            raise ValueError("null masks for unknown columns %r"
+                             % sorted(unknown))
+        storage = {}
+        masks = {}
+        for col, data in arrays.items():
+            storage[col], masks[col] = _infer_storage_column(
+                data, null_masks.get(col))
         schema = make_schema(name,
-                             [(col, _infer_column_type(arrays[col]))
+                             [(col, _infer_column_type(arrays[col]),
+                               masks[col] is not None)
                               for col in arrays],
                              primary_key=primary_key,
                              foreign_keys=foreign_keys)
-        table = Table(schema, {col: _storage_array(data)
-                               for col, data in arrays.items()})
-        # The catalog version bump invalidates cached plans on the next
-        # lookup; the shape-only sequence cache stays valid by construction.
-        self.catalog.register_table(table, statistics=statistics)
+        table = Table(schema, storage, null_masks=masks)
+        self._register(table.name, lambda: self.catalog.register_table(
+            table, statistics=statistics))
         return table
 
     def register_schema(self, schema: TableSchema,
                         statistics: Optional[TableStatistics] = None) -> None:
         """Register a statistics-only table (planning without data)."""
-        self.catalog.register_schema(schema, statistics)
+        self._register(schema.name, lambda: self.catalog.register_schema(
+            schema, statistics))
+
+    def _register(self, table_name: str, register) -> None:
+        """Run a catalog registration with per-table plan-cache eviction.
+
+        Any out-of-band catalog change is flushed first (full eviction);
+        the registration itself then only drops cached plans that reference
+        ``table_name``, and the catalog-version snapshot is advanced so the
+        surviving entries stay served.
+        """
+        self._invalidate_if_catalog_changed()
+        register()
+        key = table_name.lower()
+        self._plan_cache.evict_if(lambda _, entry: key in entry[1])
+        self._catalog_version = self.catalog.version
 
     # ------------------------------------------------------------------
     # Sessions
@@ -266,11 +332,15 @@ class Database:
             key = (query.fingerprint(), mode, settings)
             cached = self._plan_cache.lookup(key)
             if cached is not None and self.catalog.version == planned_version:
-                return cached, True
+                return cached[0], True
         with raise_as(PlanningError, "planning %s failed" % query.name):
             result = self.optimizer.optimize(query, mode, settings)
         if caching and self.catalog.version == planned_version:
-            self._plan_cache.store(key, result)
+            # Entries carry the set of tables the plan reads so that a
+            # re-registration of one table evicts only its dependents.
+            tables = frozenset(rel.table_name.lower()
+                               for rel in query.relations)
+            self._plan_cache.store(key, (result, tables))
         return result, False
 
     def _invalidate_if_catalog_changed(self) -> None:
@@ -301,7 +371,8 @@ class Database:
             plan_entries=len(plans),
             sequence_hits=sequence.hits if sequence else 0,
             sequence_misses=sequence.misses if sequence else 0,
-            sequence_entries=len(sequence) if sequence else 0)
+            sequence_entries=len(sequence) if sequence else 0,
+            plan_evictions=plans.evictions)
 
     def clear_caches(self) -> None:
         """Drop all cached plans and sequences (e.g. after new statistics)."""

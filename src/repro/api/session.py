@@ -69,21 +69,59 @@ class QueryResult:
     def column(self, name: str) -> np.ndarray:
         """One result column as a numpy array.
 
-        Raises ``RuntimeError`` (a caller-state error, deliberately outside
-        the :class:`~repro.errors.ReproError` hierarchy) when the result was
-        only planned, never executed.
+        Values at NULL positions (see :meth:`null_mask`) are deterministic
+        filler, never data.  Raises ``RuntimeError`` (a caller-state error,
+        deliberately outside the :class:`~repro.errors.ReproError`
+        hierarchy) when the result was only planned, never executed.
         """
         if self.execution is None:
             raise RuntimeError("query %r was planned but not executed"
                                % self.query.name)
         return self.execution.batch.column(name)
 
+    def null_mask(self, name: str) -> Optional[np.ndarray]:
+        """Null mask of one result column (``None`` = every row valid).
+
+        This is the only way to tell a NULL result cell from its filler —
+        e.g. a ``SUM`` over an all-NULL group stores ``0.0`` in the value
+        array and ``True`` here (``RuntimeError`` if plan-only).
+        """
+        if self.execution is None:
+            raise RuntimeError("query %r was planned but not executed"
+                               % self.query.name)
+        return self.execution.batch.null_mask(name)
+
     def to_dict(self) -> Dict[str, np.ndarray]:
-        """All result columns keyed by name (``RuntimeError`` if plan-only)."""
+        """All result columns keyed by name (``RuntimeError`` if plan-only).
+
+        NULL cells hold filler values; consult :meth:`null_mask` (or
+        :meth:`to_pylist` for a ``None``-substituted view) to detect them.
+        """
         if self.execution is None:
             raise RuntimeError("query %r was planned but not executed"
                                % self.query.name)
         return self.execution.batch.to_dict()
+
+    def to_pylist(self) -> List[Dict[str, object]]:
+        """Result rows as plain dicts with ``None`` at NULL positions.
+
+        The mask-honouring convenience accessor for small result sets
+        (``RuntimeError`` if plan-only).
+        """
+        if self.execution is None:
+            raise RuntimeError("query %r was planned but not executed"
+                               % self.query.name)
+        batch = self.execution.batch
+        columns = {key: (batch.column(key), batch.null_mask(key))
+                   for key in batch.keys}
+        rows: List[Dict[str, object]] = []
+        for i in range(batch.num_rows):
+            rows.append({
+                key: None if mask is not None and mask[i]
+                else (values[i].item() if hasattr(values[i], "item")
+                      else values[i])
+                for key, (values, mask) in columns.items()})
+        return rows
 
     # -- metrics --------------------------------------------------------------
 

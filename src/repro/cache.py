@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Hashable, Optional
+from typing import Any, Callable, Hashable, Optional
 
 
 class LruCache:
@@ -26,6 +26,9 @@ class LruCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        #: Entries dropped by invalidation (:meth:`evict_all` /
+        #: :meth:`evict_if`), excluding LRU-capacity replacement.
+        self.evictions = 0
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.Lock()
 
@@ -57,10 +60,32 @@ class LruCache:
                 self._entries.popitem(last=False)
             self._entries[key] = value
 
-    def evict_all(self) -> None:
-        """Drop all entries but keep the lifetime hit/miss counters."""
+    def evict_all(self) -> int:
+        """Drop all entries but keep the lifetime hit/miss counters.
+
+        Returns the number of entries dropped (also added to
+        :attr:`evictions`).
+        """
         with self._lock:
+            dropped = len(self._entries)
             self._entries.clear()
+            self.evictions += dropped
+            return dropped
+
+    def evict_if(self, predicate: Callable[[Hashable, Any], bool]) -> int:
+        """Drop the entries for which ``predicate(key, value)`` is true.
+
+        Used for targeted invalidation (e.g. dropping only the plans that
+        depend on one re-registered table).  Returns the number of entries
+        dropped (also added to :attr:`evictions`).
+        """
+        with self._lock:
+            doomed = [key for key, value in self._entries.items()
+                      if predicate(key, value)]
+            for key in doomed:
+                del self._entries[key]
+            self.evictions += len(doomed)
+            return len(doomed)
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
@@ -68,3 +93,4 @@ class LruCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0

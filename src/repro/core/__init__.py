@@ -22,12 +22,15 @@ from .expressions import (
     ComparisonOp,
     ExtractYear,
     InList,
+    IsNotNull,
+    IsNull,
     Like,
     Literal,
     Not,
     Or,
     Predicate,
     ScalarExpression,
+    combine_null_masks,
     conjunction,
     conjuncts,
 )
@@ -70,14 +73,16 @@ __all__ = [
     "ComparisonOp", "Cost", "CostModel", "CostParameters",
     "DEFAULT_COST_PARAMETERS", "Distribution", "DistributionKind",
     "EnumerationSequenceCache",
-    "ExchangeKind", "ExchangeNode", "ExtractYear", "InList", "JoinClause",
+    "ExchangeKind", "ExchangeNode", "ExtractYear", "InList", "IsNotNull",
+    "IsNull", "JoinClause",
     "JoinEnumerator", "JoinGraph", "JoinMethod", "JoinNode", "JoinPair",
     "JoinType", "Like", "LimitNode", "Literal", "NaiveBloomEnumerator",
     "NaiveResult", "Not", "OptimizationResult", "Optimizer", "OptimizerMode",
     "Or", "OrderItem", "OutputItem", "PlanList", "PlanNode", "PlanProperties",
     "PostProcessReport", "Predicate", "ProjectNode", "QueryBlock",
     "ScalarExpression", "ScanNode", "SortNode", "TwoPhaseBloomOptimizer",
-    "bloom_filter_summary", "conjunction", "conjuncts", "count_bloom_filters",
+    "bloom_filter_summary", "combine_null_masks", "conjunction", "conjuncts",
+    "count_bloom_filters",
     "explain", "join_nodes", "join_order_summary",
     "mark_bloom_filter_candidates", "scan_nodes",
 ]

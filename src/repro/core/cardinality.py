@@ -28,6 +28,8 @@ from .expressions import (
     Comparison,
     ComparisonOp,
     InList,
+    IsNotNull,
+    IsNull,
     Like,
     Literal,
     Not,
@@ -144,7 +146,18 @@ class CardinalityEstimator:
             # leading-wildcard patterns are barely selective.
             base = 0.05 if not predicate.pattern.startswith("%") else 0.25
             return 1.0 - base if predicate.negated else base
+        if isinstance(predicate, (IsNull, IsNotNull)):
+            return self._null_test_selectivity(predicate, alias)
         return self.unknown_selectivity
+
+    def _null_test_selectivity(self, predicate, alias: str) -> float:
+        """Selectivity of ``IS [NOT] NULL`` from the column's null fraction."""
+        if not isinstance(predicate.operand, ColumnRef) \
+                or predicate.operand.relation != alias:
+            return self.unknown_selectivity
+        stats = self._column_stats(alias, predicate.operand.column)
+        fraction = min(1.0, max(0.0, stats.null_fraction))
+        return fraction if isinstance(predicate, IsNull) else 1.0 - fraction
 
     @staticmethod
     def _literal_value(expr) -> Optional[object]:
@@ -162,11 +175,16 @@ class CardinalityEstimator:
             op = flip.get(op, op)
         if column is None or column.relation != alias:
             return self.unknown_selectivity
+        if literal is None:
+            return 0.0  # comparison with the NULL literal is never TRUE
         stats = self._column_stats(alias, column.column)
         if op is ComparisonOp.EQ:
             return stats.equality_selectivity(literal)
         if op is ComparisonOp.NE:
-            return max(0.0, 1.0 - stats.equality_selectivity(literal))
+            # NULL rows satisfy neither = nor <>: start from the valid
+            # fraction, not 1.0.
+            return max(0.0, stats.valid_fraction
+                       - stats.equality_selectivity(literal))
         numeric = self._as_number(literal)
         if numeric is None:
             return self.unknown_selectivity

@@ -11,21 +11,109 @@ evaluate itself against a *column resolver* — a callable mapping a
 :class:`ColumnRef` to a numpy array — which is how the executor runs
 predicates and projections without the expression model knowing anything about
 physical storage.
+
+NULL semantics (see ``docs/nulls.md``): evaluation follows SQL's three-valued
+logic.  The executor-facing entry point is :meth:`evaluate_masked`, which
+takes a *masked* resolver returning ``(values, null_mask)`` pairs — the mask
+is ``None`` for all-valid columns (the fast path, where evaluation is exactly
+the legacy vectorised code) or a boolean array with ``True`` marking NULLs.
+Scalar expressions propagate NULL through arithmetic and comparisons;
+predicates use Kleene logic for AND/OR/NOT.  A predicate's value array means
+"definitely TRUE": rows whose truth value is NULL carry ``False`` there and
+``True`` in the returned mask, so a filter can keep exactly the
+definitely-true rows without consulting the mask.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+#: Legacy values-only resolver, still accepted by :meth:`evaluate`.
 ColumnResolver = Callable[["ColumnRef"], np.ndarray]
+
+#: Masked resolver used by the executor: maps a :class:`ColumnRef` to
+#: ``(values, null_mask)`` where ``null_mask`` is ``None`` for all-valid
+#: columns or a boolean array marking NULL positions.
+MaskedColumnResolver = Callable[
+    ["ColumnRef"], Tuple[np.ndarray, Optional[np.ndarray]]]
 
 
 class ExpressionError(ValueError):
     """Raised for malformed or unevaluatable expressions."""
+
+
+def combine_null_masks(*masks: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    """OR together any number of optional null masks (``None`` = all valid)."""
+    result: Optional[np.ndarray] = None
+    for mask in masks:
+        if mask is None:
+            continue
+        result = mask if result is None else (result | mask)
+    return result
+
+
+def _adapt_resolver(resolve: ColumnResolver) -> MaskedColumnResolver:
+    """Wrap a values-only resolver into the masked protocol (no masks)."""
+
+    def resolve_masked(ref: "ColumnRef"):
+        return resolve(ref), None
+
+    return resolve_masked
+
+
+def _is_scalar_null(mask: Optional[np.ndarray]) -> bool:
+    """True for the 0-d all-null mask produced by a NULL literal."""
+    return (mask is not None and getattr(mask, "ndim", 1) == 0 and bool(mask))
+
+
+def _full_mask(mask: Optional[np.ndarray], shape) -> Optional[np.ndarray]:
+    """Broadcast an optional mask to ``shape`` (None stays None)."""
+    if mask is None:
+        return None
+    return np.broadcast_to(np.asarray(mask, dtype=bool), shape)
+
+
+def fill_masked(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Copy of ``values`` with null positions replaced by comparable filler.
+
+    The single place that knows how to canonicalise filler so masked rows
+    can safely flow through comparators, sorts and group-key hashing:
+    object arrays borrow a valid value (``None`` does not order against
+    ``str``; an all-null column gets ``""``), fixed strings get the empty
+    string, everything else zero.  The filled positions stay masked at the
+    call sites, so the filler is never observable as data.
+    """
+    values = np.asarray(values)
+    mask = np.broadcast_to(np.asarray(mask, dtype=bool), values.shape)
+    out = values.copy()
+    if values.dtype.kind == "O":
+        valid = values[~mask]
+        out[mask] = valid[0] if valid.size else ""
+    elif values.dtype.kind in ("U", "S"):
+        out[mask] = values.dtype.type()
+    else:
+        out[mask] = values.dtype.type(0)
+    return out
+
+
+def _comparable(values: np.ndarray,
+                mask: Optional[np.ndarray]) -> np.ndarray:
+    """Make masked object-array filler safe to feed through a comparator.
+
+    Non-object dtypes (NaN, 0, ``""``) are already comparable and pass
+    through untouched; object columns are re-filled via :func:`fill_masked`.
+    """
+    values = np.asarray(values)
+    if mask is None or values.dtype.kind != "O" or values.ndim == 0:
+        return values
+    mask = np.broadcast_to(np.asarray(mask, dtype=bool), values.shape)
+    if not mask.any():
+        return values
+    return fill_masked(values, mask)
 
 
 # ---------------------------------------------------------------------------
@@ -44,9 +132,18 @@ class ScalarExpression:
         """Aliases of all relations referenced by this expression."""
         return frozenset(col.relation for col in self.referenced_columns())
 
-    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
-        """Evaluate the expression over a batch of rows."""
+    def evaluate_masked(self, resolve: MaskedColumnResolver,
+                        ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Evaluate to ``(values, null_mask)`` over a batch of rows.
+
+        ``null_mask`` is ``None`` when every value is valid; values at null
+        positions are unspecified filler and must never be read as data.
+        """
         raise NotImplementedError
+
+    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
+        """Values-only evaluation against a NULL-free resolver (legacy)."""
+        return self.evaluate_masked(_adapt_resolver(resolve))[0]
 
 
 @dataclass(frozen=True)
@@ -59,7 +156,8 @@ class ColumnRef(ScalarExpression):
     def referenced_columns(self) -> List["ColumnRef"]:
         return [self]
 
-    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
+    def evaluate_masked(self, resolve: MaskedColumnResolver,
+                        ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
         return resolve(self)
 
     def __str__(self) -> str:
@@ -68,18 +166,21 @@ class ColumnRef(ScalarExpression):
 
 @dataclass(frozen=True)
 class Literal(ScalarExpression):
-    """A constant value."""
+    """A constant value; ``Literal(None)`` is the SQL NULL literal."""
 
     value: object
 
     def referenced_columns(self) -> List[ColumnRef]:
         return []
 
-    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
-        return np.asarray(self.value)
+    def evaluate_masked(self, resolve: MaskedColumnResolver,
+                        ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        if self.value is None:
+            return np.zeros((), dtype=np.float64), np.ones((), dtype=bool)
+        return np.asarray(self.value), None
 
     def __str__(self) -> str:
-        return repr(self.value)
+        return "null" if self.value is None else repr(self.value)
 
 
 class ArithmeticOp(enum.Enum):
@@ -93,7 +194,7 @@ class ArithmeticOp(enum.Enum):
 
 @dataclass(frozen=True)
 class Arithmetic(ScalarExpression):
-    """Binary arithmetic over two scalar expressions."""
+    """Binary arithmetic over two scalar expressions (NULL-propagating)."""
 
     op: ArithmeticOp
     left: ScalarExpression
@@ -102,19 +203,25 @@ class Arithmetic(ScalarExpression):
     def referenced_columns(self) -> List[ColumnRef]:
         return self.left.referenced_columns() + self.right.referenced_columns()
 
-    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
-        lhs = np.asarray(self.left.evaluate(resolve), dtype=np.float64)
-        rhs = np.asarray(self.right.evaluate(resolve), dtype=np.float64)
+    def evaluate_masked(self, resolve: MaskedColumnResolver,
+                        ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        lhs_raw, lhs_mask = self.left.evaluate_masked(resolve)
+        rhs_raw, rhs_mask = self.right.evaluate_masked(resolve)
+        lhs = np.asarray(lhs_raw, dtype=np.float64)
+        rhs = np.asarray(rhs_raw, dtype=np.float64)
         if self.op is ArithmeticOp.ADD:
-            return lhs + rhs
-        if self.op is ArithmeticOp.SUB:
-            return lhs - rhs
-        if self.op is ArithmeticOp.MUL:
-            return lhs * rhs
-        if self.op is ArithmeticOp.DIV:
+            values = lhs + rhs
+        elif self.op is ArithmeticOp.SUB:
+            values = lhs - rhs
+        elif self.op is ArithmeticOp.MUL:
+            values = lhs * rhs
+        elif self.op is ArithmeticOp.DIV:
             with np.errstate(divide="ignore", invalid="ignore"):
-                return np.where(rhs != 0, lhs / rhs, 0.0)
-        raise ExpressionError("unknown arithmetic operator %r" % self.op)
+                values = np.where(rhs != 0, lhs / rhs, 0.0)
+        else:
+            raise ExpressionError("unknown arithmetic operator %r" % self.op)
+        mask = combine_null_masks(lhs_mask, rhs_mask)
+        return values, _full_mask(mask, np.shape(values))
 
     def __str__(self) -> str:
         return "(%s %s %s)" % (self.left, self.op.value, self.right)
@@ -129,11 +236,18 @@ class ExtractYear(ScalarExpression):
     def referenced_columns(self) -> List[ColumnRef]:
         return self.operand.referenced_columns()
 
-    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
-        days = np.asarray(self.operand.evaluate(resolve), dtype=np.int64)
+    def evaluate_masked(self, resolve: MaskedColumnResolver,
+                        ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        raw, mask = self.operand.evaluate_masked(resolve)
+        days = np.asarray(raw)
+        if mask is not None and days.dtype.kind == "f":
+            # Null positions may hold NaN; zero them before the integer cast.
+            days = np.where(np.broadcast_to(mask, days.shape), 0.0, days)
+        days = days.astype(np.int64)
         # Days-since-epoch to year without pulling in datetime per row.
         dates = days.astype("datetime64[D]")
-        return dates.astype("datetime64[Y]").astype(np.int64) + 1970
+        years = dates.astype("datetime64[Y]").astype(np.int64) + 1970
+        return years, _full_mask(mask, np.shape(years))
 
     def __str__(self) -> str:
         return "extract(year from %s)" % (self.operand,)
@@ -160,7 +274,8 @@ class AggregateCall(ScalarExpression):
     def referenced_columns(self) -> List[ColumnRef]:
         return [] if self.operand is None else self.operand.referenced_columns()
 
-    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
+    def evaluate_masked(self, resolve: MaskedColumnResolver,
+                        ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
         raise ExpressionError("aggregates are evaluated by the Aggregate "
                               "operator, not row-wise")
 
@@ -176,7 +291,13 @@ class AggregateCall(ScalarExpression):
 
 
 class Predicate:
-    """Base class for boolean (filter) expressions."""
+    """Base class for boolean (filter) expressions.
+
+    Masked evaluation returns ``(is_true, null_mask)`` where ``is_true[i]``
+    holds only when the predicate is *definitely* TRUE for row ``i`` —
+    UNKNOWN rows carry ``False`` there and ``True`` in ``null_mask``, so SQL
+    WHERE semantics (drop non-TRUE rows) is ``filter(is_true)``.
+    """
 
     def referenced_columns(self) -> List[ColumnRef]:
         """All column references appearing in this predicate."""
@@ -186,9 +307,14 @@ class Predicate:
         """Aliases of all relations referenced by this predicate."""
         return frozenset(col.relation for col in self.referenced_columns())
 
-    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
-        """Evaluate to a boolean mask over a batch of rows."""
+    def evaluate_masked(self, resolve: MaskedColumnResolver,
+                        ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Evaluate to a ``(definitely-true, unknown)`` mask pair."""
         raise NotImplementedError
+
+    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
+        """Boolean mask over a NULL-free batch (legacy values-only path)."""
+        return self.evaluate_masked(_adapt_resolver(resolve))[0]
 
 
 class ComparisonOp(enum.Enum):
@@ -214,7 +340,10 @@ _COMPARATORS = {
 
 @dataclass(frozen=True)
 class Comparison(Predicate):
-    """``left <op> right`` where either side is a scalar expression."""
+    """``left <op> right`` where either side is a scalar expression.
+
+    Comparing anything with NULL yields UNKNOWN, never TRUE or FALSE.
+    """
 
     op: ComparisonOp
     left: ScalarExpression
@@ -223,10 +352,22 @@ class Comparison(Predicate):
     def referenced_columns(self) -> List[ColumnRef]:
         return self.left.referenced_columns() + self.right.referenced_columns()
 
-    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
-        lhs = self.left.evaluate(resolve)
-        rhs = self.right.evaluate(resolve)
-        return np.asarray(_COMPARATORS[self.op](lhs, rhs), dtype=bool)
+    def evaluate_masked(self, resolve: MaskedColumnResolver,
+                        ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        lhs, lhs_mask = self.left.evaluate_masked(resolve)
+        rhs, rhs_mask = self.right.evaluate_masked(resolve)
+        if _is_scalar_null(lhs_mask) or _is_scalar_null(rhs_mask):
+            # One side is the NULL literal: skip the comparator entirely (the
+            # dtypes may not even be comparable) — every row is UNKNOWN.
+            shape = np.broadcast_shapes(np.shape(lhs), np.shape(rhs))
+            return np.zeros(shape, dtype=bool), np.ones(shape, dtype=bool)
+        values = np.asarray(
+            _COMPARATORS[self.op](_comparable(lhs, lhs_mask),
+                                  _comparable(rhs, rhs_mask)), dtype=bool)
+        mask = _full_mask(combine_null_masks(lhs_mask, rhs_mask), values.shape)
+        if mask is not None:
+            values = values & ~mask
+        return values, mask
 
     def is_equi_join(self) -> bool:
         """True if this is ``col = col`` across two different relations."""
@@ -252,10 +393,24 @@ class Between(Predicate):
                 + self.low.referenced_columns()
                 + self.high.referenced_columns())
 
-    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
-        value = self.operand.evaluate(resolve)
-        return np.asarray((value >= self.low.evaluate(resolve))
-                          & (value <= self.high.evaluate(resolve)), dtype=bool)
+    def evaluate_masked(self, resolve: MaskedColumnResolver,
+                        ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        value, value_mask = self.operand.evaluate_masked(resolve)
+        low, low_mask = self.low.evaluate_masked(resolve)
+        high, high_mask = self.high.evaluate_masked(resolve)
+        if any(_is_scalar_null(m) for m in (value_mask, low_mask, high_mask)):
+            shape = np.broadcast_shapes(np.shape(value), np.shape(low),
+                                        np.shape(high))
+            return np.zeros(shape, dtype=bool), np.ones(shape, dtype=bool)
+        value = _comparable(value, value_mask)
+        low = _comparable(low, low_mask)
+        high = _comparable(high, high_mask)
+        values = np.asarray((value >= low) & (value <= high), dtype=bool)
+        mask = _full_mask(combine_null_masks(value_mask, low_mask, high_mask),
+                          values.shape)
+        if mask is not None:
+            values = values & ~mask
+        return values, mask
 
     def __str__(self) -> str:
         return "%s between %s and %s" % (self.operand, self.low, self.high)
@@ -263,7 +418,11 @@ class Between(Predicate):
 
 @dataclass(frozen=True)
 class InList(Predicate):
-    """``operand IN (v1, v2, ...)`` with literal list elements."""
+    """``operand IN (v1, v2, ...)`` with literal list elements.
+
+    A NULL element in the list follows SQL: rows that match a non-null
+    element are TRUE, all other rows are UNKNOWN (never FALSE).
+    """
 
     operand: ScalarExpression
     values: Tuple[object, ...]
@@ -271,9 +430,23 @@ class InList(Predicate):
     def referenced_columns(self) -> List[ColumnRef]:
         return self.operand.referenced_columns()
 
-    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
-        value = self.operand.evaluate(resolve)
-        return np.isin(value, np.asarray(list(self.values)))
+    def evaluate_masked(self, resolve: MaskedColumnResolver,
+                        ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        value, value_mask = self.operand.evaluate_masked(resolve)
+        value = _comparable(value, value_mask)  # isin may sort object arrays
+        literals = [v for v in self.values if v is not None]
+        has_null_element = len(literals) < len(self.values)
+        if literals:
+            matches = np.isin(value, np.asarray(literals))
+        else:
+            matches = np.zeros(np.shape(value), dtype=bool)
+        mask = _full_mask(value_mask, matches.shape)
+        if has_null_element:
+            unknown = ~matches if mask is None else (~matches | mask)
+            return matches & ~unknown, unknown
+        if mask is not None:
+            matches = matches & ~mask
+        return matches, mask
 
     def __str__(self) -> str:
         return "%s in (%s)" % (self.operand,
@@ -282,7 +455,7 @@ class InList(Predicate):
 
 @dataclass(frozen=True)
 class Like(Predicate):
-    """``operand LIKE pattern`` supporting ``%`` and ``_`` wildcards."""
+    """``operand [NOT] LIKE pattern`` supporting ``%`` and ``_`` wildcards."""
 
     operand: ScalarExpression
     pattern: str
@@ -304,12 +477,19 @@ class Like(Predicate):
                 parts.append(re.escape(char))
         return re.compile("^" + "".join(parts) + "$")
 
-    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
+    def evaluate_masked(self, resolve: MaskedColumnResolver,
+                        ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
         regex = self._regex()
-        values = self.operand.evaluate(resolve)
+        values, value_mask = self.operand.evaluate_masked(resolve)
+        values = np.atleast_1d(np.asarray(values))
         matches = np.fromiter((bool(regex.match(str(v))) for v in values),
                               dtype=bool, count=len(values))
-        return ~matches if self.negated else matches
+        if self.negated:
+            matches = ~matches
+        mask = _full_mask(value_mask, matches.shape)
+        if mask is not None:
+            matches = matches & ~mask
+        return matches, mask
 
     def __str__(self) -> str:
         op = "not like" if self.negated else "like"
@@ -317,16 +497,62 @@ class Like(Predicate):
 
 
 @dataclass(frozen=True)
+class IsNull(Predicate):
+    """``operand IS NULL`` — always TRUE or FALSE, never UNKNOWN."""
+
+    operand: ScalarExpression
+
+    def referenced_columns(self) -> List[ColumnRef]:
+        return self.operand.referenced_columns()
+
+    def evaluate_masked(self, resolve: MaskedColumnResolver,
+                        ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        values, mask = self.operand.evaluate_masked(resolve)
+        shape = np.shape(values)
+        if mask is None:
+            return np.zeros(shape, dtype=bool), None
+        return np.broadcast_to(np.asarray(mask, dtype=bool), shape), None
+
+    def __str__(self) -> str:
+        return "%s is null" % (self.operand,)
+
+
+@dataclass(frozen=True)
+class IsNotNull(Predicate):
+    """``operand IS NOT NULL`` — always TRUE or FALSE, never UNKNOWN."""
+
+    operand: ScalarExpression
+
+    def referenced_columns(self) -> List[ColumnRef]:
+        return self.operand.referenced_columns()
+
+    def evaluate_masked(self, resolve: MaskedColumnResolver,
+                        ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        values, mask = self.operand.evaluate_masked(resolve)
+        shape = np.shape(values)
+        if mask is None:
+            return np.ones(shape, dtype=bool), None
+        return ~np.broadcast_to(np.asarray(mask, dtype=bool), shape), None
+
+    def __str__(self) -> str:
+        return "%s is not null" % (self.operand,)
+
+
+@dataclass(frozen=True)
 class Not(Predicate):
-    """Logical negation of another predicate."""
+    """Kleene negation: NOT UNKNOWN stays UNKNOWN."""
 
     operand: Predicate
 
     def referenced_columns(self) -> List[ColumnRef]:
         return self.operand.referenced_columns()
 
-    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
-        return ~self.operand.evaluate(resolve)
+    def evaluate_masked(self, resolve: MaskedColumnResolver,
+                        ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        values, mask = self.operand.evaluate_masked(resolve)
+        if mask is None:
+            return ~values, None
+        return ~values & ~mask, mask
 
     def __str__(self) -> str:
         return "not (%s)" % (self.operand,)
@@ -334,21 +560,29 @@ class Not(Predicate):
 
 @dataclass(frozen=True)
 class And(Predicate):
-    """Conjunction of predicates."""
+    """Kleene conjunction: FALSE dominates UNKNOWN."""
 
     operands: Tuple[Predicate, ...]
 
     def referenced_columns(self) -> List[ColumnRef]:
         return [col for p in self.operands for col in p.referenced_columns()]
 
-    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
-        result: Optional[np.ndarray] = None
-        for pred in self.operands:
-            mask = pred.evaluate(resolve)
-            result = mask if result is None else (result & mask)
-        if result is None:
+    def evaluate_masked(self, resolve: MaskedColumnResolver,
+                        ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        if not self.operands:
             raise ExpressionError("empty AND")
-        return result
+        all_true: Optional[np.ndarray] = None
+        any_false: Optional[np.ndarray] = None
+        any_null: Optional[np.ndarray] = None
+        for pred in self.operands:
+            values, mask = pred.evaluate_masked(resolve)
+            is_false = ~values if mask is None else (~values & ~mask)
+            all_true = values if all_true is None else (all_true & values)
+            any_false = is_false if any_false is None else (any_false | is_false)
+            any_null = combine_null_masks(any_null, mask)
+        if any_null is None:
+            return all_true, None
+        return all_true, (any_null & ~any_false)
 
     def __str__(self) -> str:
         return " and ".join("(%s)" % p for p in self.operands)
@@ -356,21 +590,26 @@ class And(Predicate):
 
 @dataclass(frozen=True)
 class Or(Predicate):
-    """Disjunction of predicates."""
+    """Kleene disjunction: TRUE dominates UNKNOWN."""
 
     operands: Tuple[Predicate, ...]
 
     def referenced_columns(self) -> List[ColumnRef]:
         return [col for p in self.operands for col in p.referenced_columns()]
 
-    def evaluate(self, resolve: ColumnResolver) -> np.ndarray:
-        result: Optional[np.ndarray] = None
-        for pred in self.operands:
-            mask = pred.evaluate(resolve)
-            result = mask if result is None else (result | mask)
-        if result is None:
+    def evaluate_masked(self, resolve: MaskedColumnResolver,
+                        ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        if not self.operands:
             raise ExpressionError("empty OR")
-        return result
+        any_true: Optional[np.ndarray] = None
+        any_null: Optional[np.ndarray] = None
+        for pred in self.operands:
+            values, mask = pred.evaluate_masked(resolve)
+            any_true = values if any_true is None else (any_true | values)
+            any_null = combine_null_masks(any_null, mask)
+        if any_null is None:
+            return any_true, None
+        return any_true, (any_null & ~any_true)
 
     def __str__(self) -> str:
         return " or ".join("(%s)" % p for p in self.operands)

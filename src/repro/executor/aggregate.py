@@ -1,4 +1,12 @@
-"""Hash aggregation over column batches."""
+"""Hash aggregation over column batches.
+
+NULL semantics follow the SQL standard (see ``docs/nulls.md``): SUM / AVG /
+MIN / MAX skip NULL inputs and return NULL for groups with no valid input,
+``COUNT(col)`` counts only non-null values while ``COUNT(*)`` counts rows,
+and GROUP BY treats NULL as a single group of its own (distinct from every
+value, equal to itself for grouping purposes).  Columns without a null mask
+take exactly the pre-mask vectorised code paths.
+"""
 
 from __future__ import annotations
 
@@ -6,15 +14,37 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.expressions import AggregateCall, AggregateFunction, ScalarExpression
+from ..core.expressions import (
+    AggregateCall,
+    AggregateFunction,
+    ScalarExpression,
+    fill_masked,
+)
 from ..core.query import OutputItem
 from .batch import Batch
 from .joins import combine_key_columns
 
 
+def _expand(values: np.ndarray, mask: Optional[np.ndarray], num_rows: int,
+            ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Broadcast a scalar evaluation result (and its mask) to batch length."""
+    values = np.asarray(values)
+    if values.ndim == 0:
+        values = np.full(num_rows, values)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.ndim == 0:
+            mask = np.full(num_rows, bool(mask))
+    return values, mask
+
+
 def _group_ids(batch: Batch, group_by: Sequence[ScalarExpression],
                ) -> Tuple[np.ndarray, np.ndarray, int]:
     """Assign a dense group id to every row.
+
+    NULL group keys are canonicalised (filler value + the mask itself joins
+    the key) so all NULL rows land in one group regardless of the filler
+    underneath.
 
     Returns ``(group_ids, first_row_index_per_group, num_groups)``.
     """
@@ -22,21 +52,48 @@ def _group_ids(batch: Batch, group_by: Sequence[ScalarExpression],
         ids = np.zeros(batch.num_rows, dtype=np.int64)
         first = np.zeros(1 if batch.num_rows else 0, dtype=np.int64)
         return ids, first, 1 if batch.num_rows else 0
-    resolve = batch.resolver()
-    key_columns = [np.asarray(expr.evaluate(resolve)) for expr in group_by]
+    resolve = batch.masked_resolver()
+    key_columns: List[np.ndarray] = []
+    for expr in group_by:
+        values, mask = expr.evaluate_masked(resolve)
+        values, mask = _expand(values, mask, batch.num_rows)
+        if mask is not None and not mask.any():
+            mask = None  # filters upstream dropped every NULL
+        if mask is not None:
+            # The mask itself joins the key, so the canonical filler can
+            # never merge a NULL group with a value group — it only has to
+            # be sortable against the valid values (fill_masked borrows one
+            # for object columns; None does not order against str).
+            key_columns.append(fill_masked(values, mask))
+            # int64, not bool: keeps combine_key_columns on its packed
+            # two-int fast path for a single nullable integer group key.
+            key_columns.append(mask.astype(np.int64))
+        else:
+            key_columns.append(values)
     combined = combine_key_columns(key_columns)
     _, first, inverse = np.unique(combined, return_index=True, return_inverse=True)
     return inverse.astype(np.int64), first.astype(np.int64), int(first.shape[0])
 
 
 def _aggregate_column(call: AggregateCall, batch: Batch, group_ids: np.ndarray,
-                      num_groups: int) -> np.ndarray:
-    """Compute one aggregate over all groups."""
-    resolve = batch.resolver()
+                      num_groups: int) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Compute one aggregate over all groups; returns ``(values, null_mask)``."""
     if call.operand is None:
+        # COUNT(*) counts rows regardless of null content.
         values = np.ones(batch.num_rows, dtype=np.float64)
+        null_mask: Optional[np.ndarray] = None
     else:
-        values = np.asarray(call.operand.evaluate(resolve))
+        values, null_mask = call.operand.evaluate_masked(
+            batch.masked_resolver())
+        values, null_mask = _expand(values, null_mask, batch.num_rows)
+        if null_mask is not None and not null_mask.any():
+            null_mask = None
+
+    # Aggregates over a column skip NULL inputs entirely.
+    if null_mask is not None:
+        keep = ~null_mask
+        values = values[keep]
+        group_ids = group_ids[keep]
 
     if call.distinct and call.operand is not None:
         # Distinct aggregates: reduce to one row per (group, value) first.
@@ -45,25 +102,33 @@ def _aggregate_column(call: AggregateCall, batch: Batch, group_ids: np.ndarray,
         group_ids = group_ids[keep]
         values = values[keep]
 
+    valid_counts = np.bincount(group_ids, minlength=num_groups)
     if call.func is AggregateFunction.COUNT:
-        return np.bincount(group_ids, minlength=num_groups).astype(np.float64)
+        return valid_counts.astype(np.float64), None
+
+    # Groups with no valid input aggregate to NULL (SQL semantics).
+    empty = valid_counts == 0
+    result_mask = empty if bool(empty.any()) else None
+
     numeric = values.astype(np.float64)
     if call.func is AggregateFunction.SUM:
-        return np.bincount(group_ids, weights=numeric, minlength=num_groups)
-    if call.func is AggregateFunction.AVG:
+        out = np.bincount(group_ids, weights=numeric, minlength=num_groups)
+    elif call.func is AggregateFunction.AVG:
         sums = np.bincount(group_ids, weights=numeric, minlength=num_groups)
-        counts = np.bincount(group_ids, minlength=num_groups)
-        return np.divide(sums, counts, out=np.zeros_like(sums),
-                         where=counts > 0)
-    if call.func is AggregateFunction.MIN:
+        out = np.divide(sums, valid_counts, out=np.zeros_like(sums),
+                        where=valid_counts > 0)
+    elif call.func is AggregateFunction.MIN:
         out = np.full(num_groups, np.inf)
         np.minimum.at(out, group_ids, numeric)
-        return out
-    if call.func is AggregateFunction.MAX:
+    elif call.func is AggregateFunction.MAX:
         out = np.full(num_groups, -np.inf)
         np.maximum.at(out, group_ids, numeric)
-        return out
-    raise ValueError("unsupported aggregate %r" % call.func)
+    else:
+        raise ValueError("unsupported aggregate %r" % call.func)
+    if result_mask is not None:
+        out = out.copy()
+        out[result_mask] = 0.0  # filler under the mask, never read as data
+    return out, result_mask
 
 
 def aggregate_batch(batch: Batch, group_by: Sequence[ScalarExpression],
@@ -76,16 +141,27 @@ def aggregate_batch(batch: Batch, group_by: Sequence[ScalarExpression],
     """
     group_ids, first_rows, num_groups = _group_ids(batch, group_by)
     if num_groups == 0:
-        return Batch({item.name: np.asarray([]) for item in items})
+        if group_by or any(not isinstance(item.expression, AggregateCall)
+                           for item in items):
+            return Batch({item.name: np.asarray([]) for item in items})
+        # SQL: a global aggregate over zero input rows still yields exactly
+        # one row — COUNT 0, every other aggregate NULL.  The aggregation
+        # below produces that from the empty batch once told there is one
+        # group.
+        num_groups = 1
     columns: Dict[str, np.ndarray] = {}
-    resolve = batch.resolver()
+    masks: Dict[str, Optional[np.ndarray]] = {}
+    resolve = batch.masked_resolver()
     for item in items:
         if isinstance(item.expression, AggregateCall):
-            columns[item.name] = _aggregate_column(item.expression, batch,
-                                                   group_ids, num_groups)
+            columns[item.name], masks[item.name] = _aggregate_column(
+                item.expression, batch, group_ids, num_groups)
         else:
-            values = np.asarray(item.expression.evaluate(resolve))
-            if values.ndim == 0:
-                values = np.full(batch.num_rows, values)
+            values, mask = item.expression.evaluate_masked(resolve)
+            values, mask = _expand(values, mask, batch.num_rows)
             columns[item.name] = values[first_rows]
-    return Batch(columns)
+            mask = mask[first_rows] if mask is not None else None
+            if mask is not None and not mask.any():
+                mask = None  # all surviving group keys are valid
+            masks[item.name] = mask
+    return Batch(columns, masks)

@@ -4,11 +4,18 @@ A :class:`Batch` is the executor's unit of data: a set of equal-length numpy
 arrays keyed by ``alias.column``.  Keeping the relation alias in the key means
 columns from different relations never collide after joins, and expression
 evaluation can resolve a :class:`~repro.core.expressions.ColumnRef` directly.
+
+Every column may carry an optional *null mask*: a boolean array of the same
+length with ``True`` marking NULL rows.  ``None`` means "all rows valid" and
+is the fast path — all-valid columns take exactly the pre-mask vectorised
+code, so NULL support costs nothing on NULL-free workloads (see
+``docs/nulls.md``).  Values at masked positions are unspecified filler and
+must never be interpreted as data.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -16,10 +23,13 @@ from ..core.expressions import ColumnRef
 
 
 class Batch:
-    """An immutable set of named columns of equal length."""
+    """An immutable set of named columns of equal length, with null masks."""
 
-    def __init__(self, columns: Mapping[str, np.ndarray]) -> None:
+    def __init__(self, columns: Mapping[str, np.ndarray],
+                 masks: Optional[Mapping[str, Optional[np.ndarray]]] = None,
+                 ) -> None:
         self._columns: Dict[str, np.ndarray] = {}
+        self._masks: Dict[str, np.ndarray] = {}
         length: Optional[int] = None
         for key, values in columns.items():
             array = np.asarray(values)
@@ -29,6 +39,18 @@ class Batch:
                 raise ValueError("column %r has %d rows, expected %d"
                                  % (key, array.shape[0], length))
             self._columns[key] = array
+        if masks:
+            for key, mask in masks.items():
+                if mask is None:
+                    continue
+                if key not in self._columns:
+                    raise ValueError("null mask for unknown column %r" % key)
+                mask = np.asarray(mask, dtype=bool)
+                if mask.shape != self._columns[key].shape:
+                    raise ValueError("null mask of column %r has shape %r, "
+                                     "expected %r" % (key, mask.shape,
+                                                      self._columns[key].shape))
+                self._masks[key] = mask
         self._num_rows = length or 0
 
     # -- construction -------------------------------------------------------
@@ -36,8 +58,15 @@ class Batch:
     @classmethod
     def from_table(cls, alias: str, table) -> "Batch":
         """Wrap a storage table's columns under ``alias.column`` keys."""
-        return cls({"%s.%s" % (alias, name): table.column(name)
-                    for name in table.column_names})
+        columns = {}
+        masks = {}
+        for name in table.column_names:
+            key = "%s.%s" % (alias, name)
+            columns[key] = table.column(name)
+            mask = table.null_mask(name)
+            if mask is not None:
+                masks[key] = mask
+        return cls(columns, masks)
 
     @classmethod
     def empty(cls) -> "Batch":
@@ -60,14 +89,34 @@ class Batch:
                            % (key, sorted(self._columns)))
         return self._columns[key]
 
+    def null_mask(self, key: str) -> Optional[np.ndarray]:
+        """Null mask of ``key`` (``None`` when every row is valid)."""
+        if key not in self._columns:
+            raise KeyError("batch has no column %r (available: %r)"
+                           % (key, sorted(self._columns)))
+        return self._masks.get(key)
+
+    def has_masks(self) -> bool:
+        """True if any column carries a null mask."""
+        return bool(self._masks)
+
     def has_column(self, key: str) -> bool:
         return key in self._columns
 
     def resolver(self):
-        """Column resolver usable by expression evaluation."""
+        """Values-only column resolver (legacy NULL-oblivious evaluation)."""
 
         def resolve(ref: ColumnRef) -> np.ndarray:
             return self.column("%s.%s" % (ref.relation, ref.column))
+
+        return resolve
+
+    def masked_resolver(self):
+        """Masked column resolver usable by three-valued evaluation."""
+
+        def resolve(ref: ColumnRef) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+            key = "%s.%s" % (ref.relation, ref.column)
+            return self.column(key), self._masks.get(key)
 
         return resolve
 
@@ -75,17 +124,27 @@ class Batch:
         """Array for one column reference."""
         return self.column("%s.%s" % (ref.relation, ref.column))
 
+    def resolve_masked(self, ref: ColumnRef,
+                       ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """``(values, null_mask)`` for one column reference."""
+        key = "%s.%s" % (ref.relation, ref.column)
+        return self.column(key), self._masks.get(key)
+
     # -- derivation ------------------------------------------------------------
 
     def filter(self, mask: np.ndarray) -> "Batch":
         """Rows where ``mask`` is True."""
         mask = np.asarray(mask, dtype=bool)
-        return Batch({key: values[mask] for key, values in self._columns.items()})
+        return Batch({key: values[mask] for key, values in self._columns.items()},
+                     {key: nulls[mask] for key, nulls in self._masks.items()})
 
     def take(self, indices: np.ndarray) -> "Batch":
         """Rows at the given positions (may repeat / reorder)."""
         indices = np.asarray(indices)
-        return Batch({key: values[indices] for key, values in self._columns.items()})
+        return Batch({key: values[indices]
+                      for key, values in self._columns.items()},
+                     {key: nulls[indices]
+                      for key, nulls in self._masks.items()})
 
     def merge(self, other: "Batch") -> "Batch":
         """Column-wise concatenation of two batches with equal row counts."""
@@ -93,21 +152,33 @@ class Batch:
             raise ValueError("cannot merge batches with %d and %d rows"
                              % (self.num_rows, other.num_rows))
         combined = dict(self._columns)
+        masks = dict(self._masks)
         for key in other.keys:
             if key in combined:
                 raise ValueError("duplicate column %r while merging batches" % key)
             combined[key] = other.column(key)
-        return Batch(combined)
+            mask = other.null_mask(key)
+            if mask is not None:
+                masks[key] = mask
+        return Batch(combined, masks)
 
-    def with_columns(self, extra: Mapping[str, np.ndarray]) -> "Batch":
-        """A copy with additional columns appended."""
+    def with_columns(self, extra: Mapping[str, np.ndarray],
+                     extra_masks: Optional[Mapping[str, Optional[np.ndarray]]]
+                     = None) -> "Batch":
+        """A copy with additional columns (and optional masks) appended."""
         combined = dict(self._columns)
         combined.update({key: np.asarray(values) for key, values in extra.items()})
-        return Batch(combined)
+        masks: Dict[str, Optional[np.ndarray]] = dict(self._masks)
+        if extra_masks:
+            masks.update(extra_masks)
+        return Batch(combined, masks)
 
     def select(self, keys: Iterable[str]) -> "Batch":
         """A copy containing only the listed columns."""
-        return Batch({key: self.column(key) for key in keys})
+        keys = list(keys)
+        return Batch({key: self.column(key) for key in keys},
+                     {key: self._masks[key] for key in keys
+                      if key in self._masks})
 
     def head(self, n: int) -> "Batch":
         """First ``n`` rows."""

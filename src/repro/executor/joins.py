@@ -4,11 +4,18 @@ All equi-joins are implemented with a sort/search kernel over the build-side
 keys (``join_indices``), which handles duplicate keys exactly and works for
 integer, float, string and composite keys.  The higher-level functions apply
 inner / left / semi / anti semantics on top of the matching index pairs.
+
+NULL handling follows SQL equality semantics: a NULL key never matches
+anything (not even another NULL), so null-keyed rows are excluded from the
+match kernel on both sides.  Outer joins no longer pad unmatched rows with
+sentinel values — padded columns carry an all-null mask, so a legitimate
+``-1`` key or empty string in the data can never collide with padding (see
+``docs/nulls.md``).
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,18 +46,9 @@ def combine_key_columns(columns: Sequence[np.ndarray]) -> np.ndarray:
     return combined
 
 
-def join_indices(probe_keys: np.ndarray,
-                 build_keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Matching row index pairs between probe and build key arrays.
-
-    Returns:
-        ``(probe_idx, build_idx, match_counts)`` where the first two arrays are
-        parallel and give every matching pair, and ``match_counts[i]`` is the
-        number of build matches for probe row ``i`` (used for outer / semi /
-        anti semantics).
-    """
-    probe_keys = np.asarray(probe_keys)
-    build_keys = np.asarray(build_keys)
+def _valid_join_indices(probe_keys: np.ndarray, build_keys: np.ndarray,
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The sort/search match kernel over all-valid key arrays."""
     if build_keys.size == 0 or probe_keys.size == 0:
         empty = np.zeros(0, dtype=np.int64)
         return empty, empty, np.zeros(probe_keys.shape[0], dtype=np.int64)
@@ -71,46 +69,125 @@ def join_indices(probe_keys: np.ndarray,
     return probe_idx, build_idx, counts
 
 
+def join_indices(probe_keys: np.ndarray, build_keys: np.ndarray,
+                 probe_null: Optional[np.ndarray] = None,
+                 build_null: Optional[np.ndarray] = None,
+                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Matching row index pairs between probe and build key arrays.
+
+    Null-masked keys (``True`` in the optional masks) never match any row;
+    their match count is 0, so outer-join padding and anti-join retention
+    fall out of the counts exactly as for keys with no partner.
+
+    Returns:
+        ``(probe_idx, build_idx, match_counts)`` where the first two arrays are
+        parallel and give every matching pair, and ``match_counts[i]`` is the
+        number of build matches for probe row ``i`` (used for outer / semi /
+        anti semantics).
+    """
+    probe_keys = np.asarray(probe_keys)
+    build_keys = np.asarray(build_keys)
+    # Filters upstream may have dropped every NULL: an all-False mask is
+    # semantically None, and the plain kernel is much cheaper than the
+    # subset-and-remap path.
+    if probe_null is not None and not probe_null.any():
+        probe_null = None
+    if build_null is not None and not build_null.any():
+        build_null = None
+    if probe_null is None and build_null is None:
+        return _valid_join_indices(probe_keys, build_keys)
+    if probe_null is not None:
+        probe_sel = np.flatnonzero(~probe_null)
+        probe_sub = probe_keys[probe_sel]
+    else:
+        probe_sel = None
+        probe_sub = probe_keys
+    if build_null is not None:
+        build_sel = np.flatnonzero(~build_null)
+        build_sub = build_keys[build_sel]
+    else:
+        build_sel = None
+        build_sub = build_keys
+    probe_idx, build_idx, sub_counts = _valid_join_indices(probe_sub, build_sub)
+    if build_sel is not None:
+        build_idx = build_sel[build_idx]
+    if probe_sel is not None:
+        probe_idx = probe_sel[probe_idx]
+        counts = np.zeros(probe_keys.shape[0], dtype=np.int64)
+        counts[probe_sel] = sub_counts
+    else:
+        counts = sub_counts
+    return probe_idx, build_idx, counts
+
+
 def clause_key_columns(clauses: Sequence[JoinClause], probe: Batch,
-                       build: Batch) -> Tuple[np.ndarray, np.ndarray]:
-    """Extract and combine the probe-side and build-side key arrays."""
+                       build: Batch) -> Tuple[np.ndarray, np.ndarray,
+                                              Optional[np.ndarray],
+                                              Optional[np.ndarray]]:
+    """Extract and combine the probe-side and build-side key arrays.
+
+    Returns ``(probe_keys, build_keys, probe_null, build_null)``; the null
+    masks mark rows where *any* key component is NULL (a composite key with a
+    NULL component compares UNKNOWN, hence never matches).
+    """
     probe_cols: List[np.ndarray] = []
     build_cols: List[np.ndarray] = []
+    probe_null: Optional[np.ndarray] = None
+    build_null: Optional[np.ndarray] = None
     for clause in clauses:
         left_key = "%s.%s" % (clause.left.relation, clause.left.column)
         right_key = "%s.%s" % (clause.right.relation, clause.right.column)
         if probe.has_column(left_key):
-            probe_cols.append(probe.column(left_key))
-            build_cols.append(build.column(right_key))
+            probe_key, build_key = left_key, right_key
         else:
-            probe_cols.append(probe.column(right_key))
-            build_cols.append(build.column(left_key))
-    return combine_key_columns(probe_cols), combine_key_columns(build_cols)
+            probe_key, build_key = right_key, left_key
+        probe_cols.append(probe.column(probe_key))
+        build_cols.append(build.column(build_key))
+        pmask = probe.null_mask(probe_key)
+        if pmask is not None:
+            probe_null = pmask if probe_null is None else (probe_null | pmask)
+        bmask = build.null_mask(build_key)
+        if bmask is not None:
+            build_null = bmask if build_null is None else (build_null | bmask)
+    return (combine_key_columns(probe_cols), combine_key_columns(build_cols),
+            probe_null, build_null)
 
 
-def _fill_value_for(array: np.ndarray):
-    """Null substitute for non-matching outer-join rows."""
-    if array.dtype.kind in ("i", "u"):
-        return -1
-    if array.dtype.kind == "f":
-        return np.nan
-    if array.dtype.kind == "b":
-        return False
-    if array.dtype.kind in ("U", "S"):
-        return array.dtype.type()  # empty string of the column's dtype
-    return None
+def _null_batch(like: Batch, num_rows: int) -> Batch:
+    """A ``num_rows``-row batch of NULL rows matching ``like``'s columns.
+
+    Every column keeps its original dtype (so concatenating matched and
+    padded rows never silently promotes the column type) and carries an
+    all-null mask; the filler values underneath are zero / empty and are
+    never read as data.
+    """
+    columns = {}
+    masks = {}
+    all_null = np.ones(num_rows, dtype=bool)
+    for key in like.keys:
+        dtype = like.column(key).dtype
+        if dtype.kind == "O":
+            columns[key] = np.full(num_rows, None, dtype=object)
+        else:
+            columns[key] = np.zeros(num_rows, dtype=dtype)
+        masks[key] = all_null
+    return Batch(columns, masks)
 
 
-def _pad_columns(batch: Batch, num_rows: int) -> Batch:
-    """A ``num_rows``-row batch of null substitutes matching ``batch``'s
-    columns — with every column keeping its original dtype, so concatenating
-    matched and padded rows never silently promotes the column type."""
-    pad = {}
-    for key in batch.keys:
-        column = batch.column(key)
-        pad[key] = np.full(num_rows, _fill_value_for(column),
-                           dtype=column.dtype)
-    return Batch(pad)
+def _concat_batches(pieces: Sequence[Batch]) -> Batch:
+    """Row-wise concatenation of same-schema batches, mask-aware."""
+    if len(pieces) == 1:
+        return pieces[0]
+    columns = {}
+    masks = {}
+    for key in pieces[0].keys:
+        columns[key] = np.concatenate([piece.column(key) for piece in pieces])
+        piece_masks = [piece.null_mask(key) for piece in pieces]
+        if any(mask is not None for mask in piece_masks):
+            masks[key] = np.concatenate([
+                mask if mask is not None else np.zeros(piece.num_rows, dtype=bool)
+                for piece, mask in zip(pieces, piece_masks)])
+    return Batch(columns, masks)
 
 
 def equi_join(probe: Batch, build: Batch, clauses: Sequence[JoinClause],
@@ -120,13 +197,17 @@ def equi_join(probe: Batch, build: Batch, clauses: Sequence[JoinClause],
     ``probe`` corresponds to the plan's outer input and ``build`` to the inner
     input; for LEFT joins the probe side is the row-preserving side, matching
     how the enumerator orients non-inner joins.  FULL joins preserve both
-    sides: unmatched probe rows are padded on the build columns and unmatched
-    build rows are padded on the probe columns.
+    sides: unmatched probe rows are null-padded on the build columns and
+    unmatched build rows are null-padded on the probe columns.  Null-keyed
+    probe rows count as unmatched (preserved by LEFT/FULL and ANTI, dropped
+    by INNER and SEMI) and null-keyed build rows never match.
     """
     if not clauses:
         return cross_join(probe, build)
-    probe_keys, build_keys = clause_key_columns(clauses, probe, build)
-    probe_idx, build_idx, counts = join_indices(probe_keys, build_keys)
+    probe_keys, build_keys, probe_null, build_null = clause_key_columns(
+        clauses, probe, build)
+    probe_idx, build_idx, counts = join_indices(probe_keys, build_keys,
+                                                probe_null, build_null)
 
     if join_type is JoinType.SEMI:
         return probe.filter(counts > 0)
@@ -141,22 +222,16 @@ def equi_join(probe: Batch, build: Batch, clauses: Sequence[JoinClause],
         unmatched_mask = counts == 0
         if unmatched_mask.any():
             unmatched = probe.filter(unmatched_mask)
-            pieces.append(unmatched.merge(_pad_columns(build,
-                                                       unmatched.num_rows)))
+            pieces.append(unmatched.merge(_null_batch(build,
+                                                      unmatched.num_rows)))
         if join_type is JoinType.FULL:
             build_matched = np.zeros(build.num_rows, dtype=bool)
             build_matched[build_idx] = True
             if not build_matched.all():
                 unmatched_build = build.filter(~build_matched)
-                pieces.append(_pad_columns(
+                pieces.append(_null_batch(
                     probe, unmatched_build.num_rows).merge(unmatched_build))
-        if len(pieces) == 1:
-            return matched
-        combined = {}
-        for key in matched.keys:
-            combined[key] = np.concatenate([piece.column(key)
-                                            for piece in pieces])
-        return Batch(combined)
+        return _concat_batches(pieces)
     raise ValueError("unsupported join type %r" % join_type)
 
 

@@ -18,12 +18,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..bloom import BloomFilter, PartitionedBloomFilter
-from ..core.expressions import ColumnRef, ScalarExpression
+from ..core.expressions import ColumnRef, ScalarExpression, fill_masked
 from ..core.plans import (
     AggregateNode,
     ExchangeKind,
@@ -122,17 +122,17 @@ class Executor:
                                    len(node.predicates)).total
         self.metrics.rows_scanned += base_rows
 
-        resolve = batch.resolver()
         for predicate in node.predicates:
-            mask = predicate.evaluate(resolve)
-            batch = batch.filter(mask)
-            resolve = batch.resolver()
+            batch = self._apply_predicate(batch, predicate)
 
         pre_bloom_rows = batch.num_rows
         for spec in node.bloom_filters:
             bloom = self.filters.get_filter(spec.filter_id)
-            values = batch.resolve(spec.apply_column)
+            values, null_mask = batch.resolve_masked(spec.apply_column)
             mask = bloom.contains_many(values)
+            if null_mask is not None:
+                # A NULL key can never match the transferred join predicate.
+                mask = mask & ~null_mask
             work += cost_model.bloom_apply(batch.num_rows, 1).total
             self.metrics.bloom_probes += batch.num_rows
             batch = batch.filter(mask)
@@ -160,11 +160,8 @@ class Executor:
             joined = nested_loop_join(outer_batch, inner_batch, node.clauses,
                                       node.join_type)
 
-        resolve = joined.resolver()
         for predicate in node.residual_predicates:
-            mask = predicate.evaluate(resolve)
-            joined = joined.filter(mask)
-            resolve = joined.resolver()
+            joined = self._apply_predicate(joined, predicate)
 
         build_rows = inner_batch.num_rows
         if (node.inner is not None
@@ -192,7 +189,11 @@ class Executor:
         for spec in node.built_filters:
             if self.filters.has_filter(spec.filter_id):
                 continue
-            values = inner_batch.resolve(spec.build_column)
+            values, null_mask = inner_batch.resolve_masked(spec.build_column)
+            if null_mask is not None:
+                # NULL build keys never match, so transferring them would
+                # only inflate the filter's false-positive rate.
+                values = values[~null_mask]
             if self.context.bloom_partitions > 1:
                 partitioned = PartitionedBloomFilter.from_values(
                     values, self.context.bloom_partitions,
@@ -241,14 +242,22 @@ class Executor:
 
     def _execute_project(self, node: ProjectNode) -> Batch:
         batch = self._execute(node.child)
-        resolve = batch.resolver()
+        resolve = batch.masked_resolver()
         columns: Dict[str, np.ndarray] = {}
+        masks: Dict[str, Optional[np.ndarray]] = {}
         for item in node.items:
-            values = np.asarray(item.expression.evaluate(resolve))
+            values, mask = item.expression.evaluate_masked(resolve)
+            values = np.asarray(values)
             if values.ndim == 0:
                 values = np.full(batch.num_rows, values)
+            if mask is not None:
+                mask = np.broadcast_to(np.asarray(mask, dtype=bool),
+                                       values.shape)
+                if not mask.any():
+                    mask = None  # keep NULL-free projections mask-free
             columns[item.name] = values
-        result = Batch(columns)
+            masks[item.name] = mask
+        result = Batch(columns, masks)
         work = self.context.cost_model.project(batch.num_rows,
                                                len(node.items)).total
         self.metrics.record(node, result.num_rows, work,
@@ -260,10 +269,19 @@ class Executor:
         if batch.num_rows and node.order_by:
             keys = []
             for item in reversed(node.order_by):
-                values = self._tolerant_eval(item.expression, batch)
+                values, null_mask = self._tolerant_eval(item.expression, batch)
+                if null_mask is not None and not null_mask.any():
+                    null_mask = None  # filters upstream dropped every NULL
+                if null_mask is not None:
+                    # Canonicalise filler under the mask so NaN/None never
+                    # leaks into the sort comparison.
+                    values = fill_masked(values, null_mask)
                 if item.descending and values.dtype.kind in ("i", "u", "f"):
                     values = -values.astype(np.float64)
                 keys.append(values)
+                if null_mask is not None:
+                    # The mask outranks the values: NULLs sort last.
+                    keys.append(null_mask)
             order = np.lexsort(keys)
             batch = batch.take(order)
         work = self.context.cost_model.sort(batch.num_rows).total
@@ -282,20 +300,37 @@ class Executor:
     # -- helpers ----------------------------------------------------------------
 
     @staticmethod
-    def _tolerant_eval(expression: ScalarExpression, batch: Batch) -> np.ndarray:
+    def _apply_predicate(batch: Batch, predicate) -> Batch:
+        """Filter a batch to the rows where ``predicate`` is definitely TRUE.
+
+        Rows where the predicate evaluates to UNKNOWN (NULL) are dropped,
+        per SQL WHERE semantics; the mask-pair contract already encodes that
+        in the truth values, so no extra mask arithmetic is needed here.
+        """
+        is_true, _ = predicate.evaluate_masked(batch.masked_resolver())
+        is_true = np.asarray(is_true, dtype=bool)
+        if is_true.ndim == 0:
+            is_true = np.broadcast_to(is_true, (batch.num_rows,))
+        return batch.filter(is_true)
+
+    @staticmethod
+    def _tolerant_eval(expression: ScalarExpression, batch: Batch,
+                       ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
         """Evaluate an expression, falling back to output-column-name lookup.
 
         After aggregation or projection the batch is keyed by output names, so
         an ORDER BY referencing an output column (or a bare ``ColumnRef`` with
-        an empty relation) resolves by name.
+        an empty relation) resolves by name.  Returns ``(values, null_mask)``.
         """
         try:
-            return np.asarray(expression.evaluate(batch.resolver()))
+            values, mask = expression.evaluate_masked(batch.masked_resolver())
+            return np.asarray(values), mask
         except KeyError:
             if isinstance(expression, ColumnRef):
                 if batch.has_column(expression.column):
-                    return batch.column(expression.column)
+                    return (batch.column(expression.column),
+                            batch.null_mask(expression.column))
             name = str(expression)
             if batch.has_column(name):
-                return batch.column(name)
+                return batch.column(name), batch.null_mask(name)
             raise

@@ -56,6 +56,11 @@ class DateLiteral(SyntaxNode):
 
 
 @dataclass(frozen=True)
+class NullLiteral(SyntaxNode):
+    """The ``NULL`` keyword used as a scalar value."""
+
+
+@dataclass(frozen=True)
 class IntervalLiteral(SyntaxNode):
     """``INTERVAL '<n>' <unit>`` — only day/month/year units are supported."""
 
@@ -125,6 +130,14 @@ class LikeExpr(SyntaxNode):
 
     operand: SyntaxNode
     pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNullExpr(SyntaxNode):
+    """``operand IS [NOT] NULL``."""
+
+    operand: SyntaxNode
     negated: bool = False
 
 

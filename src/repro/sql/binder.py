@@ -22,6 +22,8 @@ from ..core.expressions import (
     ComparisonOp,
     ExtractYear,
     InList,
+    IsNotNull,
+    IsNull,
     Like,
     Literal,
     Not,
@@ -149,6 +151,8 @@ class Binder:
             return Literal(node.value)
         if isinstance(node, ast.StringLiteral):
             return Literal(node.value)
+        if isinstance(node, ast.NullLiteral):
+            return Literal(None)
         if isinstance(node, ast.DateLiteral):
             return Literal(parse_date(node.text))
         if isinstance(node, ast.IntervalLiteral):
@@ -164,6 +168,8 @@ class Binder:
             # Constant folding keeps date +/- interval arithmetic as literals,
             # which the selectivity estimator can then reason about directly.
             if isinstance(left, Literal) and isinstance(right, Literal):
+                if left.value is None or right.value is None:
+                    return Literal(None)  # NULL propagates through arithmetic
                 value = Arithmetic(op, left, right).evaluate(lambda _: None)
                 return Literal(value.item() if hasattr(value, "item") else value)
             return Arithmetic(op, left, right)
@@ -217,6 +223,9 @@ class Binder:
         if isinstance(node, ast.LikeExpr):
             return Like(operand=self._bind_scalar(node.operand),
                         pattern=node.pattern, negated=node.negated)
+        if isinstance(node, ast.IsNullExpr):
+            operand = self._bind_scalar(node.operand)
+            return IsNotNull(operand) if node.negated else IsNull(operand)
         raise BindError("unsupported predicate %r" % type(node).__name__)
 
     # -- classification -----------------------------------------------------------

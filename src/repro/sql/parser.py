@@ -11,12 +11,13 @@ Grammar (informal)::
     or_expr   := and_expr (OR and_expr)*
     and_expr  := not_expr (AND not_expr)*
     not_expr  := [NOT] predicate
-    predicate := additive [comparison | BETWEEN | IN | LIKE]
+    predicate := additive [comparison | BETWEEN | IN | LIKE | IS [NOT] NULL]
     additive  := multiplicative (('+'|'-') multiplicative)*
     multiplicative := unary (('*'|'/') unary)*
     unary     := primary | '-' unary
-    primary   := literal | DATE string | INTERVAL string unit | EXTRACT(...)
-                 | function '(' [DISTINCT] args ')' | column | '(' expr ')'
+    primary   := literal | NULL | DATE string | INTERVAL string unit
+                 | EXTRACT(...) | function '(' [DISTINCT] args ')' | column
+                 | '(' expr ')'
 """
 
 from __future__ import annotations
@@ -34,8 +35,10 @@ from .ast import (
     FunctionCall,
     InExpr,
     IntervalLiteral,
+    IsNullExpr,
     LikeExpr,
     NotExpr,
+    NullLiteral,
     NumberLiteral,
     OrderByItem,
     OrExpr,
@@ -202,6 +205,11 @@ class Parser:
     def _parse_predicate(self) -> SyntaxNode:
         left = self._parse_additive()
         token = self._peek()
+        if token.is_keyword("is"):
+            self._advance()
+            negated = self._accept_keyword("not")
+            self._expect_keyword("null")
+            return IsNullExpr(operand=left, negated=negated)
         if token.type is TokenType.OPERATOR and token.text in _COMPARISON_OPS:
             self._advance()
             right = self._parse_additive()
@@ -274,6 +282,9 @@ class Parser:
         if token.type is TokenType.STRING:
             self._advance()
             return StringLiteral(token.text)
+        if token.is_keyword("null"):
+            self._advance()
+            return NullLiteral()
         if token.is_keyword("date"):
             self._advance()
             value = self._peek()

@@ -30,7 +30,14 @@ class ColumnDef:
 
 @dataclass
 class ColumnData:
-    """A single materialised column: definition plus a numpy value array."""
+    """A single materialised column: definition, values and null mask.
+
+    ``null_mask`` marks NULL rows with ``True``; ``None`` means all rows are
+    valid and is the fast path the executor preserves end-to-end.  An
+    all-``False`` mask is normalised to ``None`` at construction so the fast
+    path stays sticky.  ``ColumnDef.nullable`` is enforced: a mask with any
+    NULL on a non-nullable column is rejected.
+    """
 
     definition: ColumnDef
     values: np.ndarray
@@ -42,6 +49,13 @@ class ColumnData:
             self.null_mask = np.asarray(self.null_mask, dtype=bool)
             if self.null_mask.shape != self.values.shape:
                 raise ValueError("null mask shape does not match values")
+            if not self.null_mask.any():
+                self.null_mask = None
+            elif not self.definition.nullable:
+                raise ValueError(
+                    "column %r is declared NOT NULL but its mask marks %d "
+                    "null row(s)" % (self.definition.name,
+                                     int(self.null_mask.sum())))
 
     def __len__(self) -> int:
         return int(self.values.shape[0])

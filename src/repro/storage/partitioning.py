@@ -91,7 +91,14 @@ class PartitionedTable:
         if len(wanted) == self.num_partitions:
             return self.table, self.num_partitions
         columns = {}
+        masks = {}
         for name in self.table.column_names:
             pieces = [self.partitions[i].column(name) for i in wanted]
             columns[name] = np.concatenate(pieces) if pieces else np.asarray([])
-        return Table(self.table.schema, columns), len(wanted)
+            mask_pieces = [self.partitions[i].null_mask(name) for i in wanted]
+            if any(mask is not None for mask in mask_pieces):
+                masks[name] = np.concatenate([
+                    mask if mask is not None
+                    else np.zeros(self.partitions[i].num_rows, dtype=bool)
+                    for i, mask in zip(wanted, mask_pieces)])
+        return Table(self.table.schema, columns, null_masks=masks), len(wanted)

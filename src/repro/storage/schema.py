@@ -76,11 +76,14 @@ class TableSchema:
         return sum(c.dtype.width_bytes for c in self.columns)
 
 
-def make_schema(name: str, columns: Sequence[Tuple[str, DataType]],
+def make_schema(name: str, columns: Sequence[Tuple],
                 primary_key: Sequence[str] = (),
                 foreign_keys: Sequence[ForeignKey] = ()) -> TableSchema:
-    """Convenience constructor used by the TPC-H schema and by tests."""
-    col_defs = [ColumnDef(col_name, dtype) for col_name, dtype in columns]
+    """Convenience constructor used by the TPC-H schema and by tests.
+
+    Each column is either ``(name, dtype)`` or ``(name, dtype, nullable)``.
+    """
+    col_defs = [ColumnDef(*column) for column in columns]
     return TableSchema(name=name, columns=col_defs,
                        primary_key=tuple(primary_key),
                        foreign_keys=list(foreign_keys))

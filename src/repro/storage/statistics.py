@@ -70,20 +70,40 @@ class ColumnStatistics:
     histogram: Optional[Histogram] = None
     most_common_values: Dict[object, float] = field(default_factory=dict)
 
+    @property
+    def valid_fraction(self) -> float:
+        """Fraction of rows that are non-NULL."""
+        return min(1.0, max(0.0, 1.0 - self.null_fraction))
+
     def equality_selectivity(self, value=None) -> float:
-        """Selectivity of ``col = value`` (or an unknown constant)."""
+        """Selectivity of ``col = value`` (or an unknown constant).
+
+        NDV, histogram and MCVs are computed over valid rows only, so the
+        uniform fallbacks are scaled by :attr:`valid_fraction` — NULL rows
+        can never satisfy an equality (MCV frequencies are already
+        per-total-row and need no scaling).
+        """
         if self.num_rows == 0:
             return 0.0
         if value is not None and value in self.most_common_values:
             return self.most_common_values[value]
         if self.ndv <= 0:
-            return 1.0 / max(1, self.num_rows)
-        return min(1.0, 1.0 / self.ndv)
+            return self.valid_fraction / max(1, self.num_rows)
+        return min(1.0, self.valid_fraction / self.ndv)
 
     def range_selectivity(self, low=None, high=None,
                           low_inclusive: bool = True,
                           high_inclusive: bool = True) -> float:
-        """Selectivity of a range predicate using the histogram if present."""
+        """Selectivity of a range predicate using the histogram if present.
+
+        The histogram covers valid rows only; the result is scaled by
+        :attr:`valid_fraction` because NULL rows satisfy no range.
+        """
+        return self.valid_fraction * self._valid_range_selectivity(
+            low, high, low_inclusive, high_inclusive)
+
+    def _valid_range_selectivity(self, low, high, low_inclusive,
+                                 high_inclusive) -> float:
         if self.histogram is not None:
             return self.histogram.selectivity_range(low, high, low_inclusive,
                                                     high_inclusive)
@@ -130,14 +150,30 @@ class TableStatistics:
 
 
 def _column_statistics(name: str, values: np.ndarray,
-                       histogram_buckets: int) -> ColumnStatistics:
-    """Compute statistics for a single column array."""
+                       histogram_buckets: int,
+                       null_mask: Optional[np.ndarray] = None,
+                       ) -> ColumnStatistics:
+    """Compute statistics for a single column array.
+
+    With a null mask, value statistics (NDV, min/max, histogram, MCVs) are
+    computed over the valid rows only and ``null_fraction`` records the
+    masked share — the filler stored under the mask must never contaminate
+    selectivity estimates.
+    """
     num_rows = int(values.shape[0])
+    null_fraction = 0.0
+    if null_mask is not None and num_rows:
+        null_fraction = float(null_mask.sum()) / num_rows
+        values = values[~null_mask]
     if num_rows == 0:
         return ColumnStatistics(name=name, num_rows=0, ndv=0)
+    if values.shape[0] == 0:
+        return ColumnStatistics(name=name, num_rows=num_rows, ndv=0,
+                                null_fraction=null_fraction)
     unique = np.unique(values)
     ndv = int(unique.shape[0])
-    stats = ColumnStatistics(name=name, num_rows=num_rows, ndv=ndv)
+    stats = ColumnStatistics(name=name, num_rows=num_rows, ndv=ndv,
+                             null_fraction=null_fraction)
     if values.dtype.kind in ("i", "u", "f", "M"):
         numeric = values.astype(np.float64) if values.dtype.kind != "M" else values.view(np.int64).astype(np.float64)
         stats.min_value = float(numeric.min())
@@ -164,7 +200,8 @@ def collect_statistics(table: Table,
     stats = TableStatistics(table_name=table.name, num_rows=table.num_rows)
     for name in table.column_names:
         stats.columns[name] = _column_statistics(name, table.column(name),
-                                                 histogram_buckets)
+                                                 histogram_buckets,
+                                                 null_mask=table.null_mask(name))
     return stats
 
 

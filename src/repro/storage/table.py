@@ -5,6 +5,12 @@ which lets the executor run whole-column (vectorised) operations.  Tables know
 their schema, may be range partitioned (see :mod:`repro.storage.partitioning`)
 and expose simple row-level accessors that the test-suite uses to verify query
 results against brute-force computation.
+
+Nullable columns carry a boolean *null mask* (``True`` = NULL) next to their
+value array; NULL-free columns keep ``mask=None``, the fast path preserved
+through the whole executor (see ``docs/nulls.md``).  Masks are either passed
+explicitly (``null_masks=``) or inferred for nullable columns from NaN floats
+and ``None``-bearing object arrays.
 """
 
 from __future__ import annotations
@@ -17,20 +23,43 @@ from .column import ColumnData, ColumnDef
 from .schema import TableSchema
 
 
+def infer_null_mask(values: np.ndarray) -> Optional[np.ndarray]:
+    """Mask of positions holding NaN (float) or ``None`` (object) markers.
+
+    Returns ``None`` when nothing in the array denotes a NULL — including for
+    dtypes that cannot encode one (integers, strings, bools).
+    """
+    values = np.asarray(values)
+    if values.dtype.kind == "f":
+        mask = np.isnan(values)
+        return mask if mask.any() else None
+    if values.dtype.kind == "O":
+        mask = np.fromiter((v is None for v in values), dtype=bool,
+                           count=values.shape[0])
+        return mask if mask.any() else None
+    return None
+
+
 class Table:
     """An immutable, column-major table instance."""
 
     def __init__(self, schema: TableSchema,
-                 columns: Mapping[str, np.ndarray]) -> None:
+                 columns: Mapping[str, np.ndarray],
+                 null_masks: Optional[Mapping[str, Optional[np.ndarray]]] = None,
+                 ) -> None:
         self.schema = schema
         self._columns: Dict[str, ColumnData] = {}
+        null_masks = null_masks or {}
         lengths = set()
         for col_def in schema.columns:
             if col_def.name not in columns:
                 raise ValueError("missing data for column %r of table %r"
                                  % (col_def.name, schema.name))
             data = np.asarray(columns[col_def.name])
-            self._columns[col_def.name] = ColumnData(col_def, data)
+            mask = null_masks.get(col_def.name)
+            if mask is None and col_def.nullable:
+                mask = infer_null_mask(data)
+            self._columns[col_def.name] = ColumnData(col_def, data, mask)
             lengths.add(data.shape[0])
         extra = set(columns) - {c.name for c in schema.columns}
         if extra:
@@ -64,6 +93,18 @@ class Table:
             raise KeyError("table %r has no column %r" % (self.name, name))
         return self._columns[name].values
 
+    def null_mask(self, name: str) -> Optional[np.ndarray]:
+        """Null mask of column ``name`` (``None`` when all rows are valid)."""
+        if name not in self._columns:
+            raise KeyError("table %r has no column %r" % (self.name, name))
+        return self._columns[name].null_mask
+
+    def column_data(self, name: str) -> ColumnData:
+        """The full column container (definition, values and mask)."""
+        if name not in self._columns:
+            raise KeyError("table %r has no column %r" % (self.name, name))
+        return self._columns[name]
+
     def column_def(self, name: str) -> ColumnDef:
         """Schema definition for column ``name``."""
         return self._columns[name].definition
@@ -77,10 +118,15 @@ class Table:
     # -- row-oriented helpers (testing / verification) ----------------------
 
     def rows(self) -> Iterator[Tuple]:
-        """Iterate rows as tuples in schema column order (test helper)."""
+        """Iterate rows as tuples in schema column order (test helper).
+
+        NULL cells yield ``None`` regardless of the filler stored underneath.
+        """
         arrays = [self.column(name) for name in self.column_names]
+        masks = [self.null_mask(name) for name in self.column_names]
         for i in range(self._num_rows):
-            yield tuple(arr[i] for arr in arrays)
+            yield tuple(None if mask is not None and mask[i] else arr[i]
+                        for arr, mask in zip(arrays, masks))
 
     def to_dict(self) -> Dict[str, np.ndarray]:
         """Return the underlying column arrays keyed by column name."""
@@ -91,9 +137,14 @@ class Table:
     def select_rows(self, mask_or_indices: np.ndarray) -> "Table":
         """Return a new table containing only the selected rows."""
         selector = np.asarray(mask_or_indices)
-        new_columns = {name: self.column(name)[selector]
-                       for name in self.column_names}
-        return Table(self.schema, new_columns)
+        new_columns = {}
+        new_masks = {}
+        for name in self.column_names:
+            new_columns[name] = self.column(name)[selector]
+            mask = self.null_mask(name)
+            if mask is not None:
+                new_masks[name] = mask[selector]
+        return Table(self.schema, new_columns, null_masks=new_masks)
 
     def head(self, n: int) -> "Table":
         """Return the first ``n`` rows as a new table."""
@@ -102,17 +153,29 @@ class Table:
     @classmethod
     def from_rows(cls, schema: TableSchema,
                   rows: Sequence[Sequence]) -> "Table":
-        """Build a table from an iterable of row tuples (mostly for tests)."""
+        """Build a table from an iterable of row tuples (mostly for tests).
+
+        ``None`` cells become NULLs (the column must be declared nullable);
+        the stored filler underneath is the dtype's zero value.
+        """
         names = [c.name for c in schema.columns]
         if rows:
             transposed = list(zip(*rows))
         else:
             transposed = [[] for _ in names]
         columns = {}
+        masks = {}
         for col_def, values in zip(schema.columns, transposed):
-            columns[col_def.name] = np.asarray(list(values),
-                                               dtype=col_def.dtype.numpy_dtype)
-        return cls(schema, columns)
+            values = list(values)
+            dtype = col_def.dtype.numpy_dtype
+            if any(v is None for v in values):
+                mask = np.fromiter((v is None for v in values), dtype=bool,
+                                   count=len(values))
+                fill = None if dtype.kind == "O" else dtype.type()
+                values = [fill if v is None else v for v in values]
+                masks[col_def.name] = mask
+            columns[col_def.name] = np.asarray(values, dtype=dtype)
+        return cls(schema, columns, null_masks=masks)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "Table(%s, rows=%d, cols=%d)" % (self.name, self._num_rows,

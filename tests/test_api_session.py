@@ -202,12 +202,37 @@ class TestPlanCache:
         assert stats.sequence_hits >= 1
         assert stats.sequence_entries == 1
 
-    def test_register_table_invalidates_caches(self):
+    def test_register_unrelated_table_keeps_cached_plans(self):
+        """Registration only evicts plans that depend on the changed table."""
         db = make_database()
         session = db.connect()
         session.execute(JOIN_SQL)
         db.register_table("extra_t", {"x": np.arange(5)})
-        assert db.cache_stats().plan_entries == 0
+        stats = db.cache_stats()
+        assert stats.plan_entries == 1
+        assert stats.plan_evictions == 0
+        assert session.execute(JOIN_SQL).from_plan_cache
+
+    def test_register_dependency_evicts_only_dependents(self):
+        db = make_database()
+        session = db.connect()
+        session.execute(JOIN_SQL)
+        session.execute("select o_id from orders_t where o_id < 3",
+                        name="orders-only")
+        session.execute("select c_id from cust_t where c_id < 3",
+                        name="cust-only")
+        assert db.cache_stats().plan_entries == 3
+        # Re-registering cust_t drops the join plan and the cust-only plan
+        # but keeps the orders-only plan cached.
+        db.register_table("cust_t", {
+            "c_id": np.arange(40, dtype=np.int64),
+            "c_region": np.zeros(40, dtype=np.int64),
+        }, primary_key=["c_id"])
+        stats = db.cache_stats()
+        assert stats.plan_entries == 1
+        assert stats.plan_evictions == 2
+        assert session.execute("select o_id from orders_t where o_id < 3",
+                               name="orders-only").from_plan_cache
         assert not session.execute(JOIN_SQL).from_plan_cache
 
     def test_direct_catalog_mutation_invalidates_plans(self):

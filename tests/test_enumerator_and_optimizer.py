@@ -144,12 +144,16 @@ class TestFullJoinOrientationFreedom:
         # 50 matched + 4950 unmatched big + 50 unmatched small (build-side
         # rows the reversed orientation must preserve) = 5050.
         assert execution.num_rows == 5050
-        small_keys = execution.batch.column("small.k")
-        assert int((small_keys >= 0).sum()) == 100  # -1 pads the unmatched
-        big_keys = execution.batch.column("big.k")
-        # The 50 unmatched small rows survive with big padded out.
+        batch = execution.batch
+        small_null = batch.null_mask("small.k")
+        # 4950 unmatched big rows carry NULL on the small columns.
+        assert small_null is not None and int(small_null.sum()) == 4950
+        small_keys = batch.column("small.k")[~small_null]
+        assert small_keys.shape[0] == 100
+        # The 50 unmatched small rows survive with big null-padded out.
         assert int((small_keys >= 5000).sum()) == 50
-        assert int((big_keys < 0).sum()) == 50
+        big_null = batch.null_mask("big.k")
+        assert big_null is not None and int(big_null.sum()) == 50
 
     def test_conflicting_outer_join_types_rejected(self, full_join_setup):
         catalog, query = full_join_setup

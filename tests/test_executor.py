@@ -129,11 +129,16 @@ class TestJoinKernels:
         full = equi_join(probe, build, [clause], JoinType.FULL)
         # 2 matches (k=2 twice) + 2 unmatched probe rows + 2 unmatched build.
         assert full.num_rows == 6
-        assert sorted(full.column("b.w")) == [-1, -1, 200, 201, 700, 900]
-        assert sorted(full.column("p.k")) == [-1, -1, 1, 2, 2, 3]
+        bw_null = full.null_mask("b.w")
+        pk_null = full.null_mask("p.k")
+        assert bw_null is not None and int(bw_null.sum()) == 2
+        assert pk_null is not None and int(pk_null.sum()) == 2
+        assert sorted(full.column("b.w")[~bw_null]) == [200, 201, 700, 900]
+        assert sorted(full.column("p.k")[~pk_null]) == [1, 2, 2, 3]
         # Every unmatched build row is padded on ALL probe columns.
-        pk, bw = full.column("p.k"), full.column("b.w")
-        assert sorted(bw[pk == -1]) == [700, 900]
+        pv_null = full.null_mask("p.v")
+        assert np.array_equal(pv_null, pk_null)
+        assert sorted(full.column("b.w")[pk_null]) == [700, 900]
 
     def test_full_join_without_unmatched_build_rows(self):
         probe, build, clauses = self._batches()
