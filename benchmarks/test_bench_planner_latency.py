@@ -15,8 +15,21 @@ the workload that motivated the bitmask DPccp rewrite (docs/enumeration.md).
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from repro.experiments import run_planner_latency
-from repro.experiments.enumeration_latency import run_enumeration_latency
+from repro.experiments.enumeration_latency import (
+    TRAJECTORY_SETTINGS,
+    run_adaptive_latency,
+    run_adaptive_speedup,
+    run_enumeration_latency,
+)
+
+#: Machine-readable planner-latency trajectory, tracked across PRs as a CI
+#: artifact (written into the working directory, i.e. the repo root under
+#: ``make smoke``).
+TRAJECTORY_JSON = Path("BENCH_planner_latency.json")
 
 
 def test_planner_latency_overhead(benchmark, paper_stats_workload):
@@ -72,3 +85,73 @@ def test_enumeration_latency_large_topologies(benchmark):
     # Cliques have no disconnected subsets to skip, hence no latency bound.
     assert result.point("chain-12").enumeration_ms < 30
     assert result.point("star-12").enumeration_ms < 600
+
+
+def test_adaptive_speedup_gate(benchmark):
+    """Adaptive clique-20 planning must beat the exact DP by >= 10x.
+
+    The exact baseline runs at clique-7 (~15 s on a dev box): exact clique DP
+    latency is monotonically increasing in the relation count — clique-8
+    already takes minutes, clique-20 would take geological time — so beating
+    clique-7 by 10x is a certified *lower bound* on the speedup versus an
+    exact clique-20 DP.  The adaptive point runs under the default settings,
+    where 20 relations exceed ``fallback_relation_threshold`` and the
+    GOO/IKKBZ greedy ordering plans the query in ~100 ms.
+    """
+    result = benchmark.pedantic(run_adaptive_speedup, rounds=1, iterations=1)
+
+    print()
+    print("clique-7 exact DP:      %8.1f ms" % result.exact.planning_ms)
+    print("clique-20 adaptive:     %8.1f ms (fallback: %s)"
+          % (result.adaptive.planning_ms, result.adaptive.fallback_reason))
+    print("speedup (lower bound):  %8.0fx" % result.speedup)
+
+    benchmark.extra_info["exact_clique7_ms"] = result.exact.planning_ms
+    benchmark.extra_info["adaptive_clique20_ms"] = result.adaptive.planning_ms
+    benchmark.extra_info["speedup_lower_bound"] = result.speedup
+
+    assert result.adaptive.fallback_reason == "relations"
+    assert result.speedup >= 10
+
+
+def test_planner_latency_trajectory_json(benchmark):
+    """Track chain/star/clique planning at n in {8, 12, 16, 20} across PRs.
+
+    The grid runs under ``TRAJECTORY_SETTINGS`` (the adaptive defaults with a
+    tighter 500-pair budget, so the minutes-long exact clique mid-points fall
+    back and the grid stays benchmarkable) and is written to
+    ``BENCH_planner_latency.json`` — uploaded as a CI artifact so the perf
+    trajectory of both the exact DP points and the greedy fallback points is
+    machine-readable PR over PR.
+    """
+    result = benchmark.pedantic(run_adaptive_latency, rounds=1, iterations=1)
+
+    print()
+    print(result.to_text())
+
+    payload = {
+        "benchmark": "planner_latency_trajectory",
+        "settings": {
+            "enumeration_budget": TRAJECTORY_SETTINGS.enumeration_budget,
+            "fallback_relation_threshold":
+                TRAJECTORY_SETTINGS.fallback_relation_threshold,
+        },
+        "points": [point.to_dict() for point in result.points],
+    }
+    TRAJECTORY_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print("wrote %s" % TRAJECTORY_JSON.resolve())
+
+    for point in result.points:
+        benchmark.extra_info["%s_ms" % point.query] = point.planning_ms
+    # Every 20-relation point must have engaged the relation-threshold
+    # fallback; the small chain points must have stayed exact.
+    assert result.point("clique-20").fallback_reason == "relations"
+    assert result.point("star-20").fallback_reason == "relations"
+    assert result.point("chain-20").fallback_reason == "relations"
+    assert result.point("chain-8").fallback_reason == ""
+    assert result.point("chain-12").fallback_reason == ""
+    # The clique-16 walk trips the trajectory budget long before finishing.
+    assert result.point("clique-16").fallback_reason == "budget"
+    # Fallback points must stay interactive — generous bound for slow CI.
+    for topology in ("chain", "star", "clique"):
+        assert result.point("%s-20" % topology).planning_ms < 5_000

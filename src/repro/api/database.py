@@ -28,7 +28,7 @@ import numpy as np
 from ..cache import LruCache
 from ..core.cost import CostParameters, DEFAULT_COST_PARAMETERS
 from ..core.enumerator import EnumerationSequenceCache
-from ..core.heuristics import BfCboSettings, scaled_settings
+from ..core.heuristics import BfCboSettings, planner_overrides, scaled_settings
 from ..core.optimizer import (
     OptimizationResult,
     Optimizer,
@@ -133,6 +133,12 @@ def _infer_storage_column(values: np.ndarray,
             # (np.unique cannot sort None against str).
             values = values.copy()
             values[inferred] = ""
+        elif values.dtype.kind == "M":
+            # Replace NaT markers before the days-since-epoch conversion:
+            # NaT casts to int64 min, a sentinel that would masquerade as an
+            # (absurd) date under the mask.
+            values = values.copy()
+            values[inferred] = np.datetime64(0, np.datetime_data(values.dtype)[0])
     if mask is not None and not mask.any():
         mask = None
     return _storage_array(values), mask
@@ -152,6 +158,14 @@ class Database:
             experiment harness does.
         plan_cache_size: Maximum cached optimization results (0 disables).
         sequence_cache_size: Maximum cached DPccp sequences (0 disables).
+        enumeration_budget: Override of the exact DPccp walk's pair budget
+            (see ``BfCboSettings.enumeration_budget``; <= 0 = unlimited).
+        fallback_relation_threshold: Override of the relation count beyond
+            which the greedy fallback is used directly (<= 0 = never).
+        parallel_workers: Override of the sharded-DP worker count
+            (<= 1 = the serial loop).
+        parallel_executor: Override of the shard pool flavour
+            ("thread" or "process").
     """
 
     def __init__(self, catalog: Catalog, *,
@@ -160,12 +174,23 @@ class Database:
                  cost_parameters: Optional[CostParameters] = None,
                  scale_factor: Optional[float] = None,
                  plan_cache_size: int = 256,
-                 sequence_cache_size: int = 128) -> None:
+                 sequence_cache_size: int = 128,
+                 enumeration_budget: Optional[int] = None,
+                 fallback_relation_threshold: Optional[int] = None,
+                 parallel_workers: Optional[int] = None,
+                 parallel_executor: Optional[str] = None) -> None:
         self.catalog = catalog
         self.default_mode = mode
         self.default_settings = settings
         self.cost_parameters = cost_parameters or DEFAULT_COST_PARAMETERS
         self.scale_factor = scale_factor
+        #: Database-wide adaptive-planner overrides, folded into every
+        #: resolved settings object (sessions may override them again).
+        self.planner_overrides: Dict[str, object] = planner_overrides(
+            enumeration_budget=enumeration_budget,
+            fallback_relation_threshold=fallback_relation_threshold,
+            parallel_workers=parallel_workers,
+            parallel_executor=parallel_executor)
         self.sequence_cache: Optional[EnumerationSequenceCache] = (
             EnumerationSequenceCache(sequence_cache_size)
             if sequence_cache_size > 0 else None)
@@ -294,33 +319,48 @@ class Database:
         return bind_sql(self.catalog, sql, name=name)
 
     def resolve_settings(self, mode: OptimizerMode,
-                         settings: Optional[BfCboSettings]) -> BfCboSettings:
+                         settings: Optional[BfCboSettings],
+                         overrides: Optional[Mapping[str, object]] = None,
+                         ) -> BfCboSettings:
         """The effective settings for ``mode`` (defaults, scaling, disabling).
 
         Delegates the mode defaulting to the optimizer's own
         :func:`~repro.core.optimizer.resolve_optimizer_settings` (so the plan
         cache keys on exactly what the optimizer runs with), then applies the
         scale-factor threshold rescaling the experiment harness uses.
+        Adaptive-planner knob layering follows specificity: an *explicit*
+        ``settings`` object (per-call or per-session) is taken verbatim and
+        the database-wide constructor knobs do not touch it; only defaulted
+        settings receive them.  ``overrides`` (a session's knobs) apply last
+        — a session is more specific than its database.
         """
+        explicit = settings is not None
         if settings is None:
             settings = self.default_settings
         settings = resolve_optimizer_settings(mode, settings)
         if mode is OptimizerMode.BF_CBO and self.scale_factor is not None:
             settings = scaled_settings(self.scale_factor, settings)
+        if not explicit and self.planner_overrides:
+            settings = settings.with_overrides(**self.planner_overrides)
+        if overrides:
+            settings = settings.with_overrides(**overrides)
         return settings
 
     def optimize(self, query: QueryBlock,
                  mode: Optional[OptimizerMode] = None,
                  settings: Optional[BfCboSettings] = None,
+                 overrides: Optional[Mapping[str, object]] = None,
                  ) -> Tuple[OptimizationResult, bool]:
         """Plan ``query``, consulting the plan cache.
 
         Returns ``(result, from_cache)``.  A cached result is returned as-is
         (plans are immutable during execution); its ``planning_time_ms`` still
-        reports the original cold planning time.
+        reports the original cold planning time.  ``overrides`` are per-call
+        adaptive-planner field overrides (a session's knobs), folded into the
+        resolved settings — and therefore into the plan-cache key.
         """
         mode = mode or self.default_mode
-        settings = self.resolve_settings(mode, settings)
+        settings = self.resolve_settings(mode, settings, overrides)
         caching = self._plan_cache.max_entries > 0
         if caching:
             # Snapshot the version *before* the invalidation check: a
@@ -329,7 +369,10 @@ class Database:
             # stale result is neither served nor kept.
             planned_version = self.catalog.version
             self._invalidate_if_catalog_changed()
-            key = (query.fingerprint(), mode, settings)
+            # Key on the plan-relevant settings only: the sharded DP is
+            # bit-identical to serial, so sessions differing solely in
+            # parallel knobs share one cached plan.
+            key = (query.fingerprint(), mode, settings.plan_relevant())
             cached = self._plan_cache.lookup(key)
             if cached is not None and self.catalog.version == planned_version:
                 return cached[0], True

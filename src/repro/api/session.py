@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from ..core.explain import explain as explain_plan
-from ..core.heuristics import BfCboSettings
+from ..core.heuristics import BfCboSettings, planner_overrides
 from ..core.optimizer import OptimizationResult, OptimizerMode
 from ..core.query import QueryBlock
 from ..errors import ExecutionError, raise_as
@@ -190,6 +190,14 @@ class Session:
             :attr:`history` (oldest dropped first); 0 disables recording
             entirely.  Results hold full batches and plans, so an unbounded
             history would grow with every query served.
+        enumeration_budget: Per-session override of the exact DPccp walk's
+            pair budget (<= 0 = unlimited).
+        fallback_relation_threshold: Per-session override of the relation
+            count beyond which the greedy fallback engages (<= 0 = never).
+        parallel_workers: Per-session override of the sharded-DP worker
+            count (<= 1 = serial).
+        parallel_executor: Per-session override of the shard pool flavour
+            ("thread" or "process").
     """
 
     def __init__(self, database: Database, *,
@@ -197,11 +205,22 @@ class Session:
                  settings: Optional[BfCboSettings] = None,
                  degree_of_parallelism: int = 48,
                  bloom_partitions: int = 1,
-                 history_limit: int = 128) -> None:
+                 history_limit: int = 128,
+                 enumeration_budget: Optional[int] = None,
+                 fallback_relation_threshold: Optional[int] = None,
+                 parallel_workers: Optional[int] = None,
+                 parallel_executor: Optional[str] = None) -> None:
         self.database = database
         self.mode = mode
         self.settings = settings
         self.history_limit = history_limit
+        #: Per-session adaptive-planner overrides, applied on top of the
+        #: database-wide ones for every plan this session requests.
+        self.planner_overrides: Dict[str, object] = planner_overrides(
+            enumeration_budget=enumeration_budget,
+            fallback_relation_threshold=fallback_relation_threshold,
+            parallel_workers=parallel_workers,
+            parallel_executor=parallel_executor)
         self.context = ExecutionContext.for_catalog(
             database.catalog, parameters=database.cost_parameters,
             degree_of_parallelism=degree_of_parallelism)
@@ -289,10 +308,16 @@ class Session:
                     mode: Optional[OptimizerMode],
                     settings: Optional[BfCboSettings]) -> QueryResult:
         mode = mode or self.mode or self.database.default_mode
+        # Knob layering by specificity: an explicit per-call settings object
+        # is taken verbatim (no session/database constructor knobs); the
+        # session's knobs apply to everything less specific.
+        explicit = settings is not None
         if settings is None:
             settings = self.settings
+        overrides = None if explicit else (self.planner_overrides or None)
         started = time.perf_counter()
-        optimization, from_cache = self.database.optimize(block, mode, settings)
+        optimization, from_cache = self.database.optimize(
+            block, mode, settings, overrides=overrides)
         planning_time_ms = (time.perf_counter() - started) * 1e3
         return QueryResult(query=block, mode=mode,
                            settings=optimization.settings,

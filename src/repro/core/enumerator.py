@@ -35,6 +35,7 @@ from .candidates import BloomFilterSpec
 from .cardinality import CardinalityEstimator
 from .cost import Cost, CostModel
 from .expressions import ColumnRef
+from .greedy import greedy_unordered_pairs
 from .heuristics import BfCboSettings
 from .joingraph import JoinGraph
 from .planlist import PlanList, PlanTable
@@ -82,6 +83,31 @@ class EnumerationStatistics:
     #: components — like join_pairs_considered, this counts both orientations
     #: of each stitch step, so a query with k+1 components reports 2k.
     cross_products_stitched: int = 0
+    #: Adaptive-planning telemetry (docs/enumeration.md): did the exact DPccp
+    #: walk hit its pair budget, did the greedy fallback supply the pair
+    #: sequence (and why: "budget" or "relations"), how many merge steps the
+    #: greedy join tree has, and how many shard *tasks* the sharded DP ran
+    #: (one task per worker per size class; 0 means the serial loop ran).
+    budget_exhausted: bool = False
+    fallback_engaged: bool = False
+    fallback_reason: str = ""
+    greedy_merge_steps: int = 0
+    parallel_shards: int = 0
+
+    def merge(self, other: "EnumerationStatistics") -> None:
+        """Fold a shard worker's counters into this run's totals."""
+        self.join_pairs_considered += other.join_pairs_considered
+        self.subplan_combinations += other.subplan_combinations
+        self.plans_retained += other.plans_retained
+        self.plans_rejected_bloom_constraint += \
+            other.plans_rejected_bloom_constraint
+        self.heuristic7_pruned += other.heuristic7_pruned
+        self.cross_products_stitched += other.cross_products_stitched
+        self.budget_exhausted = self.budget_exhausted or other.budget_exhausted
+        self.fallback_engaged = self.fallback_engaged or other.fallback_engaged
+        self.fallback_reason = self.fallback_reason or other.fallback_reason
+        self.greedy_merge_steps += other.greedy_merge_steps
+        self.parallel_shards += other.parallel_shards
 
 
 class EnumerationSequenceCache(LruCache):
@@ -95,9 +121,17 @@ class EnumerationSequenceCache(LruCache):
     topology — therefore share one sequence: the first query pays for the
     DPccp walk, every later same-shape query skips it entirely.
 
-    Keys are edge signatures, values are tuples of (union, outer, inner)
-    mask triples; storage, LRU eviction, locking and the hit/miss counters
-    feeding ``Database.cache_stats()`` come from :class:`repro.cache.LruCache`.
+    Keys are edge signatures; values are ``(sequence, emitted)`` pairs — the
+    tuple of (union, outer, inner) mask triples plus the number of unordered
+    pairs the walk emitted, so a consumer with a tighter
+    ``enumeration_budget`` can reject a cached over-budget sequence instead
+    of inheriting another session's unbounded DP.  A budget-aborted walk
+    stores ``(None, emitted)``: the shape-pure fact "this shape emits more
+    than ``emitted`` pairs", letting every later same-shape query under a
+    budget ``<= emitted`` skip straight to the greedy fallback instead of
+    re-paying the aborted walk.  Storage, LRU eviction, locking and the
+    hit/miss counters feeding ``Database.cache_stats()`` come from
+    :class:`repro.cache.LruCache`.
     """
 
 
@@ -145,17 +179,17 @@ class JoinEnumerator:
     def connected_subsets(self) -> List[FrozenSet[str]]:
         """All plannable relation subsets, ordered by increasing size.
 
-        Connected subsets come from the DPccp walk; for a disconnected join
-        graph the cross-product-stitched prefix unions (components joined in
-        FROM order, culminating in the full relation set) are plannable too and
-        are included.
+        Derived from the pair walk itself: singletons plus the union of every
+        (csg, cmp) pair.  On the exact path that is precisely the connected
+        subsets of each component plus the cross-product-stitched prefix
+        unions; under the greedy fallback it is the (much smaller) set of
+        join-tree nodes the DP will actually populate.
         """
         graph = self.join_graph
-        masks = [mask for component in graph.component_masks()
-                 for mask in graph.connected_subset_masks(component)]
-        masks.extend(self._stitched_union_masks())
-        masks.sort(key=self._union_order_key)
-        return [graph.aliases_of(mask) for mask in masks]
+        masks = {graph.mask_of_alias(alias) for alias in self.query.aliases}
+        masks.update(union for union, _, _ in self._pair_masks())
+        return [graph.aliases_of(mask)
+                for mask in sorted(masks, key=self._union_order_key)]
 
     def enumerate_join_pairs(self) -> Iterator[JoinPair]:
         """Yield every ordered (outer, inner) split, bottom-up by union size.
@@ -206,53 +240,109 @@ class JoinEnumerator:
         whole walk is skipped for join graphs whose shape
         (:meth:`~repro.core.joingraph.JoinGraph.edge_signature`) was already
         enumerated by an earlier query.
+
+        Two adaptive escape hatches bound the Θ(3^n) walk on large graphs
+        (docs/enumeration.md): queries beyond
+        ``settings.fallback_relation_threshold`` relations skip the walk
+        entirely, and a walk that emits more than
+        ``settings.enumeration_budget`` unordered pairs is abandoned
+        mid-flight.  Both return the greedy (GOO / IKKBZ) join tree of
+        :mod:`repro.core.greedy` instead, run through the identical canonical
+        ordering so the DP downstream cannot tell the sources apart.
         """
         if self._pair_masks_cache is None:
-            signature: Optional[Tuple] = None
-            if self._sequence_cache is not None:
-                signature = self.join_graph.edge_signature()
-                cached = self._sequence_cache.lookup(signature)
-                if cached is not None:
-                    self._pair_masks_cache = cached
-                    return cached
-            graph = self.join_graph
-            unordered_by_union: Dict[int, List[Tuple[int, int]]] = {}
-            for component in graph.component_masks():
-                for csg, cmp_mask in graph.csg_cmp_pairs(component):
-                    unordered_by_union.setdefault(csg | cmp_mask, []).append(
-                        (csg, cmp_mask))
-            for union, prefix, component in self._stitch_steps():
-                unordered_by_union[union] = [(prefix, component)]
-            ordered_unions = sorted(unordered_by_union,
-                                    key=self._union_order_key)
-            triples: List[Tuple[int, int, int]] = []
-            for union in ordered_unions:
-                # Rank a split by its outer side's bit pattern over the
-                # union's alphabetically sorted members (the seed enumerator's
-                # subset-mask iteration order).  Each unordered pair is ranked
-                # once: the swapped orientation's rank is the complement.
-                position_of = {graph.bit_of[alias]: position
-                               for position, alias
-                               in enumerate(sorted(graph.aliases_of(union)))}
-                full_rank = (1 << len(position_of)) - 1
-                ranked: List[Tuple[int, int, int]] = []
-                for csg, cmp_mask in unordered_by_union[union]:
-                    rank = 0
-                    remaining = csg
-                    while remaining:
-                        low = remaining & -remaining
-                        rank |= 1 << position_of[low.bit_length() - 1]
-                        remaining ^= low
-                    ranked.append((rank, csg, cmp_mask))
-                    ranked.append((full_rank ^ rank, cmp_mask, csg))
-                ranked.sort()
-                triples.extend((union, outer, inner)
-                               for _, outer, inner in ranked)
-            sequence = tuple(triples)
-            self._pair_masks_cache = sequence
-            if signature is not None:
-                self._sequence_cache.store(signature, sequence)
+            self._pair_masks_cache = self._compute_pair_masks()
         return self._pair_masks_cache
+
+    def _compute_pair_masks(self) -> Tuple[Tuple[int, int, int], ...]:
+        graph = self.join_graph
+        threshold = self.settings.fallback_relation_threshold
+        if 0 < threshold < graph.num_relations:
+            return self._fallback_pair_masks("relations")
+        budget = self.settings.enumeration_budget
+        signature: Optional[Tuple] = None
+        if self._sequence_cache is not None:
+            signature = graph.edge_signature()
+            cached = self._sequence_cache.lookup(signature)
+            if cached is not None:
+                sequence, emitted = cached
+                # The cache stores the walk's unordered pair count (or, for
+                # an aborted walk, its lower bound) alongside the sequence:
+                # a shape enumerated by a roomier session must not smuggle an
+                # over-budget DP into a session whose budget exists to bound
+                # exactly that DP — and a shape known to exceed this budget
+                # skips the walk entirely.  The check keeps plans a pure
+                # function of (query, settings), not of cache history.
+                if 0 < budget < emitted:
+                    self.stats.budget_exhausted = True
+                    return self._fallback_pair_masks("budget")
+                if sequence is not None:
+                    return sequence
+                # Only a lower bound was cached and our budget exceeds it:
+                # fall through and run the walk for real.
+        emitted = 0
+        unordered_by_union: Dict[int, List[Tuple[int, int]]] = {}
+        for component in graph.component_masks():
+            for csg, cmp_mask in graph.csg_cmp_pairs(component):
+                emitted += 1
+                if 0 < budget < emitted:
+                    self.stats.budget_exhausted = True
+                    if signature is not None:
+                        self._sequence_cache.store(signature, (None, emitted))
+                    return self._fallback_pair_masks("budget")
+                unordered_by_union.setdefault(csg | cmp_mask, []).append(
+                    (csg, cmp_mask))
+        for union, prefix, component in self._stitch_steps():
+            unordered_by_union[union] = [(prefix, component)]
+        sequence = self._canonical_triples(unordered_by_union)
+        if signature is not None:
+            self._sequence_cache.store(signature, (sequence, emitted))
+        return sequence
+
+    def _fallback_pair_masks(self, reason: str) -> Tuple[Tuple[int, int, int], ...]:
+        """Greedy join tree as canonical mask triples (budget/threshold path).
+
+        The greedy ordering depends on the catalog's statistics, not just the
+        graph shape, so fallback sequences are never stored in the shape-keyed
+        sequence cache.
+        """
+        self.stats.fallback_engaged = True
+        self.stats.fallback_reason = reason
+        unordered = greedy_unordered_pairs(self.join_graph, self.estimator)
+        self.stats.greedy_merge_steps = sum(len(splits)
+                                            for splits in unordered.values())
+        return self._canonical_triples(unordered)
+
+    def _canonical_triples(self, unordered_by_union: Dict[int, List[Tuple[int, int]]],
+                           ) -> Tuple[Tuple[int, int, int], ...]:
+        """Sort unordered splits into the canonical bottom-up pair sequence."""
+        graph = self.join_graph
+        ordered_unions = sorted(unordered_by_union,
+                                key=self._union_order_key)
+        triples: List[Tuple[int, int, int]] = []
+        for union in ordered_unions:
+            # Rank a split by its outer side's bit pattern over the
+            # union's alphabetically sorted members (the seed enumerator's
+            # subset-mask iteration order).  Each unordered pair is ranked
+            # once: the swapped orientation's rank is the complement.
+            position_of = {graph.bit_of[alias]: position
+                           for position, alias
+                           in enumerate(sorted(graph.aliases_of(union)))}
+            full_rank = (1 << len(position_of)) - 1
+            ranked: List[Tuple[int, int, int]] = []
+            for csg, cmp_mask in unordered_by_union[union]:
+                rank = 0
+                remaining = csg
+                while remaining:
+                    low = remaining & -remaining
+                    rank |= 1 << position_of[low.bit_length() - 1]
+                    remaining ^= low
+                ranked.append((rank, csg, cmp_mask))
+                ranked.append((full_rank ^ rank, cmp_mask, csg))
+            ranked.sort()
+            triples.extend((union, outer, inner)
+                           for _, outer, inner in ranked)
+        return tuple(triples)
 
     def _stitch_steps(self) -> List[Tuple[int, int, int]]:
         """Cross-product stitching plan for disconnected join graphs.
@@ -261,9 +351,9 @@ class JoinEnumerator:
         incrementally: C1∪C2, C1∪C2∪C3, ... — giving every intermediate
         disconnected union an explicit cross-product split instead of leaving
         multi-component queries unplannable.  Returns one
-        ``(union, prefix, newest component)`` triple per stitch step; the
-        single source of truth for both the pair walk and
-        :meth:`connected_subsets`.
+        ``(union, prefix, newest component)`` triple per stitch step, the
+        source the exact pair walk appends after the per-component DPccp
+        pairs (:meth:`connected_subsets` sees them through the walk's unions).
         """
         components = self.join_graph.component_masks()
         steps: List[Tuple[int, int, int]] = []
@@ -272,10 +362,6 @@ class JoinEnumerator:
             steps.append((accumulated | component, accumulated, component))
             accumulated |= component
         return steps
-
-    def _stitched_union_masks(self) -> List[int]:
-        """The stitched prefix unions (see :meth:`_stitch_steps`)."""
-        return [union for union, _, _ in self._stitch_steps()]
 
     def _union_order_key(self, mask: int) -> Tuple[int, Tuple[int, ...]]:
         """Bottom-up union order: size first, then FROM-order combination rank."""
@@ -345,10 +431,20 @@ class JoinEnumerator:
     # ------------------------------------------------------------------
 
     def optimize_table(self, base_table: Optional[PlanTable] = None) -> PlanTable:
-        """Run the bottom-up DP over the mask-keyed memo and return it."""
+        """Run the bottom-up DP over the mask-keyed memo and return it.
+
+        With ``settings.parallel_workers > 1`` the per-union plan lists of
+        each size class are sharded across a worker pool (the unions of one
+        class only read strictly smaller, already-merged entries, so they
+        partition cleanly); the serial loop and the sharded path produce
+        bit-identical memo contents.
+        """
         table = base_table if base_table is not None \
             else self.build_base_plan_table()
-        for pair in self.enumerate_join_pairs():
+        pairs = list(self.enumerate_join_pairs())
+        if self.settings.parallel_workers > 1 and len(pairs) > 1:
+            return self._optimize_table_sharded(table, pairs)
+        for pair in pairs:
             self.stats.join_pairs_considered += 1
             if pair.is_cross_product:
                 self.stats.cross_products_stitched += 1
@@ -356,18 +452,134 @@ class JoinEnumerator:
             inner_list = table.get(pair.inner_mask)
             if not outer_list or not inner_list:
                 continue
-            target = table.target(pair.union_mask)
-            for outer_plan in list(outer_list):
-                for inner_plan in list(inner_list):
-                    self.stats.subplan_combinations += 1
-                    for join_plan in self.combine(pair, outer_plan, inner_plan):
-                        if target.add(join_plan):
-                            self.stats.plans_retained += 1
-            if self.settings.use_heuristic7:
-                self.stats.heuristic7_pruned += target.apply_heuristic7(
-                    self.settings.heuristic7_max_subplans)
-            self._strategy_cache.clear()
+            self._dp_step(pair, outer_list, inner_list,
+                          table.target(pair.union_mask))
         return table
+
+    def _dp_step(self, pair: JoinPair, outer_list: PlanList,
+                 inner_list: PlanList, target: PlanList) -> None:
+        """One DP pair: combine every sub-plan pair into ``target``.
+
+        Shared verbatim by the serial loop and the shard workers — the
+        bit-identical-to-serial guarantee of the sharded path rests on this
+        being the only implementation of the step.
+        """
+        for outer_plan in list(outer_list):
+            for inner_plan in list(inner_list):
+                self.stats.subplan_combinations += 1
+                for join_plan in self.combine(pair, outer_plan, inner_plan):
+                    if target.add(join_plan):
+                        self.stats.plans_retained += 1
+        if self.settings.use_heuristic7:
+            self.stats.heuristic7_pruned += target.apply_heuristic7(
+                self.settings.heuristic7_max_subplans)
+        self._strategy_cache.clear()
+
+    # -- sharded DP -----------------------------------------------------------
+
+    def _optimize_table_sharded(self, table: PlanTable,
+                                pairs: Sequence[JoinPair]) -> PlanTable:
+        """Shard each size class's union masks across a worker pool.
+
+        Size classes are processed in ascending order with a barrier between
+        them: every pair of class *k* reads only plan lists of size ``< k``,
+        which are fully merged into the shared table before class *k* starts.
+        Within a class, whole unions (never single pairs) are dealt
+        round-robin to the workers, each worker walks its pairs in canonical
+        order, and the per-union :class:`PlanList` results are merged back in
+        canonical union order — so memo contents, plan-list ordering and
+        statistics (bar ``parallel_shards``) are identical to the serial loop.
+        """
+        from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+        workers = self.settings.parallel_workers
+        use_processes = self.settings.parallel_executor == "process"
+        size_classes: Dict[int, List[JoinPair]] = {}
+        for pair in pairs:
+            size_classes.setdefault(bin(pair.union_mask).count("1"),
+                                    []).append(pair)
+        if use_processes:
+            # The query context (catalog included — potentially hundreds of
+            # MB of column arrays) is shipped once per worker process via the
+            # initializer; per-shard payloads carry only the plan lists the
+            # shard reads plus its pairs.
+            pool_cm = ProcessPoolExecutor(
+                max_workers=workers, initializer=_init_process_shard_worker,
+                initargs=(self.catalog, self.query, self.settings,
+                          self.cost_model.params))
+        else:
+            pool_cm = ThreadPoolExecutor(max_workers=workers)
+        with pool_cm as pool:
+            for size in sorted(size_classes):
+                by_union: Dict[int, List[JoinPair]] = {}
+                for pair in size_classes[size]:
+                    by_union.setdefault(pair.union_mask, []).append(pair)
+                unions = list(by_union)
+                shards = [unions[start::workers] for start in range(workers)]
+                futures = []
+                for shard in shards:
+                    if not shard:
+                        continue
+                    shard_pairs = [pair for union in shard
+                                   for pair in by_union[union]]
+                    if use_processes:
+                        futures.append(pool.submit(
+                            _process_pool_shard,
+                            self._shard_input_lists(table, shard_pairs),
+                            shard_pairs))
+                    else:
+                        futures.append(pool.submit(
+                            self._thread_shard, table, shard_pairs))
+                merged: Dict[int, PlanList] = {}
+                for future in futures:
+                    shard_lists, shard_stats = future.result()
+                    self.stats.merge(shard_stats)
+                    self.stats.parallel_shards += 1
+                    merged.update(shard_lists)  # shard unions are disjoint
+                for union in unions:
+                    if union in merged:
+                        table.set(union, merged[union])
+        return table
+
+    def _thread_shard(self, table: PlanTable, shard_pairs: List[JoinPair],
+                      ) -> Tuple[Dict[int, PlanList], EnumerationStatistics]:
+        """Run one shard on a fresh enumerator clone sharing this one's
+        estimator/graph (reads of the shared table are safe: a shard only
+        reads size classes merged before it started)."""
+        worker = JoinEnumerator(self.catalog, self.query, self.estimator,
+                                self.cost_model, self.settings,
+                                self.join_graph)
+        return worker._run_shard(table, shard_pairs)
+
+    @staticmethod
+    def _shard_input_lists(table: PlanTable, shard_pairs: List[JoinPair],
+                           ) -> Dict[int, PlanList]:
+        """Only the plan lists a process shard's pairs actually read."""
+        needed = set()
+        for pair in shard_pairs:
+            needed.add(pair.outer_mask)
+            needed.add(pair.inner_mask)
+        return {mask: table.get(mask) for mask in needed
+                if table.get(mask) is not None}
+
+    def _run_shard(self, table: PlanTable, shard_pairs: List[JoinPair],
+                   ) -> Tuple[Dict[int, PlanList], EnumerationStatistics]:
+        """The DP loop over one shard's pairs, writing local targets."""
+        results: Dict[int, PlanList] = {}
+        for pair in shard_pairs:
+            self.stats.join_pairs_considered += 1
+            if pair.is_cross_product:
+                self.stats.cross_products_stitched += 1
+            outer_list = table.get(pair.outer_mask)
+            inner_list = table.get(pair.inner_mask)
+            if not outer_list or not inner_list:
+                continue
+            target = results.get(pair.union_mask)
+            if target is None:
+                target = PlanList()
+                results[pair.union_mask] = target
+            self._dp_step(pair, outer_list, inner_list, target)
+        return results, self.stats
 
     def optimize(self, base_plan_lists: Optional[Dict[FrozenSet[str], PlanList]] = None,
                  ) -> Dict[FrozenSet[str], PlanList]:
@@ -673,3 +885,38 @@ class JoinEnumerator:
         inner_rescan = inner_input.rows * self.cost_model.params.cpu_tuple_cost
         return self.cost_model.nested_loop(outer_input.rows, inner_input.rows,
                                            output_rows, inner_rescan)
+
+
+#: Per-process shard state installed by the pool initializer:
+#: (catalog, query, settings, cost model, shared estimator).
+_PROCESS_SHARD_STATE: Optional[Tuple] = None
+
+
+def _init_process_shard_worker(catalog: Catalog, query: QueryBlock,
+                               settings: BfCboSettings,
+                               cost_parameters) -> None:
+    """Receive the pickled query context once per worker process.
+
+    The estimator is built here and shared by every shard the process runs,
+    so its selectivity caches warm up exactly once per worker.
+    """
+    global _PROCESS_SHARD_STATE
+    _PROCESS_SHARD_STATE = (catalog, query, settings,
+                            CostModel(cost_parameters),
+                            CardinalityEstimator(catalog, query))
+
+
+def _process_pool_shard(input_lists: Dict[int, PlanList],
+                        shard_pairs: List[JoinPair],
+                        ) -> Tuple[Dict[int, PlanList], EnumerationStatistics]:
+    """Process-pool entry point for one DP shard.
+
+    Estimates and costs are deterministic functions of the statistics, so a
+    process shard costs plans identically to a thread shard.  A fresh
+    enumerator per shard keeps the returned statistics scoped to this shard;
+    it runs at module level because bound methods of a live enumerator do
+    not pickle.
+    """
+    catalog, query, settings, cost_model, estimator = _PROCESS_SHARD_STATE
+    worker = JoinEnumerator(catalog, query, estimator, cost_model, settings)
+    return worker._run_shard(PlanTable(lists=dict(input_lists)), shard_pairs)

@@ -56,9 +56,50 @@ class BfCboSettings:
     # that the exponential blow-up experiment terminates.
     naive_max_subplans_per_relation: int = 64
 
+    # ------------------------------------------------------------------
+    # Adaptive large-join-graph planning (docs/enumeration.md).
+    # These knobs bound the Θ(3^n) DPccp pair walk the way production
+    # optimizers do: an enumeration budget plus a greedy ordering fallback.
+    # The defaults are far above anything an 8-relation TPC-H query (or the
+    # pinned chain-12 / star-12 / clique-10 benchmark topologies) emits, so
+    # plans below the fallback regime are byte-identical to the exact DP.
+    # ------------------------------------------------------------------
+
+    #: Maximum unordered (csg, cmp) pairs the exact DPccp walk may emit
+    #: before the enumerator abandons it and falls back to the greedy
+    #: ordering; <= 0 means unlimited.
+    enumeration_budget: int = 100_000
+    #: Relation count above which the exact walk is not even attempted and
+    #: the greedy fallback is used directly; <= 0 means never.
+    fallback_relation_threshold: int = 18
+    #: Worker count for sharding the bottom-up DP's per-union plan lists;
+    #: <= 1 runs the classic serial loop.
+    parallel_workers: int = 0
+    #: Worker pool flavour for the sharded DP: "thread" (default) or
+    #: "process" (each worker re-derives estimator state from the catalog).
+    parallel_executor: str = "thread"
+
+    def __post_init__(self) -> None:
+        if self.parallel_executor not in ("thread", "process"):
+            raise ValueError(
+                "parallel_executor must be 'thread' or 'process', got %r"
+                % (self.parallel_executor,))
+
     def with_overrides(self, **kwargs) -> "BfCboSettings":
         """Return a copy with selected fields replaced."""
         return replace(self, **kwargs)
+
+    def plan_relevant(self) -> "BfCboSettings":
+        """A copy with plan-neutral execution knobs normalized away.
+
+        The sharded DP is bit-identical to the serial loop, so
+        ``parallel_workers`` / ``parallel_executor`` must not fragment
+        plan-cache keys: two sessions differing only in those knobs share
+        one cached plan.
+        """
+        if self.parallel_workers == 0 and self.parallel_executor == "thread":
+            return self
+        return replace(self, parallel_workers=0, parallel_executor="thread")
 
     @classmethod
     def disabled(cls) -> "BfCboSettings":
@@ -74,6 +115,29 @@ class BfCboSettings:
     def with_heuristic7(cls) -> "BfCboSettings":
         """The configuration used for Table 3 (Heuristic 7 enabled)."""
         return cls(use_heuristic7=True)
+
+
+def planner_overrides(enumeration_budget: Optional[int] = None,
+                      fallback_relation_threshold: Optional[int] = None,
+                      parallel_workers: Optional[int] = None,
+                      parallel_executor: Optional[str] = None) -> dict:
+    """Non-None adaptive-planner kwargs as a ``with_overrides``-ready dict.
+
+    Shared by :class:`repro.api.Database` and :class:`repro.api.Session` so
+    the two override layers expose the identical knob set and cannot drift.
+    Validates eagerly: a typo'd ``parallel_executor`` fails at construction
+    time, not as a surprise on the first query.
+    """
+    if parallel_executor is not None \
+            and parallel_executor not in ("thread", "process"):
+        raise ValueError(
+            "parallel_executor must be 'thread' or 'process', got %r"
+            % (parallel_executor,))
+    return {key: value for key, value in (
+        ("enumeration_budget", enumeration_budget),
+        ("fallback_relation_threshold", fallback_relation_threshold),
+        ("parallel_workers", parallel_workers),
+        ("parallel_executor", parallel_executor)) if value is not None}
 
 
 def scaled_settings(scale_factor: float,

@@ -115,10 +115,16 @@ class OutputItem:
 
 @dataclass(frozen=True)
 class OrderItem:
-    """One ORDER BY item."""
+    """One ORDER BY item.
+
+    ``nulls_first`` defaults to False — the engine's historical nulls-last
+    ordering — so queries without an explicit ``NULLS FIRST`` modifier sort
+    (and fingerprint) exactly as before.
+    """
 
     expression: ScalarExpression
     descending: bool = False
+    nulls_first: bool = False
 
 
 @dataclass
@@ -247,7 +253,8 @@ class QueryBlock:
                                      for item in self.output))
         parts.append("G:" + ";".join(str(e) for e in self.group_by))
         parts.append("S:" + ";".join(
-            "%s%s" % (item.expression, " desc" if item.descending else "")
+            "%s%s%s" % (item.expression, " desc" if item.descending else "",
+                        " nulls first" if item.nulls_first else "")
             for item in self.order_by))
         parts.append("T:%s" % self.limit)
         self._fingerprint = "|".join(parts)

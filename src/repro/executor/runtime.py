@@ -276,12 +276,17 @@ class Executor:
                     # Canonicalise filler under the mask so NaN/None never
                     # leaks into the sort comparison.
                     values = fill_masked(values, null_mask)
-                if item.descending and values.dtype.kind in ("i", "u", "f"):
-                    values = -values.astype(np.float64)
+                if item.descending:
+                    # Rank-invert instead of negating the values: exact for
+                    # every dtype — strings get a descending order at all,
+                    # and int64 keys never round-trip through lossy float64.
+                    _, inverse = np.unique(values, return_inverse=True)
+                    values = -inverse
                 keys.append(values)
                 if null_mask is not None:
-                    # The mask outranks the values: NULLs sort last.
-                    keys.append(null_mask)
+                    # The mask outranks the values: NULLs sort last by
+                    # default, first when the item says NULLS FIRST.
+                    keys.append(~null_mask if item.nulls_first else null_mask)
             order = np.lexsort(keys)
             batch = batch.take(order)
         work = self.context.cost_model.sort(batch.num_rows).total

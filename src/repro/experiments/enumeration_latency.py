@@ -6,12 +6,18 @@ clique queries of 10+ relations — the shapes with the fewest, an intermediate
 number, and the most connected subgraphs respectively — and measures
 
 * the time to exhaust :meth:`JoinEnumerator.enumerate_join_pairs` (the
-  structural walk both BF-CBO phases pay), and
-* full planning time through the :class:`Optimizer` facade.
+  structural walk both BF-CBO phases pay),
+* full planning time through the :class:`Optimizer` facade, and
+* the adaptive planner's behaviour (:func:`run_adaptive_latency` /
+  :func:`run_adaptive_speedup`): which points run the exact DP, which fall
+  back to the GOO/IKKBZ greedy ordering, and how large the resulting
+  speedup is on clique shapes where the exact DP is intractable.
 
 It is the benchmark used to validate the bitmask DPccp enumeration rewrite
-(see ``docs/enumeration.md``): the pair walk must emit exactly the connected
-(csg, cmp) pairs without scanning the 2^n disconnected subsets.
+and the budget/fallback work on top of it (see ``docs/enumeration.md``): the
+pair walk must emit exactly the connected (csg, cmp) pairs without scanning
+the 2^n disconnected subsets, and planning time must stay bounded past the
+fallback regime.
 """
 
 from __future__ import annotations
@@ -128,14 +134,141 @@ class EnumerationLatencyResult:
 
 
 def measure_enumeration(catalog: Catalog, query: QueryBlock) -> Tuple[int, float]:
-    """(pair count, milliseconds) to exhaust the structural pair walk."""
+    """(pair count, milliseconds) to exhaust the structural pair walk.
+
+    Runs under :data:`EXACT_DP_SETTINGS`: this harness validates the exact
+    DPccp walk, so the adaptive budget/threshold must never swap in the
+    greedy fallback here (it would quietly measure 2(n-1) greedy pairs).
+    """
     estimator = CardinalityEstimator(catalog, query)
     enumerator = JoinEnumerator(catalog, query, estimator, CostModel(),
-                                BfCboSettings.disabled())
+                                EXACT_DP_SETTINGS)
     started = time.perf_counter()
     pairs = sum(1 for _ in enumerator.enumerate_join_pairs())
     elapsed_ms = (time.perf_counter() - started) * 1e3
     return pairs, elapsed_ms
+
+
+#: Settings that force the exact DPccp DP regardless of size — the baseline
+#: the adaptive planner is compared against.
+EXACT_DP_SETTINGS = BfCboSettings.disabled().with_overrides(
+    enumeration_budget=0, fallback_relation_threshold=0)
+
+#: The (topology, size) grid tracked across PRs by the planner-latency
+#: benchmark's machine-readable output.
+TRAJECTORY_GRID: Tuple[Tuple[str, int], ...] = tuple(
+    (topology, size) for topology in TOPOLOGIES for size in (8, 12, 16, 20))
+
+#: Settings the trajectory grid runs under: the default adaptive planner,
+#: with a tighter pair budget so the heavyweight exact mid-points (a clique-8
+#: DP alone costs minutes) fall back and the whole grid stays benchmarkable.
+TRAJECTORY_SETTINGS = BfCboSettings.disabled().with_overrides(
+    enumeration_budget=500)
+
+
+@dataclass
+class AdaptivePlanningPoint:
+    """One full planning measurement under the adaptive planner."""
+
+    query: str
+    num_tables: int
+    planning_ms: float
+    #: "" when the exact DP ran; "budget" / "relations" when the greedy
+    #: fallback supplied the join order.
+    fallback_reason: str
+    join_pairs: int
+    estimated_cost: float
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (see ``BENCH_planner_latency.json``)."""
+        return {
+            "query": self.query,
+            "num_tables": self.num_tables,
+            "planning_ms": round(self.planning_ms, 3),
+            "fallback_reason": self.fallback_reason,
+            "join_pairs": self.join_pairs,
+            "estimated_cost": self.estimated_cost,
+        }
+
+
+@dataclass
+class AdaptiveLatencyResult:
+    """Adaptive planning measurements over a (topology, size) grid."""
+
+    points: List[AdaptivePlanningPoint] = field(default_factory=list)
+
+    def point(self, query: str) -> AdaptivePlanningPoint:
+        for point in self.points:
+            if point.query == query:
+                return point
+        raise KeyError(query)
+
+    def to_text(self) -> str:
+        headers = ["query", "tables", "planning (ms)", "fallback",
+                   "join pairs"]
+        rows = [[p.query, p.num_tables, "%.2f" % p.planning_ms,
+                 p.fallback_reason or "exact", p.join_pairs]
+                for p in self.points]
+        return format_table(headers, rows,
+                            title="Adaptive planner latency")
+
+
+@dataclass
+class AdaptiveSpeedupResult:
+    """Adaptive clique planning versus the exact DP baseline.
+
+    The exact baseline deliberately runs at a *smaller* clique than the
+    adaptive measurement: exact clique DP latency grows without bound (a
+    clique-8 DP already takes minutes), and it is monotonically increasing in
+    the relation count, so ``speedup`` is a **lower bound** on the true
+    same-size ratio — if adaptive clique-20 beats exact clique-7 by 10x, it
+    beats exact clique-20 by far more.
+    """
+
+    exact: AdaptivePlanningPoint
+    adaptive: AdaptivePlanningPoint
+
+    @property
+    def speedup(self) -> float:
+        return self.exact.planning_ms / max(self.adaptive.planning_ms, 1e-9)
+
+
+def measure_planning(num_tables: int, topology: str,
+                     settings: Optional[BfCboSettings] = None,
+                     ) -> AdaptivePlanningPoint:
+    """Full NO-BF planning latency of one synthetic topology point."""
+    catalog = build_topology_catalog(num_tables, topology)
+    query = build_topology_query(num_tables, topology)
+    optimizer = Optimizer(catalog)
+    result = optimizer.optimize(query, OptimizerMode.NO_BF, settings)
+    stats = result.enumeration_stats
+    return AdaptivePlanningPoint(
+        query=query.name, num_tables=num_tables,
+        planning_ms=result.planning_time_ms,
+        fallback_reason=stats.fallback_reason,
+        join_pairs=stats.join_pairs_considered,
+        estimated_cost=result.estimated_cost)
+
+
+def run_adaptive_latency(specs: Optional[Tuple[Tuple[str, int], ...]] = None,
+                         settings: Optional[BfCboSettings] = None,
+                         ) -> AdaptiveLatencyResult:
+    """Measure full planning over a grid under the adaptive planner."""
+    specs = specs if specs is not None else TRAJECTORY_GRID
+    settings = settings if settings is not None else TRAJECTORY_SETTINGS
+    result = AdaptiveLatencyResult()
+    for topology, num_tables in specs:
+        result.points.append(measure_planning(num_tables, topology, settings))
+    return result
+
+
+def run_adaptive_speedup(adaptive_spec: Tuple[str, int] = ("clique", 20),
+                         exact_spec: Tuple[str, int] = ("clique", 7),
+                         ) -> AdaptiveSpeedupResult:
+    """Adaptive large-clique planning versus the exact-DP lower bound."""
+    exact = measure_planning(exact_spec[1], exact_spec[0], EXACT_DP_SETTINGS)
+    adaptive = measure_planning(adaptive_spec[1], adaptive_spec[0])
+    return AdaptiveSpeedupResult(exact=exact, adaptive=adaptive)
 
 
 def run_enumeration_latency(specs: Optional[List[Tuple[str, int]]] = None,
@@ -167,3 +300,11 @@ def run_enumeration_latency(specs: Optional[List[Tuple[str, int]]] = None,
 
 if __name__ == "__main__":  # pragma: no cover - manual benchmark entry point
     print(run_enumeration_latency().to_text())
+    print()
+    print(run_adaptive_latency().to_text())
+    comparison = run_adaptive_speedup()
+    print()
+    print("clique-20 adaptive %.1f ms vs clique-7 exact %.1f ms "
+          "(>= %.0fx speedup lower bound)"
+          % (comparison.adaptive.planning_ms, comparison.exact.planning_ms,
+             comparison.speedup))

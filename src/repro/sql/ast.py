@@ -188,10 +188,16 @@ class TableRef(SyntaxNode):
 
 @dataclass(frozen=True)
 class OrderByItem(SyntaxNode):
-    """One ORDER BY entry."""
+    """One ORDER BY entry.
+
+    ``nulls_first`` is tri-state: ``None`` when the query spelled no
+    ``NULLS FIRST`` / ``NULLS LAST`` modifier (the engine defaults to
+    nulls-last), else the explicit choice.
+    """
 
     expression: SyntaxNode
     descending: bool = False
+    nulls_first: Optional[bool] = None
 
 
 @dataclass

@@ -295,7 +295,8 @@ class Binder:
             else:
                 bound = self._bind_scalar(expression)
             order_by.append(OrderItem(expression=bound,
-                                      descending=item.descending))
+                                      descending=item.descending,
+                                      nulls_first=bool(item.nulls_first)))
         return order_by
 
 

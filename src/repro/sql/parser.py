@@ -178,7 +178,29 @@ class Parser:
             descending = True
         else:
             self._accept_keyword("asc")
-        return OrderByItem(expression=expression, descending=descending)
+        nulls_first: Optional[bool] = None
+        # NULLS FIRST / NULLS LAST: "nulls"/"first"/"last" are matched as bare
+        # words rather than lexer keywords so they stay usable as identifiers
+        # elsewhere in the query.
+        if self._accept_word("nulls"):
+            if self._accept_word("first"):
+                nulls_first = True
+            elif self._accept_word("last"):
+                nulls_first = False
+            else:
+                raise ParseError("expected FIRST or LAST after NULLS",
+                                 self._peek())
+        return OrderByItem(expression=expression, descending=descending,
+                           nulls_first=nulls_first)
+
+    def _accept_word(self, word: str) -> bool:
+        """Consume a keyword-or-identifier token spelling ``word``."""
+        token = self._peek()
+        if (token.type in (TokenType.KEYWORD, TokenType.IDENTIFIER)
+                and token.text.lower() == word):
+            self._advance()
+            return True
+        return False
 
     # -- expressions --------------------------------------------------------------
 

@@ -24,7 +24,8 @@ from .schema import TableSchema
 
 
 def infer_null_mask(values: np.ndarray) -> Optional[np.ndarray]:
-    """Mask of positions holding NaN (float) or ``None`` (object) markers.
+    """Mask of positions holding NaN (float), NaT (datetime64) or ``None``
+    (object) markers.
 
     Returns ``None`` when nothing in the array denotes a NULL — including for
     dtypes that cannot encode one (integers, strings, bools).
@@ -32,6 +33,9 @@ def infer_null_mask(values: np.ndarray) -> Optional[np.ndarray]:
     values = np.asarray(values)
     if values.dtype.kind == "f":
         mask = np.isnan(values)
+        return mask if mask.any() else None
+    if values.dtype.kind == "M":
+        mask = np.isnat(values)
         return mask if mask.any() else None
     if values.dtype.kind == "O":
         mask = np.fromiter((v is None for v in values), dtype=bool,

@@ -579,3 +579,143 @@ class TestEndToEnd:
         result = session.execute(db.tpch_query(12))
         assert result.execution is not None
         assert not result.execution.batch.has_masks()
+
+
+class TestOrderByNullsModifiers:
+    """NULLS FIRST / NULLS LAST through parser, binder and executor."""
+
+    def _database(self):
+        db = Database(Catalog())
+        db.register_table("users", {
+            "id": np.arange(6, dtype=np.int64),
+            "score": np.asarray([1.0, np.nan, 3.0, np.nan, 5.0, 6.0]),
+        }, primary_key=["id"])
+        return db
+
+    def test_parser_accepts_modifiers(self):
+        statement = parse_select(
+            "select a from t order by a desc nulls first, b nulls last, c")
+        assert [item.nulls_first for item in statement.order_by] == \
+            [True, False, None]
+        assert [item.descending for item in statement.order_by] == \
+            [True, False, False]
+
+    def test_parser_rejects_bare_nulls(self):
+        from repro.sql.errors import ParseError
+
+        with pytest.raises(ParseError):
+            parse_select("select a from t order by a nulls")
+
+    def test_nulls_and_first_stay_usable_as_identifiers(self):
+        # The modifier words are matched contextually, not lexed as
+        # keywords, so columns/aliases may still use them.
+        statement = parse_select("select nulls, first from last")
+        assert statement.from_tables[0].table == "last"
+
+    def test_nulls_first_executes(self):
+        session = self._database().connect()
+        result = session.execute(
+            "select id, score from users order by score nulls first")
+        ids = list(result.column("id"))
+        assert sorted(ids[:2]) == [1, 3]           # the NULL scores lead
+        assert ids[2:] == [0, 2, 4, 5]             # then ascending values
+        mask = result.null_mask("score")
+        assert mask is not None and list(mask[:2]) == [True, True]
+
+    def test_nulls_first_with_desc(self):
+        session = self._database().connect()
+        result = session.execute(
+            "select id, score from users order by score desc nulls first")
+        ids = list(result.column("id"))
+        assert sorted(ids[:2]) == [1, 3]
+        assert ids[2:] == [5, 4, 2, 0]
+
+    def test_explicit_nulls_last_matches_default(self):
+        session = self._database().connect()
+        explicit = session.execute(
+            "select id, score from users order by score desc nulls last")
+        default = session.execute(
+            "select id, score from users order by score desc")
+        assert list(explicit.column("id")) == list(default.column("id"))
+
+    def test_desc_orders_strings(self):
+        # Regression: DESC used to be silently dropped for non-numeric sort
+        # keys (the old negation only handled numeric dtypes).
+        db = Database(Catalog())
+        db.register_table("t", {
+            "id": np.arange(3, dtype=np.int64),
+            "name": np.asarray(["a", "c", "b"], dtype=object),
+        })
+        result = db.connect().execute(
+            "select id, name from t order by name desc")
+        assert list(result.column("name")) == ["c", "b", "a"]
+        assert list(result.column("id")) == [1, 2, 0]
+
+    def test_desc_preserves_large_int_precision(self):
+        # Regression: DESC keys used to round-trip through float64, which
+        # collapses 2**53 and 2**53 + 1 onto the same key.
+        db = Database(Catalog())
+        db.register_table("t", {
+            "id": np.arange(3, dtype=np.int64),
+            "v": np.asarray([2**53, 2**53 + 1, 2**53 - 1], dtype=np.int64),
+        })
+        result = db.connect().execute("select id, v from t order by v desc")
+        assert list(result.column("id")) == [1, 0, 2]
+
+    def test_modifier_is_part_of_the_fingerprint(self):
+        db = self._database()
+        first = db.bind("select id from users order by score nulls first")
+        last = db.bind("select id from users order by score nulls last")
+        default = db.bind("select id from users order by score")
+        assert first.fingerprint() != last.fingerprint()
+        # Explicit NULLS LAST is the default: identical plans, shared cache.
+        assert last.fingerprint() == default.fingerprint()
+
+
+class TestDatetimeNaT:
+    """NaT in datetime64 input must populate the null mask, not leak as a
+    days-since-epoch sentinel."""
+
+    def test_nat_becomes_nullable(self):
+        db = Database(Catalog())
+        table = db.register_table("events", {
+            "id": np.arange(3, dtype=np.int64),
+            "day": np.asarray(["2024-01-01", "NaT", "2024-03-01"],
+                              dtype="datetime64[D]"),
+        })
+        assert table.column_def("day").nullable
+        assert list(table.null_mask("day")) == [False, True, False]
+        # The filler under the mask is the epoch, not int64-min.
+        assert table.column("day")[1] == 0
+
+    def test_nat_merges_with_explicit_mask(self):
+        db = Database(Catalog())
+        table = db.register_table("events", {
+            "day": np.asarray(["2024-01-01", "NaT", "2024-03-01"],
+                              dtype="datetime64[D]"),
+        }, null_masks={"day": [True, False, False]})
+        assert list(table.null_mask("day")) == [True, True, False]
+
+    def test_nat_free_datetimes_stay_fast_path(self):
+        db = Database(Catalog())
+        table = db.register_table("events", {
+            "day": np.asarray(["2024-01-01", "2024-02-01"],
+                              dtype="datetime64[D]"),
+        })
+        assert not table.column_def("day").nullable
+        assert table.null_mask("day") is None
+
+    def test_nat_rows_behave_as_sql_nulls(self):
+        db = Database(Catalog())
+        db.register_table("events", {
+            "id": np.arange(4, dtype=np.int64),
+            "day": np.asarray(["2024-01-05", "NaT", "2024-03-01", "NaT"],
+                              dtype="datetime64[D]"),
+        }, primary_key=["id"])
+        session = db.connect()
+        null_days = session.execute("select id from events where day is null")
+        assert sorted(null_days.column("id")) == [1, 3]
+        counted = session.execute(
+            "select count(*) as rows, count(day) as days from events")
+        assert counted.column("rows")[0] == 4.0
+        assert counted.column("days")[0] == 2.0
