@@ -2,9 +2,10 @@
 # suite, a planner-latency smoke benchmark that fails fast if the join
 # enumeration regresses to subset scanning (see docs/enumeration.md), a
 # null-overhead smoke benchmark that fails if the mask=None fast path stops
-# being free on NULL-free workloads (see docs/nulls.md), and an examples
-# smoke run that drives the session API (docs/api.md) end to end at tiny
-# scale.
+# being free on NULL-free workloads (see docs/nulls.md), an executor
+# throughput benchmark gating the factorized join kernel and execute_many
+# batching at >= 2x (see docs/executor.md), and an examples smoke run that
+# drives the session API (docs/api.md) end to end at tiny scale.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -18,11 +19,13 @@ test:
 
 smoke:
 	$(PYTHON) -m pytest benchmarks/test_bench_planner_latency.py \
-		benchmarks/test_bench_null_overhead.py -x -q
+		benchmarks/test_bench_null_overhead.py \
+		benchmarks/test_bench_executor_throughput.py -x -q
 
 examples:
 	$(PYTHON) examples/quickstart.py --scale 0.01
 	$(PYTHON) examples/heuristic_ablation.py --scale 0.005 --queries 3,12,19
+	$(PYTHON) examples/execute_many_serving.py --scale 0.005
 
 bench:
 	$(PYTHON) -m pytest benchmarks -x -q

@@ -37,6 +37,7 @@ from ..core.optimizer import (
 )
 from ..core.query import QueryBlock
 from ..errors import PlanningError, raise_as
+from ..executor.context import executor_overrides
 from ..sql.binder import bind_sql
 from ..storage.catalog import Catalog
 from ..storage.schema import ForeignKey, TableSchema, make_schema
@@ -166,6 +167,12 @@ class Database:
             (<= 1 = the serial loop).
         parallel_executor: Override of the shard pool flavour
             ("thread" or "process").
+        executor_workers: Default morsel-execution worker count for sessions
+            opened on this database (<= 1 = serial operators; sessions may
+            override, see ``docs/executor.md``).
+        morsel_size: Default maximum rows per execution morsel for sessions.
+        max_cross_join_rows: Default cross-join output guard for sessions
+            (<= 0 disables the guard).
     """
 
     def __init__(self, catalog: Catalog, *,
@@ -178,7 +185,10 @@ class Database:
                  enumeration_budget: Optional[int] = None,
                  fallback_relation_threshold: Optional[int] = None,
                  parallel_workers: Optional[int] = None,
-                 parallel_executor: Optional[str] = None) -> None:
+                 parallel_executor: Optional[str] = None,
+                 executor_workers: Optional[int] = None,
+                 morsel_size: Optional[int] = None,
+                 max_cross_join_rows: Optional[int] = None) -> None:
         self.catalog = catalog
         self.default_mode = mode
         self.default_settings = settings
@@ -191,6 +201,13 @@ class Database:
             fallback_relation_threshold=fallback_relation_threshold,
             parallel_workers=parallel_workers,
             parallel_executor=parallel_executor)
+        #: Database-wide executor knob defaults; resolved per session exactly
+        #: like the planner overrides (session kwarg > database kwarg >
+        #: engine default) — see :func:`repro.executor.executor_overrides`.
+        self.executor_overrides: Dict[str, int] = executor_overrides(
+            executor_workers=executor_workers,
+            morsel_size=morsel_size,
+            max_cross_join_rows=max_cross_join_rows)
         self.sequence_cache: Optional[EnumerationSequenceCache] = (
             EnumerationSequenceCache(sequence_cache_size)
             if sequence_cache_size > 0 else None)
@@ -309,6 +326,25 @@ class Database:
         from .session import Session
 
         return Session(self, **session_kwargs)
+
+    def execute_many(self, queries: Sequence, *,
+                     workers: Optional[int] = None,
+                     deduplicate: bool = True,
+                     **session_kwargs) -> List:
+        """Execute a batch of queries concurrently against this database.
+
+        Convenience wrapper over :meth:`Session.execute_many
+        <repro.api.session.Session.execute_many>`: opens a throwaway session
+        (``history_limit=0`` — batch serving should not retain every result
+        twice), runs the whole batch through the shared plan cache with
+        per-execution filter scopes, and returns the results in input order.
+        ``session_kwargs`` configure the temporary session (e.g.
+        ``executor_workers`` for morsel parallelism inside each query).
+        """
+        session_kwargs.setdefault("history_limit", 0)
+        session = self.connect(**session_kwargs)
+        return session.execute_many(queries, workers=workers,
+                                    deduplicate=deduplicate)
 
     # ------------------------------------------------------------------
     # Planning (the shared plan cache)

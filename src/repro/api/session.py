@@ -14,8 +14,9 @@ All failures surface as typed :class:`~repro.errors.ReproError` subclasses:
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -24,7 +25,12 @@ from ..core.heuristics import BfCboSettings, planner_overrides
 from ..core.optimizer import OptimizationResult, OptimizerMode
 from ..core.query import QueryBlock
 from ..errors import ExecutionError, raise_as
-from ..executor.context import ExecutionContext
+from ..executor.context import (
+    DEFAULT_MAX_CROSS_JOIN_ROWS,
+    DEFAULT_MORSEL_SIZE,
+    ExecutionContext,
+    executor_overrides,
+)
 from ..executor.runtime import ExecutionResult, Executor
 from .database import Database
 
@@ -198,6 +204,13 @@ class Session:
             count (<= 1 = serial).
         parallel_executor: Per-session override of the shard pool flavour
             ("thread" or "process").
+        executor_workers: Per-session override of the morsel-execution
+            worker count (<= 1 = serial operators; falls back to the
+            database default, then serial — see ``docs/executor.md``).
+        morsel_size: Per-session override of the maximum rows per execution
+            morsel.
+        max_cross_join_rows: Per-session override of the cross-join output
+            guard (<= 0 disables it).
     """
 
     def __init__(self, database: Database, *,
@@ -209,7 +222,10 @@ class Session:
                  enumeration_budget: Optional[int] = None,
                  fallback_relation_threshold: Optional[int] = None,
                  parallel_workers: Optional[int] = None,
-                 parallel_executor: Optional[str] = None) -> None:
+                 parallel_executor: Optional[str] = None,
+                 executor_workers: Optional[int] = None,
+                 morsel_size: Optional[int] = None,
+                 max_cross_join_rows: Optional[int] = None) -> None:
         self.database = database
         self.mode = mode
         self.settings = settings
@@ -225,6 +241,18 @@ class Session:
             database.catalog, parameters=database.cost_parameters,
             degree_of_parallelism=degree_of_parallelism)
         self.context.bloom_partitions = bloom_partitions
+        # Executor knobs resolve by specificity, mirroring the planner
+        # knobs: session kwarg > database kwarg > engine default.
+        resolved = dict(database.executor_overrides)
+        resolved.update(executor_overrides(
+            executor_workers=executor_workers,
+            morsel_size=morsel_size,
+            max_cross_join_rows=max_cross_join_rows))
+        self.context.executor_workers = resolved.get("executor_workers", 0)
+        self.context.morsel_size = resolved.get("morsel_size",
+                                                DEFAULT_MORSEL_SIZE)
+        self.context.max_cross_join_rows = resolved.get(
+            "max_cross_join_rows", DEFAULT_MAX_CROSS_JOIN_ROWS)
         #: The most recent results this session produced (every `plan`,
         #: `execute` and `explain` call), oldest first, capped at
         #: ``history_limit``.
@@ -285,6 +313,73 @@ class Session:
             result.execution = Executor(self.context).execute(
                 result.optimization.plan)
         return self._record(result)
+
+    def execute_many(self, queries: Sequence[QueryLike],
+                     mode: Optional[OptimizerMode] = None,
+                     settings: Optional[BfCboSettings] = None, *,
+                     workers: Optional[int] = None,
+                     deduplicate: bool = True,
+                     name: str = "batch") -> List[QueryResult]:
+        """Execute a batch of queries; results come back in input order.
+
+        The high-throughput serving entry point.  All queries are planned
+        first (hitting the database's shared plan cache), then executed
+        concurrently on a per-call thread pool — every execution runs in its
+        own :class:`~repro.executor.context.FilterScope`, so in-flight
+        queries never observe each other's Bloom filters.
+
+        ``deduplicate=True`` additionally collapses *identical* requests
+        (same bound-query fingerprint, optimizer mode and resolved settings)
+        within the batch: the query is executed once and every duplicate's
+        :class:`QueryResult` shares the same immutable
+        :class:`~repro.executor.runtime.ExecutionResult` — the
+        request-collapsing that makes serving traffic with repeated queries
+        cheap.  Distinct queries are never collapsed.
+
+        ``workers`` defaults to the session's ``executor_workers`` knob
+        (minimum 1).  The batch pool is separate from the morsel pool, so
+        per-query morsel parallelism composes with batch parallelism without
+        deadlock.  The first failing query raises its typed error; results
+        are recorded in :attr:`history` only when the whole batch succeeds.
+        """
+        blocks = [self._resolve_query(query, "%s[%d]" % (name, index))
+                  for index, query in enumerate(queries)]
+        planned = [self._plan_block(block, mode, settings)
+                   for block in blocks]
+
+        # Collapse identical requests onto one execution slot each.
+        slot_of: List[int] = []
+        slots: List[QueryResult] = []
+        seen: Dict[object, int] = {}
+        for result in planned:
+            key = ((result.query.fingerprint(), result.mode, result.settings)
+                   if deduplicate else len(slots))
+            slot = seen.get(key)
+            if slot is None:
+                slot = seen[key] = len(slots)
+                slots.append(result)
+            slot_of.append(slot)
+
+        def run(result: QueryResult) -> ExecutionResult:
+            with raise_as(ExecutionError,
+                          "executing %s failed" % result.query.name):
+                return Executor(self.context).execute(
+                    result.optimization.plan)
+
+        pool_size = workers if workers is not None \
+            else self.context.executor_workers
+        pool_size = max(int(pool_size), 1)
+        if pool_size > 1 and len(slots) > 1:
+            with ThreadPoolExecutor(max_workers=pool_size,
+                                    thread_name_prefix="repro-serve") as pool:
+                executions = list(pool.map(run, slots))
+        else:
+            executions = [run(result) for result in slots]
+
+        for result, slot in zip(planned, slot_of):
+            result.execution = executions[slot]
+            self._record(result)
+        return planned
 
     def explain(self, query: QueryLike,
                 mode: Optional[OptimizerMode] = None,

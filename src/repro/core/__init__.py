@@ -17,6 +17,7 @@ from .expressions import (
     Arithmetic,
     ArithmeticOp,
     Between,
+    Coalesce,
     ColumnRef,
     Comparison,
     ComparisonOp,
@@ -27,6 +28,7 @@ from .expressions import (
     Like,
     Literal,
     Not,
+    NullIf,
     Or,
     Predicate,
     ScalarExpression,
@@ -69,15 +71,16 @@ __all__ = [
     "AggregateCall", "AggregateFunction", "AggregateNode", "And", "Arithmetic",
     "ArithmeticOp", "BaseRelation", "Between", "BfCboReport", "BfCboSettings",
     "BloomEstimate", "BloomFilterCandidate", "BloomFilterSpec",
-    "BloomPostProcessor", "CardinalityEstimator", "ColumnRef", "Comparison",
-    "ComparisonOp", "Cost", "CostModel", "CostParameters",
+    "BloomPostProcessor", "CardinalityEstimator", "Coalesce", "ColumnRef",
+    "Comparison", "ComparisonOp", "Cost", "CostModel", "CostParameters",
     "DEFAULT_COST_PARAMETERS", "Distribution", "DistributionKind",
     "EnumerationSequenceCache",
     "ExchangeKind", "ExchangeNode", "ExtractYear", "InList", "IsNotNull",
     "IsNull", "JoinClause",
     "JoinEnumerator", "JoinGraph", "JoinMethod", "JoinNode", "JoinPair",
     "JoinType", "Like", "LimitNode", "Literal", "NaiveBloomEnumerator",
-    "NaiveResult", "Not", "OptimizationResult", "Optimizer", "OptimizerMode",
+    "NaiveResult", "Not", "NullIf", "OptimizationResult", "Optimizer",
+    "OptimizerMode",
     "Or", "OrderItem", "OutputItem", "PlanList", "PlanNode", "PlanProperties",
     "PostProcessReport", "Predicate", "ProjectNode", "QueryBlock",
     "ScalarExpression", "ScanNode", "SortNode", "TwoPhaseBloomOptimizer",

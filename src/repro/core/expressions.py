@@ -253,6 +253,95 @@ class ExtractYear(ScalarExpression):
         return "extract(year from %s)" % (self.operand,)
 
 
+@dataclass(frozen=True)
+class Coalesce(ScalarExpression):
+    """``COALESCE(a, b, ...)``: the first non-NULL operand, row-wise.
+
+    Works directly over the mask representation: a row takes the value of
+    the first operand whose mask is clear there; rows where every operand is
+    NULL stay NULL.  With no masks anywhere the first operand passes through
+    untouched (the mask-free fast path).
+    """
+
+    operands: Tuple[ScalarExpression, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise ExpressionError("coalesce takes at least two operands")
+
+    def referenced_columns(self) -> List["ColumnRef"]:
+        return [col for operand in self.operands
+                for col in operand.referenced_columns()]
+
+    def evaluate_masked(self, resolve: MaskedColumnResolver,
+                        ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        first_values, first_mask = self.operands[0].evaluate_masked(resolve)
+        if first_mask is None or not np.any(first_mask):
+            # Mask-free fast path: the fallbacks are never even evaluated.
+            return first_values, None
+        out = np.array(np.asarray(first_values))
+        pending = np.array(np.broadcast_to(
+            np.asarray(first_mask, dtype=bool), out.shape))
+        for operand in self.operands[1:]:
+            if not pending.any():
+                break
+            values, mask = operand.evaluate_masked(resolve)
+            shape = np.broadcast_shapes(out.shape, np.shape(values))
+            if shape != out.shape:
+                out = np.array(np.broadcast_to(out, shape))
+                pending = np.array(np.broadcast_to(pending, shape))
+            values = np.broadcast_to(np.asarray(values), shape)
+            valid = pending if mask is None else (
+                pending & ~np.broadcast_to(np.asarray(mask, dtype=bool),
+                                           shape))
+            out = np.where(valid, values, out)
+            pending = pending & ~valid
+        return out, (pending if pending.any() else None)
+
+    def __str__(self) -> str:
+        return "coalesce(%s)" % ", ".join(str(op) for op in self.operands)
+
+
+@dataclass(frozen=True)
+class NullIf(ScalarExpression):
+    """``NULLIF(a, b)``: NULL where ``a = b`` is definitely TRUE, else ``a``.
+
+    SQL semantics over the mask representation: a row nulls out only when
+    the equality holds with both sides valid — comparing with a NULL is
+    UNKNOWN, which leaves ``a`` (including its own NULLs) untouched.
+    """
+
+    left: ScalarExpression
+    right: ScalarExpression
+
+    def referenced_columns(self) -> List["ColumnRef"]:
+        return self.left.referenced_columns() + self.right.referenced_columns()
+
+    def evaluate_masked(self, resolve: MaskedColumnResolver,
+                        ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        values, value_mask = self.left.evaluate_masked(resolve)
+        other, other_mask = self.right.evaluate_masked(resolve)
+        if _is_scalar_null(value_mask) or _is_scalar_null(other_mask):
+            # A NULL literal side makes the equality UNKNOWN everywhere:
+            # the left operand passes through unchanged.
+            return values, _full_mask(value_mask, np.shape(values))
+        equal = np.asarray(_comparable(values, value_mask)
+                           == _comparable(other, other_mask), dtype=bool)
+        unknown = _full_mask(combine_null_masks(value_mask, other_mask),
+                             equal.shape)
+        if unknown is not None:
+            equal = equal & ~unknown
+        shape = np.broadcast_shapes(np.shape(values), equal.shape)
+        mask = combine_null_masks(_full_mask(value_mask, shape),
+                                  np.broadcast_to(equal, shape))
+        if mask is not None and not mask.any():
+            mask = None
+        return np.broadcast_to(np.asarray(values), shape), mask
+
+    def __str__(self) -> str:
+        return "nullif(%s, %s)" % (self.left, self.right)
+
+
 class AggregateFunction(enum.Enum):
     """Supported aggregate functions."""
 

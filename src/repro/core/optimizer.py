@@ -24,7 +24,7 @@ from .enumerator import (
     EnumerationStatistics,
     JoinEnumerator,
 )
-from .expressions import ColumnRef
+from .expressions import AggregateCall, ColumnRef
 from .heuristics import BfCboSettings
 from .planlist import PlanList
 from .plans import (
@@ -39,7 +39,7 @@ from .plans import (
 )
 from .postprocess import BloomPostProcessor, PostProcessReport
 from .properties import Distribution, DistributionKind, PlanProperties
-from .query import QueryBlock
+from .query import OrderItem, OutputItem, QueryBlock
 
 
 class OptimizerMode(enum.Enum):
@@ -167,24 +167,27 @@ class Optimizer:
                                     pending_blooms=plan.pending_blooms),
                                 row_width=plan.row_width)
 
+        order_by, carried, drop_keys = self._carry_order_keys(query)
         if query.has_aggregation:
             groups = self._estimate_groups(query, plan.rows, estimator)
             agg_cost = self.cost_model.aggregate(plan.rows, groups)
-            aggregates = tuple(item for item in query.output)
+            aggregates = tuple(item for item in query.output) + carried
             plan = AggregateNode(child=plan, group_by=tuple(query.group_by),
                                  aggregates=aggregates, rows=groups,
                                  cost=plan.cost + agg_cost,
                                  properties=plan.properties, row_width=64)
         elif query.output:
-            project_cost = self.cost_model.project(plan.rows, len(query.output))
-            plan = ProjectNode(child=plan, items=tuple(query.output),
+            items = tuple(query.output) + carried
+            project_cost = self.cost_model.project(plan.rows, len(items))
+            plan = ProjectNode(child=plan, items=items,
                                rows=plan.rows, cost=plan.cost + project_cost,
                                properties=plan.properties,
                                row_width=plan.row_width)
 
         if query.order_by:
             sort_cost = self.cost_model.sort(plan.rows)
-            plan = SortNode(child=plan, order_by=tuple(query.order_by),
+            plan = SortNode(child=plan, order_by=order_by,
+                            drop_keys=drop_keys,
                             rows=plan.rows, cost=plan.cost + sort_cost,
                             properties=plan.properties, row_width=plan.row_width)
         if query.limit is not None:
@@ -193,6 +196,68 @@ class Optimizer:
                              cost=plan.cost + self.cost_model.limit(rows),
                              properties=plan.properties, row_width=plan.row_width)
         return plan
+
+    @staticmethod
+    def _carry_order_keys(query: QueryBlock):
+        """Carry ORDER BY keys on non-projected columns through the output.
+
+        The sort runs above the projection (or aggregation), where the batch
+        is keyed by output names — an ORDER BY expression the output does
+        not *cover* would have nothing to resolve against.  Such expressions
+        are appended to the output as hidden items named by their rendering,
+        the order item is rewritten to reference that output name, and the
+        hidden names are returned as ``drop_keys`` for the
+        :class:`~repro.core.plans.SortNode` to remove once the rows are
+        ordered.  Covered items (an output name, or a column the projection
+        already exposes under the same name) pass through untouched, so
+        previously-working queries plan exactly as before.
+
+        Returns ``(order_by, carried_output_items, drop_keys)``.
+        """
+        if not query.order_by or not query.output:
+            return tuple(query.order_by), (), ()
+        names = {item.name for item in query.output}
+        grouped = {str(expression) for expression in query.group_by}
+        by_rendering: Dict[str, str] = {}
+        for item in query.output:
+            by_rendering.setdefault(str(item.expression), item.name)
+        order_by = []
+        carried = []
+        drop_keys = []
+        for item in query.order_by:
+            expression = item.expression
+            covered = ((isinstance(expression, ColumnRef)
+                        and expression.column in names)
+                       or str(expression) in names)
+            if covered:
+                order_by.append(item)
+                continue
+            if (query.has_aggregation
+                    and not isinstance(expression, AggregateCall)
+                    and str(expression) not in grouped):
+                # Under GROUP BY a carried sort key must itself be grouped
+                # or an aggregate — anything else has no well-defined
+                # per-group value, so reject it instead of silently sorting
+                # by an arbitrary representative row.
+                raise PlanningError(
+                    "ORDER BY expression %s must appear in GROUP BY or be "
+                    "an aggregate" % expression)
+            name = by_rendering.get(str(expression))
+            if name is None:
+                # Not computed by any output item: carry it as a hidden
+                # column (named by its rendering, disambiguated on the
+                # off-chance of a collision) and drop it after the sort.
+                name = str(expression)
+                while name in names:
+                    name += "#sort"
+                names.add(name)
+                by_rendering[str(expression)] = name
+                carried.append(OutputItem(expression=expression, name=name))
+                drop_keys.append(name)
+            order_by.append(OrderItem(expression=ColumnRef("", name),
+                                      descending=item.descending,
+                                      nulls_first=item.nulls_first))
+        return tuple(order_by), tuple(carried), tuple(drop_keys)
 
     @staticmethod
     def _estimate_groups(query: QueryBlock, input_rows: float,

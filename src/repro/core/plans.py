@@ -189,10 +189,17 @@ class AggregateNode(PlanNode):
 
 @dataclass
 class SortNode(PlanNode):
-    """Sort of a child's output."""
+    """Sort of a child's output.
+
+    ``drop_keys`` names hidden sort-key columns the projection (or
+    aggregation) below carried through solely for this sort — ORDER BY on a
+    non-projected column — which the executor removes from the batch once
+    the rows are ordered.
+    """
 
     child: Optional[PlanNode] = None
     order_by: Tuple[OrderItem, ...] = ()
+    drop_keys: Tuple[str, ...] = ()
 
     @property
     def children(self) -> List[PlanNode]:

@@ -2,7 +2,12 @@
 
 from .aggregate import aggregate_batch
 from .batch import Batch
-from .context import ExecutionContext, FilterScope
+from .context import (
+    DEFAULT_MORSEL_SIZE,
+    ExecutionContext,
+    FilterScope,
+    executor_overrides,
+)
 from .joins import (
     combine_key_columns,
     cross_join,
@@ -10,16 +15,22 @@ from .joins import (
     join_indices,
     merge_join,
     nested_loop_join,
+    sort_search_join_indices,
 )
+from .keys import CompositeKeyIndex, FactorizedKeys
 from .metrics import ExecutionMetrics, OperatorMetrics
 from .runtime import ExecutionResult, Executor
 
 __all__ = [
     "Batch",
+    "CompositeKeyIndex",
+    "DEFAULT_MORSEL_SIZE",
+    "executor_overrides",
     "ExecutionContext",
     "ExecutionMetrics",
     "ExecutionResult",
     "Executor",
+    "FactorizedKeys",
     "FilterScope",
     "OperatorMetrics",
     "aggregate_batch",
@@ -29,4 +40,5 @@ __all__ = [
     "join_indices",
     "merge_join",
     "nested_loop_join",
+    "sort_search_join_indices",
 ]

@@ -22,7 +22,7 @@ from ..core.expressions import (
 )
 from ..core.query import OutputItem
 from .batch import Batch
-from .joins import combine_key_columns
+from .keys import combine_key_columns
 
 
 def _expand(values: np.ndarray, mask: Optional[np.ndarray], num_rows: int,

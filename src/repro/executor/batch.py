@@ -15,7 +15,7 @@ must never be interpreted as data.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -52,26 +52,60 @@ class Batch:
                                                       self._columns[key].shape))
                 self._masks[key] = mask
         self._num_rows = length or 0
+        #: Per-batch kernel state (factorized join keys, unique valid values)
+        #: keyed by (kernel kind, column keys); see :meth:`kernel_memo`.
+        self._kernel_memo: Dict = {}
 
     # -- construction -------------------------------------------------------
 
     @classmethod
-    def from_table(cls, alias: str, table) -> "Batch":
-        """Wrap a storage table's columns under ``alias.column`` keys."""
+    def from_table(cls, alias: str, table, start: Optional[int] = None,
+                   stop: Optional[int] = None) -> "Batch":
+        """Wrap a storage table's columns under ``alias.column`` keys.
+
+        ``start``/``stop`` select a contiguous row span (a morsel) without
+        copying — numpy slices are views, so emitting a table as many small
+        batches costs no more memory than one big batch.
+        """
+        span = slice(start or 0, stop)
         columns = {}
         masks = {}
         for name in table.column_names:
             key = "%s.%s" % (alias, name)
-            columns[key] = table.column(name)
+            columns[key] = table.column(name)[span]
             mask = table.null_mask(name)
             if mask is not None:
-                masks[key] = mask
+                masks[key] = mask[span]
         return cls(columns, masks)
 
     @classmethod
     def empty(cls) -> "Batch":
         """A batch with no columns and no rows."""
         return cls({})
+
+    @classmethod
+    def concat(cls, pieces: Sequence["Batch"]) -> "Batch":
+        """Row-wise concatenation of same-schema batches, mask-aware.
+
+        Columns keep their order from the first piece; a column carries a
+        mask in the result iff any piece masks it (mask-free pieces
+        contribute all-valid rows).  Used to stitch morsel outputs back
+        together in canonical order.
+        """
+        if len(pieces) == 1:
+            return pieces[0]
+        columns = {}
+        masks = {}
+        for key in pieces[0].keys:
+            columns[key] = np.concatenate([piece.column(key)
+                                           for piece in pieces])
+            piece_masks = [piece.null_mask(key) for piece in pieces]
+            if any(mask is not None for mask in piece_masks):
+                masks[key] = np.concatenate([
+                    mask if mask is not None
+                    else np.zeros(piece.num_rows, dtype=bool)
+                    for piece, mask in zip(pieces, piece_masks)])
+        return cls(columns, masks)
 
     # -- accessors -----------------------------------------------------------
 
@@ -102,6 +136,37 @@ class Batch:
 
     def has_column(self, key: str) -> bool:
         return key in self._columns
+
+    def kernel_memo(self, key, compute):
+        """Memoized per-batch kernel state (batches are immutable).
+
+        A build side probed repeatedly — by every morsel of the probe side,
+        or by several joins / Bloom builds sharing one batch — pays for key
+        factorization exactly once; the memo keeps the derived structure
+        alive exactly as long as the batch itself.  Benign under concurrent
+        executions: a race recomputes an equivalent value, never a wrong one.
+        """
+        try:
+            return self._kernel_memo[key]
+        except KeyError:
+            value = self._kernel_memo[key] = compute()
+            return value
+
+    def unique_valid(self, key: str) -> np.ndarray:
+        """Memoized sorted distinct *valid* values of one column.
+
+        Bloom filters are sets, so building them from the distinct valid
+        values yields the identical bit vector while hashing each key once.
+        """
+
+        def compute() -> np.ndarray:
+            values = self.column(key)
+            mask = self._masks.get(key)
+            if mask is not None:
+                values = values[~mask]
+            return np.unique(values)
+
+        return self.kernel_memo(("unique_valid", key), compute)
 
     def resolver(self):
         """Values-only column resolver (legacy NULL-oblivious evaluation)."""
@@ -179,6 +244,13 @@ class Batch:
         return Batch({key: self.column(key) for key in keys},
                      {key: self._masks[key] for key in keys
                       if key in self._masks})
+
+    def row_span(self, start: int, stop: int) -> "Batch":
+        """Rows ``[start, stop)`` as a zero-copy view batch (a morsel)."""
+        return Batch({key: values[start:stop]
+                      for key, values in self._columns.items()},
+                     {key: nulls[start:stop]
+                      for key, nulls in self._masks.items()})
 
     def head(self, n: int) -> "Batch":
         """First ``n`` rows."""

@@ -2,12 +2,42 @@
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..bloom import BloomFilter, PartitionedBloomFilter
 from ..core.cost import CostModel, CostParameters, DEFAULT_COST_PARAMETERS
 from ..storage.catalog import Catalog
+from .joins import DEFAULT_MAX_CROSS_JOIN_ROWS
+
+#: Default morsel row count: large enough that per-morsel dispatch overhead
+#: stays negligible, small enough that a skewed partition still splits into
+#: several work units.
+DEFAULT_MORSEL_SIZE = 65_536
+
+
+def executor_overrides(executor_workers: Optional[int] = None,
+                       morsel_size: Optional[int] = None,
+                       max_cross_join_rows: Optional[int] = None) -> dict:
+    """Non-``None`` executor knobs as an override-ready dict.
+
+    Shared by :class:`repro.api.Database` and :class:`repro.api.Session` so
+    the two override layers expose the identical knob set and cannot drift
+    (the executor-side twin of
+    :func:`repro.core.heuristics.planner_overrides`).  Validates eagerly: a
+    nonsensical ``morsel_size`` fails at construction time, not mid-query.
+    """
+    if morsel_size is not None and morsel_size <= 0:
+        raise ValueError("morsel_size must be positive, got %r" % morsel_size)
+    if executor_workers is not None and executor_workers < 0:
+        raise ValueError("executor_workers must be non-negative, got %r"
+                         % executor_workers)
+    return {key: value for key, value in (
+        ("executor_workers", executor_workers),
+        ("morsel_size", morsel_size),
+        ("max_cross_join_rows", max_cross_join_rows)) if value is not None}
 
 
 class FilterScope:
@@ -72,6 +102,18 @@ class ExecutionContext:
             emulating the partition-join strategies of Section 3.9 (1 means a
             single monolithic filter, as in build-side broadcast).
         bloom_bits_per_key: Sizing knob forwarded to runtime Bloom filters.
+        executor_workers: Morsel-execution worker count.  ``<= 1`` runs the
+            classic serial operators; above that, scans and projections split
+            their input into morsels processed on a shared thread pool and
+            re-concatenated in canonical order (bit-identical to serial; see
+            ``docs/executor.md``).
+        morsel_size: Maximum rows per morsel.  Morsel boundaries additionally
+            align to storage partition boundaries so each morsel stays within
+            one partition.
+        max_cross_join_rows: Guard against accidental Cartesian blow-ups: a
+            cross join whose output would exceed this many rows raises
+            :class:`~repro.errors.ExecutionError` instead of allocating
+            ``n * m`` rows (``<= 0`` disables the guard).
 
     Bloom filters built at runtime are *not* shared context state: every
     execution publishes them into its own :class:`FilterScope` (see
@@ -87,18 +129,50 @@ class ExecutionContext:
     degree_of_parallelism: int = 48
     bloom_partitions: int = 1
     bloom_bits_per_key: int = 8
+    executor_workers: int = 0
+    morsel_size: int = DEFAULT_MORSEL_SIZE
+    max_cross_join_rows: int = DEFAULT_MAX_CROSS_JOIN_ROWS
+
+    def __post_init__(self) -> None:
+        self._pool_lock = threading.Lock()
+        self._morsel_pool: Optional[ThreadPoolExecutor] = None
+        self._morsel_pool_size = 0
 
     @classmethod
     def for_catalog(cls, catalog: Catalog,
                     parameters: Optional[CostParameters] = None,
-                    degree_of_parallelism: int = 48) -> "ExecutionContext":
+                    degree_of_parallelism: int = 48,
+                    executor_workers: int = 0,
+                    morsel_size: int = DEFAULT_MORSEL_SIZE) -> "ExecutionContext":
         """Convenience constructor mirroring the optimizer's defaults."""
         params = parameters or DEFAULT_COST_PARAMETERS
         return cls(catalog=catalog, cost_model=CostModel(params),
-                   degree_of_parallelism=degree_of_parallelism)
+                   degree_of_parallelism=degree_of_parallelism,
+                   executor_workers=executor_workers,
+                   morsel_size=morsel_size)
 
     # -- Bloom filter scoping -------------------------------------------------
 
     def new_filter_scope(self) -> FilterScope:
         """A fresh, empty filter scope for one plan execution."""
         return FilterScope()
+
+    # -- morsel worker pool ---------------------------------------------------
+
+    def morsel_pool(self) -> ThreadPoolExecutor:
+        """The shared morsel thread pool, sized to ``executor_workers``.
+
+        Created lazily and rebuilt if the knob changed since the last
+        execution.  Morsel tasks never submit further pool work, so any
+        number of concurrent executions can share the pool without deadlock
+        (batched serving uses its own, separate pool for whole queries).
+        """
+        workers = max(int(self.executor_workers), 1)
+        with self._pool_lock:
+            if self._morsel_pool is None or self._morsel_pool_size != workers:
+                if self._morsel_pool is not None:
+                    self._morsel_pool.shutdown(wait=False)
+                self._morsel_pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-morsel")
+                self._morsel_pool_size = workers
+            return self._morsel_pool

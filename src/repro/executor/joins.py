@@ -1,13 +1,18 @@
 """Vectorised join kernels.
 
-All equi-joins are implemented with a sort/search kernel over the build-side
-keys (``join_indices``), which handles duplicate keys exactly and works for
-integer, float, string and composite keys.  The higher-level functions apply
-inner / left / semi / anti semantics on top of the matching index pairs.
+Equi-joins run on a *factorized hash kernel*: the build side's keys are
+factorized once into a :class:`~repro.executor.keys.CompositeKeyIndex`
+(``np.unique``-based, memoized on the build :class:`Batch` so repeated probes
+— morsels, or a batch reused across joins — never re-sort the build side) and
+each probe is a single ``searchsorted`` over the distinct build keys.  The
+legacy ``argsort`` + ``searchsorted`` sort/search kernel is retained as
+:func:`sort_search_join_indices`, both as the executable specification the
+property tests compare against and as the baseline for the kernel-speedup
+benchmark gate.
 
 NULL handling follows SQL equality semantics: a NULL key never matches
 anything (not even another NULL), so null-keyed rows are excluded from the
-match kernel on both sides.  Outer joins no longer pad unmatched rows with
+match kernel on both sides.  Outer joins do not pad unmatched rows with
 sentinel values — padded columns carry an all-null mask, so a legitimate
 ``-1`` key or empty string in the data can never collide with padding (see
 ``docs/nulls.md``).
@@ -21,34 +26,37 @@ import numpy as np
 
 from ..core.expressions import ColumnRef
 from ..core.query import JoinClause, JoinType
+from ..errors import ExecutionError
 from .batch import Batch
+from .keys import CompositeKeyIndex, combine_key_columns
+
+__all__ = [
+    "DEFAULT_MAX_CROSS_JOIN_ROWS",
+    "clause_key_columns",
+    "combine_key_columns",
+    "cross_join",
+    "equi_join",
+    "join_indices",
+    "merge_join",
+    "nested_loop_join",
+    "sort_search_join_indices",
+]
+
+#: Safety net for cross joins reached outside the executor (which passes the
+#: :class:`~repro.executor.context.ExecutionContext` knob explicitly): a
+#: Cartesian product beyond this many output rows raises instead of silently
+#: allocating ``n * m`` rows.
+DEFAULT_MAX_CROSS_JOIN_ROWS = 10_000_000
 
 
-def combine_key_columns(columns: Sequence[np.ndarray]) -> np.ndarray:
-    """Combine one or more key columns into a single sortable key array.
+def sort_search_join_indices(probe_keys: np.ndarray, build_keys: np.ndarray,
+                             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The legacy sort/search match kernel over all-valid key arrays.
 
-    Two non-negative 32-bit-ranged integer columns are packed exactly into one
-    int64 key; anything else falls back to per-row Python tuples (exact but
-    slower), which only happens for unusual composite keys in the workload.
+    Re-sorts the full build side on every call; kept as the executable
+    specification of the match semantics (the factorized kernel must produce
+    bit-identical output) and as the benchmark baseline.
     """
-    if len(columns) == 1:
-        return np.asarray(columns[0])
-    arrays = [np.asarray(col) for col in columns]
-    if (len(arrays) == 2
-            and all(a.dtype.kind in ("i", "u") for a in arrays)
-            and all(a.size == 0 or (a.min() >= 0 and a.max() < 2 ** 31)
-                    for a in arrays)):
-        return (arrays[0].astype(np.int64) << np.int64(32)) | arrays[1].astype(np.int64)
-    length = arrays[0].shape[0]
-    combined = np.empty(length, dtype=object)
-    for i in range(length):
-        combined[i] = tuple(a[i] for a in arrays)
-    return combined
-
-
-def _valid_join_indices(probe_keys: np.ndarray, build_keys: np.ndarray,
-                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """The sort/search match kernel over all-valid key arrays."""
     if build_keys.size == 0 or probe_keys.size == 0:
         empty = np.zeros(0, dtype=np.int64)
         return empty, empty, np.zeros(probe_keys.shape[0], dtype=np.int64)
@@ -69,6 +77,57 @@ def _valid_join_indices(probe_keys: np.ndarray, build_keys: np.ndarray,
     return probe_idx, build_idx, counts
 
 
+class BuildSideIndex:
+    """Null-aware factorized index over a build side's key columns.
+
+    Wraps :class:`~repro.executor.keys.CompositeKeyIndex` built over the
+    *valid* build rows (NULL keys never match, so they are excluded up
+    front) and remembers the valid-row selection so probe results map back
+    to original build row numbers.  Instances are memoized per build
+    :class:`Batch` and key-column set via :meth:`Batch.kernel_memo`.
+    """
+
+    def __init__(self, build_columns: Sequence[np.ndarray],
+                 build_null: Optional[np.ndarray]) -> None:
+        if build_null is not None and not build_null.any():
+            build_null = None
+        if build_null is not None:
+            self.selection: Optional[np.ndarray] = np.flatnonzero(~build_null)
+            build_columns = [np.asarray(col)[self.selection]
+                             for col in build_columns]
+        else:
+            self.selection = None
+        self.index = CompositeKeyIndex(build_columns)
+
+    def probe(self, probe_columns: Sequence[np.ndarray],
+              probe_null: Optional[np.ndarray],
+              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(probe_idx, build_idx, counts)`` over original row numbers."""
+        # Filters upstream may have dropped every NULL: an all-False mask is
+        # semantically None, and the plain kernel is much cheaper than the
+        # subset-and-remap path.
+        if probe_null is not None and not probe_null.any():
+            probe_null = None
+        if probe_null is not None:
+            probe_sel = np.flatnonzero(~probe_null)
+            probe_columns = [np.asarray(col)[probe_sel]
+                             for col in probe_columns]
+        else:
+            probe_sel = None
+        probe_idx, build_idx, sub_counts = self.index.probe(probe_columns)
+        if self.selection is not None:
+            build_idx = self.selection[build_idx]
+        if probe_sel is not None:
+            probe_idx = probe_sel[probe_idx]
+            counts = np.zeros(
+                probe_null.shape[0] if probe_null is not None else 0,
+                dtype=np.int64)
+            counts[probe_sel] = sub_counts
+        else:
+            counts = sub_counts
+        return probe_idx, build_idx, counts
+
+
 def join_indices(probe_keys: np.ndarray, build_keys: np.ndarray,
                  probe_null: Optional[np.ndarray] = None,
                  build_null: Optional[np.ndarray] = None,
@@ -87,37 +146,8 @@ def join_indices(probe_keys: np.ndarray, build_keys: np.ndarray,
     """
     probe_keys = np.asarray(probe_keys)
     build_keys = np.asarray(build_keys)
-    # Filters upstream may have dropped every NULL: an all-False mask is
-    # semantically None, and the plain kernel is much cheaper than the
-    # subset-and-remap path.
-    if probe_null is not None and not probe_null.any():
-        probe_null = None
-    if build_null is not None and not build_null.any():
-        build_null = None
-    if probe_null is None and build_null is None:
-        return _valid_join_indices(probe_keys, build_keys)
-    if probe_null is not None:
-        probe_sel = np.flatnonzero(~probe_null)
-        probe_sub = probe_keys[probe_sel]
-    else:
-        probe_sel = None
-        probe_sub = probe_keys
-    if build_null is not None:
-        build_sel = np.flatnonzero(~build_null)
-        build_sub = build_keys[build_sel]
-    else:
-        build_sel = None
-        build_sub = build_keys
-    probe_idx, build_idx, sub_counts = _valid_join_indices(probe_sub, build_sub)
-    if build_sel is not None:
-        build_idx = build_sel[build_idx]
-    if probe_sel is not None:
-        probe_idx = probe_sel[probe_idx]
-        counts = np.zeros(probe_keys.shape[0], dtype=np.int64)
-        counts[probe_sel] = sub_counts
-    else:
-        counts = sub_counts
-    return probe_idx, build_idx, counts
+    index = BuildSideIndex([build_keys], build_null)
+    return index.probe([probe_keys], probe_null)
 
 
 def clause_key_columns(clauses: Sequence[JoinClause], probe: Batch,
@@ -130,8 +160,22 @@ def clause_key_columns(clauses: Sequence[JoinClause], probe: Batch,
     masks mark rows where *any* key component is NULL (a composite key with a
     NULL component compares UNKNOWN, hence never matches).
     """
+    probe_cols, build_cols, probe_null, build_null, _ = _clause_key_parts(
+        clauses, probe, build)
+    return (combine_key_columns(probe_cols), combine_key_columns(build_cols),
+            probe_null, build_null)
+
+
+def _clause_key_parts(clauses: Sequence[JoinClause], probe: Batch,
+                      build: Batch) -> Tuple[List[np.ndarray],
+                                             List[np.ndarray],
+                                             Optional[np.ndarray],
+                                             Optional[np.ndarray],
+                                             Tuple[str, ...]]:
+    """Raw per-clause key columns, null masks and build key names."""
     probe_cols: List[np.ndarray] = []
     build_cols: List[np.ndarray] = []
+    build_names: List[str] = []
     probe_null: Optional[np.ndarray] = None
     build_null: Optional[np.ndarray] = None
     for clause in clauses:
@@ -143,14 +187,14 @@ def clause_key_columns(clauses: Sequence[JoinClause], probe: Batch,
             probe_key, build_key = right_key, left_key
         probe_cols.append(probe.column(probe_key))
         build_cols.append(build.column(build_key))
+        build_names.append(build_key)
         pmask = probe.null_mask(probe_key)
         if pmask is not None:
             probe_null = pmask if probe_null is None else (probe_null | pmask)
         bmask = build.null_mask(build_key)
         if bmask is not None:
             build_null = bmask if build_null is None else (build_null | bmask)
-    return (combine_key_columns(probe_cols), combine_key_columns(build_cols),
-            probe_null, build_null)
+    return probe_cols, build_cols, probe_null, build_null, tuple(build_names)
 
 
 def _null_batch(like: Batch, num_rows: int) -> Batch:
@@ -174,24 +218,9 @@ def _null_batch(like: Batch, num_rows: int) -> Batch:
     return Batch(columns, masks)
 
 
-def _concat_batches(pieces: Sequence[Batch]) -> Batch:
-    """Row-wise concatenation of same-schema batches, mask-aware."""
-    if len(pieces) == 1:
-        return pieces[0]
-    columns = {}
-    masks = {}
-    for key in pieces[0].keys:
-        columns[key] = np.concatenate([piece.column(key) for piece in pieces])
-        piece_masks = [piece.null_mask(key) for piece in pieces]
-        if any(mask is not None for mask in piece_masks):
-            masks[key] = np.concatenate([
-                mask if mask is not None else np.zeros(piece.num_rows, dtype=bool)
-                for piece, mask in zip(pieces, piece_masks)])
-    return Batch(columns, masks)
-
-
 def equi_join(probe: Batch, build: Batch, clauses: Sequence[JoinClause],
-              join_type: JoinType = JoinType.INNER) -> Batch:
+              join_type: JoinType = JoinType.INNER,
+              max_cross_join_rows: Optional[int] = None) -> Batch:
     """Join two batches on the given equi-join clauses.
 
     ``probe`` corresponds to the plan's outer input and ``build`` to the inner
@@ -203,11 +232,13 @@ def equi_join(probe: Batch, build: Batch, clauses: Sequence[JoinClause],
     by INNER and SEMI) and null-keyed build rows never match.
     """
     if not clauses:
-        return cross_join(probe, build)
-    probe_keys, build_keys, probe_null, build_null = clause_key_columns(
-        clauses, probe, build)
-    probe_idx, build_idx, counts = join_indices(probe_keys, build_keys,
-                                                probe_null, build_null)
+        return cross_join(probe, build, max_cross_join_rows)
+    probe_cols, build_cols, probe_null, build_null, build_names = \
+        _clause_key_parts(clauses, probe, build)
+    index = build.kernel_memo(
+        ("build_index", build_names),
+        lambda: BuildSideIndex(build_cols, build_null))
+    probe_idx, build_idx, counts = index.probe(probe_cols, probe_null)
 
     if join_type is JoinType.SEMI:
         return probe.filter(counts > 0)
@@ -231,32 +262,49 @@ def equi_join(probe: Batch, build: Batch, clauses: Sequence[JoinClause],
                 unmatched_build = build.filter(~build_matched)
                 pieces.append(_null_batch(
                     probe, unmatched_build.num_rows).merge(unmatched_build))
-        return _concat_batches(pieces)
+        return Batch.concat(pieces)
     raise ValueError("unsupported join type %r" % join_type)
 
 
-def cross_join(probe: Batch, build: Batch) -> Batch:
-    """Cartesian product of two batches (only used for tiny inputs)."""
+def cross_join(probe: Batch, build: Batch,
+               max_rows: Optional[int] = None) -> Batch:
+    """Cartesian product of two batches (only used for tiny inputs).
+
+    Raises :class:`~repro.errors.ExecutionError` when the product would
+    exceed ``max_rows`` (the executor passes its ``max_cross_join_rows``
+    knob; ``None`` falls back to :data:`DEFAULT_MAX_CROSS_JOIN_ROWS`, and a
+    non-positive limit disables the guard) — a disconnected join graph over
+    large tables should fail loudly instead of silently allocating ``n * m``
+    rows.
+    """
     n, m = probe.num_rows, build.num_rows
+    limit = DEFAULT_MAX_CROSS_JOIN_ROWS if max_rows is None else max_rows
+    if limit > 0 and n * m > limit:
+        raise ExecutionError(
+            "cross join of %d x %d rows would produce %d rows, above the "
+            "configured max_cross_join_rows=%d; add a join predicate or "
+            "raise the limit" % (n, m, n * m, limit))
     probe_idx = np.repeat(np.arange(n, dtype=np.int64), m)
     build_idx = np.tile(np.arange(m, dtype=np.int64), n)
     return probe.take(probe_idx).merge(build.take(build_idx))
 
 
 def merge_join(probe: Batch, build: Batch, clauses: Sequence[JoinClause],
-               join_type: JoinType = JoinType.INNER) -> Batch:
+               join_type: JoinType = JoinType.INNER,
+               max_cross_join_rows: Optional[int] = None) -> Batch:
     """Sort-merge join; semantically identical to :func:`equi_join`.
 
-    The kernel is already sort-based, so the merge join reuses it — the cost
+    The kernel is already order-based, so the merge join reuses it — the cost
     difference between hash and merge joins is modelled by the optimizer, not
     re-measured here.
     """
-    return equi_join(probe, build, clauses, join_type)
+    return equi_join(probe, build, clauses, join_type, max_cross_join_rows)
 
 
 def nested_loop_join(probe: Batch, build: Batch, clauses: Sequence[JoinClause],
-                     join_type: JoinType = JoinType.INNER) -> Batch:
+                     join_type: JoinType = JoinType.INNER,
+                     max_cross_join_rows: Optional[int] = None) -> Batch:
     """Nested-loop join; with equi-clauses it degenerates to the same kernel."""
     if clauses:
-        return equi_join(probe, build, clauses, join_type)
-    return cross_join(probe, build)
+        return equi_join(probe, build, clauses, join_type, max_cross_join_rows)
+    return cross_join(probe, build, max_cross_join_rows)

@@ -1,0 +1,320 @@
+"""Key combination and factorized hash-index kernels.
+
+Every equality-keyed executor kernel — hash joins, group-by, distinct
+aggregation — reduces one or more key columns to a single comparable array
+and then groups equal keys.  This module holds the shared machinery:
+
+* :func:`combine_key_columns` maps multi-column keys onto a single sortable
+  array.  Composite keys no longer degrade to a per-row Python tuple loop:
+  each column is factorized with ``np.unique`` (codes are *ranks*, so the
+  combination preserves lexicographic order exactly like the old tuple
+  fallback) and the codes are packed into one int64, re-densified on the
+  rare overflow.
+* :class:`FactorizedKeys` is the sorted-unique hash index over one combined
+  key array: built once per build side, probed many times.
+* :class:`CompositeKeyIndex` is the build-side index over raw key columns.
+  It owns the per-column factorization, so probing maps probe values into
+  the *build-side* code space — probe rows whose value never occurs on the
+  build side are unmatched by construction.  Because nothing about the index
+  depends on the probe input, a build side that is probed repeatedly (morsel
+  execution, a batch reused by several joins) is factorized exactly once —
+  :meth:`repro.executor.batch.Batch.kernel_memo` keeps the instance alive
+  alongside the batch.
+
+All kernels return bit-identical results to the legacy ``argsort`` +
+``searchsorted`` sort/search kernel (asserted by the property tests in
+``tests/test_parallel_execution.py``); they differ only in cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Packed composite codes must stay below this bound; beyond it the running
+#: combination is re-densified ("compressed") before the next column is
+#: folded in.  Tests shrink it to force the compression path.
+_PACK_LIMIT = 2 ** 62
+
+
+def _two_int_packable(arrays: Sequence[np.ndarray]) -> bool:
+    """True when two integer columns fit the exact ``(a << 32) | b`` packing."""
+    return (len(arrays) == 2
+            and all(a.dtype.kind in ("i", "u") for a in arrays)
+            and all(a.size == 0 or (a.min() >= 0 and a.max() < 2 ** 31)
+                    for a in arrays))
+
+
+def _pack_two_ints(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    return (arrays[0].astype(np.int64) << np.int64(32)) \
+        | arrays[1].astype(np.int64)
+
+
+def _column_codes(array: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Factorize one column: ``(uniques, rank codes)`` via ``np.unique``."""
+    uniques, codes = np.unique(array, return_inverse=True)
+    return uniques, codes.astype(np.int64, copy=False)
+
+
+def _fold_codes(code_columns: Sequence[Tuple[np.ndarray, int]],
+                ) -> Tuple[np.ndarray, List[Tuple[int, Optional[np.ndarray]]]]:
+    """Fold per-column rank codes into one order-preserving int64 array.
+
+    ``code_columns`` is a sequence of ``(codes, cardinality)`` pairs.  The
+    running combination is multiplied out left-to-right (lexicographic order,
+    matching Python tuple comparison); when the key-space product would
+    overflow the packing bound the combination is re-densified with
+    ``np.unique`` — codes are ranks, so densification preserves order.
+
+    Returns ``(packed, steps)`` where ``steps`` records, for every column
+    after the first, ``(cardinality, compress_uniques)`` —
+    ``compress_uniques`` is the sorted distinct running combination captured
+    when densification fired (``None`` otherwise).  Replaying the steps maps
+    further arrays (probe sides) into the identical code space; the single
+    copy of the fold/densify algorithm shared by group-by combination and
+    the join index.
+    """
+    steps: List[Tuple[int, Optional[np.ndarray]]] = []
+    combined, size = None, 1
+    for codes, cardinality in code_columns:
+        cardinality = max(int(cardinality), 1)
+        if combined is None:
+            combined, size = codes, cardinality
+            continue
+        compress = None
+        if size * cardinality > _PACK_LIMIT:
+            compress, combined = np.unique(combined, return_inverse=True)
+            combined = combined.astype(np.int64, copy=False)
+            size = max(int(compress.shape[0]), 1)
+        combined = combined * np.int64(cardinality) + codes
+        size *= cardinality
+        steps.append((cardinality, compress))
+    if combined is None:
+        combined = np.zeros(0, dtype=np.int64)
+    return combined, steps
+
+
+def combine_key_columns(columns: Sequence[np.ndarray]) -> np.ndarray:
+    """Combine one or more key columns into a single sortable key array.
+
+    Two non-negative 32-bit-ranged integer columns are packed exactly into one
+    int64 key; any other composite key is factorized column-by-column and the
+    rank codes are packed (order-preserving, so grouping and sort order match
+    the historical per-row tuple representation exactly, without the Python
+    loop).
+    """
+    if len(columns) == 1:
+        return np.asarray(columns[0])
+    arrays = [np.asarray(col) for col in columns]
+    if _two_int_packable(arrays):
+        return _pack_two_ints(arrays)
+    code_columns = []
+    for array in arrays:
+        uniques, codes = _column_codes(array)
+        code_columns.append((codes, uniques.shape[0]))
+    return _fold_codes(code_columns)[0]
+
+
+class FactorizedKeys:
+    """A sorted-unique hash index over one build-side key array.
+
+    Construction factorizes the keys once (``np.unique`` + one stable argsort
+    of the rank codes); every probe is then a single ``searchsorted`` over
+    the distinct keys — on skewed build sides this is both smaller and better
+    cached than re-sorting the full build array per probe, and the index is
+    reusable across probes.
+
+    Matching pairs come out in exactly the order the legacy sort/search
+    kernel produced: probe rows in input order, equal build keys in ascending
+    build-row order (stable argsort).
+    """
+
+    __slots__ = ("uniques", "counts", "starts", "row_order", "num_rows")
+
+    def __init__(self, uniques: np.ndarray, counts: np.ndarray,
+                 starts: np.ndarray, row_order: np.ndarray,
+                 num_rows: int) -> None:
+        self.uniques = uniques
+        self.counts = counts
+        self.starts = starts
+        self.row_order = row_order
+        self.num_rows = num_rows
+
+    @classmethod
+    def from_keys(cls, build_keys: np.ndarray) -> "FactorizedKeys":
+        """Factorize a build-side key array into a probeable index."""
+        build_keys = np.asarray(build_keys)
+        if build_keys.size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return cls(build_keys, empty, empty, empty, 0)
+        uniques, codes = np.unique(build_keys, return_inverse=True)
+        codes = codes.astype(np.int64, copy=False)
+        counts = np.bincount(codes, minlength=uniques.shape[0]).astype(np.int64)
+        starts = np.cumsum(counts) - counts
+        row_order = np.argsort(codes, kind="stable").astype(np.int64)
+        return cls(uniques, counts, starts, row_order, int(build_keys.shape[0]))
+
+    # ------------------------------------------------------------------
+
+    def probe_counts(self, probe_keys: np.ndarray,
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-probe-row match counts plus the matched unique-key positions."""
+        probe_keys = np.asarray(probe_keys)
+        if self.num_rows == 0 or probe_keys.size == 0:
+            zeros = np.zeros(probe_keys.shape[0], dtype=np.int64)
+            return zeros, zeros
+        pos = np.searchsorted(self.uniques, probe_keys)
+        pos = np.minimum(pos, self.uniques.shape[0] - 1).astype(np.int64)
+        found = self.uniques[pos] == probe_keys
+        if self.uniques.dtype.kind == "f":
+            # Keep bit-identity with the sort/search kernel for raw NaN key
+            # data (NULLs are masked out long before this kernel): argsort +
+            # searchsorted bracket the build side's NaN run, so a NaN probe
+            # matches every build NaN.  np.unique collapses the build NaNs
+            # to one code whose count is that run length, so flagging the
+            # NaN-to-NaN positions as found reproduces the same pairs.
+            nan_probe = np.isnan(probe_keys)
+            if nan_probe.any():
+                found = found | (nan_probe & np.isnan(self.uniques[pos]))
+        counts = np.where(found, self.counts[pos], 0).astype(np.int64)
+        return counts, pos
+
+    def probe(self, probe_keys: np.ndarray,
+              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All matching ``(probe_idx, build_idx, counts)`` index pairs."""
+        counts, pos = self.probe_counts(probe_keys)
+        return self._expand(counts, pos)
+
+    def _expand(self, counts: np.ndarray, pos: np.ndarray,
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty, counts
+        probe_idx = np.repeat(np.arange(counts.shape[0], dtype=np.int64),
+                              counts)
+        starts = np.repeat(self.starts[pos], counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts)
+        build_idx = self.row_order[starts + offsets]
+        return probe_idx, build_idx, counts
+
+
+class CompositeKeyIndex:
+    """Build-side hash index over one or more raw key columns.
+
+    The index owns the column combination, which is what makes it reusable:
+    multi-column keys are factorized against the *build side only* and probe
+    columns are mapped into that code space at probe time (values absent
+    from the build side can never match, so they are flagged unmatched
+    instead of extending the code space).  Single columns and the exact
+    two-int packing skip the factorization entirely.
+    """
+
+    _MODE_SINGLE = "single"
+    _MODE_PACKED = "packed"
+    _MODE_CODES = "codes"
+
+    def __init__(self, build_columns: Sequence[np.ndarray]) -> None:
+        arrays = [np.asarray(col) for col in build_columns]
+        if not arrays:
+            raise ValueError("composite key index needs at least one column")
+        self._num_columns = len(arrays)
+        self._column_uniques: List[np.ndarray] = []
+        if len(arrays) == 1:
+            self._mode = self._MODE_SINGLE
+            keys = arrays[0]
+        elif _two_int_packable(arrays):
+            self._mode = self._MODE_PACKED
+            keys = _pack_two_ints(arrays)
+        else:
+            self._mode = self._MODE_CODES
+            code_columns = []
+            for array in arrays:
+                uniques, codes = _column_codes(array)
+                self._column_uniques.append(uniques)
+                code_columns.append((codes, uniques.shape[0]))
+            keys, self._pack_steps = _fold_codes(code_columns)
+        self.index = FactorizedKeys.from_keys(keys)
+
+    @property
+    def num_rows(self) -> int:
+        """Build-side row count the index was built over."""
+        return self.index.num_rows
+
+    # -- packing shared by build and probe sides ---------------------------
+
+    def _pack_with_steps(self, code_arrays: Sequence[np.ndarray],
+                         valid: Optional[np.ndarray] = None) -> np.ndarray:
+        """Replay the build side's :func:`_fold_codes` schedule over probes.
+
+        Mapping through the recorded densification tables lands probe codes
+        in the identical space as the build codes.  ``valid`` marks rows
+        whose codes are meaningful; invalid rows carry arbitrary in-range
+        codes and are masked out by the caller, they only need to not break
+        the densification lookups.
+        """
+        combined = code_arrays[0]
+        for (cardinality, compress), codes in zip(self._pack_steps,
+                                                  code_arrays[1:]):
+            if compress is not None:
+                pos = np.searchsorted(compress, combined)
+                pos = np.minimum(pos, compress.shape[0] - 1)
+                if valid is not None:
+                    valid &= compress[pos] == combined
+                combined = pos.astype(np.int64, copy=False)
+            combined = combined * np.int64(cardinality) + codes
+        return combined
+
+    # -- probing -----------------------------------------------------------
+
+    def _probe_keys(self, probe_columns: Sequence[np.ndarray],
+                    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Map probe columns into build-key space; returns ``(keys, valid)``."""
+        arrays = [np.asarray(col) for col in probe_columns]
+        if len(arrays) != self._num_columns:
+            raise ValueError("probe has %d key columns, index has %d"
+                             % (len(arrays), self._num_columns))
+        if self._mode == self._MODE_SINGLE:
+            return arrays[0], None
+        if self._mode == self._MODE_PACKED:
+            if _two_int_packable(arrays):
+                return _pack_two_ints(arrays), None
+            # Probe values outside the packable range can never equal a
+            # packed build value; pack the in-range rows, mask the rest.
+            valid = np.ones(arrays[0].shape[0], dtype=bool)
+            clipped = []
+            for array in arrays:
+                if array.dtype.kind not in ("i", "u"):
+                    raise TypeError(
+                        "probe key dtype %s does not match integer-packed "
+                        "build keys" % array.dtype)
+                in_range = (array >= 0) & (array < 2 ** 31)
+                valid &= in_range
+                clipped.append(np.where(in_range, array, 0))
+            return _pack_two_ints(clipped), valid
+        valid = np.ones(arrays[0].shape[0], dtype=bool)
+        code_arrays = []
+        for uniques, array in zip(self._column_uniques, arrays):
+            if uniques.shape[0] == 0:
+                return (np.zeros(arrays[0].shape[0], dtype=np.int64),
+                        np.zeros(arrays[0].shape[0], dtype=bool))
+            pos = np.searchsorted(uniques, array)
+            pos = np.minimum(pos, uniques.shape[0] - 1).astype(np.int64)
+            valid &= uniques[pos] == array
+            code_arrays.append(pos)
+        return self._pack_with_steps(code_arrays, valid), valid
+
+    def probe(self, probe_columns: Sequence[np.ndarray],
+              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Match probe key columns; returns ``(probe_idx, build_idx, counts)``.
+
+        Semantics and pair ordering are identical to running the legacy
+        sort/search kernel over jointly combined key arrays.
+        """
+        keys, valid = self._probe_keys(probe_columns)
+        counts, pos = self.index.probe_counts(keys)
+        if valid is not None:
+            counts = np.where(valid, counts, 0)
+        return self.index._expand(counts, pos)

@@ -9,6 +9,15 @@ it — is executed.  This mirrors the paper's runtime rule that "table scans
 wait for all Bloom filter partitions to become available before scanning can
 proceed" (Section 3.9).
 
+With ``executor_workers > 1`` on the context, scans and projections run
+*morsel-at-a-time*: the input is split into per-partition row spans
+(:meth:`~repro.storage.table.Table.morsel_spans`), each morsel is filtered /
+Bloom-probed / projected on a shared thread pool, and the pieces are
+concatenated back in canonical span order — output batches and all simulated
+metrics are bit-identical to the serial path (see ``docs/executor.md``).
+The Bloom barrier is preserved: a scan fetches every filter it depends on
+*before* dispatching its first morsel.
+
 Every operator records its observed output cardinality and charges work units
 using the optimizer's cost constants with *actual* row counts, which yields
 the deterministic simulated latency used throughout the benchmarks.
@@ -18,7 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -111,11 +120,36 @@ class Executor:
             return self._execute_limit(node)
         raise TypeError("executor does not support plan node %r" % type(node))
 
+    # -- morsel helpers ----------------------------------------------------
+
+    def _morsel_workers(self) -> int:
+        """Effective morsel worker count (``<= 1`` = serial operators)."""
+        return max(int(self.context.executor_workers), 0)
+
+    def _map_ordered(self, fn: Callable, items: Sequence) -> List:
+        """Run ``fn`` over ``items`` on the morsel pool, results in order.
+
+        Submission order is preserved, so concatenating the results
+        reproduces the serial output exactly; the first worker exception
+        propagates to the caller.
+        """
+        pool = self.context.morsel_pool()
+        futures = [pool.submit(fn, item) for item in items]
+        return [future.result() for future in futures]
+
     # -- scans ------------------------------------------------------------
 
     def _execute_scan(self, node: ScanNode) -> Batch:
         cost_model = self.context.cost_model
         table = self.context.catalog.table(node.table_name)
+        # Morsels only pay off when there is per-row work to spread; a bare
+        # scan with nothing to filter stays on the zero-copy serial path
+        # instead of concatenating unfiltered slices back together.
+        spans = (table.morsel_spans(self.context.morsel_size)
+                 if self._morsel_workers() > 1
+                 and (node.predicates or node.bloom_filters) else [])
+        if len(spans) > 1:
+            return self._execute_scan_morsels(node, table, spans)
         batch = Batch.from_table(node.alias, table)
         base_rows = batch.num_rows
         work = cost_model.seq_scan(base_rows, node.row_width,
@@ -142,6 +176,54 @@ class Executor:
         self.metrics.record(node, batch.num_rows, work, input_rows=base_rows)
         return batch
 
+    def _execute_scan_morsels(self, node: ScanNode, table,
+                              spans: Sequence[Tuple[int, int]]) -> Batch:
+        """Morsel-parallel scan: filter + Bloom-probe each span, then concat.
+
+        The Bloom barrier sits in front of the dispatch: every filter this
+        scan applies is fetched *before* the first morsel starts (the paper's
+        "table scans wait for all Bloom filter partitions" rule, Section
+        3.9); a missing filter raises exactly as on the serial path.  Work
+        units and probe counters are charged from the per-stage row totals,
+        which equal the serial stage row counts because predicate and Bloom
+        filtering are row-local — the simulated latency is unchanged by the
+        parallel path.
+        """
+        cost_model = self.context.cost_model
+        blooms = [(spec, self.filters.get_filter(spec.filter_id))
+                  for spec in node.bloom_filters]
+
+        def scan_span(span: Tuple[int, int]):
+            batch = Batch.from_table(node.alias, table, span[0], span[1])
+            for predicate in node.predicates:
+                batch = self._apply_predicate(batch, predicate)
+            pre_rows = batch.num_rows
+            stage_rows = []
+            for spec, bloom in blooms:
+                stage_rows.append(batch.num_rows)
+                values, null_mask = batch.resolve_masked(spec.apply_column)
+                mask = bloom.contains_many(values)
+                if null_mask is not None:
+                    mask = mask & ~null_mask
+                batch = batch.filter(mask)
+            return batch, pre_rows, stage_rows
+
+        results = self._map_ordered(scan_span, spans)
+        base_rows = table.num_rows
+        work = cost_model.seq_scan(base_rows, node.row_width,
+                                   len(node.predicates)).total
+        self.metrics.rows_scanned += base_rows
+        pre_bloom_rows = sum(pre for _, pre, _ in results)
+        for stage, _ in enumerate(blooms):
+            stage_total = sum(stages[stage] for _, _, stages in results)
+            work += cost_model.bloom_apply(stage_total, 1).total
+            self.metrics.bloom_probes += stage_total
+            self.metrics.bloom_filters_applied += 1
+        batch = Batch.concat([piece for piece, _, _ in results])
+        self.metrics.rows_bloom_filtered += pre_bloom_rows - batch.num_rows
+        self.metrics.record(node, batch.num_rows, work, input_rows=base_rows)
+        return batch
+
     # -- joins ---------------------------------------------------------------
 
     def _execute_join(self, node: JoinNode) -> Batch:
@@ -150,15 +232,16 @@ class Executor:
         self._build_bloom_filters(node, inner_batch)
         outer_batch = self._execute(node.outer)
 
+        cross_limit = self.context.max_cross_join_rows
         if node.method is JoinMethod.HASH:
             joined = equi_join(outer_batch, inner_batch, node.clauses,
-                               node.join_type)
+                               node.join_type, cross_limit)
         elif node.method is JoinMethod.MERGE:
             joined = merge_join(outer_batch, inner_batch, node.clauses,
-                                node.join_type)
+                                node.join_type, cross_limit)
         else:
             joined = nested_loop_join(outer_batch, inner_batch, node.clauses,
-                                      node.join_type)
+                                      node.join_type, cross_limit)
 
         for predicate in node.residual_predicates:
             joined = self._apply_predicate(joined, predicate)
@@ -185,15 +268,26 @@ class Executor:
         return joined
 
     def _build_bloom_filters(self, node: JoinNode, inner_batch: Batch) -> None:
-        """Build and publish the Bloom filters this hash join is charged with."""
+        """Build and publish the Bloom filters this hash join is charged with.
+
+        Filters are populated from the batch's memoized *distinct* valid
+        build keys (:meth:`Batch.unique_valid`): a Bloom filter is a set, so
+        inserting each distinct key once produces the identical bit vector —
+        the filter is already sized by the distinct count — while a build
+        column shared by several filters (or reused by the join kernel's
+        factorization) is deduplicated only once per batch.  Work units keep
+        charging the full valid row count, exactly as the row-at-a-time
+        build would.
+        """
         for spec in node.built_filters:
             if self.filters.has_filter(spec.filter_id):
                 continue
-            values, null_mask = inner_batch.resolve_masked(spec.build_column)
-            if null_mask is not None:
-                # NULL build keys never match, so transferring them would
-                # only inflate the filter's false-positive rate.
-                values = values[~null_mask]
+            key = "%s.%s" % (spec.build_column.relation,
+                             spec.build_column.column)
+            null_mask = inner_batch.null_mask(key)
+            valid_rows = (inner_batch.num_rows if null_mask is None
+                          else int((~null_mask).sum()))
+            values = inner_batch.unique_valid(key)
             if self.context.bloom_partitions > 1:
                 partitioned = PartitionedBloomFilter.from_values(
                     values, self.context.bloom_partitions,
@@ -205,7 +299,7 @@ class Executor:
                     values, bits_per_key=self.context.bloom_bits_per_key)
                 self.filters.register_filter(spec.filter_id, bloom)
             self.metrics.bloom_filters_built += 1
-            build_work = self.context.cost_model.bloom_build(len(values), 1).total
+            build_work = self.context.cost_model.bloom_build(valid_rows, 1).total
             self.metrics.total_work_units += build_work
 
     # -- exchanges --------------------------------------------------------------
@@ -242,6 +336,29 @@ class Executor:
 
     def _execute_project(self, node: ProjectNode) -> Batch:
         batch = self._execute(node.child)
+        morsel_size = max(int(self.context.morsel_size), 1)
+        if self._morsel_workers() > 1 and batch.num_rows > morsel_size:
+            # Projection is row-local, so morsels project independently and
+            # concatenate back in span order; a column is mask-free iff no
+            # span produced a NULL, matching the serial normalization.
+            spans = [(start, min(start + morsel_size, batch.num_rows))
+                     for start in range(0, batch.num_rows, morsel_size)]
+            pieces = self._map_ordered(
+                lambda span: self._project_batch(node,
+                                                 batch.row_span(*span)),
+                spans)
+            result = Batch.concat(pieces)
+        else:
+            result = self._project_batch(node, batch)
+        work = self.context.cost_model.project(batch.num_rows,
+                                               len(node.items)).total
+        self.metrics.record(node, result.num_rows, work,
+                            input_rows=batch.num_rows)
+        return result
+
+    @staticmethod
+    def _project_batch(node: ProjectNode, batch: Batch) -> Batch:
+        """Evaluate the projection items over one batch (or morsel) of rows."""
         resolve = batch.masked_resolver()
         columns: Dict[str, np.ndarray] = {}
         masks: Dict[str, Optional[np.ndarray]] = {}
@@ -257,12 +374,7 @@ class Executor:
                     mask = None  # keep NULL-free projections mask-free
             columns[item.name] = values
             masks[item.name] = mask
-        result = Batch(columns, masks)
-        work = self.context.cost_model.project(batch.num_rows,
-                                               len(node.items)).total
-        self.metrics.record(node, result.num_rows, work,
-                            input_rows=batch.num_rows)
-        return result
+        return Batch(columns, masks)
 
     def _execute_sort(self, node: SortNode) -> Batch:
         batch = self._execute(node.child)
@@ -289,6 +401,13 @@ class Executor:
                     keys.append(~null_mask if item.nulls_first else null_mask)
             order = np.lexsort(keys)
             batch = batch.take(order)
+        if node.drop_keys:
+            # Hidden sort keys carried through the projection solely for
+            # this sort (ORDER BY on a non-projected column) are dropped
+            # now that the rows are ordered.
+            hidden = set(node.drop_keys)
+            batch = batch.select([key for key in batch.keys
+                                  if key not in hidden])
         work = self.context.cost_model.sort(batch.num_rows).total
         self.metrics.record(node, batch.num_rows, work,
                             input_rows=batch.num_rows)

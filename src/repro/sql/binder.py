@@ -17,10 +17,12 @@ from ..core.expressions import (
     Arithmetic,
     ArithmeticOp,
     Between,
+    Coalesce,
     ColumnRef,
     Comparison,
     ComparisonOp,
     ExtractYear,
+    NullIf,
     InList,
     IsNotNull,
     IsNull,
@@ -192,6 +194,17 @@ class Binder:
             return AggregateCall(func=_AGG_FUNCTIONS[name],
                                  operand=self._bind_scalar(node.args[0]),
                                  distinct=node.distinct)
+        if name in ("coalesce", "nullif"):
+            if node.star or node.distinct:
+                raise BindError("%s does not take * or DISTINCT" % name)
+            args = [self._bind_scalar(arg) for arg in node.args]
+            if name == "coalesce":
+                if len(args) < 2:
+                    raise BindError("coalesce takes at least two arguments")
+                return Coalesce(tuple(args))
+            if len(args) != 2:
+                raise BindError("nullif takes exactly two arguments")
+            return NullIf(args[0], args[1])
         raise BindError("unsupported function %r" % name)
 
     # -- predicates ---------------------------------------------------------------

@@ -80,6 +80,35 @@ class PartitionedTable:
         """The table fragment stored in partition ``index``."""
         return self.partitions[index]
 
+    def fused(self) -> Table:
+        """The partitions concatenated in partition order, offsets recorded.
+
+        The returned :class:`Table` carries ``partition_offsets``, so the
+        executor's morsel planner (:meth:`Table.morsel_spans`) emits
+        per-partition morsels for it: registering a fused table in the
+        catalog is how a workload opts a table into partition-aligned
+        parallel scanning.
+        """
+        columns = {}
+        masks = {}
+        offsets: List[int] = []
+        total = 0
+        for part in self.partitions:
+            offsets.append(total)
+            total += part.num_rows
+        for name in self.table.column_names:
+            pieces = [part.column(name) for part in self.partitions]
+            columns[name] = (np.concatenate(pieces) if pieces
+                             else np.asarray([]))
+            mask_pieces = [part.null_mask(name) for part in self.partitions]
+            if any(mask is not None for mask in mask_pieces):
+                masks[name] = np.concatenate([
+                    mask if mask is not None
+                    else np.zeros(part.num_rows, dtype=bool)
+                    for part, mask in zip(self.partitions, mask_pieces)])
+        return Table(self.table.schema, columns, null_masks=masks,
+                     partition_offsets=offsets)
+
     def scan(self, low: Optional[float] = None,
              high: Optional[float] = None) -> Tuple[Table, int]:
         """Scan with partition pruning on the partition column.

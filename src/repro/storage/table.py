@@ -45,11 +45,20 @@ def infer_null_mask(values: np.ndarray) -> Optional[np.ndarray]:
 
 
 class Table:
-    """An immutable, column-major table instance."""
+    """An immutable, column-major table instance.
+
+    ``partition_offsets`` optionally records the row offsets at which the
+    table's range partitions start (ascending, first entry 0).  The executor
+    uses them to emit *per-partition morsels*: morsel boundaries never cross
+    a partition boundary, so partition-local processing order is preserved
+    and results concatenate back in canonical partition order (see
+    :meth:`morsel_spans` and ``docs/executor.md``).
+    """
 
     def __init__(self, schema: TableSchema,
                  columns: Mapping[str, np.ndarray],
                  null_masks: Optional[Mapping[str, Optional[np.ndarray]]] = None,
+                 partition_offsets: Optional[Sequence[int]] = None,
                  ) -> None:
         self.schema = schema
         self._columns: Dict[str, ColumnData] = {}
@@ -73,6 +82,16 @@ class Table:
             raise ValueError("columns of table %r have differing lengths: %r"
                              % (schema.name, sorted(lengths)))
         self._num_rows = lengths.pop() if lengths else 0
+        self._partition_offsets: Optional[Tuple[int, ...]] = None
+        if partition_offsets is not None:
+            offsets = tuple(int(o) for o in partition_offsets)
+            if offsets and (offsets[0] != 0
+                            or any(a > b for a, b in zip(offsets, offsets[1:]))
+                            or offsets[-1] > self._num_rows):
+                raise ValueError(
+                    "partition offsets %r are not ascending offsets into %d "
+                    "rows" % (offsets, self._num_rows))
+            self._partition_offsets = offsets or None
 
     # -- basic accessors ---------------------------------------------------
 
@@ -118,6 +137,33 @@ class Table:
 
     def __contains__(self, column_name: str) -> bool:
         return column_name in self._columns
+
+    # -- morsels -------------------------------------------------------------
+
+    @property
+    def partition_offsets(self) -> Optional[Tuple[int, ...]]:
+        """Row offsets where range partitions start (``None`` = unpartitioned)."""
+        return self._partition_offsets
+
+    def morsel_spans(self, morsel_size: int) -> List[Tuple[int, int]]:
+        """Contiguous ``(start, stop)`` row spans covering the whole table.
+
+        Spans are emitted in canonical order (ascending row number, which for
+        a partitioned table is ascending partition number) and each span is
+        at most ``morsel_size`` rows and never crosses a partition boundary.
+        Concatenating per-span results in span order therefore reproduces the
+        whole-table result exactly.
+        """
+        if self._num_rows == 0:
+            return []
+        morsel_size = max(int(morsel_size), 1)
+        segment_starts = list(self._partition_offsets or (0,))
+        segment_bounds = segment_starts[1:] + [self._num_rows]
+        spans: List[Tuple[int, int]] = []
+        for seg_start, seg_stop in zip(segment_starts, segment_bounds):
+            for start in range(seg_start, seg_stop, morsel_size):
+                spans.append((start, min(start + morsel_size, seg_stop)))
+        return spans
 
     # -- row-oriented helpers (testing / verification) ----------------------
 

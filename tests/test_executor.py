@@ -285,3 +285,85 @@ class TestAggregation:
                                           ColumnRef("t", "v")), "s")]
         result = aggregate(batch, [ColumnRef("t", "g")], items)
         assert result.num_rows == 0
+
+
+class TestOrderByNonProjected:
+    """ORDER BY on columns the projection drops: hidden sort-key carry."""
+
+    def _database(self):
+        from repro.api import Database
+        from repro.storage import Catalog
+
+        db = Database(Catalog())
+        db.register_table("t", {
+            "id": np.asarray([1, 2, 3, 4], dtype=np.int64),
+            "score": np.asarray([30.0, 10.0, 40.0, 20.0]),
+            "grp": np.asarray([1, 1, 2, 2], dtype=np.int64),
+        }, primary_key=["id"])
+        return db
+
+    def test_sort_key_carried_and_dropped(self):
+        session = self._database().connect()
+        result = session.execute("select id from t order by score")
+        assert result.columns == ["id"]
+        assert list(result.column("id")) == [2, 4, 1, 3]
+
+    def test_qualified_ref_to_aliased_projection_reused(self):
+        session = self._database().connect()
+        result = session.execute(
+            "select t.score as points from t order by t.score desc")
+        assert result.columns == ["points"]
+        assert list(result.column("points")) == [40.0, 30.0, 20.0, 10.0]
+
+    def test_aggregate_order_by_non_projected_aggregate(self):
+        session = self._database().connect()
+        result = session.execute(
+            "select grp from t group by grp order by sum(score) desc")
+        assert result.columns == ["grp"]
+        assert list(result.column("grp")) == [2, 1]
+
+    def test_order_by_output_aggregate_without_alias_ref(self):
+        session = self._database().connect()
+        result = session.execute(
+            "select grp, count(*) as cnt from t group by grp "
+            "order by count(*) desc, grp")
+        assert list(result.column("grp")) == [1, 2]
+
+    def test_hidden_keys_in_plan_not_in_result(self):
+        session = self._database().connect()
+        result = session.execute(
+            "select id from t order by score desc, grp")
+        from repro.core.plans import ProjectNode, SortNode
+
+        sort = next(node for node in result.execution.plan.walk()
+                    if isinstance(node, SortNode))
+        assert set(sort.drop_keys) == {"t.score", "t.grp"}
+        project = next(node for node in result.execution.plan.walk()
+                       if isinstance(node, ProjectNode))
+        assert [item.name for item in project.items] == \
+            ["id", "t.score", "t.grp"]
+        assert result.columns == ["id"]
+
+    def test_covered_order_by_unchanged(self):
+        session = self._database().connect()
+        result = session.execute("select id, score from t order by score")
+        sort = next(node for node in result.execution.plan.walk()
+                    if type(node).__name__ == "SortNode")
+        assert sort.drop_keys == ()
+        assert list(result.column("id")) == [2, 4, 1, 3]
+
+    def test_limit_above_pruned_sort(self):
+        session = self._database().connect()
+        result = session.execute(
+            "select id from t order by score desc limit 2")
+        assert list(result.column("id")) == [3, 1]
+
+    def test_ungrouped_order_key_rejected_under_group_by(self):
+        from repro.errors import PlanningError, ReproError
+
+        session = self._database().connect()
+        # score is neither grouped nor aggregated: no well-defined value
+        # per group, so the carry must refuse instead of sorting by an
+        # arbitrary representative row.
+        with pytest.raises((PlanningError, ReproError)):
+            session.execute("select grp from t group by grp order by score")

@@ -719,3 +719,70 @@ class TestDatetimeNaT:
             "select count(*) as rows, count(day) as days from events")
         assert counted.column("rows")[0] == 4.0
         assert counted.column("days")[0] == 2.0
+
+
+class TestCoalesceNullif:
+    """COALESCE / NULLIF over the mask representation (docs/nulls.md)."""
+
+    def _database(self):
+        db = Database(Catalog())
+        db.register_table("m", {
+            "id": np.arange(5, dtype=np.int64),
+            "a": np.asarray([1.0, np.nan, np.nan, 4.0, np.nan]),
+            "b": np.asarray([np.nan, 2.0, np.nan, 40.0, np.nan]),
+            "c": np.asarray([9, 9, 9, 9, 9], dtype=np.int64),
+        }, primary_key=["id"])
+        return db
+
+    def test_coalesce_first_valid_wins(self):
+        session = self._database().connect()
+        result = session.execute("select coalesce(a, b, c) as v from m "
+                                 "order by id")
+        assert result.null_mask("v") is None
+        assert list(result.column("v")) == [1.0, 2.0, 9.0, 4.0, 9.0]
+
+    def test_coalesce_all_null_rows_stay_null(self):
+        session = self._database().connect()
+        result = session.execute("select coalesce(a, b) as v from m "
+                                 "order by id")
+        assert list(result.null_mask("v")) == [False, False, True, False, True]
+        assert result.to_pylist()[2]["v"] is None
+
+    def test_coalesce_mask_free_fast_path(self):
+        session = self._database().connect()
+        result = session.execute("select coalesce(c, id) as v from m")
+        assert result.null_mask("v") is None
+        assert list(result.column("v")) == [9] * 5
+
+    def test_coalesce_in_where_and_group_by(self):
+        session = self._database().connect()
+        result = session.execute(
+            "select coalesce(a, 0.0) as bucket, count(*) as n from m "
+            "where coalesce(a, b, 0.0) >= 0.0 group by bucket "
+            "order by bucket")
+        assert list(result.column("bucket")) == [0.0, 1.0, 4.0]
+        assert list(result.column("n")) == [3.0, 1.0, 1.0]
+
+    def test_nullif_nulls_matching_rows_only(self):
+        session = self._database().connect()
+        result = session.execute("select nullif(c, 9) as v from m")
+        assert list(result.null_mask("v")) == [True] * 5
+        result = session.execute("select nullif(a, 1.0) as v from m "
+                                 "order by id")
+        # Row 0 matches (-> NULL); NULL inputs stay NULL; others unchanged.
+        assert list(result.null_mask("v")) == [True, True, True, False, True]
+        assert result.column("v")[3] == 4.0
+
+    def test_nullif_against_null_literal_is_identity(self):
+        session = self._database().connect()
+        result = session.execute("select nullif(c, null) as v from m")
+        assert result.null_mask("v") is None
+        assert list(result.column("v")) == [9] * 5
+
+    def test_nested_coalesce_nullif(self):
+        session = self._database().connect()
+        # nullif(c, 9) is NULL everywhere, so coalesce falls through to b.
+        result = session.execute(
+            "select coalesce(nullif(c, 9), b, -1.0) as v from m order by id")
+        assert list(result.column("v")) == [-1.0, 2.0, -1.0, 40.0, -1.0]
+        assert result.null_mask("v") is None

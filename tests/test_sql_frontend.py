@@ -214,3 +214,35 @@ class TestBinder:
         clause = query.join_clauses[0]
         assert {clause.left.relation, clause.right.relation} == \
             {"customer", "orders"}
+
+
+class TestScalarFunctionBinding:
+    """COALESCE / NULLIF lower through the generic function-call syntax."""
+
+    def test_coalesce_binds(self, tpch_catalog):
+        query = bind_sql(tpch_catalog,
+                         "select coalesce(o_orderstatus, 'none') as c from orders")
+        expression = query.output[0].expression
+        assert type(expression).__name__ == "Coalesce"
+        assert str(expression) == "coalesce(orders.o_orderstatus, 'none')"
+
+    def test_nullif_binds(self, tpch_catalog):
+        query = bind_sql(tpch_catalog,
+                         "select nullif(o_orderkey, 0) from orders")
+        expression = query.output[0].expression
+        assert type(expression).__name__ == "NullIf"
+        assert query.output[0].name == "nullif"
+
+    def test_coalesce_arity_enforced(self, tpch_catalog):
+        with pytest.raises(BindError):
+            bind_sql(tpch_catalog, "select coalesce(o_orderkey) from orders")
+        with pytest.raises(BindError):
+            bind_sql(tpch_catalog,
+                     "select nullif(o_orderkey, 1, 2) from orders")
+
+    def test_functions_fingerprint_distinctly(self, tpch_catalog):
+        a = bind_sql(tpch_catalog,
+                     "select coalesce(o_totalprice, 1) from orders")
+        b = bind_sql(tpch_catalog,
+                     "select coalesce(o_totalprice, 2) from orders")
+        assert a.fingerprint() != b.fingerprint()
