@@ -4,15 +4,17 @@
 # null-overhead smoke benchmark that fails if the mask=None fast path stops
 # being free on NULL-free workloads (see docs/nulls.md), an executor
 # throughput benchmark gating the factorized join kernel and execute_many
-# batching at >= 2x (see docs/executor.md), and an examples smoke run that
-# drives the session API (docs/api.md) end to end at tiny scale.
+# batching at >= 2x (see docs/executor.md), an examples smoke run that
+# drives the session API (docs/api.md) end to end at tiny scale, plus the
+# static-analysis gate: the engine lint suite, strict typing, and the
+# plan-contract verifier over the golden-plan corpus (see docs/analysis.md).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test smoke examples bench golden
+.PHONY: check test smoke examples bench golden lint typecheck verify-plans
 
-check: test smoke examples
+check: lint typecheck verify-plans test smoke examples
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -26,6 +28,22 @@ examples:
 	$(PYTHON) examples/quickstart.py --scale 0.01
 	$(PYTHON) examples/heuristic_ablation.py --scale 0.005 --queries 3,12,19
 	$(PYTHON) examples/execute_many_serving.py --scale 0.005
+
+# Engine-invariant lint (stdlib-only, see docs/analysis.md for the rules).
+lint:
+	$(PYTHON) -m repro.analysis lint
+
+# Strict mypy over core/executor/api/analysis.  mypy is not vendored into the
+# runtime image, so the target degrades to a notice when it is absent; CI
+# installs it and runs the real thing.
+typecheck:
+	@$(PYTHON) -c "import mypy" 2>/dev/null \
+		&& $(PYTHON) -m mypy --config-file mypy.ini src/repro \
+		|| echo "mypy not installed; skipping typecheck (CI runs it)"
+
+# Plan-contract verifier over every TPC-H golden plan configuration.
+verify-plans:
+	$(PYTHON) -m repro.analysis verify --scale-factor 100
 
 bench:
 	$(PYTHON) -m pytest benchmarks -x -q

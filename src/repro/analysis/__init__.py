@@ -1,0 +1,43 @@
+"""Static analysis for the repro engine: plan contracts + engine lint.
+
+Two complementary passes guard the invariants the executor assumes but
+cannot check itself:
+
+* :mod:`repro.analysis.contracts` — the **plan-contract verifier**, a walker
+  over optimized plan trees run at plan time behind the ``verify_plans``
+  knob.  It raises :class:`~repro.errors.PlanContractError` naming the
+  offending node when a plan would break an executor contract (dangling
+  column references, dtype-incompatible join keys, Bloom filters probed
+  before their build, hidden sort keys dropped twice, non-monotone
+  cardinalities, open null-mask flows).
+* :mod:`repro.analysis.lint` — the **engine lint**, an AST-based checker
+  (``make lint`` / ``python -m repro.analysis.lint``) enforcing
+  repo-specific source rules distilled from past bugs: no unordered-
+  collection iteration feeding plan decisions, no raw ``np.*`` access to
+  batch columns that bypasses the ``(values, null_mask)`` accessors, no
+  sentinel-fill constants, no shared-state mutation from morsel workers,
+  and no unannotated defs in the strictly-typed packages.
+
+See ``docs/analysis.md`` for the contract catalogue, the lint rules with
+the PR that motivated each, and the suppression policy.
+"""
+
+from .contracts import (
+    ContractViolation,
+    PlanContractVerifier,
+    check_plan,
+    verify_plan,
+    verify_plans_default,
+)
+from .lint import LintFinding, lint_paths, lint_source
+
+__all__ = [
+    "ContractViolation",
+    "LintFinding",
+    "PlanContractVerifier",
+    "check_plan",
+    "lint_paths",
+    "lint_source",
+    "verify_plan",
+    "verify_plans_default",
+]

@@ -1,0 +1,36 @@
+"""Command-line entry point: ``python -m repro.analysis <command>``.
+
+Commands:
+
+``lint``
+    Run the engine lint suite (see :mod:`repro.analysis.lint`).
+``verify``
+    Run the plan-contract verifier over the TPC-H golden-plan corpus
+    (see :mod:`repro.analysis.verify`).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from . import lint, verify
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__.strip())
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "lint":
+        return lint.main(rest)
+    if command == "verify":
+        return verify.main(rest)
+    print("unknown command %r (expected 'lint' or 'verify')" % command,
+          file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""Run the plan-contract verifier over the TPC-H golden-plan corpus.
+
+The CLI twin of ``scripts/dump_plan_golden.py``: it plans every analysed
+TPC-H query at the paper's SF100 statistics under all four optimizer
+configurations (no-BF, BF-Post, BF-CBO with paper defaults, BF-CBO with
+Heuristic 7) and verifies each plan against the contract catalogue in
+:mod:`repro.analysis.contracts`.  CI runs this so a planner change that
+starts emitting contract-violating plans fails the build even if no golden
+file happens to change shape.
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m repro.analysis.verify
+
+Exit status is non-zero if any plan has violations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.heuristics import BfCboSettings
+from ..core.optimizer import Optimizer, OptimizerMode
+from .contracts import ContractViolation, PlanContractVerifier
+
+
+def _configurations() -> List[Tuple[str, OptimizerMode,
+                                    Optional[BfCboSettings]]]:
+    return [
+        ("no-bf", OptimizerMode.NO_BF, None),
+        ("bf-post", OptimizerMode.BF_POST, None),
+        ("bf-cbo", OptimizerMode.BF_CBO, BfCboSettings.paper_defaults()),
+        ("bf-cbo-h7", OptimizerMode.BF_CBO, BfCboSettings.with_heuristic7()),
+    ]
+
+
+def verify_golden_corpus(scale_factor: float = 100.0,
+                         ) -> List[Tuple[str, str, ContractViolation]]:
+    """Verify every (query, configuration) plan of the golden corpus.
+
+    Returns ``(query_name, configuration_label, violation)`` triples —
+    empty when the whole corpus verifies clean.
+    """
+    from ..tpch import TpchWorkload  # deferred: pulls in the generator
+
+    workload = TpchWorkload.statistics_only(scale_factor=scale_factor)
+    optimizer = Optimizer(workload.catalog)
+    failures: List[Tuple[str, str, ContractViolation]] = []
+    for number in workload.query_numbers:
+        query = workload.query(number)
+        verifier = PlanContractVerifier(workload.catalog, query)
+        for label, mode, settings in _configurations():
+            result = optimizer.optimize(query, mode, settings)
+            for violation in verifier.check(result.plan):
+                failures.append((query.name, label, violation))
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: verify the golden corpus, report violations."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.verify",
+        description="Plan-contract verification over the TPC-H golden-plan "
+                    "corpus (see docs/analysis.md).")
+    parser.add_argument("--scale-factor", type=float, default=100.0,
+                        help="statistics scale factor (default: 100, "
+                             "matching the golden plans)")
+    options = parser.parse_args(argv)
+    failures = verify_golden_corpus(scale_factor=options.scale_factor)
+    for query_name, label, violation in failures:
+        print("%s/%s: %s" % (query_name, label, violation))
+    if failures:
+        print("%d contract violation(s)." % len(failures))
+        return 1
+    print("plan contracts: golden corpus verifies clean.")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -21,10 +21,11 @@ context, setting overrides and a metrics history.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.contracts import PlanContractVerifier, verify_plans_default
 from ..cache import LruCache
 from ..core.cost import CostParameters, DEFAULT_COST_PARAMETERS
 from ..core.enumerator import EnumerationSequenceCache
@@ -112,7 +113,8 @@ def _storage_array(values: np.ndarray) -> np.ndarray:
 
 
 def _infer_storage_column(values: np.ndarray,
-                          explicit_mask) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+                          explicit_mask: Optional[Sequence],
+                          ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
     """Physical array plus inferred/merged null mask for one input column.
 
     NaN in float input and ``None`` in object input mark NULLs
@@ -173,6 +175,12 @@ class Database:
         morsel_size: Default maximum rows per execution morsel for sessions.
         max_cross_join_rows: Default cross-join output guard for sessions
             (<= 0 disables the guard).
+        verify_plans: Run the plan-contract verifier
+            (:mod:`repro.analysis.contracts`) on every cold-planned query,
+            raising :class:`~repro.errors.PlanContractError` if the plan
+            violates an executor contract.  ``None`` (the default) follows
+            the ``REPRO_VERIFY_PLANS`` environment variable — on in tests
+            and CI, off in production; sessions may override per connection.
     """
 
     def __init__(self, catalog: Catalog, *,
@@ -188,7 +196,8 @@ class Database:
                  parallel_executor: Optional[str] = None,
                  executor_workers: Optional[int] = None,
                  morsel_size: Optional[int] = None,
-                 max_cross_join_rows: Optional[int] = None) -> None:
+                 max_cross_join_rows: Optional[int] = None,
+                 verify_plans: Optional[bool] = None) -> None:
         self.catalog = catalog
         self.default_mode = mode
         self.default_settings = settings
@@ -208,6 +217,11 @@ class Database:
             executor_workers=executor_workers,
             morsel_size=morsel_size,
             max_cross_join_rows=max_cross_join_rows)
+        #: Whether cold-planned queries run the plan-contract verifier;
+        #: resolved like every other knob (session kwarg > database kwarg >
+        #: ``REPRO_VERIFY_PLANS`` environment default).
+        self.verify_plans: bool = (verify_plans_default()
+                                   if verify_plans is None else verify_plans)
         self.sequence_cache: Optional[EnumerationSequenceCache] = (
             EnumerationSequenceCache(sequence_cache_size)
             if sequence_cache_size > 0 else None)
@@ -230,7 +244,7 @@ class Database:
     def from_tpch(cls, scale_factor: float = 0.01, *,
                   statistics_only: bool = False,
                   query_numbers: Optional[List[int]] = None,
-                  **database_kwargs) -> "Database":
+                  **database_kwargs: Any) -> "Database":
         """A database over a generated (or statistics-only) TPC-H catalog.
 
         The bound workload queries stay reachable through :meth:`tpch_query`,
@@ -303,7 +317,7 @@ class Database:
         self._register(schema.name, lambda: self.catalog.register_schema(
             schema, statistics))
 
-    def _register(self, table_name: str, register) -> None:
+    def _register(self, table_name: str, register: Callable[[], None]) -> None:
         """Run a catalog registration with per-table plan-cache eviction.
 
         Any out-of-band catalog change is flushed first (full eviction);
@@ -321,7 +335,7 @@ class Database:
     # Sessions
     # ------------------------------------------------------------------
 
-    def connect(self, **session_kwargs) -> "Session":
+    def connect(self, **session_kwargs: Any) -> "Session":
         """Open a new session against this database."""
         from .session import Session
 
@@ -330,7 +344,7 @@ class Database:
     def execute_many(self, queries: Sequence, *,
                      workers: Optional[int] = None,
                      deduplicate: bool = True,
-                     **session_kwargs) -> List:
+                     **session_kwargs: Any) -> List:
         """Execute a batch of queries concurrently against this database.
 
         Convenience wrapper over :meth:`Session.execute_many
@@ -386,6 +400,7 @@ class Database:
                  mode: Optional[OptimizerMode] = None,
                  settings: Optional[BfCboSettings] = None,
                  overrides: Optional[Mapping[str, object]] = None,
+                 verify: Optional[bool] = None,
                  ) -> Tuple[OptimizationResult, bool]:
         """Plan ``query``, consulting the plan cache.
 
@@ -394,8 +409,15 @@ class Database:
         reports the original cold planning time.  ``overrides`` are per-call
         adaptive-planner field overrides (a session's knobs), folded into the
         resolved settings — and therefore into the plan-cache key.
+
+        ``verify`` overrides the database's ``verify_plans`` knob for this
+        call.  Verification runs on *cold* planning only — a cached plan
+        already passed on the miss that produced it — and the knob stays out
+        of the cache key: it changes whether a plan is checked, never which
+        plan is produced.
         """
         mode = mode or self.default_mode
+        verify = self.verify_plans if verify is None else verify
         settings = self.resolve_settings(mode, settings, overrides)
         caching = self._plan_cache.max_entries > 0
         if caching:
@@ -414,6 +436,10 @@ class Database:
                 return cached[0], True
         with raise_as(PlanningError, "planning %s failed" % query.name):
             result = self.optimizer.optimize(query, mode, settings)
+        if verify:
+            # PlanContractError subclasses PlanningError, so callers guarding
+            # the planning stage catch contract violations with no new paths.
+            PlanContractVerifier(self.catalog, query).verify(result.plan)
         if caching and self.catalog.version == planned_version:
             # Entries carry the set of tables the plan reads so that a
             # re-registration of one table evicts only its dependents.

@@ -25,6 +25,7 @@ from ..core.heuristics import BfCboSettings, planner_overrides
 from ..core.optimizer import OptimizationResult, OptimizerMode
 from ..core.query import QueryBlock
 from ..errors import ExecutionError, raise_as
+from ..storage.catalog import Catalog
 from ..executor.context import (
     DEFAULT_MAX_CROSS_JOIN_ROWS,
     DEFAULT_MORSEL_SIZE,
@@ -211,6 +212,10 @@ class Session:
             morsel.
         max_cross_join_rows: Per-session override of the cross-join output
             guard (<= 0 disables it).
+        verify_plans: Per-session override of the plan-contract verifier
+            knob (falls back to the database's, then the
+            ``REPRO_VERIFY_PLANS`` environment default); see
+            :mod:`repro.analysis.contracts`.
     """
 
     def __init__(self, database: Database, *,
@@ -225,11 +230,15 @@ class Session:
                  parallel_executor: Optional[str] = None,
                  executor_workers: Optional[int] = None,
                  morsel_size: Optional[int] = None,
-                 max_cross_join_rows: Optional[int] = None) -> None:
+                 max_cross_join_rows: Optional[int] = None,
+                 verify_plans: Optional[bool] = None) -> None:
         self.database = database
         self.mode = mode
         self.settings = settings
         self.history_limit = history_limit
+        #: Per-session plan-verification knob; ``None`` defers to the
+        #: database (which in turn defers to ``REPRO_VERIFY_PLANS``).
+        self.verify_plans = verify_plans
         #: Per-session adaptive-planner overrides, applied on top of the
         #: database-wide ones for every plan this session requests.
         self.planner_overrides: Dict[str, object] = planner_overrides(
@@ -261,7 +270,7 @@ class Session:
     # ------------------------------------------------------------------
 
     @property
-    def catalog(self):
+    def catalog(self) -> Catalog:
         """The catalog behind the session's database."""
         return self.database.catalog
 
@@ -412,7 +421,8 @@ class Session:
         overrides = None if explicit else (self.planner_overrides or None)
         started = time.perf_counter()
         optimization, from_cache = self.database.optimize(
-            block, mode, settings, overrides=overrides)
+            block, mode, settings, overrides=overrides,
+            verify=self.verify_plans)
         planning_time_ms = (time.perf_counter() - started) * 1e3
         return QueryResult(query=block, mode=mode,
                            settings=optimization.settings,

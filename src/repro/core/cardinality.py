@@ -17,7 +17,7 @@ materialised reproduction datasets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..bloom.math import expected_fpr_for_build_ndv
 from ..storage.catalog import Catalog
@@ -150,7 +150,8 @@ class CardinalityEstimator:
             return self._null_test_selectivity(predicate, alias)
         return self.unknown_selectivity
 
-    def _null_test_selectivity(self, predicate, alias: str) -> float:
+    def _null_test_selectivity(self, predicate: Union[IsNull, IsNotNull],
+                               alias: str) -> float:
         """Selectivity of ``IS [NOT] NULL`` from the column's null fraction."""
         if not isinstance(predicate.operand, ColumnRef) \
                 or predicate.operand.relation != alias:
@@ -160,7 +161,7 @@ class CardinalityEstimator:
         return fraction if isinstance(predicate, IsNull) else 1.0 - fraction
 
     @staticmethod
-    def _literal_value(expr) -> Optional[object]:
+    def _literal_value(expr: object) -> Optional[object]:
         return expr.value if isinstance(expr, Literal) else None
 
     def _comparison_selectivity(self, predicate: Comparison, alias: str) -> float:
@@ -216,7 +217,7 @@ class CardinalityEstimator:
         return min(1.0, sel)
 
     @staticmethod
-    def _as_number(value) -> Optional[float]:
+    def _as_number(value: Any) -> Optional[float]:
         if value is None or isinstance(value, str):
             return None
         try:

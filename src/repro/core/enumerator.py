@@ -33,7 +33,7 @@ from ..cache import LruCache
 from ..storage.catalog import Catalog
 from .candidates import BloomFilterSpec
 from .cardinality import CardinalityEstimator
-from .cost import Cost, CostModel
+from .cost import Cost, CostModel, CostParameters
 from .expressions import ColumnRef
 from .greedy import greedy_unordered_pairs
 from .heuristics import BfCboSettings
@@ -671,10 +671,8 @@ class JoinEnumerator:
     def _hash_required(self, outer_plan: PlanNode, inner_plan: PlanNode) -> bool:
         """Hash join is forced whenever any pending Bloom filter's δ overlaps
         the other side (Section 3.6, second constraint)."""
-        for spec in outer_plan.pending_blooms:
-            if spec.delta & inner_plan.relations:
-                return True
-        return False
+        return any(spec.delta & inner_plan.relations
+                   for spec in outer_plan.pending_blooms)
 
     def _check_bloom_constraints(self, outer_plan: PlanNode,
                                  inner_plan: PlanNode,
@@ -894,7 +892,7 @@ _PROCESS_SHARD_STATE: Optional[Tuple] = None
 
 def _init_process_shard_worker(catalog: Catalog, query: QueryBlock,
                                settings: BfCboSettings,
-                               cost_parameters) -> None:
+                               cost_parameters: "CostParameters") -> None:
     """Receive the pickled query context once per worker process.
 
     The estimator is built here and shared by every shard the process runs,

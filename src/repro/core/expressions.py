@@ -27,6 +27,7 @@ definitely-true rows without consulting the mask.
 from __future__ import annotations
 
 import enum
+import re
 from dataclasses import dataclass
 from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -59,7 +60,8 @@ def combine_null_masks(*masks: Optional[np.ndarray]) -> Optional[np.ndarray]:
 def _adapt_resolver(resolve: ColumnResolver) -> MaskedColumnResolver:
     """Wrap a values-only resolver into the masked protocol (no masks)."""
 
-    def resolve_masked(ref: "ColumnRef"):
+    def resolve_masked(ref: "ColumnRef",
+                       ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
         return resolve(ref), None
 
     return resolve_masked
@@ -70,7 +72,8 @@ def _is_scalar_null(mask: Optional[np.ndarray]) -> bool:
     return (mask is not None and getattr(mask, "ndim", 1) == 0 and bool(mask))
 
 
-def _full_mask(mask: Optional[np.ndarray], shape) -> Optional[np.ndarray]:
+def _full_mask(mask: Optional[np.ndarray],
+               shape: Tuple[int, ...]) -> Optional[np.ndarray]:
     """Broadcast an optional mask to ``shape`` (None stays None)."""
     if mask is None:
         return None
@@ -553,9 +556,7 @@ class Like(Predicate):
     def referenced_columns(self) -> List[ColumnRef]:
         return self.operand.referenced_columns()
 
-    def _regex(self):
-        import re
-
+    def _regex(self) -> "re.Pattern":
         parts = []
         for char in self.pattern:
             if char == "%":

@@ -26,11 +26,11 @@ cross products as the exact path, so multi-component queries stay plannable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .cardinality import CardinalityEstimator
 from .joingraph import JoinGraph
-from .query import JoinType
+from .query import JoinClause, JoinType
 
 #: Floor for selectivities/costs so rank computations never divide by zero.
 _EPSILON = 1e-12
@@ -62,7 +62,8 @@ def _merge_is_legal(graph: JoinGraph, left: int, right: int) -> bool:
             or _orientation_is_legal(graph, clauses, right))
 
 
-def _orientation_is_legal(graph: JoinGraph, clauses, outer: int) -> bool:
+def _orientation_is_legal(graph: JoinGraph, clauses: Sequence[JoinClause],
+                          outer: int) -> bool:
     join_type = JoinType.INNER
     for clause in clauses:
         if clause.join_type is JoinType.INNER:

@@ -85,7 +85,7 @@ class BfCboSettings:
                 "parallel_executor must be 'thread' or 'process', got %r"
                 % (self.parallel_executor,))
 
-    def with_overrides(self, **kwargs) -> "BfCboSettings":
+    def with_overrides(self, **kwargs: object) -> "BfCboSettings":
         """Return a copy with selected fields replaced."""
         return replace(self, **kwargs)
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..errors import PlanningError
 from ..storage.catalog import Catalog
@@ -26,7 +26,8 @@ from .enumerator import (
 )
 from .expressions import AggregateCall, ColumnRef
 from .heuristics import BfCboSettings
-from .planlist import PlanList
+from .joingraph import JoinGraph
+from .planlist import PlanList, PlanTable
 from .plans import (
     AggregateNode,
     ExchangeKind,
@@ -144,7 +145,8 @@ class Optimizer:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _best_join_plan(query: QueryBlock, join_graph, table) -> PlanNode:
+    def _best_join_plan(query: QueryBlock, join_graph: "JoinGraph",
+                        table: "PlanTable") -> PlanNode:
         """Cheapest complete (no pending Bloom filters) plan for all relations."""
         plan_list = table.get(join_graph.all_mask)
         if plan_list is None or plan_list.best() is None:
@@ -198,7 +200,10 @@ class Optimizer:
         return plan
 
     @staticmethod
-    def _carry_order_keys(query: QueryBlock):
+    def _carry_order_keys(query: QueryBlock,
+                          ) -> Tuple[Tuple[OrderItem, ...],
+                                     Tuple[OutputItem, ...],
+                                     Tuple[str, ...]]:
         """Carry ORDER BY keys on non-projected columns through the output.
 
         The sort runs above the projection (or aggregation), where the batch

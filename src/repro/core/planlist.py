@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from .joingraph import JoinGraph
 from .plans import PlanNode
 
 
@@ -47,7 +48,7 @@ class PlanList:
     def __len__(self) -> int:
         return len(self.plans)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[PlanNode]:
         return iter(self.plans)
 
     # -- pruning rules -----------------------------------------------------
@@ -167,16 +168,17 @@ class PlanTable:
     def __iter__(self) -> Iterator[int]:
         return iter(self.lists)
 
-    def items(self):
+    def items(self) -> Iterable[Tuple[int, "PlanList"]]:
         return self.lists.items()
 
-    def to_alias_dict(self, join_graph) -> Dict:
+    def to_alias_dict(self, join_graph: JoinGraph) -> Dict:
         """Frozenset-keyed view for the public optimizer seams."""
         return {join_graph.aliases_of(mask): plan_list
                 for mask, plan_list in self.lists.items()}
 
     @classmethod
-    def from_alias_dict(cls, plan_lists: Dict, join_graph) -> "PlanTable":
+    def from_alias_dict(cls, plan_lists: Dict,
+                        join_graph: JoinGraph) -> "PlanTable":
         """Mask-keyed table from a frozenset-keyed dictionary."""
         return cls(lists={join_graph.mask_of(relations): plan_list
                           for relations, plan_list in plan_lists.items()})

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from .candidates import BloomFilterSpec
 from .cost import Cost, ZERO_COST
@@ -74,7 +74,7 @@ class PlanNode:
         """Short human-readable operator label (used by EXPLAIN)."""
         return type(self).__name__
 
-    def walk(self):
+    def walk(self) -> Iterator["PlanNode"]:
         """Yield this node and all descendants, pre-order."""
         yield self
         for child in self.children:

@@ -19,7 +19,7 @@ from __future__ import annotations
 import copy
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
 from ..storage.catalog import Catalog
 from .candidates import BloomFilterSpec
@@ -102,7 +102,8 @@ class BloomPostProcessor:
             report.filters_added.append(spec)
 
     def _consider_filter(self, apply_column: ColumnRef,
-                         build_column: ColumnRef, build_relations,
+                         build_column: ColumnRef,
+                         build_relations: FrozenSet[str],
                          report: PostProcessReport) -> Optional[BloomFilterSpec]:
         """Apply the standard post-processing profitability checks."""
         apply_alias = apply_column.relation

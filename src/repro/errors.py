@@ -31,6 +31,24 @@ class PlanningError(ReproError):
     """Raised when the optimizer cannot produce a plan for a query."""
 
 
+class PlanContractError(PlanningError):
+    """Raised when a produced plan violates an executor contract.
+
+    The plan-contract verifier (:mod:`repro.analysis.contracts`) walks bound
+    plan trees at plan time and checks the invariants the executor silently
+    assumes — column resolution, join-key dtype compatibility, null-mask
+    closure, hidden-sort-key accounting, the Bloom publication barrier and
+    cardinality sanity.  ``violations`` carries every
+    :class:`~repro.analysis.contracts.ContractViolation` found (each naming
+    the offending contract and node path); the message reports the first.
+    """
+
+    def __init__(self, message: str, violations: "tuple" = ()) -> None:
+        super().__init__(message)
+        #: All violations found in the plan, first one first.
+        self.violations = tuple(violations)
+
+
 class ExecutionError(ReproError):
     """Raised when executing a plan fails.
 
@@ -62,5 +80,5 @@ def raise_as(error_cls: Type[ReproError], context: str) -> Iterator[None]:
         raise error_cls("%s: %s" % (context, exc)) from exc
 
 
-__all__ = ["DATA_ERROR_TYPES", "ExecutionError", "PlanningError",
-           "ReproError", "raise_as"]
+__all__ = ["DATA_ERROR_TYPES", "ExecutionError", "PlanContractError",
+           "PlanningError", "ReproError", "raise_as"]

@@ -15,11 +15,26 @@ must never be interpreted as data.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
-from ..core.expressions import ColumnRef
+from ..core.expressions import ColumnRef, ColumnResolver, MaskedColumnResolver
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..storage.table import Table
 
 
 class Batch:
@@ -54,12 +69,13 @@ class Batch:
         self._num_rows = length or 0
         #: Per-batch kernel state (factorized join keys, unique valid values)
         #: keyed by (kernel kind, column keys); see :meth:`kernel_memo`.
-        self._kernel_memo: Dict = {}
+        self._kernel_memo: Dict[Hashable, Any] = {}
 
     # -- construction -------------------------------------------------------
 
     @classmethod
-    def from_table(cls, alias: str, table, start: Optional[int] = None,
+    def from_table(cls, alias: str, table: "Table",
+                   start: Optional[int] = None,
                    stop: Optional[int] = None) -> "Batch":
         """Wrap a storage table's columns under ``alias.column`` keys.
 
@@ -97,6 +113,8 @@ class Batch:
         columns = {}
         masks = {}
         for key in pieces[0].keys:
+            # lint: allow(mask-accessor-bypass) — this IS the accessor layer:
+            # the matching masks are concatenated in lockstep right below.
             columns[key] = np.concatenate([piece.column(key)
                                            for piece in pieces])
             piece_masks = [piece.null_mask(key) for piece in pieces]
@@ -137,7 +155,7 @@ class Batch:
     def has_column(self, key: str) -> bool:
         return key in self._columns
 
-    def kernel_memo(self, key, compute):
+    def kernel_memo(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """Memoized per-batch kernel state (batches are immutable).
 
         A build side probed repeatedly — by every morsel of the probe side,
@@ -149,6 +167,9 @@ class Batch:
         try:
             return self._kernel_memo[key]
         except KeyError:
+            # lint: allow(worker-shared-mutation) — benign race by design: a
+            # losing thread recomputes an equivalent immutable value; the
+            # dict store itself is atomic under the GIL (see docstring).
             value = self._kernel_memo[key] = compute()
             return value
 
@@ -168,7 +189,7 @@ class Batch:
 
         return self.kernel_memo(("unique_valid", key), compute)
 
-    def resolver(self):
+    def resolver(self) -> ColumnResolver:
         """Values-only column resolver (legacy NULL-oblivious evaluation)."""
 
         def resolve(ref: ColumnRef) -> np.ndarray:
@@ -176,7 +197,7 @@ class Batch:
 
         return resolve
 
-    def masked_resolver(self):
+    def masked_resolver(self) -> MaskedColumnResolver:
         """Masked column resolver usable by three-valued evaluation."""
 
         def resolve(ref: ColumnRef) -> Tuple[np.ndarray, Optional[np.ndarray]]:

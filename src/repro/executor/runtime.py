@@ -27,12 +27,25 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from ..bloom import BloomFilter, PartitionedBloomFilter
-from ..core.expressions import ColumnRef, ScalarExpression, fill_masked
+from ..core.expressions import (
+    ColumnRef,
+    Predicate,
+    ScalarExpression,
+    fill_masked,
+)
 from ..core.plans import (
     AggregateNode,
     ExchangeKind,
@@ -51,6 +64,9 @@ from .batch import Batch
 from .context import ExecutionContext, FilterScope
 from .joins import equi_join, merge_join, nested_loop_join
 from .metrics import ExecutionMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..storage.table import Table
 
 
 @dataclass
@@ -176,7 +192,7 @@ class Executor:
         self.metrics.record(node, batch.num_rows, work, input_rows=base_rows)
         return batch
 
-    def _execute_scan_morsels(self, node: ScanNode, table,
+    def _execute_scan_morsels(self, node: ScanNode, table: "Table",
                               spans: Sequence[Tuple[int, int]]) -> Batch:
         """Morsel-parallel scan: filter + Bloom-probe each span, then concat.
 
@@ -193,7 +209,8 @@ class Executor:
         blooms = [(spec, self.filters.get_filter(spec.filter_id))
                   for spec in node.bloom_filters]
 
-        def scan_span(span: Tuple[int, int]):
+        def scan_span(span: Tuple[int, int],
+                      ) -> Tuple[Batch, int, List[int]]:
             batch = Batch.from_table(node.alias, table, span[0], span[1])
             for predicate in node.predicates:
                 batch = self._apply_predicate(batch, predicate)
@@ -424,7 +441,7 @@ class Executor:
     # -- helpers ----------------------------------------------------------------
 
     @staticmethod
-    def _apply_predicate(batch: Batch, predicate) -> Batch:
+    def _apply_predicate(batch: Batch, predicate: Predicate) -> Batch:
         """Filter a batch to the rows where ``predicate`` is definitely TRUE.
 
         Rows where the predicate evaluates to UNKNOWN (NULL) are dropped,

@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# Every plan any test produces through the Database/Session API runs the
+# plan-contract verifier (repro.analysis.contracts).  Production keeps the
+# knob off; the suite is where contract violations should surface first.
+os.environ.setdefault("REPRO_VERIFY_PLANS", "1")
 
 from repro.core import (
     BaseRelation,

@@ -34,3 +34,45 @@ def test_tpch_plans_match_golden():
         "TPC-H plans diverged from tests/golden/tpch_plans.txt — if the "
         "change is intentional, regenerate the golden file and review the "
         "diff")
+
+
+# ---------------------------------------------------------------------------
+# Hash-seed independence
+# ---------------------------------------------------------------------------
+
+#: Runs in a subprocess so each seed gets a genuinely different str() hash
+#: layout: plans (join order, Bloom specs, costs) must not depend on the
+#: iteration order of any set or dict the planner touches.  This is the
+#: regression net for the bug class the ``unordered-iteration`` lint rule
+#: (repro.analysis.lint) guards against statically.
+_HASHSEED_PROBE = """
+import sys
+from repro.core import Optimizer, OptimizerMode, explain
+from repro.core.heuristics import BfCboSettings
+from repro.tpch import TpchWorkload
+
+workload = TpchWorkload.statistics_only(scale_factor=100.0)
+optimizer = Optimizer(workload.catalog)
+for number in (5, 7, 9):
+    query = workload.query(number)
+    result = optimizer.optimize(query, OptimizerMode.BF_CBO,
+                                BfCboSettings.paper_defaults())
+    sys.stdout.write(query.name + "\\n" + explain(result.plan) + "\\n")
+"""
+
+
+def test_plans_are_hash_seed_independent():
+    import os
+    import subprocess
+
+    outputs = {}
+    for seed in ("0", "1", "4242"):
+        env = dict(os.environ, PYTHONHASHSEED=seed,
+                   PYTHONPATH=str(pathlib.Path(__file__).parents[1] / "src"))
+        proc = subprocess.run(
+            [sys.executable, "-c", _HASHSEED_PROBE],
+            capture_output=True, text=True, env=env, check=True)
+        outputs[seed] = proc.stdout
+    assert len(set(outputs.values())) == 1, (
+        "plans differ across PYTHONHASHSEED values — some set/dict "
+        "iteration order is leaking into plan choice")
