@@ -4,7 +4,9 @@
 # null-overhead smoke benchmark that fails if the mask=None fast path stops
 # being free on NULL-free workloads (see docs/nulls.md), an executor
 # throughput benchmark gating the factorized join kernel and execute_many
-# batching at >= 2x (see docs/executor.md), an examples smoke run that
+# batching at >= 2x (see docs/executor.md), a serving-latency benchmark
+# gating the shared result cache (>= 10x hot speedup, targeted
+# invalidation — see docs/serving.md), an examples smoke run that
 # drives the session API (docs/api.md) end to end at tiny scale, plus the
 # static-analysis gate: the engine lint suite, strict typing, and the
 # plan-contract verifier over the golden-plan corpus (see docs/analysis.md).
@@ -22,12 +24,14 @@ test:
 smoke:
 	$(PYTHON) -m pytest benchmarks/test_bench_planner_latency.py \
 		benchmarks/test_bench_null_overhead.py \
-		benchmarks/test_bench_executor_throughput.py -x -q
+		benchmarks/test_bench_executor_throughput.py \
+		benchmarks/test_bench_serving_latency.py -x -q
 
 examples:
 	$(PYTHON) examples/quickstart.py --scale 0.01
 	$(PYTHON) examples/heuristic_ablation.py --scale 0.005 --queries 3,12,19
 	$(PYTHON) examples/execute_many_serving.py --scale 0.005
+	$(PYTHON) examples/async_serving.py --scale 0.005
 
 # Engine-invariant lint (stdlib-only, see docs/analysis.md for the rules).
 lint:

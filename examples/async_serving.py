@@ -1,0 +1,102 @@
+"""The async serving tier: admission control, deadlines, result caching.
+
+This example stands up :class:`repro.serving.AsyncDatabase` over a TPC-H
+database and walks the serving features end to end:
+
+1. two "dashboard" tenants hammer a hot query cycle concurrently — repeats
+   are served from the shared result cache (``result_cache_size``),
+2. an "adhoc" tenant runs unique queries on a low-weight quota, so the
+   weighted-fair queue keeps it from crowding out the dashboards,
+3. a deadline-bound request is cancelled cooperatively mid-execution with a
+   typed :class:`~repro.errors.QueryCancelledError`,
+4. a deliberately tiny queue sheds overload with a typed
+   :class:`~repro.errors.AdmissionError` instead of buffering unboundedly.
+
+See ``docs/serving.md`` for the architecture.  Run with
+``python examples/async_serving.py`` (``--scale`` shrinks the dataset).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from repro.api import Database
+from repro.errors import AdmissionError, QueryCancelledError
+from repro.serving import AsyncDatabase, TenantQuota
+
+#: The hot-query cycle the dashboard tenants repeat.
+HOT_QUERIES = [3, 10, 12]
+REPEATS = 8
+
+
+async def serve(db: Database, workers: int) -> None:
+    async with AsyncDatabase(
+            db, workers=workers, max_queue_depth=128,
+            quotas={"adhoc": TenantQuota(max_concurrency=1, weight=0.5)},
+    ) as serving:
+        # 1. Hot repeats from two tenants + unique ad-hoc queries.
+        requests = []
+        for repeat in range(REPEATS):
+            for index, number in enumerate(HOT_QUERIES):
+                requests.append(serving.execute_async(
+                    db.tpch_query(number), tenant="dash-%d" % (index % 2)))
+        for unique in range(6):
+            requests.append(serving.execute_async(
+                "select count(*) as n from lineitem where l_quantity <= %d"
+                % (5 + unique), tenant="adhoc"))
+        results = await asyncio.gather(*requests)
+
+        snapshot = serving.snapshot()
+        hot = sum(1 for r in results if r.from_result_cache)
+        print("served %d requests across %d tenants: %d result-cache hits"
+              % (len(results), len(snapshot.tenants), hot))
+        latency = snapshot.latency
+        print("latency p50/p95/p99: %.1f / %.1f / %.1f ms"
+              % (latency.p50_ms, latency.p95_ms, latency.p99_ms))
+
+        # 2. A deadline too tight to meet: cooperative cancellation stops
+        #    the query within one morsel and raises a typed error.
+        try:
+            await serving.execute_async(db.tpch_query(18), tenant="dash-0",
+                                        timeout=1e-4)
+        except QueryCancelledError as error:
+            print("deadline enforced: %s" % error)
+
+        # 3. Overload sheds instead of buffering: with one worker and a
+        #    one-slot queue, a burst submitted while the worker is busy
+        #    mostly rejects with AdmissionError instead of piling up.
+        async with AsyncDatabase(db, workers=1,
+                                 max_queue_depth=1) as tiny:
+            busy = asyncio.ensure_future(
+                tiny.execute_async(db.tpch_query(18)))
+            burst = [asyncio.ensure_future(
+                tiny.execute_async(db.tpch_query(5)))
+                for _ in range(8)]
+            outcomes = await asyncio.gather(*burst,
+                                            return_exceptions=True)
+            await busy
+            shed = sum(isinstance(o, AdmissionError) for o in outcomes)
+            print("overload: %d of %d burst submissions shed with "
+                  "AdmissionError" % (shed, len(burst)))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="TPC-H scale factor (default 0.02)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="serving worker threads (default 4)")
+    args = parser.parse_args()
+
+    print("Generating TPC-H data at scale factor %s ..." % args.scale)
+    db = Database.from_tpch(scale_factor=args.scale, result_cache_size=128)
+    asyncio.run(serve(db, args.workers))
+
+    stats = db.cache_stats()
+    print("result cache: %d hits / %d lookups, %d entries"
+          % (stats.result_hits, stats.result_lookups, stats.result_entries))
+
+
+if __name__ == "__main__":
+    main()

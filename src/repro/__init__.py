@@ -10,6 +10,8 @@ The package is organised as:
 * :mod:`repro.sql` — SQL front end for the supported subset;
 * :mod:`repro.core` — the optimizer (plain CBO, BF-Post, BF-CBO, naïve);
 * :mod:`repro.executor` — vectorised execution engine with runtime metrics;
+* :mod:`repro.serving` — async multi-tenant serving tier (admission control,
+  deadlines, shared result cache);
 * :mod:`repro.tpch` — TPC-H data generator and workload;
 * :mod:`repro.experiments` — harnesses reproducing every table and figure.
 
@@ -19,25 +21,37 @@ single entry point most embedders need.
 
 from .api import (
     CacheStats,
+    CancelToken,
     Database,
     PreparedQuery,
     QueryResult,
     Session,
 )
-from .errors import ExecutionError, PlanningError, ReproError
+from .errors import (
+    AdmissionError,
+    ExecutionError,
+    PlanningError,
+    QueryCancelledError,
+    ReproError,
+    SessionClosedError,
+)
 from .sql.errors import SqlError
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "AdmissionError",
     "CacheStats",
+    "CancelToken",
     "Database",
     "ExecutionError",
     "PlanningError",
     "PreparedQuery",
+    "QueryCancelledError",
     "QueryResult",
     "ReproError",
     "Session",
+    "SessionClosedError",
     "SqlError",
     "__version__",
 ]

@@ -29,9 +29,17 @@ patched (rationale and motivating PRs in ``docs/analysis.md``):
     everywhere.
 ``untyped-def``
     In the strictly-typed packages (``core/``, ``executor/``, ``api/``,
-    ``analysis/``) every ``def`` must annotate all parameters and its return
-    type — the local enforcement arm of the strict mypy configuration
-    (mypy itself is optional in the container; see ``make typecheck``).
+    ``analysis/``, ``serving/``) every ``def`` must annotate all parameters
+    and its return type — the local enforcement arm of the strict mypy
+    configuration (mypy itself is optional in the container; see
+    ``make typecheck``).
+``blocking-in-async``
+    Inside ``serving/``, no ``async def`` body may call the sync engine
+    (``execute`` / ``execute_many``), ``time.sleep`` or a future's
+    ``.result()`` without ``await`` — any of these stalls the event loop
+    for every tenant at once.  Engine work belongs on the worker threads;
+    the coroutine side must only ``await``.  Awaited calls and nested sync
+    ``def``s (which run on workers) are exempt.
 
 Deliberate exceptions carry ``# lint: allow(<rule>) — <reason>`` on the
 flagged line or the line above; the reason is mandatory (a bare ``allow``
@@ -48,7 +56,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 #: Packages under strict typing: ``untyped-def`` fires only inside these.
-STRICT_TYPED_PACKAGES = ("core", "executor", "api", "analysis")
+STRICT_TYPED_PACKAGES = ("core", "executor", "api", "analysis", "serving")
 
 #: Attributes known to hold ``frozenset`` values in the engine.  Deliberately
 #: *excludes* ``relations`` — ``PlanNode.relations`` is a frozenset but
@@ -77,10 +85,15 @@ WORKER_DISPATCH_METHODS = frozenset({"submit", "map", "_map_ordered"})
 #: call graph cannot see cross-module reachability).
 SHARED_ATTRIBUTES = frozenset({"_kernel_memo"})
 
+#: Calls that run the sync engine and therefore block the event loop when
+#: issued from a coroutine.
+BLOCKING_ENGINE_CALLS = frozenset({"execute", "execute_many"})
+
 #: All rule ids, in reporting order (``bad-suppression`` guards the
 #: suppression mechanism itself).
 RULES = ("unordered-iteration", "mask-accessor-bypass", "sentinel-fill",
-         "worker-shared-mutation", "untyped-def", "bad-suppression")
+         "worker-shared-mutation", "untyped-def", "blocking-in-async",
+         "bad-suppression")
 
 _ALLOW_RE = re.compile(
     r"#\s*lint:\s*allow\(([a-z-]+)\)\s*(?:—|–|-{1,2}|:)?\s*(.*)\s*$")
@@ -510,6 +523,67 @@ def _check_untyped_defs(tree: ast.AST, path: str,
 
 
 # ---------------------------------------------------------------------------
+# Rule: blocking-in-async
+# ---------------------------------------------------------------------------
+
+
+def _coroutine_body(fn: ast.AsyncFunctionDef) -> Iterable[ast.AST]:
+    """Nodes that run on the event loop inside one ``async def``.
+
+    Nested ``def``s and lambdas are skipped: they execute wherever they are
+    *called* (typically a worker thread), not in this coroutine.  Nested
+    ``async def``s are skipped too — the outer walk visits them as
+    coroutines of their own.
+    """
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _blocking_call_reason(node: ast.Call) -> Optional[str]:
+    """Why this call blocks the event loop, or ``None`` if it does not."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        if func.attr == "sleep" and isinstance(func.value, ast.Name) \
+                and func.value.id == "time":
+            return "time.sleep stalls the event loop; await asyncio.sleep"
+        if func.attr == "result":
+            return ".result() blocks on a future; await " \
+                   "asyncio.wrap_future(...) instead"
+        if func.attr in BLOCKING_ENGINE_CALLS:
+            return "sync %s(...) runs the engine on the event loop; " \
+                   "dispatch to the worker pool and await the future" \
+                   % func.attr
+    elif isinstance(func, ast.Name) and func.id in BLOCKING_ENGINE_CALLS:
+        return "sync %s(...) runs the engine on the event loop; dispatch " \
+               "to the worker pool and await the future" % func.id
+    return None
+
+
+def _check_blocking_in_async(tree: ast.AST, path: str,
+                             findings: List[LintFinding]) -> None:
+    for fn in ast.walk(tree):
+        if not isinstance(fn, ast.AsyncFunctionDef):
+            continue
+        for node in _coroutine_body(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(_parent(node), ast.Await):
+                continue
+            reason = _blocking_call_reason(node)
+            if reason is not None:
+                findings.append(LintFinding(
+                    path=path, line=node.lineno, rule="blocking-in-async",
+                    message="blocking call inside async def %s: %s"
+                            % (fn.name, reason)))
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -526,19 +600,26 @@ def _in_executor(path: str) -> bool:
     return "executor" in Path(path).parts
 
 
+def _in_serving(path: str) -> bool:
+    return "serving" in Path(path).parts
+
+
 def lint_source(source: str, path: str = "<string>",
                 strict_types: Optional[bool] = None,
-                executor_rules: Optional[bool] = None) -> List[LintFinding]:
+                executor_rules: Optional[bool] = None,
+                async_rules: Optional[bool] = None) -> List[LintFinding]:
     """Lint one module's source text; returns unsuppressed findings.
 
-    ``strict_types`` / ``executor_rules`` force the path-derived defaults
-    for the ``untyped-def`` and ``mask-accessor-bypass`` rules (used by
-    tests linting inline snippets).
+    ``strict_types`` / ``executor_rules`` / ``async_rules`` force the
+    path-derived defaults for the ``untyped-def``, ``mask-accessor-bypass``
+    and ``blocking-in-async`` rules (used by tests linting inline snippets).
     """
     if strict_types is None:
         strict_types = _in_strict_package(path)
     if executor_rules is None:
         executor_rules = _in_executor(path)
+    if async_rules is None:
+        async_rules = _in_serving(path)
     tree = ast.parse(source, filename=path)
     _add_parents(tree)
     allows, findings = _parse_allows(source, path)
@@ -550,6 +631,8 @@ def lint_source(source: str, path: str = "<string>",
         _check_mask_accessor_bypass(tree, path, raw)
     if strict_types:
         _check_untyped_defs(tree, path, raw)
+    if async_rules:
+        _check_blocking_in_async(tree, path, raw)
     for finding in raw:
         if finding.rule in allows.get(finding.line, ()):
             continue

@@ -25,7 +25,15 @@ so examples and embedders need only ``repro.api`` imports.
 from ..core.explain import bloom_filter_summary, explain, join_order_summary
 from ..core.heuristics import BfCboSettings, scaled_settings
 from ..core.optimizer import OptimizationResult, OptimizerMode
-from ..errors import ExecutionError, PlanningError, ReproError
+from ..errors import (
+    AdmissionError,
+    ExecutionError,
+    PlanningError,
+    QueryCancelledError,
+    ReproError,
+    SessionClosedError,
+)
+from ..executor.cancel import CancelToken
 from ..sql.errors import SqlError
 from ..storage import (
     BOOL,
@@ -43,9 +51,11 @@ from .database import CacheStats, Database
 from .session import PreparedQuery, QueryResult, Session
 
 __all__ = [
+    "AdmissionError",
     "BOOL",
     "BfCboSettings",
     "CacheStats",
+    "CancelToken",
     "Catalog",
     "DATE",
     "Database",
@@ -57,10 +67,12 @@ __all__ = [
     "OptimizerMode",
     "PlanningError",
     "PreparedQuery",
+    "QueryCancelledError",
     "QueryResult",
     "ReproError",
     "STRING",
     "Session",
+    "SessionClosedError",
     "SqlError",
     "bloom_filter_summary",
     "explain",

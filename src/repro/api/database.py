@@ -20,8 +20,20 @@ context, setting overrides and a metrics history.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -37,8 +49,10 @@ from ..core.optimizer import (
     resolve_optimizer_settings,
 )
 from ..core.query import QueryBlock
-from ..errors import PlanningError, raise_as
+from ..errors import PlanningError, SessionClosedError, raise_as
 from ..executor.context import executor_overrides
+from ..executor.runtime import ExecutionResult
+from ..serving.cache import ResultCache
 from ..sql.binder import bind_sql
 from ..storage.catalog import Catalog
 from ..storage.schema import ForeignKey, TableSchema, make_schema
@@ -46,14 +60,18 @@ from ..storage.statistics import TableStatistics
 from ..storage.table import Table, infer_null_mask
 from ..storage.types import BOOL, DATE, FLOAT64, INT64, STRING, DataType
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .session import QueryResult, Session
+
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters of a database's plan and enumeration caches.
+    """Hit/miss counters of a database's plan, sequence and result caches.
 
-    ``plan_evictions`` counts entries dropped by invalidation — targeted
-    (per-table, when a dependency is re-registered) and full (out-of-band
-    catalog changes) alike; LRU-capacity replacement is not counted.
+    ``plan_evictions`` / ``result_evictions`` count entries dropped by
+    invalidation — targeted (per-table, when a dependency is re-registered)
+    and full (out-of-band catalog changes) alike; LRU-capacity replacement
+    is not counted.
     """
 
     plan_hits: int
@@ -63,6 +81,10 @@ class CacheStats:
     sequence_misses: int
     sequence_entries: int
     plan_evictions: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+    result_entries: int = 0
+    result_evictions: int = 0
 
     @property
     def plan_lookups(self) -> int:
@@ -73,6 +95,11 @@ class CacheStats:
     def sequence_lookups(self) -> int:
         """Total enumeration-sequence-cache lookups."""
         return self.sequence_hits + self.sequence_misses
+
+    @property
+    def result_lookups(self) -> int:
+        """Total result-cache lookups."""
+        return self.result_hits + self.result_misses
 
 
 def _infer_column_type(values: np.ndarray) -> DataType:
@@ -161,6 +188,14 @@ class Database:
             experiment harness does.
         plan_cache_size: Maximum cached optimization results (0 disables).
         sequence_cache_size: Maximum cached DPccp sequences (0 disables).
+        result_cache_size: Maximum cached *execution results* shared across
+            sessions (0 — the default — disables result caching entirely,
+            preserving the execute-every-call behaviour).  Execution here is
+            deterministic, so a result is a pure function of the same key
+            the plan cache uses plus the catalog version; hits surface as
+            ``QueryResult.from_result_cache`` and in :meth:`cache_stats`.
+            Cached batches are frozen (read-only arrays) because every hit
+            shares them — see ``docs/serving.md``.
         enumeration_budget: Override of the exact DPccp walk's pair budget
             (see ``BfCboSettings.enumeration_budget``; <= 0 = unlimited).
         fallback_relation_threshold: Override of the relation count beyond
@@ -190,6 +225,7 @@ class Database:
                  scale_factor: Optional[float] = None,
                  plan_cache_size: int = 256,
                  sequence_cache_size: int = 128,
+                 result_cache_size: int = 0,
                  enumeration_budget: Optional[int] = None,
                  fallback_relation_threshold: Optional[int] = None,
                  parallel_workers: Optional[int] = None,
@@ -231,10 +267,20 @@ class Database:
         #: (see :meth:`from_tpch`).
         self.workload = None
         self._plan_cache: "LruCache" = LruCache(plan_cache_size)
+        self._result_cache = ResultCache(result_cache_size)
+        #: Result-cache full-invalidation epoch: part of every result key,
+        #: bumped on out-of-band catalog changes so older keys become
+        #: unreachable instantly.  Table registration does NOT bump it —
+        #: it evicts per table, keeping unrelated results hot.
+        self._result_epoch = 0
         #: Catalog version the cached plans were built against; any catalog
         #: change — even one made directly on ``db.catalog`` — bumps the
         #: version and invalidates them on the next lookup.
         self._catalog_version = catalog.version
+        self._closed = False
+        #: Open sessions, tracked weakly so :meth:`close` can shut their
+        #: worker pools down without keeping abandoned sessions alive.
+        self._sessions: "weakref.WeakSet[Session]" = weakref.WeakSet()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -329,6 +375,7 @@ class Database:
         register()
         key = table_name.lower()
         self._plan_cache.evict_if(lambda _, entry: key in entry[1])
+        self._result_cache.evict_table(key)
         self._catalog_version = self.catalog.version
 
     # ------------------------------------------------------------------
@@ -339,7 +386,10 @@ class Database:
         """Open a new session against this database."""
         from .session import Session
 
-        return Session(self, **session_kwargs)
+        self._check_open()
+        session = Session(self, **session_kwargs)
+        self._sessions.add(session)
+        return session
 
     def execute_many(self, queries: Sequence, *,
                      workers: Optional[int] = None,
@@ -416,6 +466,7 @@ class Database:
         of the cache key: it changes whether a plan is checked, never which
         plan is produced.
         """
+        self._check_open()
         mode = mode or self.default_mode
         verify = self.verify_plans if verify is None else verify
         settings = self.resolve_settings(mode, settings, overrides)
@@ -460,28 +511,116 @@ class Database:
         version = self.catalog.version
         if version != self._catalog_version:
             self._plan_cache.evict_all()
+            self._result_cache.evict_all()
+            self._result_epoch += 1
             self._catalog_version = version
+
+    # ------------------------------------------------------------------
+    # The shared result cache
+    # ------------------------------------------------------------------
+
+    def _result_key(self, result: "QueryResult") -> Tuple[Hashable, ...]:
+        """The result-cache key of one planned query.
+
+        Same projection as the plan cache (fingerprint, mode, plan-relevant
+        settings) plus the full-invalidation epoch — see
+        :class:`~repro.serving.cache.ResultCache`.
+        """
+        return ResultCache.key(result.query.fingerprint(), result.mode,
+                               result.settings.plan_relevant(),
+                               self._result_epoch)
+
+    def cached_result(self, result: "QueryResult",
+                      version: int) -> Optional[ExecutionResult]:
+        """The cached execution for a planned query, if any.
+
+        ``version`` is the catalog version the caller snapshotted *before*
+        planning; a mutation racing the lookup makes this a miss (the
+        invalidation pass above already dropped the affected entries).
+        """
+        if not self._result_cache.enabled:
+            return None
+        self._invalidate_if_catalog_changed()
+        if self.catalog.version != version:
+            return None
+        return self._result_cache.lookup(self._result_key(result))
+
+    def store_result(self, result: "QueryResult", version: int) -> None:
+        """Cache a finished execution unless the catalog moved under it.
+
+        Mirrors the plan cache's store guard: a registration landing while
+        the query ran means the result may reflect neither the old nor the
+        new catalog consistently, so it is not kept.  The stored batch is
+        frozen — every future hit shares it.
+        """
+        if not self._result_cache.enabled or result.execution is None:
+            return
+        if self.catalog.version != version:
+            return
+        tables = frozenset(rel.table_name.lower()
+                           for rel in result.query.relations)
+        self._result_cache.store(self._result_key(result),
+                                 result.execution, tables)
 
     # ------------------------------------------------------------------
     # Cache introspection
     # ------------------------------------------------------------------
 
     def cache_stats(self) -> CacheStats:
-        """Hit/miss counters for the plan and enumeration-sequence caches."""
+        """Hit/miss counters for the plan, sequence and result caches."""
         self._invalidate_if_catalog_changed()
         plans = self._plan_cache
         sequence = self.sequence_cache
+        results = self._result_cache
         return CacheStats(
             plan_hits=plans.hits, plan_misses=plans.misses,
             plan_entries=len(plans),
             sequence_hits=sequence.hits if sequence else 0,
             sequence_misses=sequence.misses if sequence else 0,
             sequence_entries=len(sequence) if sequence else 0,
-            plan_evictions=plans.evictions)
+            plan_evictions=plans.evictions,
+            result_hits=results.hits, result_misses=results.misses,
+            result_entries=len(results),
+            result_evictions=results.evictions)
 
     def clear_caches(self) -> None:
-        """Drop all cached plans and sequences (e.g. after new statistics)."""
+        """Drop all cached plans, sequences and results."""
         self._plan_cache.clear()
+        self._result_cache.clear()
+        self._result_epoch += 1
         self._catalog_version = self.catalog.version
         if self.sequence_cache is not None:
             self.sequence_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def is_closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError("database is closed")
+
+    def close(self) -> None:
+        """Close the database deterministically (idempotent).
+
+        Closes every still-open session (shutting their morsel worker
+        pools down), drops the caches, and makes ``connect`` /
+        ``optimize`` / ``execute_many`` raise
+        :class:`~repro.errors.SessionClosedError` from now on.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for session in list(self._sessions):
+            session.close()
+        self.clear_caches()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

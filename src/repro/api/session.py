@@ -24,8 +24,9 @@ from ..core.explain import explain as explain_plan
 from ..core.heuristics import BfCboSettings, planner_overrides
 from ..core.optimizer import OptimizationResult, OptimizerMode
 from ..core.query import QueryBlock
-from ..errors import ExecutionError, raise_as
+from ..errors import ExecutionError, SessionClosedError, raise_as
 from ..storage.catalog import Catalog
+from ..executor.cancel import CancelToken
 from ..executor.context import (
     DEFAULT_MAX_CROSS_JOIN_ROWS,
     DEFAULT_MORSEL_SIZE,
@@ -55,6 +56,9 @@ class QueryResult:
     planning_time_ms: float
     from_plan_cache: bool
     execution: Optional[ExecutionResult] = None
+    #: True when ``execution`` came from the database's shared result cache
+    #: instead of running; cached batches are frozen (read-only arrays).
+    from_result_cache: bool = False
 
     # -- result rows ---------------------------------------------------------
 
@@ -167,9 +171,10 @@ class PreparedQuery:
         self.query = query
 
     def execute(self, mode: Optional[OptimizerMode] = None,
-                settings: Optional[BfCboSettings] = None) -> QueryResult:
+                settings: Optional[BfCboSettings] = None,
+                cancel: Optional[CancelToken] = None) -> QueryResult:
         """Run the prepared query (modes/settings may override per call)."""
-        return self.session.execute(self.query, mode, settings)
+        return self.session.execute(self.query, mode, settings, cancel=cancel)
 
     def plan(self, mode: Optional[OptimizerMode] = None,
              settings: Optional[BfCboSettings] = None) -> QueryResult:
@@ -266,6 +271,7 @@ class Session:
         #: `execute` and `explain` call), oldest first, capped at
         #: ``history_limit``.
         self.history: List[QueryResult] = []
+        self._closed = False
 
     # ------------------------------------------------------------------
 
@@ -308,20 +314,28 @@ class Session:
              settings: Optional[BfCboSettings] = None,
              name: str = "query") -> QueryResult:
         """Plan a query (through the plan cache) without executing it."""
+        self._check_open()
         block = self._resolve_query(query, name)
         return self._record(self._plan_block(block, mode, settings))
 
     def execute(self, query: QueryLike,
                 mode: Optional[OptimizerMode] = None,
                 settings: Optional[BfCboSettings] = None,
-                name: str = "query") -> QueryResult:
-        """Plan (through the plan cache) and execute a query."""
+                name: str = "query",
+                cancel: Optional[CancelToken] = None) -> QueryResult:
+        """Plan (through the plan cache), then execute (through the result
+        cache, when the database enables one).
+
+        ``cancel`` is a cooperative :class:`~repro.executor.cancel.CancelToken`
+        checked at operator and morsel boundaries; tripping it (explicitly or
+        by deadline) raises :class:`~repro.errors.QueryCancelledError` within
+        one morsel.  Works identically from sync callers and the async
+        serving tier.
+        """
+        self._check_open()
         block = self._resolve_query(query, name)
         result = self._plan_block(block, mode, settings)
-        with raise_as(ExecutionError, "executing %s failed" % block.name):
-            result.execution = Executor(self.context).execute(
-                result.optimization.plan)
-        return self._record(result)
+        return self._record(self._execute_result(result, cancel))
 
     def execute_many(self, queries: Sequence[QueryLike],
                      mode: Optional[OptimizerMode] = None,
@@ -350,7 +364,14 @@ class Session:
         per-query morsel parallelism composes with batch parallelism without
         deadlock.  The first failing query raises its typed error; results
         are recorded in :attr:`history` only when the whole batch succeeds.
+
+        A shared :class:`~repro.executor.runtime.ExecutionResult` (collapsed
+        duplicates and result-cache hits alike) has its batch frozen: the
+        arrays are marked read-only, so one caller mutating "its" result
+        cannot corrupt another caller's view — mutation attempts raise
+        ``ValueError`` instead of aliasing silently.
         """
+        self._check_open()
         blocks = [self._resolve_query(query, "%s[%d]" % (name, index))
                   for index, query in enumerate(queries)]
         planned = [self._plan_block(block, mode, settings)
@@ -369,11 +390,8 @@ class Session:
                 slots.append(result)
             slot_of.append(slot)
 
-        def run(result: QueryResult) -> ExecutionResult:
-            with raise_as(ExecutionError,
-                          "executing %s failed" % result.query.name):
-                return Executor(self.context).execute(
-                    result.optimization.plan)
+        def run(result: QueryResult) -> QueryResult:
+            return self._execute_result(result, None)
 
         pool_size = workers if workers is not None \
             else self.context.executor_workers
@@ -381,12 +399,24 @@ class Session:
         if pool_size > 1 and len(slots) > 1:
             with ThreadPoolExecutor(max_workers=pool_size,
                                     thread_name_prefix="repro-serve") as pool:
-                executions = list(pool.map(run, slots))
+                list(pool.map(run, slots))
         else:
-            executions = [run(result) for result in slots]
+            for result in slots:
+                run(result)
+
+        # Freeze any execution shared by more than one caller before
+        # handing the results out (result-cache hits are frozen already).
+        shares = [0] * len(slots)
+        for slot in slot_of:
+            shares[slot] += 1
+        for source, count in zip(slots, shares):
+            if count > 1 and source.execution is not None:
+                source.execution.batch.freeze()
 
         for result, slot in zip(planned, slot_of):
-            result.execution = executions[slot]
+            source = slots[slot]
+            result.execution = source.execution
+            result.from_result_cache = source.from_result_cache
             self._record(result)
         return planned
 
@@ -400,8 +430,62 @@ class Session:
         return self.plan(query, mode, settings, name=name).explain()
 
     # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def is_closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close the session deterministically (idempotent).
+
+        Shuts the context's morsel worker pool down and makes ``plan`` /
+        ``execute`` / ``execute_many`` raise
+        :class:`~repro.errors.SessionClosedError` from now on.  Already
+        produced results (and :attr:`history`) stay usable.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.context.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError("session is closed")
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _execute_result(self, result: QueryResult,
+                        cancel: Optional[CancelToken]) -> QueryResult:
+        """Execute one planned query through the shared result cache.
+
+        The catalog version is snapshotted before the lookup, mirroring the
+        plan cache's race guards: a registration landing mid-execution makes
+        the store a no-op, and the version inside the key makes stale
+        entries unreachable.
+        """
+        database = self.database
+        version = database.catalog.version
+        cached = database.cached_result(result, version)
+        if cached is not None:
+            result.execution = cached
+            result.from_result_cache = True
+            return result
+        with raise_as(ExecutionError,
+                      "executing %s failed" % result.query.name):
+            result.execution = Executor(self.context).execute(
+                result.optimization.plan, cancel=cancel)
+        database.store_result(result, version)
+        return result
 
     def _resolve_query(self, query: QueryLike, name: str) -> QueryBlock:
         if isinstance(query, QueryBlock):

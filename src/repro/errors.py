@@ -8,7 +8,11 @@ Every failure the library raises on behalf of a user query descends from
   ``ValueError``\\ s);
 * :class:`PlanningError` — the optimizer could not produce a plan;
 * :class:`ExecutionError` — the executor failed while running a plan (for
-  example because the catalog is statistics-only and holds no data).
+  example because the catalog is statistics-only and holds no data);
+* :class:`QueryCancelledError` (an ``ExecutionError``) — the request was
+  cancelled or its deadline expired mid-execution;
+* :class:`AdmissionError` / :class:`SessionClosedError` — the serving tier
+  shed the request before execution (queue overflow / closed facade).
 
 ``except ReproError`` therefore catches everything a bad query can cause,
 while programming errors (wrong argument types, broken invariants) keep
@@ -56,6 +60,42 @@ class ExecutionError(ReproError):
     """
 
 
+class QueryCancelledError(ExecutionError):
+    """Raised when a query is cancelled (or its deadline expires) mid-flight.
+
+    The executor checks the request's
+    :class:`~repro.executor.cancel.CancelToken` at every operator boundary
+    and before every morsel, so an abandoned query stops within one morsel
+    of work.  ``reason`` distinguishes an explicit :meth:`cancel
+    <repro.executor.cancel.CancelToken.cancel>` from a deadline expiry.
+    """
+
+    def __init__(self, message: str, reason: str = "cancelled") -> None:
+        super().__init__(message)
+        #: Why the query stopped: ``"cancelled"``, ``"deadline exceeded"``,
+        #: or a caller-supplied reason string.
+        self.reason = reason
+
+
+class AdmissionError(ReproError):
+    """Raised when the serving tier refuses to admit a request.
+
+    The admission queue (:class:`repro.serving.AdmissionQueue`) sheds load
+    instead of queueing without bound: a full queue, an over-cap tenant
+    backlog, or a closed queue all surface as this typed error so callers
+    can back off and retry.
+    """
+
+
+class SessionClosedError(ReproError):
+    """Raised when a query is issued against a closed session or database.
+
+    ``Session.close()`` / ``Database.close()`` shut the executor and serving
+    thread pools down deterministically; any execute/plan/connect call after
+    that raises this error rather than resurrecting a pool.
+    """
+
+
 #: Exception types treated as data-dependent pipeline failures: these (and
 #: only these) are converted into the typed hierarchy by :func:`raise_as`.
 #: Everything else — TypeError, AttributeError, broken invariants — is a
@@ -80,5 +120,6 @@ def raise_as(error_cls: Type[ReproError], context: str) -> Iterator[None]:
         raise error_cls("%s: %s" % (context, exc)) from exc
 
 
-__all__ = ["DATA_ERROR_TYPES", "ExecutionError", "PlanContractError",
-           "PlanningError", "ReproError", "raise_as"]
+__all__ = ["AdmissionError", "DATA_ERROR_TYPES", "ExecutionError",
+           "PlanContractError", "PlanningError", "QueryCancelledError",
+           "ReproError", "SessionClosedError", "raise_as"]

@@ -2,6 +2,7 @@
 
 from .aggregate import aggregate_batch
 from .batch import Batch
+from .cancel import CancelToken
 from .context import (
     DEFAULT_MORSEL_SIZE,
     ExecutionContext,
@@ -23,6 +24,7 @@ from .runtime import ExecutionResult, Executor
 
 __all__ = [
     "Batch",
+    "CancelToken",
     "CompositeKeyIndex",
     "DEFAULT_MORSEL_SIZE",
     "executor_overrides",

@@ -155,6 +155,22 @@ class Batch:
     def has_column(self, key: str) -> bool:
         return key in self._columns
 
+    def freeze(self) -> "Batch":
+        """Mark every column and null mask read-only, in place.
+
+        Applied to batches shared between callers — result-cache entries and
+        collapsed ``execute_many`` requests — so one caller mutating its
+        arrays (or a fetched null mask) raises ``ValueError`` instead of
+        silently corrupting every other caller's view.  Clearing the
+        writeable flag is always legal on views and never copies; the
+        storage arrays a zero-copy scan sliced from stay writable.
+        """
+        for array in self._columns.values():
+            array.flags.writeable = False
+        for mask in self._masks.values():
+            mask.flags.writeable = False
+        return self
+
     def kernel_memo(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """Memoized per-batch kernel state (batches are immutable).
 

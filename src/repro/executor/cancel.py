@@ -1,0 +1,100 @@
+"""Cooperative cancellation: the token threaded through query execution.
+
+A :class:`CancelToken` carries a request's abandon-signal and optional
+deadline from the serving tier (or any sync caller) down into the executor.
+The executor polls it at every operator boundary and before every morsel
+(:meth:`Executor.execute <repro.executor.runtime.Executor.execute>` takes a
+per-call token; :class:`~repro.executor.context.ExecutionContext` holds a
+default), so a cancelled or deadline-expired query stops within one morsel
+of work and surfaces as a typed
+:class:`~repro.errors.QueryCancelledError`.
+
+Tokens are thread-safe: the serving front end cancels from the event loop
+(or a timer) while worker threads poll.  Deadlines are measured on an
+injectable monotonic clock so tests can expire them deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from ..errors import QueryCancelledError
+
+#: Reason string recorded when a deadline (rather than an explicit
+#: :meth:`CancelToken.cancel`) stopped the query.
+DEADLINE_REASON = "deadline exceeded"
+
+
+class CancelToken:
+    """A thread-safe cancel/deadline flag polled by the executor.
+
+    Args:
+        deadline: Absolute expiry instant in ``clock`` terms (``None`` =
+            no deadline).  Use :meth:`with_timeout` for a relative timeout.
+        clock: Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(self, deadline: Optional[float] = None, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._event = threading.Event()
+        self._reason: Optional[str] = None
+        #: Absolute deadline in ``clock`` terms; mutable so a serving-tier
+        #: timeout can tighten a caller-supplied token.
+        self.deadline = deadline
+
+    @classmethod
+    def with_timeout(cls, seconds: float, *,
+                     clock: Callable[[], float] = time.monotonic,
+                     ) -> "CancelToken":
+        """A token whose deadline is ``seconds`` from now."""
+        return cls(deadline=clock() + seconds, clock=clock)
+
+    def expire_in(self, seconds: float) -> None:
+        """Tighten the deadline to at most ``seconds`` from now."""
+        candidate = self._clock() + seconds
+        if self.deadline is None or candidate < self.deadline:
+            self.deadline = candidate
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Signal cancellation; the first reason recorded wins."""
+        if not self._event.is_set():
+            self._reason = reason
+            self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once cancelled explicitly or past the deadline."""
+        if self._event.is_set():
+            return True
+        if self.deadline is not None and self._clock() >= self.deadline:
+            self.cancel(DEADLINE_REASON)
+            return True
+        return False
+
+    @property
+    def reason(self) -> Optional[str]:
+        """Why the token tripped (``None`` while still live)."""
+        return self._reason
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (``None`` = no deadline, floor 0)."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - self._clock())
+
+    def check(self) -> None:
+        """Raise :class:`~repro.errors.QueryCancelledError` if tripped.
+
+        The executor's polling point: called at operator boundaries and
+        before each morsel, it costs one event check on the live path.
+        """
+        if self.cancelled:
+            reason = self._reason or "cancelled"
+            raise QueryCancelledError("query cancelled: %s" % reason,
+                                      reason=reason)
+
+
+__all__ = ["CancelToken", "DEADLINE_REASON"]

@@ -10,6 +10,7 @@ from typing import Dict, Optional
 from ..bloom import BloomFilter, PartitionedBloomFilter
 from ..core.cost import CostModel, CostParameters, DEFAULT_COST_PARAMETERS
 from ..storage.catalog import Catalog
+from .cancel import CancelToken
 from .joins import DEFAULT_MAX_CROSS_JOIN_ROWS
 
 #: Default morsel row count: large enough that per-morsel dispatch overhead
@@ -114,6 +115,12 @@ class ExecutionContext:
             cross join whose output would exceed this many rows raises
             :class:`~repro.errors.ExecutionError` instead of allocating
             ``n * m`` rows (``<= 0`` disables the guard).
+        cancel_token: Default :class:`~repro.executor.cancel.CancelToken`
+            polled by every execution on this context (the sync-API hook for
+            cooperative cancellation).  A per-call token passed to
+            :meth:`Executor.execute <repro.executor.runtime.Executor.execute>`
+            takes precedence — concurrent executions sharing one context
+            should always use per-call tokens.
 
     Bloom filters built at runtime are *not* shared context state: every
     execution publishes them into its own :class:`FilterScope` (see
@@ -132,6 +139,7 @@ class ExecutionContext:
     executor_workers: int = 0
     morsel_size: int = DEFAULT_MORSEL_SIZE
     max_cross_join_rows: int = DEFAULT_MAX_CROSS_JOIN_ROWS
+    cancel_token: Optional[CancelToken] = None
 
     def __post_init__(self) -> None:
         self._pool_lock = threading.Lock()
@@ -176,3 +184,18 @@ class ExecutionContext:
                     max_workers=workers, thread_name_prefix="repro-morsel")
                 self._morsel_pool_size = workers
             return self._morsel_pool
+
+    def close(self) -> None:
+        """Shut the morsel pool down deterministically (idempotent).
+
+        Called by :meth:`Session.close <repro.api.session.Session.close>`;
+        without it the lazily created pool's threads live until interpreter
+        exit.  A later :meth:`morsel_pool` call would lazily rebuild the
+        pool, but sessions guard execution after close so it never happens
+        through the API.
+        """
+        with self._pool_lock:
+            if self._morsel_pool is not None:
+                self._morsel_pool.shutdown(wait=True)
+                self._morsel_pool = None
+                self._morsel_pool_size = 0

@@ -61,6 +61,7 @@ from ..core.plans import (
 from ..core.properties import DistributionKind
 from .aggregate import aggregate_batch
 from .batch import Batch
+from .cancel import CancelToken
 from .context import ExecutionContext, FilterScope
 from .joins import equi_join, merge_join, nested_loop_join
 from .metrics import ExecutionMetrics
@@ -97,21 +98,34 @@ class Executor:
         #: — anything registered on a scope created before ``execute`` would
         #: be discarded, so none is allocated here).
         self.filters: Optional[FilterScope] = None
+        #: The cancel token of the current execution; assigned by
+        #: :meth:`execute` (per-call token, falling back to the context's).
+        self.cancel: Optional[CancelToken] = None
 
     # ------------------------------------------------------------------
 
     def execute(self, plan: PlanNode,
-                filters: Optional[FilterScope] = None) -> ExecutionResult:
+                filters: Optional[FilterScope] = None,
+                cancel: Optional[CancelToken] = None) -> ExecutionResult:
         """Execute ``plan`` and return its result batch and metrics.
 
         Each call runs in a fresh :class:`FilterScope` by default, so
         concurrent executions sharing one context never see each other's
         published Bloom filters.  Pass ``filters`` to supply a pre-populated
         scope (e.g. filters built by an earlier run you want reused).
+
+        ``cancel`` is the request's cooperative
+        :class:`~repro.executor.cancel.CancelToken` (falling back to the
+        context's default token): it is polled at every operator boundary
+        and before every morsel, so a tripped token stops the query within
+        one morsel of work with a typed
+        :class:`~repro.errors.QueryCancelledError`.
         """
         self.metrics = ExecutionMetrics()
         self.filters = filters if filters is not None \
             else self.context.new_filter_scope()
+        self.cancel = cancel if cancel is not None \
+            else self.context.cancel_token
         started = time.perf_counter()
         batch = self._execute(plan)
         self.metrics.wall_time_seconds = time.perf_counter() - started
@@ -120,6 +134,10 @@ class Executor:
     # ------------------------------------------------------------------
 
     def _execute(self, node: PlanNode) -> Batch:
+        if self.cancel is not None:
+            # The operator-boundary cancellation checkpoint: one event check
+            # per plan node on the live path.
+            self.cancel.check()
         if isinstance(node, ScanNode):
             return self._execute_scan(node)
         if isinstance(node, JoinNode):
@@ -148,8 +166,21 @@ class Executor:
         Submission order is preserved, so concatenating the results
         reproduces the serial output exactly; the first worker exception
         propagates to the caller.
+
+        With a cancel token on the execution, every morsel re-checks the
+        token before doing any work — a request abandoned mid-operator
+        therefore stops within one morsel: in-flight morsels finish, queued
+        ones raise immediately and the error propagates from the first
+        failing future.
         """
         pool = self.context.morsel_pool()
+        cancel = self.cancel
+        if cancel is not None:
+            inner = fn
+
+            def fn(item: object) -> object:
+                cancel.check()
+                return inner(item)
         futures = [pool.submit(fn, item) for item in items]
         return [future.result() for future in futures]
 

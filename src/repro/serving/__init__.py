@@ -1,0 +1,58 @@
+"""repro.serving — the async multi-tenant serving tier.
+
+The serving tier turns the sync engine into a shared service: an asyncio
+front end (:class:`AsyncDatabase` / :class:`AsyncSession`) over a bounded
+worker pool, with
+
+* **admission control** — a bounded queue (:class:`AdmissionQueue`) that
+  sheds excess load with typed :class:`~repro.errors.AdmissionError`
+  backpressure instead of buffering unboundedly,
+* **multi-tenant fairness** — per-tenant concurrency quotas and weighted
+  fair dequeueing (:class:`TenantQuota`), so one tenant cannot starve the
+  rest,
+* **deadlines and cancellation** — per-request
+  :class:`~repro.executor.cancel.CancelToken` threaded into the executor,
+  which stops within one morsel and raises
+  :class:`~repro.errors.QueryCancelledError`,
+* **a shared result cache** — :class:`ResultCache`, keyed on the same
+  fingerprint/mode/settings projection as the plan cache plus the catalog
+  version, with per-table invalidation,
+* **observability** — :class:`ServingMetrics` with p50/p95/p99 latency
+  snapshots per tenant.
+
+See ``docs/serving.md`` for the architecture and knob reference.
+"""
+
+from .cache import ResultCache
+from .database import (
+    DEFAULT_TENANT,
+    DEFAULT_WORKERS,
+    AsyncDatabase,
+    AsyncSession,
+)
+from .metrics import (
+    LatencyRecorder,
+    LatencySnapshot,
+    ServingMetrics,
+    ServingSnapshot,
+    percentile,
+)
+from .queue import DEFAULT_MAX_DEPTH, AdmissionQueue
+from .quotas import DEFAULT_QUOTA, TenantQuota
+
+__all__ = [
+    "AdmissionQueue",
+    "AsyncDatabase",
+    "AsyncSession",
+    "DEFAULT_MAX_DEPTH",
+    "DEFAULT_QUOTA",
+    "DEFAULT_TENANT",
+    "DEFAULT_WORKERS",
+    "LatencyRecorder",
+    "LatencySnapshot",
+    "ResultCache",
+    "ServingMetrics",
+    "ServingSnapshot",
+    "TenantQuota",
+    "percentile",
+]

@@ -1,0 +1,324 @@
+"""The asyncio serving front end: ``await`` queries on a sync engine.
+
+:class:`AsyncDatabase` wraps an existing :class:`repro.api.Database` behind a
+bounded worker pool and the admission-control queue:
+
+* ``await adb.execute_async(sql, tenant="dashboards", timeout=0.5)`` admits
+  the request (or sheds it immediately with a typed
+  :class:`~repro.errors.AdmissionError` — backpressure is an error, never an
+  unbounded buffer), parks it in the weighted-fair queue, and resolves when
+  a worker thread finishes executing it through the shared plan and result
+  caches.
+* Deadlines and cancellation are cooperative: every request carries a
+  :class:`~repro.executor.cancel.CancelToken` that the executor polls at
+  operator and morsel boundaries, so an abandoned query stops within one
+  morsel and surfaces as :class:`~repro.errors.QueryCancelledError`.
+  Cancelling the awaiting task (client disconnect) trips the same token.
+* Per-tenant fairness comes from the queue (:mod:`repro.serving.queue`):
+  concurrency quotas bound each tenant's in-flight work and weighted fair
+  dequeueing divides the backlog bandwidth, so one flooding tenant cannot
+  starve the rest.
+
+:class:`AsyncSession` is the tenant-bound handle (`adb.session("t1")`) with
+the same ``execute``/``execute_async`` surface.
+
+The event loop never blocks: submission is non-blocking, results arrive via
+``asyncio.wrap_future``, and all engine work happens on plain worker threads
+(enforced by the ``blocking-in-async`` lint rule over this package).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, List, Mapping, Optional, Tuple, Union
+
+from ..core.heuristics import BfCboSettings
+from ..core.optimizer import OptimizerMode
+from ..core.query import QueryBlock
+from ..errors import (
+    AdmissionError,
+    QueryCancelledError,
+    SessionClosedError,
+)
+from ..executor.cancel import CancelToken, DEADLINE_REASON
+from .metrics import ServingMetrics, ServingSnapshot
+from .queue import AdmissionQueue, DEFAULT_MAX_DEPTH
+from .quotas import DEFAULT_QUOTA, TenantQuota
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.database import Database
+    from ..api.session import QueryResult, Session
+
+QueryLike = Union[str, QueryBlock]
+
+#: Tenant used when a request names none.
+DEFAULT_TENANT = "default"
+
+#: Worker threads pulling from the admission queue.
+DEFAULT_WORKERS = 4
+
+#: How often idle workers wake to observe shutdown (seconds).
+_IDLE_POLL_S = 0.1
+
+
+@dataclass
+class _ServingRequest:
+    """One admitted request parked in the queue."""
+
+    query: QueryLike
+    mode: Optional[OptimizerMode]
+    settings: Optional[BfCboSettings]
+    name: str
+    token: CancelToken
+    future: "Future[QueryResult]"
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+
+class AsyncDatabase:
+    """Asyncio multi-tenant serving tier over a sync :class:`Database`.
+
+    Args:
+        database: The engine to serve; its plan and result caches are
+            shared by every tenant (enable the result cache with
+            ``Database(..., result_cache_size=...)`` so hot identical
+            queries cost one execution).
+        workers: Worker threads executing admitted queries.
+        max_queue_depth: Global admission-queue bound; submissions beyond
+            it raise :class:`~repro.errors.AdmissionError`.
+        default_quota: Quota for tenants without an explicit entry.
+        quotas: Per-tenant :class:`~repro.serving.quotas.TenantQuota`
+            overrides.
+        session_kwargs: Forwarded to ``database.connect`` for the serving
+            session (e.g. ``executor_workers`` for morsel parallelism
+            inside each query); ``history_limit`` is forced to 0.
+    """
+
+    def __init__(self, database: "Database", *,
+                 workers: int = DEFAULT_WORKERS,
+                 max_queue_depth: int = DEFAULT_MAX_DEPTH,
+                 default_quota: TenantQuota = DEFAULT_QUOTA,
+                 quotas: Optional[Mapping[str, TenantQuota]] = None,
+                 **session_kwargs: Any) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1, got %r" % workers)
+        self.database = database
+        self.queue = AdmissionQueue(max_queue_depth,
+                                    default_quota=default_quota,
+                                    quotas=quotas)
+        self.metrics = ServingMetrics()
+        session_kwargs["history_limit"] = 0
+        self._session: "Session" = database.connect(**session_kwargs)
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._workers: List[threading.Thread] = []
+        for index in range(workers):
+            thread = threading.Thread(target=self._worker_loop,
+                                      name="repro-serving-%d" % index,
+                                      daemon=True)
+            thread.start()
+            self._workers.append(thread)
+
+    # -- the awaitable surface ---------------------------------------------
+
+    async def execute_async(self, query: QueryLike, *,
+                            tenant: str = DEFAULT_TENANT,
+                            timeout: Optional[float] = None,
+                            cancel: Optional[CancelToken] = None,
+                            mode: Optional[OptimizerMode] = None,
+                            settings: Optional[BfCboSettings] = None,
+                            name: str = "query") -> "QueryResult":
+        """Admit, enqueue and await one query.
+
+        Raises :class:`~repro.errors.AdmissionError` immediately when the
+        queue (or the tenant's backlog) is full, and
+        :class:`~repro.errors.QueryCancelledError` when ``timeout`` (or
+        the ``cancel`` token's deadline) expires — the worker abandons the
+        execution within one morsel of the same instant.  Cancelling the
+        awaiting task trips the token too, so a disconnected client stops
+        paying for its query.
+        """
+        token = cancel if cancel is not None else CancelToken()
+        if timeout is not None:
+            token.expire_in(timeout)
+        request = self._admit(tenant, query, mode, settings, name, token)
+        wrapped = asyncio.wrap_future(request.future)
+        try:
+            remaining = token.remaining()
+            if remaining is None:
+                return await wrapped
+            return await asyncio.wait_for(wrapped, timeout=remaining)
+        except asyncio.TimeoutError:
+            token.cancel(DEADLINE_REASON)
+            self.metrics.count("cancelled")
+            raise QueryCancelledError(
+                "query %r missed its deadline after %.3fs" % (name, timeout
+                 if timeout is not None else 0.0),
+                reason=DEADLINE_REASON) from None
+        except asyncio.CancelledError:
+            # The awaiting task was cancelled (client gone): stop the
+            # execution cooperatively and re-raise into the task.
+            token.cancel("client disconnected")
+            raise
+
+    def _admit(self, tenant: str, query: QueryLike,
+               mode: Optional[OptimizerMode],
+               settings: Optional[BfCboSettings], name: str,
+               token: CancelToken) -> _ServingRequest:
+        """Queue one request, counting admission and shed outcomes."""
+        if self._closed:
+            raise SessionClosedError("serving tier is closed")
+        request = _ServingRequest(query=query, mode=mode, settings=settings,
+                                  name=name, token=token, future=Future())
+        try:
+            self.queue.submit(tenant, request)
+        except AdmissionError:
+            self.metrics.count("rejected")
+            raise
+        self.metrics.count("admitted")
+        return request
+
+    def session(self, tenant: str = DEFAULT_TENANT, *,
+                mode: Optional[OptimizerMode] = None,
+                settings: Optional[BfCboSettings] = None,
+                timeout: Optional[float] = None) -> "AsyncSession":
+        """A tenant-bound :class:`AsyncSession` over this serving tier."""
+        return AsyncSession(self, tenant, mode=mode, settings=settings,
+                            timeout=timeout)
+
+    # Alias mirroring ``Database.connect``.
+    connect = session
+
+    def snapshot(self) -> ServingSnapshot:
+        """Current serving counters and latency percentiles."""
+        return self.metrics.snapshot()
+
+    # -- the worker side ----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        """One worker thread: dequeue fairly, execute, resolve the future."""
+        while True:
+            item: Optional[Tuple[str, _ServingRequest]] = \
+                self.queue.next(timeout=_IDLE_POLL_S)
+            if item is None:
+                if self.queue.closed:
+                    return
+                continue
+            tenant, request = item
+            try:
+                self._serve(tenant, request)
+            finally:
+                self.queue.release(tenant)
+
+    def _serve(self, tenant: str, request: _ServingRequest) -> None:
+        """Execute one dequeued request and resolve its future."""
+        future = request.future
+        if not future.set_running_or_notify_cancel():
+            # The awaiting side gave up while the request was queued.
+            self.metrics.count("cancelled")
+            return
+        try:
+            # Shed without executing if the deadline passed while queued.
+            request.token.check()
+            result = self._session.execute(
+                request.query, request.mode, request.settings,
+                name=request.name, cancel=request.token)
+        except QueryCancelledError as exc:
+            self.metrics.count("cancelled")
+            future.set_exception(exc)
+        except BaseException as exc:  # surfaced through the future, typed
+            self.metrics.count("failed")
+            future.set_exception(exc)
+        else:
+            latency_ms = (time.perf_counter() - request.submitted_at) * 1e3
+            self.metrics.count("completed")
+            if result.from_result_cache:
+                self.metrics.count("result_cache_hits")
+            self.metrics.record_latency(tenant, latency_ms)
+            future.set_result(result)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def is_closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut the serving tier down deterministically (idempotent).
+
+        Stops admissions, fails every still-queued request with
+        :class:`~repro.errors.AdmissionError`, joins the worker threads and
+        closes the serving session (the wrapped :class:`Database` itself
+        stays open — the caller owns it).
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        dropped = self.queue.close()
+        for _tenant, request in dropped:
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_exception(
+                    AdmissionError("serving tier closed before execution"))
+                self.metrics.count("rejected")
+        for thread in self._workers:
+            thread.join()
+        self._session.close()
+
+    async def __aenter__(self) -> "AsyncDatabase":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class AsyncSession:
+    """A tenant-bound handle on an :class:`AsyncDatabase`.
+
+    Binds the tenant name plus optional default mode/settings/timeout, so
+    request sites read like the sync API::
+
+        dashboards = serving.session("dashboards", timeout=0.5)
+        result = await dashboards.execute("select ...")
+    """
+
+    def __init__(self, serving: AsyncDatabase, tenant: str, *,
+                 mode: Optional[OptimizerMode] = None,
+                 settings: Optional[BfCboSettings] = None,
+                 timeout: Optional[float] = None) -> None:
+        self.serving = serving
+        self.tenant = tenant
+        self.mode = mode
+        self.settings = settings
+        self.timeout = timeout
+
+    async def execute(self, query: QueryLike, *,
+                      timeout: Optional[float] = None,
+                      cancel: Optional[CancelToken] = None,
+                      mode: Optional[OptimizerMode] = None,
+                      settings: Optional[BfCboSettings] = None,
+                      name: str = "query") -> "QueryResult":
+        """Execute one query as this tenant (``await``-able)."""
+        return await self.serving.execute_async(
+            query, tenant=self.tenant,
+            timeout=timeout if timeout is not None else self.timeout,
+            cancel=cancel,
+            mode=mode if mode is not None else self.mode,
+            settings=settings if settings is not None else self.settings,
+            name=name)
+
+    #: ``execute_async`` and ``execute`` are the same awaitable call; both
+    #: names exist so call sites can mirror either API generation.
+    execute_async = execute
+
+    @property
+    def in_flight(self) -> int:
+        """This tenant's currently executing request count."""
+        return self.serving.queue.in_flight(self.tenant)
+
+
+__all__ = ["AsyncDatabase", "AsyncSession", "DEFAULT_TENANT",
+           "DEFAULT_WORKERS"]

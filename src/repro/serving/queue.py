@@ -1,0 +1,195 @@
+"""The admission-control queue: bounded depth, quotas, weighted fairness.
+
+The serving tier's front door.  :meth:`AdmissionQueue.submit` either accepts
+a request or sheds it with a typed :class:`~repro.errors.AdmissionError` —
+there is no unbounded buffering, so a traffic spike degrades into fast
+rejections the client can retry instead of ever-growing latency.  Shedding
+happens on three conditions: global depth reached, the tenant's private
+backlog cap reached (one tenant can therefore never occupy the whole queue),
+or the queue closed.
+
+Worker threads call :meth:`AdmissionQueue.next`, which blocks until a
+request is *schedulable* and picks tenants by weighted fair queueing (see
+:mod:`repro.serving.quotas`): among tenants with a non-empty backlog and
+in-flight below their ``max_concurrency``, the one with the smallest virtual
+finish time is served and charged ``1 / weight``.  A tenant at its
+concurrency quota is simply ineligible — its backlog waits without blocking
+anyone else's, which is what "an over-quota tenant cannot starve others"
+means operationally.
+
+The queue is a plain ``threading.Condition`` machine with no asyncio
+dependency: the async front end submits from the event loop (submit never
+blocks) and thread workers block in :meth:`next`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Mapping, Optional, Tuple, TypeVar
+
+from ..errors import AdmissionError
+from .quotas import DEFAULT_QUOTA, TenantQuota, TenantState
+
+T = TypeVar("T")
+
+#: Default bound on requests queued (not yet dequeued) across all tenants.
+DEFAULT_MAX_DEPTH = 256
+
+
+class AdmissionQueue:
+    """Bounded multi-tenant request queue with WFQ dequeueing.
+
+    Args:
+        max_depth: Global cap on queued (not yet running) requests;
+            submissions beyond it raise :class:`AdmissionError`.
+        default_quota: Quota applied to tenants without an explicit entry
+            in ``quotas``.
+        quotas: Per-tenant quota overrides, keyed by tenant name.
+    """
+
+    def __init__(self, max_depth: int = DEFAULT_MAX_DEPTH, *,
+                 default_quota: TenantQuota = DEFAULT_QUOTA,
+                 quotas: Optional[Mapping[str, TenantQuota]] = None) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1, got %r" % max_depth)
+        self.max_depth = max_depth
+        self.default_quota = default_quota
+        self._configured = dict(quotas or {})
+        self._tenants: Dict[str, TenantState] = {}
+        self._depth = 0
+        self._virtual_time = 0.0
+        self._closed = False
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (not yet dequeued) across tenants."""
+        with self._lock:
+            return self._depth
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def in_flight(self, tenant: str) -> int:
+        """Requests of ``tenant`` dequeued and not yet released."""
+        with self._lock:
+            state = self._tenants.get(tenant)
+            return state.in_flight if state is not None else 0
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        """The effective quota of ``tenant`` (explicit or default)."""
+        return self._configured.get(tenant, self.default_quota)
+
+    # -- the producer side --------------------------------------------------
+
+    def submit(self, tenant: str, request: T) -> None:
+        """Admit one request or shed it with :class:`AdmissionError`.
+
+        Never blocks — backpressure is an immediate typed error, not a
+        stalled event loop.
+        """
+        with self._lock:
+            if self._closed:
+                raise AdmissionError("serving queue is closed")
+            if self._depth >= self.max_depth:
+                raise AdmissionError(
+                    "admission queue is full (%d queued, max_depth=%d); "
+                    "shed load and retry" % (self._depth, self.max_depth))
+            state = self._tenants.get(tenant)
+            if state is None:
+                state = TenantState(tenant, self.quota_for(tenant))
+                self._tenants[tenant] = state
+            if state.queue_full:
+                raise AdmissionError(
+                    "tenant %r backlog is full (%d queued, max_queued=%d)"
+                    % (tenant, len(state.backlog), state.quota.max_queued))
+            state.backlog.append(request)
+            self._depth += 1
+            self._ready.notify()
+
+    # -- the worker side ----------------------------------------------------
+
+    def next(self, timeout: Optional[float] = None,
+             ) -> Optional[Tuple[str, T]]:
+        """Dequeue the next schedulable request, WFQ-fair across tenants.
+
+        Blocks until a request is schedulable, the queue closes (returns
+        ``None`` once drained), or ``timeout`` elapses (returns ``None``).
+        The dequeued tenant's in-flight count is incremented; the worker
+        must call :meth:`release` when the request finishes, succeed or
+        fail.
+        """
+        with self._lock:
+            while True:
+                state = self._pick_locked()
+                if state is not None:
+                    request = state.backlog.popleft()
+                    self._depth -= 1
+                    state.in_flight += 1
+                    # Global virtual time tracks the *start* tag of the
+                    # request now served (the smallest eligible finish
+                    # time), not its finish tag — basing the next charge on
+                    # finish tags would erase the weight ratios between
+                    # continuously backlogged tenants.
+                    self._virtual_time = max(self._virtual_time,
+                                             state.virtual_time)
+                    state.charge(self._virtual_time)
+                    return (state.name, request)
+                if self._closed and self._depth == 0:
+                    return None
+                if not self._ready.wait(timeout):
+                    return None
+
+    def _pick_locked(self) -> Optional[TenantState]:
+        """The eligible tenant with the smallest virtual time, if any."""
+        best: Optional[TenantState] = None
+        for name in sorted(self._tenants):
+            state = self._tenants[name]
+            if state.eligible and (best is None
+                                   or state.sort_key() < best.sort_key()):
+                best = state
+        return best
+
+    def release(self, tenant: str) -> None:
+        """Mark one of ``tenant``'s in-flight requests finished."""
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None or state.in_flight <= 0:
+                raise ValueError("release without matching dequeue for "
+                                 "tenant %r" % tenant)
+            state.in_flight -= 1
+            # A slot opened: a backlogged request of this tenant may have
+            # become eligible.
+            self._ready.notify_all()
+
+    # -- shutdown -----------------------------------------------------------
+
+    def close(self, drain: bool = False) -> "list[Tuple[str, T]]":
+        """Stop admissions; wake every blocked worker.
+
+        With ``drain=False`` (the default) the backlog is discarded and the
+        dropped ``(tenant, request)`` pairs are returned so the caller can
+        fail their futures — shutdown never waits on queued work.
+        ``drain=True`` keeps queued requests for workers to finish and
+        returns an empty list.  Close is idempotent.
+        """
+        with self._lock:
+            self._closed = True
+            dropped: "list[Tuple[str, T]]" = []
+            if not drain:
+                for name in sorted(self._tenants):
+                    state = self._tenants[name]
+                    dropped.extend((name, request)
+                                   for request in state.backlog)
+                    state.backlog.clear()
+                self._depth = 0
+            self._ready.notify_all()
+            return dropped
+
+
+__all__ = ["AdmissionQueue", "DEFAULT_MAX_DEPTH"]

@@ -1,0 +1,107 @@
+"""Per-tenant quotas and the weighted-fair-queueing bookkeeping.
+
+A :class:`TenantQuota` is the per-tenant policy knob set of the admission
+queue: how many of the tenant's queries may run concurrently
+(``max_concurrency``), how much of the shared dequeue bandwidth it gets
+relative to other tenants (``weight``), and how deep its private backlog may
+grow before submissions shed (``max_queued``, bounding how much of the global
+queue one tenant can occupy — the anti-starvation knob on the *admission*
+side).
+
+:class:`TenantState` is the queue's mutable bookkeeping per tenant: the FIFO
+backlog, the in-flight count, and the tenant's **virtual finish time** for
+weighted fair queueing.  The scheduler always dequeues the *eligible* tenant
+(non-empty backlog, in-flight below quota) with the smallest virtual time;
+serving one request advances the tenant's virtual time by ``1 / weight``.  A
+tenant with weight 2 therefore drains twice as fast as a weight-1 tenant
+under contention, and a tenant that floods its backlog cannot starve others:
+its virtual time races ahead while everyone else's stays small.
+
+All mutation happens under the admission queue's lock — this module holds no
+locks of its own.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission policy for one tenant.
+
+    Args:
+        max_concurrency: Queries of this tenant allowed in flight at once
+            (must be >= 1; admission never lets a tenant monopolise all
+            workers unless its quota says so).
+        weight: Share of dequeue bandwidth under contention, relative to
+            other tenants (> 0; 2.0 drains twice as fast as 1.0).
+        max_queued: Cap on this tenant's *queued* (not yet running)
+            requests; submissions beyond it raise
+            :class:`~repro.errors.AdmissionError` even when the global
+            queue still has room.  ``None`` leaves only the global depth
+            bound.
+    """
+
+    max_concurrency: int = 4
+    weight: float = 1.0
+    max_queued: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1, got %r"
+                             % self.max_concurrency)
+        if not self.weight > 0:
+            raise ValueError("weight must be positive, got %r" % self.weight)
+        if self.max_queued is not None and self.max_queued < 1:
+            raise ValueError("max_queued must be >= 1 or None, got %r"
+                             % self.max_queued)
+
+
+#: The quota tenants get when the serving tier was not configured for them.
+DEFAULT_QUOTA = TenantQuota()
+
+
+class TenantState:
+    """Mutable WFQ bookkeeping for one tenant (guarded by the queue lock)."""
+
+    def __init__(self, name: str, quota: TenantQuota) -> None:
+        self.name = name
+        self.quota = quota
+        #: FIFO backlog of not-yet-dequeued requests.
+        self.backlog: Deque[object] = deque()
+        #: Requests dequeued and not yet released.
+        self.in_flight = 0
+        #: WFQ virtual finish time; the scheduler serves the smallest.
+        self.virtual_time = 0.0
+
+    @property
+    def eligible(self) -> bool:
+        """True when the scheduler may dequeue from this tenant now."""
+        return bool(self.backlog) and \
+            self.in_flight < self.quota.max_concurrency
+
+    @property
+    def queue_full(self) -> bool:
+        """True when the tenant's private backlog cap is reached."""
+        return self.quota.max_queued is not None and \
+            len(self.backlog) >= self.quota.max_queued
+
+    def charge(self, global_virtual_time: float) -> None:
+        """Advance virtual time for one dequeued request.
+
+        An idle tenant's clock is first caught up to the global virtual
+        time — standard WFQ: idleness earns no credit, so a tenant cannot
+        bank bandwidth while away and then burst ahead of everyone.
+        """
+        base = max(self.virtual_time, global_virtual_time)
+        self.virtual_time = base + 1.0 / self.quota.weight
+
+    def sort_key(self) -> Tuple[float, str]:
+        """Deterministic scheduling order: virtual time, then name."""
+        return (self.virtual_time, self.name)
+
+
+__all__ = ["DEFAULT_QUOTA", "TenantQuota", "TenantState"]

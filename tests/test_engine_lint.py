@@ -289,6 +289,86 @@ class TestUntypedDefs:
 
 
 # ---------------------------------------------------------------------------
+# blocking-in-async
+# ---------------------------------------------------------------------------
+
+
+def serving_findings_for(source: str, **kwargs) -> list:
+    return lint_source(textwrap.dedent(source), "src/repro/serving/x.py",
+                       **kwargs)
+
+
+class TestBlockingInAsync:
+    def test_sync_execute_in_async_def(self):
+        findings = serving_findings_for("""
+            async def handle(session: object, sql: str) -> object:
+                return session.execute(sql)
+        """)
+        assert rules_of(findings) == {"blocking-in-async"}
+
+    def test_time_sleep_in_async_def(self):
+        findings = serving_findings_for("""
+            import time
+
+            async def backoff() -> None:
+                time.sleep(0.1)
+        """)
+        assert rules_of(findings) == {"blocking-in-async"}
+
+    def test_future_result_in_async_def(self):
+        findings = serving_findings_for("""
+            async def wait(future: object) -> object:
+                return future.result()
+        """)
+        assert rules_of(findings) == {"blocking-in-async"}
+
+    def test_awaited_calls_are_clean(self):
+        findings = serving_findings_for("""
+            import asyncio
+
+            async def handle(serving: object, sql: str) -> object:
+                await asyncio.sleep(0)
+                return await serving.execute_async(sql)
+        """)
+        assert findings == []
+
+    def test_awaited_execute_is_clean(self):
+        # ``await session.execute(...)`` on an async session is the
+        # idiomatic call — only the un-awaited sync form blocks the loop.
+        findings = serving_findings_for("""
+            async def handle(session: object, sql: str) -> object:
+                return await session.execute(sql)
+        """)
+        assert findings == []
+
+    def test_nested_sync_def_runs_on_workers(self):
+        # A sync def nested in a coroutine executes where it is called
+        # (the worker pool), not on the event loop.
+        findings = serving_findings_for("""
+            async def handle(session: object, sql: str) -> object:
+                def work() -> object:
+                    return session.execute(sql)
+                return work
+        """)
+        assert findings == []
+
+    def test_rule_is_scoped_to_serving(self):
+        # The sync API calling itself is fine outside serving/.
+        findings = findings_for("""
+            async def handle(session: object, sql: str) -> object:
+                return session.execute(sql)
+        """)
+        assert findings == []
+
+    def test_suppression_is_honoured(self):
+        findings = serving_findings_for("""
+            async def handle(session: object, sql: str) -> object:
+                return session.execute(sql)  # lint: allow(blocking-in-async) — startup path, loop not running yet
+        """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 # ---------------------------------------------------------------------------
 
