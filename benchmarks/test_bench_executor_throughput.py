@@ -190,6 +190,107 @@ def test_execute_many_throughput_gate(benchmark, bench_workload):
     assert speedup >= 2.0
 
 
+#: Worker counts of the per-operator scaling curve.
+SCALING_WORKERS = (1, 2, 4, 8)
+#: Morsel size of the scaling model: small enough that every operator's
+#: parallel phase splits into several morsels at the benchmark scale factor.
+SCALING_MORSEL = 512
+#: Plan-node kinds reported as individual scaling curves.
+SCALING_KINDS = ("JoinNode", "AggregateNode", "SortNode")
+
+
+def test_operator_scaling_curve_gate(benchmark, bench_workload):
+    """Morsel execution >= 2x end-to-end at 8 workers on join-heavy traffic.
+
+    The wall-clock of this container is a single core, so the gate rides the
+    deterministic scaling model instead
+    (:meth:`~repro.executor.metrics.ExecutionMetrics.simulated_latency_at`):
+    every operator records the morsel-parallelisable share of its work and
+    the row count it spreads over, both derived from observed row counts
+    only, so the curve is identical no matter which backend executed the
+    plan.  ``workers=1`` reproduces ``simulated_latency`` exactly; the gate
+    demands >= 2x at 8 workers over the join-heavy serving cycle, and the
+    per-operator curves (join / aggregation / sort) land in the JSON
+    artifact PR over PR.  Wall-clock for the serial and 8-worker thread
+    runs is reported for reference, ungated.
+    """
+    database = Database(bench_workload.catalog)
+    database.workload = bench_workload
+    queries = [bench_workload.query(number) for number in SERVING_QUERY_CYCLE]
+
+    def measure():
+        serial = database.connect(history_limit=0)
+        started = time.perf_counter()
+        results = [serial.execute(query) for query in queries]
+        serial_s = time.perf_counter() - started
+        threaded = database.connect(history_limit=0, executor_workers=8,
+                                    morsel_size=SCALING_MORSEL)
+        started = time.perf_counter()
+        parallel_results = [threaded.execute(query) for query in queries]
+        threaded_s = time.perf_counter() - started
+        return results, parallel_results, serial_s, threaded_s
+
+    results, parallel_results, serial_s, threaded_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+
+    # The scaling model only means anything over bit-identical executions.
+    for want, got in zip(results, parallel_results):
+        assert got.execution.metrics.total_work_units == \
+            want.execution.metrics.total_work_units
+        for key in want.execution.batch.keys:
+            assert np.array_equal(want.execution.batch.column(key),
+                                  got.execution.batch.column(key))
+
+    metrics = [result.execution.metrics for result in results]
+    end_to_end = {
+        workers: sum(m.simulated_latency_at(workers, SCALING_MORSEL)
+                     for m in metrics)
+        for workers in SCALING_WORKERS}
+    curves = {
+        kind: {workers: sum(m.simulated_latency_at(workers, SCALING_MORSEL,
+                                                   kind=kind)
+                            for m in metrics)
+               for workers in SCALING_WORKERS}
+        for kind in SCALING_KINDS}
+    assert end_to_end[1] == sum(m.simulated_latency for m in metrics)
+    speedup = end_to_end[1] / end_to_end[8]
+
+    print()
+    print("scaling cycle: %d queries, morsel=%d"
+          % (len(queries), SCALING_MORSEL))
+    for workers in SCALING_WORKERS:
+        print("  %d workers: %10.1f units (%5.2fx)"
+              % (workers, end_to_end[workers],
+                 end_to_end[1] / end_to_end[workers]))
+    for kind, curve in curves.items():
+        print("  %-14s %5.2fx at 8 workers"
+              % (kind + ":", curve[1] / curve[8] if curve[8] else 1.0))
+    print("wall-clock (reference): serial %.1f ms, 8-thread %.1f ms"
+          % (serial_s * 1e3, threaded_s * 1e3))
+    print("simulated speedup at 8 workers: %.2fx (gate: >= 2x)" % speedup)
+
+    benchmark.extra_info["scaling_speedup_8"] = speedup
+    _write_payload("scaling", {
+        "queries": ["Q%d" % number for number in SERVING_QUERY_CYCLE],
+        "morsel_size": SCALING_MORSEL,
+        "workers": list(SCALING_WORKERS),
+        "end_to_end_units": {str(w): end_to_end[w] for w in SCALING_WORKERS},
+        "operator_curves": {
+            kind: {str(w): curve[w] for w in SCALING_WORKERS}
+            for kind, curve in curves.items()},
+        "serial_wall_ms": serial_s * 1e3,
+        "threaded8_wall_ms": threaded_s * 1e3,
+        "speedup_at_8": speedup,
+        "gate": 2.0,
+    })
+
+    # Every operator family must actually scale (strictly below serial at 8
+    # workers), and the whole workload must clear the 2x gate.
+    for kind, curve in curves.items():
+        assert curve[8] < curve[1], kind
+    assert speedup >= 2.0
+
+
 def test_parallel_path_keeps_simulated_latency(benchmark, bench_workload):
     """Morsel execution must not move a single simulated work unit.
 

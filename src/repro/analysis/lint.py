@@ -77,8 +77,14 @@ ORDER_INSENSITIVE_CONSUMERS = frozenset({
     "sorted", "sum", "min", "max", "any", "all", "len", "set", "frozenset",
 })
 
-#: Methods that hand their callable argument to the morsel thread pool.
-WORKER_DISPATCH_METHODS = frozenset({"submit", "map", "_map_ordered"})
+#: Methods that hand their callable argument to a worker pool: the classic
+#: executor submission points plus the morsel-backend dispatchers
+#: (``thread_map`` on ``MorselPools`` and the runtime's ``_segment_map``
+#: inline-or-pool hook; ``process_map`` takes a kernel *name*, covered by
+#: the module-level kernels the process workers import).
+WORKER_DISPATCH_METHODS = frozenset({
+    "submit", "map", "_map_ordered", "thread_map", "_segment_map",
+})
 
 #: Object attributes shared across worker threads: stores to these are
 #: flagged everywhere, not only in worker-reachable code (the per-module

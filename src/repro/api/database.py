@@ -208,6 +208,10 @@ class Database:
             opened on this database (<= 1 = serial operators; sessions may
             override, see ``docs/executor.md``).
         morsel_size: Default maximum rows per execution morsel for sessions.
+        executor_backend: Default morsel-execution backend for sessions —
+            ``"thread"``, ``"process"`` (shared-memory GIL-escape pool) or
+            ``"auto"`` (threads on free-threaded CPython, processes
+            elsewhere); see :func:`repro.executor.backend.resolve_backend`.
         max_cross_join_rows: Default cross-join output guard for sessions
             (<= 0 disables the guard).
         verify_plans: Run the plan-contract verifier
@@ -232,6 +236,7 @@ class Database:
                  parallel_executor: Optional[str] = None,
                  executor_workers: Optional[int] = None,
                  morsel_size: Optional[int] = None,
+                 executor_backend: Optional[str] = None,
                  max_cross_join_rows: Optional[int] = None,
                  verify_plans: Optional[bool] = None) -> None:
         self.catalog = catalog
@@ -249,10 +254,11 @@ class Database:
         #: Database-wide executor knob defaults; resolved per session exactly
         #: like the planner overrides (session kwarg > database kwarg >
         #: engine default) — see :func:`repro.executor.executor_overrides`.
-        self.executor_overrides: Dict[str, int] = executor_overrides(
+        self.executor_overrides: Dict[str, object] = executor_overrides(
             executor_workers=executor_workers,
             morsel_size=morsel_size,
-            max_cross_join_rows=max_cross_join_rows)
+            max_cross_join_rows=max_cross_join_rows,
+            executor_backend=executor_backend)
         #: Whether cold-planned queries run the plan-contract verifier;
         #: resolved like every other knob (session kwarg > database kwarg >
         #: ``REPRO_VERIFY_PLANS`` environment default).

@@ -14,7 +14,6 @@ All failures surface as typed :class:`~repro.errors.ReproError` subclasses:
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -215,6 +214,10 @@ class Session:
             database default, then serial — see ``docs/executor.md``).
         morsel_size: Per-session override of the maximum rows per execution
             morsel.
+        executor_backend: Per-session override of how morsels escape the
+            interpreter — ``"thread"``, ``"process"`` (shared-memory
+            GIL-escape pool) or ``"auto"`` (see
+            :func:`repro.executor.backend.resolve_backend`).
         max_cross_join_rows: Per-session override of the cross-join output
             guard (<= 0 disables it).
         verify_plans: Per-session override of the plan-contract verifier
@@ -235,6 +238,7 @@ class Session:
                  parallel_executor: Optional[str] = None,
                  executor_workers: Optional[int] = None,
                  morsel_size: Optional[int] = None,
+                 executor_backend: Optional[str] = None,
                  max_cross_join_rows: Optional[int] = None,
                  verify_plans: Optional[bool] = None) -> None:
         self.database = database
@@ -261,12 +265,15 @@ class Session:
         resolved.update(executor_overrides(
             executor_workers=executor_workers,
             morsel_size=morsel_size,
-            max_cross_join_rows=max_cross_join_rows))
+            max_cross_join_rows=max_cross_join_rows,
+            executor_backend=executor_backend))
         self.context.executor_workers = resolved.get("executor_workers", 0)
         self.context.morsel_size = resolved.get("morsel_size",
                                                 DEFAULT_MORSEL_SIZE)
         self.context.max_cross_join_rows = resolved.get(
             "max_cross_join_rows", DEFAULT_MAX_CROSS_JOIN_ROWS)
+        self.context.executor_backend = resolved.get("executor_backend",
+                                                     "thread")
         #: The most recent results this session produced (every `plan`,
         #: `execute` and `explain` call), oldest first, capped at
         #: ``history_limit``.
@@ -293,6 +300,17 @@ class Session:
     def total_simulated_latency(self) -> float:
         """Sum of the simulated latencies of the recorded executions."""
         return sum(result.simulated_latency or 0.0 for result in self.history)
+
+    def executor_stats(self) -> Dict[str, object]:
+        """Morsel-executor pool and dispatch counters of this session.
+
+        See :meth:`ExecutionContext.executor_stats
+        <repro.executor.context.ExecutionContext.executor_stats>`: pool
+        creation counts (pinning the no-churn reuse across ``execute_many``
+        calls), dispatched morsel / process / batch task totals,
+        shared-memory bytes exported and the resolved backend.
+        """
+        return self.context.executor_stats()
 
     def _record(self, result: QueryResult) -> QueryResult:
         if self.history_limit > 0:
@@ -397,9 +415,11 @@ class Session:
             else self.context.executor_workers
         pool_size = max(int(pool_size), 1)
         if pool_size > 1 and len(slots) > 1:
-            with ThreadPoolExecutor(max_workers=pool_size,
-                                    thread_name_prefix="repro-serve") as pool:
-                list(pool.map(run, slots))
+            # The persistent batch pool: reused across execute_many calls
+            # (no per-call pool churn — see MorselPools / executor_stats).
+            pool = self.context.pools.batch_pool(pool_size)
+            self.context.pools.count_batch_tasks(len(slots))
+            list(pool.map(run, slots))
         else:
             for result in slots:
                 run(result)

@@ -1,6 +1,7 @@
 """Vectorised execution engine with runtime metrics."""
 
 from .aggregate import aggregate_batch
+from .backend import EXECUTOR_BACKENDS, MorselPools, resolve_backend
 from .batch import Batch
 from .cancel import CancelToken
 from .context import (
@@ -21,12 +22,16 @@ from .joins import (
 from .keys import CompositeKeyIndex, FactorizedKeys
 from .metrics import ExecutionMetrics, OperatorMetrics
 from .runtime import ExecutionResult, Executor
+from .shm import ArrayRef, ShmArena, attach_array
+from .sort import combined_sort_key, parallel_sort_order
 
 __all__ = [
+    "ArrayRef",
     "Batch",
     "CancelToken",
     "CompositeKeyIndex",
     "DEFAULT_MORSEL_SIZE",
+    "EXECUTOR_BACKENDS",
     "executor_overrides",
     "ExecutionContext",
     "ExecutionMetrics",
@@ -34,13 +39,19 @@ __all__ = [
     "Executor",
     "FactorizedKeys",
     "FilterScope",
+    "MorselPools",
     "OperatorMetrics",
+    "ShmArena",
     "aggregate_batch",
+    "attach_array",
     "combine_key_columns",
+    "combined_sort_key",
     "cross_join",
     "equi_join",
     "join_indices",
     "merge_join",
     "nested_loop_join",
+    "parallel_sort_order",
+    "resolve_backend",
     "sort_search_join_indices",
 ]

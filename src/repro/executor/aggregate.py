@@ -6,11 +6,22 @@ MIN / MAX skip NULL inputs and return NULL for groups with no valid input,
 and GROUP BY treats NULL as a single group of its own (distinct from every
 value, equal to itself for grouping purposes).  Columns without a null mask
 take exactly the pre-mask vectorised code paths.
+
+Aggregation is *two-phase*: group ids are assigned over the whole batch,
+then every non-distinct aggregate folds fixed-width row segments
+(:data:`AGG_SEGMENT_ROWS`) into per-segment partial states (count + sum /
+min / max; AVG carries sum and count) which are merged in segment order.
+The segment width is a constant — never derived from worker count or morsel
+size — so the partial fold decomposes the same way no matter how many
+workers compute the partials: serial, thread-parallel and process-parallel
+executions produce bit-identical floats.  A batch that fits one segment
+takes the historical single-pass code path exactly.  DISTINCT aggregates
+dedup against the whole batch and stay single-phase.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,6 +34,27 @@ from ..core.expressions import (
 from ..core.query import OutputItem
 from .batch import Batch
 from .keys import combine_key_columns
+from .shm import ShmArena, attach_array
+
+#: Fixed partial-state segment width (rows).  Per-morsel thread-local
+#: partials are computed over these segments and merged left-to-right;
+#: keeping the width independent of ``executor_workers`` / ``morsel_size``
+#: is what makes floating-point aggregate results decomposition-invariant.
+AGG_SEGMENT_ROWS = 65_536
+
+#: One aggregate call's full-batch input: ``(function, values, null_mask)``
+#: where ``values`` is ``None`` for ``COUNT(*)``.
+CallData = Tuple[AggregateFunction, Optional[np.ndarray], Optional[np.ndarray]]
+
+#: One call's per-segment partial state: ``(valid_counts, statistic)`` where
+#: the statistic is ``None`` for COUNT, per-group sums for SUM/AVG and
+#: per-group running min/max for MIN/MAX.
+Partial = Tuple[np.ndarray, Optional[np.ndarray]]
+
+#: Maps ``(calls_data, group_ids, num_groups, spans)`` to per-span partial
+#: lists — the hook the executor uses to fan segment work out to a backend.
+PartialsMap = Callable[[Sequence[CallData], np.ndarray, int,
+                        Sequence[Tuple[int, int]]], List[List[Partial]]]
 
 
 def _expand(values: np.ndarray, mask: Optional[np.ndarray], num_rows: int,
@@ -131,13 +163,171 @@ def _aggregate_column(call: AggregateCall, batch: Batch, group_ids: np.ndarray,
     return out, result_mask
 
 
+# -- two-phase segment partials ---------------------------------------------
+
+def segment_spans(num_rows: int) -> List[Tuple[int, int]]:
+    """Fixed-width partial-state segments covering ``num_rows`` rows.
+
+    Always at least one span — an empty batch yields one empty segment, so
+    the zero-row global aggregate still produces its partial state (COUNT 0,
+    everything else NULL).
+    """
+    if num_rows <= 0:
+        return [(0, 0)]
+    return [(start, min(start + AGG_SEGMENT_ROWS, num_rows))
+            for start in range(0, num_rows, AGG_SEGMENT_ROWS)]
+
+
+def _call_input(call: AggregateCall, batch: Batch) -> CallData:
+    """Evaluate one aggregate call's operand over the whole batch."""
+    if call.operand is None:
+        # COUNT(*) counts rows regardless of null content.
+        return call.func, None, None
+    values, null_mask = call.operand.evaluate_masked(batch.masked_resolver())
+    values, null_mask = _expand(values, null_mask, batch.num_rows)
+    if null_mask is not None and not null_mask.any():
+        null_mask = None
+    return call.func, np.asarray(values), null_mask
+
+
+def compute_segment_partials(calls_data: Sequence[CallData],
+                             group_ids: np.ndarray, num_groups: int,
+                             start: int, stop: int) -> List[Partial]:
+    """Partial aggregate states of one row segment, one per call.
+
+    Pure over read-only slices (runs unchanged in worker threads and worker
+    processes).  A single whole-batch segment performs exactly the
+    historical one-pass aggregation, operation for operation.
+    """
+    segment_ids = group_ids[start:stop]
+    partials: List[Partial] = []
+    for func, values, null_mask in calls_data:
+        ids = segment_ids
+        keep: Optional[np.ndarray] = None
+        if null_mask is not None:
+            # Aggregates over a column skip NULL inputs entirely.
+            keep = ~null_mask[start:stop]
+            ids = ids[keep]
+        counts = np.bincount(ids, minlength=num_groups)
+        if values is None or func is AggregateFunction.COUNT:
+            partials.append((counts, None))
+            continue
+        numeric = values[start:stop]
+        if keep is not None:
+            numeric = numeric[keep]
+        numeric = numeric.astype(np.float64)
+        if func in (AggregateFunction.SUM, AggregateFunction.AVG):
+            stat = np.bincount(ids, weights=numeric, minlength=num_groups)
+        elif func is AggregateFunction.MIN:
+            stat = np.full(num_groups, np.inf)
+            np.minimum.at(stat, ids, numeric)
+        elif func is AggregateFunction.MAX:
+            stat = np.full(num_groups, -np.inf)
+            np.maximum.at(stat, ids, numeric)
+        else:
+            raise ValueError("unsupported aggregate %r" % func)
+        partials.append((counts, stat))
+    return partials
+
+
+def merge_partials(func: AggregateFunction, partials: Sequence[Partial],
+                   ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Fold per-segment partials (in segment order) into final group values.
+
+    The fold is left-to-right over the canonical segment sequence, so its
+    floating-point result depends only on the segment width, never on which
+    backend computed the partials.
+    """
+    counts = partials[0][0]
+    for partial in partials[1:]:
+        counts = counts + partial[0]
+    if func is AggregateFunction.COUNT:
+        return counts.astype(np.float64), None
+
+    # Groups with no valid input aggregate to NULL (SQL semantics).
+    empty = counts == 0
+    result_mask: Optional[np.ndarray] = empty if bool(empty.any()) else None
+
+    stat = partials[0][1]
+    for partial in partials[1:]:
+        if func in (AggregateFunction.SUM, AggregateFunction.AVG):
+            stat = stat + partial[1]
+        elif func is AggregateFunction.MIN:
+            stat = np.minimum(stat, partial[1])
+        else:
+            stat = np.maximum(stat, partial[1])
+    if func is AggregateFunction.AVG:
+        out = np.divide(stat, counts, out=np.zeros_like(stat),
+                        where=counts > 0)
+    else:
+        out = stat
+    if result_mask is not None:
+        out = out.copy()
+        out[result_mask] = 0.0  # filler under the mask, never read as data
+    return out, result_mask
+
+
+# -- process-backend partials kernel ------------------------------------------
+
+def export_partials_task(arena: ShmArena, calls_data: Sequence[CallData],
+                         group_ids: np.ndarray,
+                         num_groups: int) -> Dict[str, Any]:
+    """Publish the full-batch aggregation inputs for worker processes.
+
+    Operand values, null masks and the group-id vector are exported once
+    (memoized) into shared memory; every segment task reuses the same
+    pages and pickles back only its ``num_groups``-sized partials.
+    """
+    return {
+        "calls": [(func.name,
+                   arena.export_optional(values),
+                   arena.export_optional(null_mask))
+                  for func, values, null_mask in calls_data],
+        "group_ids": arena.export(group_ids),
+        "num_groups": num_groups,
+    }
+
+
+def segment_partials_kernel(payload: Dict[str, Any], start: int,
+                            stop: int) -> List[Partial]:
+    """Process-pool kernel: one segment's partials from shared-memory views."""
+    calls_data: List[CallData] = [
+        (AggregateFunction[name], attach_array(values_ref),
+         attach_array(mask_ref))
+        for name, values_ref, mask_ref in payload["calls"]]
+    return compute_segment_partials(calls_data,
+                                    attach_array(payload["group_ids"]),
+                                    payload["num_groups"], start, stop)
+
+
+def _inline_partials_map(calls_data: Sequence[CallData],
+                         group_ids: np.ndarray, num_groups: int,
+                         spans: Sequence[Tuple[int, int]],
+                         ) -> List[List[Partial]]:
+    """The serial fallback :data:`PartialsMap` (no pool, no cancel hooks)."""
+    return [compute_segment_partials(calls_data, group_ids, num_groups,
+                                     start, stop)
+            for start, stop in spans]
+
+
+def _segmented(call: AggregateCall) -> bool:
+    """True when the call aggregates via decomposable segment partials."""
+    # DISTINCT dedups against the whole batch; it stays single-phase.
+    return not (call.distinct and call.operand is not None)
+
+
 def aggregate_batch(batch: Batch, group_by: Sequence[ScalarExpression],
-                    items: Sequence[OutputItem]) -> Batch:
+                    items: Sequence[OutputItem],
+                    partials_map: Optional[PartialsMap] = None) -> Batch:
     """Group ``batch`` and compute the SELECT-list items.
 
     The output batch contains one column per item, keyed by the item's output
     name; non-aggregate items are evaluated on the first row of each group
     (they are group-by expressions in a well-formed query).
+
+    ``partials_map`` is the executor's hook for computing segment partials
+    on a worker backend; results are bit-identical to the inline fallback
+    because the segmentation (and the merge order) never varies with it.
     """
     group_ids, first_rows, num_groups = _group_ids(batch, group_by)
     if num_groups == 0:
@@ -149,11 +339,31 @@ def aggregate_batch(batch: Batch, group_by: Sequence[ScalarExpression],
         # below produces that from the empty batch once told there is one
         # group.
         num_groups = 1
+
+    segmented = [item for item in items
+                 if isinstance(item.expression, AggregateCall)
+                 and _segmented(item.expression)]
+    merged: Dict[str, Tuple[np.ndarray, Optional[np.ndarray]]] = {}
+    if segmented:
+        calls_data = [_call_input(item.expression, batch)
+                      for item in segmented]
+        spans = segment_spans(batch.num_rows)
+        if partials_map is None or len(spans) == 1:
+            per_span = _inline_partials_map(calls_data, group_ids,
+                                            num_groups, spans)
+        else:
+            per_span = partials_map(calls_data, group_ids, num_groups, spans)
+        for position, item in enumerate(segmented):
+            partials = [span_partials[position] for span_partials in per_span]
+            merged[item.name] = merge_partials(item.expression.func, partials)
+
     columns: Dict[str, np.ndarray] = {}
     masks: Dict[str, Optional[np.ndarray]] = {}
     resolve = batch.masked_resolver()
     for item in items:
-        if isinstance(item.expression, AggregateCall):
+        if item.name in merged:
+            columns[item.name], masks[item.name] = merged[item.name]
+        elif isinstance(item.expression, AggregateCall):
             columns[item.name], masks[item.name] = _aggregate_column(
                 item.expression, batch, group_ids, num_groups)
         else:

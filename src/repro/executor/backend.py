@@ -1,0 +1,274 @@
+"""Morsel execution backends: thread pool, process pool, inline.
+
+The morsel executor dispatches per-morsel work through one of three
+backends, selected by the ``executor_backend`` knob:
+
+``thread``
+    A shared :class:`~concurrent.futures.ThreadPoolExecutor` — the default.
+    Closures capture batches directly; numpy kernels release the GIL for
+    parts of their work, and on free-threaded CPython (3.13+ ``--disable-
+    gil`` builds) threads scale without any data shipping at all.
+``process``
+    A shared :class:`~concurrent.futures.ProcessPoolExecutor` (spawn start
+    method) that escapes the GIL on standard CPython.  Tasks name a
+    module-level kernel (``"pkg.module:function"``) plus picklable args;
+    bulk array inputs travel as zero-copy :mod:`repro.executor.shm` refs,
+    and only the morsel-sized results are pickled back.
+``auto``
+    Resolves to ``thread`` on free-threaded builds (threads already escape
+    the GIL there) and to ``process`` everywhere else.
+
+Cancellation: the thread backend re-checks the execution's
+:class:`~repro.executor.cancel.CancelToken` at the start of every morsel
+(via :meth:`CancelToken.guard <repro.executor.cancel.CancelToken.guard>`);
+the process backend dispatches tasks through a bounded window and polls the
+token before every submission, so a cancelled query stops issuing work
+within one dispatch window and its error surfaces on the next collected
+future.
+
+Pools are created lazily, kept for the lifetime of their
+:class:`~repro.executor.context.ExecutionContext` (no per-execution or
+per-``execute_many`` churn) and observable through
+:meth:`MorselPools.stats`.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from multiprocessing import get_context
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .cancel import CancelToken
+
+__all__ = [
+    "EXECUTOR_BACKENDS",
+    "MorselPools",
+    "resolve_backend",
+    "run_kernel",
+]
+
+#: The accepted values of the ``executor_backend`` knob.
+EXECUTOR_BACKENDS = ("thread", "process", "auto")
+
+
+def free_threaded_build() -> bool:
+    """True on a free-threaded (GIL-less) CPython 3.13+ build."""
+    probe = getattr(sys, "_is_gil_enabled", None)
+    return probe is not None and not probe()
+
+
+def resolve_backend(backend: str) -> str:
+    """Resolve the ``executor_backend`` knob to ``thread`` or ``process``.
+
+    ``auto`` stays on threads when the interpreter is free-threaded (there
+    is no GIL to escape, and threads share memory for free) and picks the
+    shared-memory process backend on standard GIL builds.
+    """
+    if backend not in EXECUTOR_BACKENDS:
+        raise ValueError("executor_backend must be one of %r, got %r"
+                         % (EXECUTOR_BACKENDS, backend))
+    if backend == "auto":
+        return "thread" if free_threaded_build() else "process"
+    return backend
+
+
+#: Worker-side kernel resolution cache (``"module:function"`` -> callable).
+_KERNELS: Dict[str, Callable[..., Any]] = {}
+
+
+def run_kernel(spec: str, args: tuple) -> Any:
+    """Process-pool entry point: resolve and invoke a registered kernel.
+
+    Kernels are addressed by ``"package.module:function"`` so the spawn
+    start method never pickles code objects — the worker imports the module
+    (inheriting the parent's ``sys.path``) and caches the callable.
+    """
+    kernel = _KERNELS.get(spec)
+    if kernel is None:
+        module_name, _, func_name = spec.partition(":")
+        kernel = getattr(importlib.import_module(module_name), func_name)
+        # lint: allow(worker-shared-mutation) — process-local resolution
+        # cache: each worker process owns its private copy of this module.
+        _KERNELS[spec] = kernel
+    return kernel(*args)
+
+
+class MorselPools:
+    """Lazily created, persistent worker pools plus their statistics.
+
+    One instance lives on each :class:`ExecutionContext` and is shared by
+    every execution on that context: the morsel thread pool, the process
+    pool of the GIL-escape backend and the ``execute_many`` batch pool are
+    all created at most once per size and reused until :meth:`close` —
+    pool construction counts are part of :meth:`stats` precisely so tests
+    can pin the no-churn behaviour.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._thread_pool_size = 0
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        self._process_pool_size = 0
+        self._batch_pool: Optional[ThreadPoolExecutor] = None
+        self._batch_pool_size = 0
+        self._pools_created = 0
+        self._morsel_tasks = 0
+        self._process_tasks = 0
+        self._batch_tasks = 0
+        self._shm_bytes = 0
+
+    # -- pool acquisition ---------------------------------------------------
+
+    def thread_pool(self, workers: int) -> ThreadPoolExecutor:
+        """The shared morsel thread pool, rebuilt only when resized."""
+        workers = max(int(workers), 1)
+        with self._lock:
+            if self._thread_pool is None or self._thread_pool_size != workers:
+                if self._thread_pool is not None:
+                    self._thread_pool.shutdown(wait=False)
+                self._thread_pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-morsel")
+                self._thread_pool_size = workers
+                self._pools_created += 1
+            return self._thread_pool
+
+    def process_pool(self, workers: int) -> ProcessPoolExecutor:
+        """The shared GIL-escape process pool (spawn start method).
+
+        Spawn is chosen over fork deliberately: the engine runs worker
+        threads (serving tier, batch pool) and forking a threaded parent is
+        undefined-behaviour territory; spawn also propagates ``sys.path``
+        so workers can import the kernels by name.
+        """
+        workers = max(int(workers), 1)
+        with self._lock:
+            if self._process_pool is None \
+                    or self._process_pool_size != workers:
+                if self._process_pool is not None:
+                    self._process_pool.shutdown(wait=False)
+                self._process_pool = ProcessPoolExecutor(
+                    max_workers=workers, mp_context=get_context("spawn"))
+                self._process_pool_size = workers
+                self._pools_created += 1
+            return self._process_pool
+
+    def batch_pool(self, workers: int) -> ThreadPoolExecutor:
+        """The persistent ``execute_many`` batch pool (whole queries).
+
+        Separate from the morsel pool so per-query morsel parallelism
+        composes with batch parallelism without deadlock; reused across
+        ``execute_many`` calls instead of being rebuilt per call.
+        """
+        workers = max(int(workers), 1)
+        with self._lock:
+            if self._batch_pool is None or self._batch_pool_size != workers:
+                if self._batch_pool is not None:
+                    self._batch_pool.shutdown(wait=False)
+                self._batch_pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-serve")
+                self._batch_pool_size = workers
+                self._pools_created += 1
+            return self._batch_pool
+
+    # -- dispatch -----------------------------------------------------------
+
+    def thread_map(self, fn: Callable[[Any], Any], items: Sequence[Any],
+                   cancel: Optional[CancelToken], workers: int) -> List[Any]:
+        """Run ``fn`` over ``items`` on the thread pool, results in order.
+
+        Submission order is preserved, so concatenating the results
+        reproduces the serial output exactly; the first worker exception
+        propagates.  With a cancel token, every morsel re-checks the token
+        before doing any work — a request abandoned mid-operator stops
+        within one morsel: in-flight morsels finish, queued ones raise
+        immediately.
+        """
+        pool = self.thread_pool(workers)
+        if cancel is not None:
+            fn = cancel.guard(fn)
+        with self._lock:
+            self._morsel_tasks += len(items)
+        futures = [pool.submit(fn, item) for item in items]
+        return [future.result() for future in futures]
+
+    def process_map(self, kernel: str, args_list: Sequence[tuple],
+                    cancel: Optional[CancelToken], workers: int,
+                    ) -> List[Any]:
+        """Run a named kernel over per-morsel args on the process pool.
+
+        Tasks flow through a bounded window (two per worker) and the cancel
+        token is polled before every submission, so a cancelled query stops
+        issuing new work within one dispatch step; outstanding futures are
+        cancelled when an error unwinds.  Results come back in submission
+        order.
+        """
+        workers = max(int(workers), 1)
+        pool = self.process_pool(workers)
+        with self._lock:
+            self._process_tasks += len(args_list)
+        window = workers * 2
+        futures: Dict[int, Future] = {}
+        results: List[Any] = [None] * len(args_list)
+        submitted = collected = 0
+        try:
+            while collected < len(args_list):
+                while submitted < len(args_list) \
+                        and submitted - collected < window:
+                    if cancel is not None:
+                        cancel.check()
+                    futures[submitted] = pool.submit(
+                        run_kernel, kernel, args_list[submitted])
+                    submitted += 1
+                results[collected] = futures.pop(collected).result()
+                collected += 1
+        except BaseException:
+            for future in futures.values():
+                future.cancel()
+            raise
+        return results
+
+    def count_batch_tasks(self, count: int) -> None:
+        """Record ``count`` whole-query tasks dispatched to the batch pool."""
+        with self._lock:
+            self._batch_tasks += count
+
+    def count_shm_bytes(self, count: int) -> None:
+        """Record shared-memory bytes exported for process-backend morsels."""
+        with self._lock:
+            self._shm_bytes += count
+
+    # -- observability / lifecycle ------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Pool-lifecycle and dispatch counters (``executor_stats`` body)."""
+        with self._lock:
+            return {
+                "pools_created": self._pools_created,
+                "morsel_tasks": self._morsel_tasks,
+                "process_tasks": self._process_tasks,
+                "batch_tasks": self._batch_tasks,
+                "shm_bytes_exported": self._shm_bytes,
+                "thread_pool_size": self._thread_pool_size,
+                "process_pool_size": self._process_pool_size,
+                "batch_pool_size": self._batch_pool_size,
+            }
+
+    def close(self) -> None:
+        """Shut every pool down deterministically (idempotent)."""
+        with self._lock:
+            if self._thread_pool is not None:
+                self._thread_pool.shutdown(wait=True)
+                self._thread_pool = None
+                self._thread_pool_size = 0
+            if self._batch_pool is not None:
+                self._batch_pool.shutdown(wait=True)
+                self._batch_pool = None
+                self._batch_pool_size = 0
+            if self._process_pool is not None:
+                self._process_pool.shutdown(wait=True)
+                self._process_pool = None
+                self._process_pool_size = 0

@@ -289,6 +289,17 @@ class Batch:
                      {key: nulls[start:stop]
                       for key, nulls in self._masks.items()})
 
+    def spans(self, morsel_size: int) -> List[Tuple[int, int]]:
+        """Morsel spans ``[(start, stop), ...]`` covering this batch's rows.
+
+        The canonical segmentation used by the morsel join probe and
+        parallel sort: contiguous, in row order, every span at most
+        ``morsel_size`` rows (an empty batch yields no spans).
+        """
+        size = max(int(morsel_size), 1)
+        return [(start, min(start + size, self._num_rows))
+                for start in range(0, self._num_rows, size)]
+
     def head(self, n: int) -> "Batch":
         """First ``n`` rows."""
         return self.take(np.arange(min(n, self.num_rows)))

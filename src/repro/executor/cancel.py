@@ -96,5 +96,18 @@ class CancelToken:
             raise QueryCancelledError("query cancelled: %s" % reason,
                                       reason=reason)
 
+    def guard(self, fn: Callable[..., object]) -> Callable[..., object]:
+        """Wrap a per-morsel function so every call polls the token first.
+
+        The morsel backends dispatch through this wrapper: a worker picking
+        up a queued morsel re-checks the token before touching any data, so
+        an abandoned query stops within one morsel even when many morsels
+        were enqueued ahead of the cancel.
+        """
+        def guarded(*args: object) -> object:
+            self.check()
+            return fn(*args)
+        return guarded
+
 
 __all__ = ["CancelToken", "DEADLINE_REASON"]

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -10,6 +9,7 @@ from typing import Dict, Optional
 from ..bloom import BloomFilter, PartitionedBloomFilter
 from ..core.cost import CostModel, CostParameters, DEFAULT_COST_PARAMETERS
 from ..storage.catalog import Catalog
+from .backend import EXECUTOR_BACKENDS, MorselPools, resolve_backend
 from .cancel import CancelToken
 from .joins import DEFAULT_MAX_CROSS_JOIN_ROWS
 
@@ -21,7 +21,8 @@ DEFAULT_MORSEL_SIZE = 65_536
 
 def executor_overrides(executor_workers: Optional[int] = None,
                        morsel_size: Optional[int] = None,
-                       max_cross_join_rows: Optional[int] = None) -> dict:
+                       max_cross_join_rows: Optional[int] = None,
+                       executor_backend: Optional[str] = None) -> dict:
     """Non-``None`` executor knobs as an override-ready dict.
 
     Shared by :class:`repro.api.Database` and :class:`repro.api.Session` so
@@ -35,10 +36,15 @@ def executor_overrides(executor_workers: Optional[int] = None,
     if executor_workers is not None and executor_workers < 0:
         raise ValueError("executor_workers must be non-negative, got %r"
                          % executor_workers)
+    if executor_backend is not None \
+            and executor_backend not in EXECUTOR_BACKENDS:
+        raise ValueError("executor_backend must be one of %r, got %r"
+                         % (EXECUTOR_BACKENDS, executor_backend))
     return {key: value for key, value in (
         ("executor_workers", executor_workers),
         ("morsel_size", morsel_size),
-        ("max_cross_join_rows", max_cross_join_rows)) if value is not None}
+        ("max_cross_join_rows", max_cross_join_rows),
+        ("executor_backend", executor_backend)) if value is not None}
 
 
 class FilterScope:
@@ -104,10 +110,17 @@ class ExecutionContext:
             single monolithic filter, as in build-side broadcast).
         bloom_bits_per_key: Sizing knob forwarded to runtime Bloom filters.
         executor_workers: Morsel-execution worker count.  ``<= 1`` runs the
-            classic serial operators; above that, scans and projections split
-            their input into morsels processed on a shared thread pool and
-            re-concatenated in canonical order (bit-identical to serial; see
+            classic serial operators; above that, scans, projections, join
+            probes, aggregation partials and sort runs split their input
+            into morsels processed on a shared worker pool and re-combined
+            in canonical order (bit-identical to serial; see
             ``docs/executor.md``).
+        executor_backend: How morsels escape the interpreter: ``"thread"``
+            (shared thread pool, the default), ``"process"`` (spawn-based
+            process pool shipping columns through
+            ``multiprocessing.shared_memory``) or ``"auto"`` (threads on
+            free-threaded CPython 3.13+, processes elsewhere).  See
+            :func:`repro.executor.backend.resolve_backend`.
         morsel_size: Maximum rows per morsel.  Morsel boundaries additionally
             align to storage partition boundaries so each morsel stays within
             one partition.
@@ -139,12 +152,17 @@ class ExecutionContext:
     executor_workers: int = 0
     morsel_size: int = DEFAULT_MORSEL_SIZE
     max_cross_join_rows: int = DEFAULT_MAX_CROSS_JOIN_ROWS
+    executor_backend: str = "thread"
     cancel_token: Optional[CancelToken] = None
 
     def __post_init__(self) -> None:
-        self._pool_lock = threading.Lock()
-        self._morsel_pool: Optional[ThreadPoolExecutor] = None
-        self._morsel_pool_size = 0
+        if self.executor_backend not in EXECUTOR_BACKENDS:
+            raise ValueError("executor_backend must be one of %r, got %r"
+                             % (EXECUTOR_BACKENDS, self.executor_backend))
+        #: Lazily created, persistent morsel/process/batch pools shared by
+        #: every execution on this context (see
+        #: :class:`repro.executor.backend.MorselPools`).
+        self.pools = MorselPools()
 
     @classmethod
     def for_catalog(cls, catalog: Catalog,
@@ -175,27 +193,31 @@ class ExecutionContext:
         number of concurrent executions can share the pool without deadlock
         (batched serving uses its own, separate pool for whole queries).
         """
-        workers = max(int(self.executor_workers), 1)
-        with self._pool_lock:
-            if self._morsel_pool is None or self._morsel_pool_size != workers:
-                if self._morsel_pool is not None:
-                    self._morsel_pool.shutdown(wait=False)
-                self._morsel_pool = ThreadPoolExecutor(
-                    max_workers=workers, thread_name_prefix="repro-morsel")
-                self._morsel_pool_size = workers
-            return self._morsel_pool
+        return self.pools.thread_pool(max(int(self.executor_workers), 1))
+
+    def executor_stats(self) -> Dict[str, object]:
+        """Pool-lifecycle and dispatch counters plus the resolved knobs.
+
+        The executor-side twin of ``db.cache_stats()``: a snapshot of the
+        shared pool state (creation counts, dispatched morsel/batch tasks,
+        shared-memory bytes) so tests and operators can pin the
+        no-pool-churn behaviour of ``execute_many`` and observe which
+        backend actually runs.
+        """
+        stats: Dict[str, object] = dict(self.pools.stats())
+        stats["executor_backend"] = self.executor_backend
+        stats["resolved_backend"] = resolve_backend(self.executor_backend)
+        stats["executor_workers"] = self.executor_workers
+        stats["morsel_size"] = self.morsel_size
+        return stats
 
     def close(self) -> None:
-        """Shut the morsel pool down deterministically (idempotent).
+        """Shut every shared pool down deterministically (idempotent).
 
         Called by :meth:`Session.close <repro.api.session.Session.close>`;
-        without it the lazily created pool's threads live until interpreter
+        without it the lazily created pools' workers live until interpreter
         exit.  A later :meth:`morsel_pool` call would lazily rebuild the
         pool, but sessions guard execution after close so it never happens
         through the API.
         """
-        with self._pool_lock:
-            if self._morsel_pool is not None:
-                self._morsel_pool.shutdown(wait=True)
-                self._morsel_pool = None
-                self._morsel_pool_size = 0
+        self.pools.close()

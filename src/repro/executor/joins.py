@@ -20,7 +20,7 @@ sentinel values — padded columns carry an all-null mask, so a legitimate
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,19 +28,30 @@ from ..core.expressions import ColumnRef
 from ..core.query import JoinClause, JoinType
 from ..errors import ExecutionError
 from .batch import Batch
-from .keys import CompositeKeyIndex, combine_key_columns
+from .keys import CompositeKeyIndex, FactorizedKeys, combine_key_columns
+from .shm import ShmArena, attach_array
 
 __all__ = [
     "DEFAULT_MAX_CROSS_JOIN_ROWS",
+    "build_probe_state",
     "clause_key_columns",
     "combine_key_columns",
+    "concat_pair_results",
     "cross_join",
     "equi_join",
+    "export_probe_task",
     "join_indices",
     "merge_join",
     "nested_loop_join",
+    "probe_morsel_kernel",
+    "probe_span_pairs",
     "sort_search_join_indices",
+    "stitch_equi_join",
 ]
+
+#: Alias for the ``(probe_idx, build_idx, counts)`` triple every probe
+#: kernel returns.
+PairResult = Tuple[np.ndarray, np.ndarray, np.ndarray]
 
 #: Safety net for cross joins reached outside the executor (which passes the
 #: :class:`~repro.executor.context.ExecutionContext` knob explicitly): a
@@ -218,28 +229,66 @@ def _null_batch(like: Batch, num_rows: int) -> Batch:
     return Batch(columns, masks)
 
 
-def equi_join(probe: Batch, build: Batch, clauses: Sequence[JoinClause],
-              join_type: JoinType = JoinType.INNER,
-              max_cross_join_rows: Optional[int] = None) -> Batch:
-    """Join two batches on the given equi-join clauses.
+def build_probe_state(probe: Batch, build: Batch,
+                      clauses: Sequence[JoinClause],
+                      ) -> Tuple[BuildSideIndex, List[np.ndarray],
+                                 Optional[np.ndarray]]:
+    """The memoized build index plus the probe-side key columns and mask.
 
-    ``probe`` corresponds to the plan's outer input and ``build`` to the inner
-    input; for LEFT joins the probe side is the row-preserving side, matching
-    how the enumerator orients non-inner joins.  FULL joins preserve both
-    sides: unmatched probe rows are null-padded on the build columns and
-    unmatched build rows are null-padded on the probe columns.  Null-keyed
-    probe rows count as unmatched (preserved by LEFT/FULL and ANTI, dropped
-    by INNER and SEMI) and null-keyed build rows never match.
+    This is the *build phase* of the morsel hash join, factored out so the
+    executor can run it exactly once and then probe any number of morsels
+    against it (serially, on the thread pool, or in worker processes).  The
+    memo key matches the one :func:`equi_join` always used, so serial and
+    morsel executions share one factorization per build batch.
     """
-    if not clauses:
-        return cross_join(probe, build, max_cross_join_rows)
     probe_cols, build_cols, probe_null, build_null, build_names = \
         _clause_key_parts(clauses, probe, build)
     index = build.kernel_memo(
         ("build_index", build_names),
         lambda: BuildSideIndex(build_cols, build_null))
-    probe_idx, build_idx, counts = index.probe(probe_cols, probe_null)
+    return index, probe_cols, probe_null
 
+
+def probe_span_pairs(index: BuildSideIndex,
+                     probe_cols: Sequence[np.ndarray],
+                     probe_null: Optional[np.ndarray],
+                     start: int, stop: int) -> PairResult:
+    """Probe one morsel ``[start, stop)`` of the probe side.
+
+    Key columns and mask are sliced (zero-copy views) and the resulting
+    probe indices are shifted back to whole-batch row numbers.  Because the
+    match kernel emits pairs in probe-row order with a per-row count vector,
+    concatenating span results in span order reproduces the whole-batch
+    probe bit-for-bit (see :func:`concat_pair_results`).
+    """
+    cols = [np.asarray(col)[start:stop] for col in probe_cols]
+    null = probe_null[start:stop] if probe_null is not None else None
+    probe_idx, build_idx, counts = index.probe(cols, null)
+    if start:
+        probe_idx = probe_idx + np.int64(start)
+    return probe_idx, build_idx, counts
+
+
+def concat_pair_results(results: Sequence[PairResult]) -> PairResult:
+    """Stitch ordered per-span probe results back into whole-batch pairs."""
+    if len(results) == 1:
+        return results[0]
+    probe_idx = np.concatenate([pairs[0] for pairs in results])
+    build_idx = np.concatenate([pairs[1] for pairs in results])
+    counts = np.concatenate([pairs[2] for pairs in results])
+    return probe_idx, build_idx, counts
+
+
+def stitch_equi_join(probe: Batch, build: Batch, join_type: JoinType,
+                     probe_idx: np.ndarray, build_idx: np.ndarray,
+                     counts: np.ndarray) -> Batch:
+    """Materialise a join's output rows from whole-batch match pairs.
+
+    This serial tail is shared by every probe strategy: the pair arrays are
+    already in canonical (probe-row) order, so SEMI/ANTI filtering, INNER
+    gathering and LEFT/FULL null-padding produce the identical row order no
+    matter how the pairs were computed.
+    """
     if join_type is JoinType.SEMI:
         return probe.filter(counts > 0)
     if join_type is JoinType.ANTI:
@@ -264,6 +313,109 @@ def equi_join(probe: Batch, build: Batch, clauses: Sequence[JoinClause],
                     probe, unmatched_build.num_rows).merge(unmatched_build))
         return Batch.concat(pieces)
     raise ValueError("unsupported join type %r" % join_type)
+
+
+def equi_join(probe: Batch, build: Batch, clauses: Sequence[JoinClause],
+              join_type: JoinType = JoinType.INNER,
+              max_cross_join_rows: Optional[int] = None) -> Batch:
+    """Join two batches on the given equi-join clauses.
+
+    ``probe`` corresponds to the plan's outer input and ``build`` to the inner
+    input; for LEFT joins the probe side is the row-preserving side, matching
+    how the enumerator orients non-inner joins.  FULL joins preserve both
+    sides: unmatched probe rows are null-padded on the build columns and
+    unmatched build rows are null-padded on the probe columns.  Null-keyed
+    probe rows count as unmatched (preserved by LEFT/FULL and ANTI, dropped
+    by INNER and SEMI) and null-keyed build rows never match.
+    """
+    if not clauses:
+        return cross_join(probe, build, max_cross_join_rows)
+    index, probe_cols, probe_null = build_probe_state(probe, build, clauses)
+    probe_idx, build_idx, counts = index.probe(probe_cols, probe_null)
+    return stitch_equi_join(probe, build, join_type,
+                            probe_idx, build_idx, counts)
+
+
+# -- process-backend probe kernel -------------------------------------------
+
+def export_probe_task(index: BuildSideIndex,
+                      probe_cols: Sequence[np.ndarray],
+                      probe_null: Optional[np.ndarray],
+                      arena: ShmArena) -> Dict[str, Any]:
+    """Publish a probe task's shared state for worker processes.
+
+    The build index's arrays and the full probe key columns go into the
+    arena exactly once (exports are memoized by array identity, so fifty
+    morsels of one join ship one copy); the returned payload contains only
+    picklable :class:`~repro.executor.shm.ArrayRef` descriptors and scalars.
+    """
+    composite = index.index
+    keys = composite.index
+    payload: Dict[str, Any] = {
+        "selection": arena.export_optional(index.selection),
+        "mode": composite._mode,
+        "num_columns": composite._num_columns,
+        "column_uniques": [arena.export(uniques)
+                           for uniques in composite._column_uniques],
+        "pack_steps": None,
+        "uniques": arena.export(keys.uniques),
+        "counts": arena.export(keys.counts),
+        "starts": arena.export(keys.starts),
+        "row_order": arena.export(keys.row_order),
+        "num_build_rows": keys.num_rows,
+        "probe_cols": [arena.export(np.asarray(col)) for col in probe_cols],
+        "probe_null": arena.export_optional(probe_null),
+    }
+    if composite._mode == CompositeKeyIndex._MODE_CODES:
+        payload["pack_steps"] = [
+            (cardinality, arena.export_optional(compress))
+            for cardinality, compress in composite._pack_steps]
+    return payload
+
+
+def _index_from_payload(payload: Dict[str, Any]) -> BuildSideIndex:
+    """Worker-side reconstruction of an exported :class:`BuildSideIndex`.
+
+    Pure wiring: every array is a zero-copy view over the exported shared
+    pages, so rebuilding the index per morsel costs a handful of attribute
+    assignments, not a re-factorization.
+    """
+    keys = FactorizedKeys(attach_array(payload["uniques"]),
+                          attach_array(payload["counts"]),
+                          attach_array(payload["starts"]),
+                          attach_array(payload["row_order"]),
+                          payload["num_build_rows"])
+    composite = CompositeKeyIndex.__new__(CompositeKeyIndex)
+    composite._mode = payload["mode"]
+    composite._num_columns = payload["num_columns"]
+    composite._column_uniques = [attach_array(ref)
+                                 for ref in payload["column_uniques"]]
+    if payload["pack_steps"] is not None:
+        composite._pack_steps = [(cardinality, attach_array(ref))
+                                 for cardinality, ref in payload["pack_steps"]]
+    composite.index = keys
+    index = BuildSideIndex.__new__(BuildSideIndex)
+    index.selection = attach_array(payload["selection"])
+    index.index = composite
+    return index
+
+
+def probe_morsel_kernel(payload: Dict[str, Any], start: int,
+                        stop: int) -> PairResult:
+    """Process-pool kernel: probe one morsel against an exported index.
+
+    Runs in a worker process; only the morsel-sized pair arrays are pickled
+    back to the parent.  Output is bit-identical to
+    :func:`probe_span_pairs` over the same span.
+    """
+    index = _index_from_payload(payload)
+    cols = [attach_array(ref)[start:stop] for ref in payload["probe_cols"]]
+    null_full = attach_array(payload["probe_null"])
+    null = null_full[start:stop] if null_full is not None else None
+    probe_idx, build_idx, counts = index.probe(cols, null)
+    if start:
+        probe_idx = probe_idx + np.int64(start)
+    return probe_idx, build_idx, counts
 
 
 def cross_join(probe: Batch, build: Batch,

@@ -95,6 +95,32 @@ def _fold_codes(code_columns: Sequence[Tuple[np.ndarray, int]],
     return combined, steps
 
 
+def column_ranks(values: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Dense order-preserving rank codes of one sort-key column.
+
+    Ranks compare exactly like the raw values under a stable sort, which is
+    what lets the parallel merge sort fold multiple key columns into one
+    int64 key (:func:`repro.executor.sort.combined_sort_key`).  NaNs are
+    collapsed to a single rank above every ordinary value — the same
+    equivalence a stable ``lexsort`` round gives them (all NaNs move to the
+    end preserving prior order) — independent of the numpy version's
+    ``np.unique`` NaN behaviour.
+
+    Returns ``(codes, cardinality)``.
+    """
+    values = np.asarray(values)
+    uniques, codes = np.unique(values, return_inverse=True)
+    codes = codes.astype(np.int64, copy=False)
+    cardinality = int(uniques.shape[0])
+    if values.dtype.kind == "f" and cardinality:
+        nan_uniques = np.isnan(uniques)
+        if nan_uniques.any():
+            first_nan = int(np.argmax(nan_uniques))
+            codes = np.where(np.isnan(values), np.int64(first_nan), codes)
+            cardinality = first_nan + 1
+    return codes, cardinality
+
+
 def combine_key_columns(columns: Sequence[np.ndarray]) -> np.ndarray:
     """Combine one or more key columns into a single sortable key array.
 

@@ -12,6 +12,7 @@ Wall-clock time is also recorded for reference.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -28,6 +29,16 @@ class OperatorMetrics:
     actual_rows: float = 0.0
     work_units: float = 0.0
     input_rows: float = 0.0
+    #: Plan-node class name (``"JoinNode"``, ``"AggregateNode"``, ...), used
+    #: to slice the scaling model per operator kind.
+    kind: str = ""
+    #: The morsel-parallelisable share of :attr:`work_units` — derived from
+    #: the cost model's row counts, so it is identical on serial and
+    #: parallel executions of the same plan.
+    parallel_work_units: float = 0.0
+    #: Rows the parallel phase is spread over (determines how many morsels —
+    #: and therefore how many effective workers — the operator can use).
+    parallel_rows: float = 0.0
 
 
 @dataclass
@@ -48,16 +59,27 @@ class ExecutionMetrics:
     bloom_filters_applied: int = 0
 
     def record(self, node: PlanNode, actual_rows: float, work_units: float,
-               input_rows: float = 0.0) -> None:
-        """Record one operator's actuals (accumulates work in the totals)."""
+               input_rows: float = 0.0, parallel_work: float = 0.0,
+               parallel_rows: float = 0.0) -> None:
+        """Record one operator's actuals (accumulates work in the totals).
+
+        ``parallel_work`` is the share of ``work_units`` the morsel executor
+        can spread across workers and ``parallel_rows`` the row count it is
+        spread over; both are functions of observed row counts only, so a
+        serial and a parallel execution of the same plan record identical
+        metrics (the bit-identity contract of ``docs/executor.md``).
+        """
         entry = self.operators.get(id(node))
         if entry is None:
             entry = OperatorMetrics(node_id=id(node), label=node.label(),
-                                    estimated_rows=node.rows)
+                                    estimated_rows=node.rows,
+                                    kind=type(node).__name__)
             self.operators[id(node)] = entry
         entry.actual_rows = actual_rows
         entry.work_units += work_units
         entry.input_rows = input_rows
+        entry.parallel_work_units += parallel_work
+        entry.parallel_rows = max(entry.parallel_rows, parallel_rows)
         self.total_work_units += work_units
 
     # -- derived reports ---------------------------------------------------
@@ -66,6 +88,37 @@ class ExecutionMetrics:
     def simulated_latency(self) -> float:
         """The deterministic latency proxy (total work units)."""
         return self.total_work_units
+
+    def simulated_latency_at(self, workers: int, morsel_size: int,
+                             kind: Optional[str] = None) -> float:
+        """Derived latency with the parallel share spread over workers.
+
+        The deterministic scaling model behind the throughput benchmark's
+        per-operator curves: each operator's ``parallel_work_units`` run on
+        ``min(workers, ceil(parallel_rows / morsel_size))`` effective
+        workers (an operator cannot use more workers than it has morsels);
+        the serial remainder — hash-table builds, merge phases, Bloom
+        builds — is charged in full.  ``workers <= 1`` reproduces
+        :attr:`simulated_latency` exactly.  ``kind`` restricts the report to
+        operators of one plan-node class (e.g. ``"JoinNode"``), excluding
+        the non-operator extras.
+        """
+        workers = max(int(workers), 1)
+        morsel = max(int(morsel_size), 1)
+        ops = [op for op in self.operators.values()
+               if kind is None or op.kind == kind]
+        latency = (self.total_work_units if kind is None
+                   else sum(op.work_units for op in ops))
+        if workers <= 1:
+            return latency
+        for op in ops:
+            parallel = min(op.parallel_work_units, op.work_units)
+            if parallel <= 0.0:
+                continue
+            morsels = max(int(math.ceil(op.parallel_rows / morsel)), 1)
+            effective = min(workers, morsels)
+            latency -= parallel * (1.0 - 1.0 / effective)
+        return latency
 
     def actual_rows_by_node(self) -> Dict[int, float]:
         """Mapping ``id(node) -> observed rows`` for EXPLAIN ANALYZE output."""

@@ -9,14 +9,19 @@ it — is executed.  This mirrors the paper's runtime rule that "table scans
 wait for all Bloom filter partitions to become available before scanning can
 proceed" (Section 3.9).
 
-With ``executor_workers > 1`` on the context, scans and projections run
-*morsel-at-a-time*: the input is split into per-partition row spans
-(:meth:`~repro.storage.table.Table.morsel_spans`), each morsel is filtered /
-Bloom-probed / projected on a shared thread pool, and the pieces are
-concatenated back in canonical span order — output batches and all simulated
-metrics are bit-identical to the serial path (see ``docs/executor.md``).
-The Bloom barrier is preserved: a scan fetches every filter it depends on
-*before* dispatching its first morsel.
+With ``executor_workers > 1`` on the context, every operator runs
+*morsel-at-a-time*: scans and projections split into per-partition row spans
+(:meth:`~repro.storage.table.Table.morsel_spans`), hash joins probe the
+memoized build-side index one probe morsel at a time, aggregation computes
+fixed-width segment partials and sorts form per-morsel runs merged pairwise.
+Morsels run on the shared thread pool or — under
+``executor_backend="process"`` — in a spawn-based process pool that escapes
+the GIL, with bulk arrays shipped through ``multiprocessing.shared_memory``
+(zero-copy worker views; see ``repro.executor.shm``).  On every path the
+pieces recombine in canonical span order, so output batches and all
+simulated metrics are bit-identical to the serial operators (see
+``docs/executor.md``).  The Bloom barrier is preserved: a scan fetches every
+filter it depends on *before* dispatching its first morsel.
 
 Every operator records its observed output cardinality and charges work units
 using the optimizer's cost constants with *actual* row counts, which yields
@@ -59,12 +64,28 @@ from ..core.plans import (
     SortNode,
 )
 from ..core.properties import DistributionKind
-from .aggregate import aggregate_batch
+from .aggregate import (
+    CallData,
+    Partial,
+    aggregate_batch,
+    compute_segment_partials,
+    export_partials_task,
+)
+from .backend import resolve_backend
 from .batch import Batch
 from .cancel import CancelToken
 from .context import ExecutionContext, FilterScope
-from .joins import equi_join, merge_join, nested_loop_join
+from .joins import (
+    build_probe_state,
+    concat_pair_results,
+    cross_join,
+    export_probe_task,
+    probe_span_pairs,
+    stitch_equi_join,
+)
 from .metrics import ExecutionMetrics
+from .shm import ShmArena
+from .sort import combined_sort_key, merge_run_list, sort_run
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..storage.table import Table
@@ -101,6 +122,10 @@ class Executor:
         #: The cancel token of the current execution; assigned by
         #: :meth:`execute` (per-call token, falling back to the context's).
         self.cancel: Optional[CancelToken] = None
+        #: Shared-memory arena of the current execution (process backend
+        #: only); created lazily by :meth:`_arena`, closed by
+        #: :meth:`execute` when the query finishes.
+        self._shm_arena: Optional[ShmArena] = None
 
     # ------------------------------------------------------------------
 
@@ -127,7 +152,14 @@ class Executor:
         self.cancel = cancel if cancel is not None \
             else self.context.cancel_token
         started = time.perf_counter()
-        batch = self._execute(plan)
+        try:
+            batch = self._execute(plan)
+        finally:
+            if self._shm_arena is not None:
+                self.context.pools.count_shm_bytes(
+                    self._shm_arena.bytes_exported)
+                self._shm_arena.close()
+                self._shm_arena = None
         self.metrics.wall_time_seconds = time.perf_counter() - started
         return ExecutionResult(batch=batch, metrics=self.metrics, plan=plan)
 
@@ -160,8 +192,23 @@ class Executor:
         """Effective morsel worker count (``<= 1`` = serial operators)."""
         return max(int(self.context.executor_workers), 0)
 
+    def _resolved_backend(self) -> str:
+        """The concrete morsel backend this execution dispatches to."""
+        return resolve_backend(self.context.executor_backend)
+
+    def _process_backend_active(self) -> bool:
+        """True when morsels should run in the GIL-escape process pool."""
+        return self._morsel_workers() > 1 \
+            and self._resolved_backend() == "process"
+
+    def _arena(self) -> ShmArena:
+        """This execution's shared-memory arena (created on first use)."""
+        if self._shm_arena is None:
+            self._shm_arena = ShmArena()
+        return self._shm_arena
+
     def _map_ordered(self, fn: Callable, items: Sequence) -> List:
-        """Run ``fn`` over ``items`` on the morsel pool, results in order.
+        """Run ``fn`` over ``items`` on the morsel thread pool, in order.
 
         Submission order is preserved, so concatenating the results
         reproduces the serial output exactly; the first worker exception
@@ -173,16 +220,25 @@ class Executor:
         ones raise immediately and the error propagates from the first
         failing future.
         """
-        pool = self.context.morsel_pool()
-        cancel = self.cancel
-        if cancel is not None:
-            inner = fn
+        return self.context.pools.thread_map(fn, items, self.cancel,
+                                             self._morsel_workers())
 
-            def fn(item: object) -> object:
-                cancel.check()
-                return inner(item)
-        futures = [pool.submit(fn, item) for item in items]
-        return [future.result() for future in futures]
+    def _segment_map(self, fn: Callable, items: Sequence) -> List:
+        """Map ``fn`` over morsel spans on whichever path is active.
+
+        Parallel executions dispatch to the shared thread pool; serial
+        executions run inline but still poll the cancel token per item, so
+        "stops within one morsel" holds for joins, aggregation and sort
+        even at ``executor_workers <= 1``.
+        """
+        if self._morsel_workers() > 1 and len(items) > 1:
+            return self._map_ordered(fn, items)
+        results = []
+        for item in items:
+            if self.cancel is not None:
+                self.cancel.check()
+            results.append(fn(item))
+        return results
 
     # -- scans ------------------------------------------------------------
 
@@ -220,7 +276,10 @@ class Executor:
             self.metrics.bloom_filters_applied += 1
         self.metrics.rows_bloom_filtered += pre_bloom_rows - batch.num_rows
 
-        self.metrics.record(node, batch.num_rows, work, input_rows=base_rows)
+        # Scan filtering and Bloom probing are row-local: all of the work
+        # spreads over morsels.
+        self.metrics.record(node, batch.num_rows, work, input_rows=base_rows,
+                            parallel_work=work, parallel_rows=base_rows)
         return batch
 
     def _execute_scan_morsels(self, node: ScanNode, table: "Table",
@@ -269,7 +328,8 @@ class Executor:
             self.metrics.bloom_filters_applied += 1
         batch = Batch.concat([piece for piece, _, _ in results])
         self.metrics.rows_bloom_filtered += pre_bloom_rows - batch.num_rows
-        self.metrics.record(node, batch.num_rows, work, input_rows=base_rows)
+        self.metrics.record(node, batch.num_rows, work, input_rows=base_rows,
+                            parallel_work=work, parallel_rows=base_rows)
         return batch
 
     # -- joins ---------------------------------------------------------------
@@ -280,16 +340,14 @@ class Executor:
         self._build_bloom_filters(node, inner_batch)
         outer_batch = self._execute(node.outer)
 
-        cross_limit = self.context.max_cross_join_rows
-        if node.method is JoinMethod.HASH:
-            joined = equi_join(outer_batch, inner_batch, node.clauses,
-                               node.join_type, cross_limit)
-        elif node.method is JoinMethod.MERGE:
-            joined = merge_join(outer_batch, inner_batch, node.clauses,
-                                node.join_type, cross_limit)
+        if node.clauses:
+            # Hash, merge and (clause-carrying) nested-loop joins all run
+            # the factorized equi-join kernel; they differ only in charged
+            # cost.  The probe side is morselised below.
+            joined = self._equi_join_morsels(outer_batch, inner_batch, node)
         else:
-            joined = nested_loop_join(outer_batch, inner_batch, node.clauses,
-                                      node.join_type, cross_limit)
+            joined = cross_join(outer_batch, inner_batch,
+                                self.context.max_cross_join_rows)
 
         for predicate in node.residual_predicates:
             joined = self._apply_predicate(joined, predicate)
@@ -299,21 +357,60 @@ class Executor:
                 and node.inner.properties.distribution.kind is DistributionKind.BROADCAST):
             build_rows *= self.context.degree_of_parallelism
         if node.method is JoinMethod.HASH:
-            work = cost_model.hash_join(build_rows, outer_batch.num_rows,
-                                        joined.num_rows, len(node.clauses)).total
+            cost = cost_model.hash_join(build_rows, outer_batch.num_rows,
+                                        joined.num_rows, len(node.clauses))
         elif node.method is JoinMethod.MERGE:
-            work = cost_model.merge_join(outer_batch.num_rows,
+            cost = cost_model.merge_join(outer_batch.num_rows,
                                          inner_batch.num_rows,
-                                         joined.num_rows).total
+                                         joined.num_rows)
         else:
-            work = cost_model.nested_loop(outer_batch.num_rows,
+            cost = cost_model.nested_loop(outer_batch.num_rows,
                                           inner_batch.num_rows,
-                                          joined.num_rows).total
+                                          joined.num_rows)
+        # The probe + emit share spreads over probe morsels; the build
+        # (startup) share stays serial.  Both derive from row counts alone,
+        # so serial and parallel runs record identical metrics.
+        parallel_work = (cost.total - cost.startup) if node.clauses else 0.0
         self.metrics.rows_hash_built += build_rows
         self.metrics.rows_hash_probed += outer_batch.num_rows
-        self.metrics.record(node, joined.num_rows, work,
-                            input_rows=outer_batch.num_rows + inner_batch.num_rows)
+        self.metrics.record(node, joined.num_rows, cost.total,
+                            input_rows=outer_batch.num_rows + inner_batch.num_rows,
+                            parallel_work=parallel_work,
+                            parallel_rows=outer_batch.num_rows)
         return joined
+
+    def _equi_join_morsels(self, outer: Batch, inner: Batch,
+                           node: JoinNode) -> Batch:
+        """Equi-join with the probe side morselised.
+
+        The build side is factorized exactly once (memoized on the inner
+        batch); probe morsels run serially with per-morsel cancel polling,
+        on the thread pool, or in worker processes over shared-memory
+        columns.  Per-span pair results concatenate to the whole-batch pair
+        list bit-for-bit, and the serial stitch tail handles SEMI/ANTI
+        filtering and LEFT/FULL padding identically on every path.
+        """
+        index, probe_cols, probe_null = build_probe_state(outer, inner,
+                                                          node.clauses)
+        spans = outer.spans(self.context.morsel_size)
+        if len(spans) > 1:
+            if self._process_backend_active():
+                payload = export_probe_task(index, probe_cols, probe_null,
+                                            self._arena())
+                results = self.context.pools.process_map(
+                    "repro.executor.joins:probe_morsel_kernel",
+                    [(payload, start, stop) for start, stop in spans],
+                    self.cancel, self._morsel_workers())
+            else:
+                results = self._segment_map(
+                    lambda span: probe_span_pairs(index, probe_cols,
+                                                  probe_null, *span),
+                    spans)
+            probe_idx, build_idx, counts = concat_pair_results(results)
+        else:
+            probe_idx, build_idx, counts = index.probe(probe_cols, probe_null)
+        return stitch_equi_join(outer, inner, node.join_type,
+                                probe_idx, build_idx, counts)
 
     def _build_bloom_filters(self, node: JoinNode, inner_batch: Batch) -> None:
         """Build and publish the Bloom filters this hash join is charged with.
@@ -375,12 +472,52 @@ class Executor:
 
     def _execute_aggregate(self, node: AggregateNode) -> Batch:
         batch = self._execute(node.child)
-        result = aggregate_batch(batch, node.group_by, node.aggregates)
+        result = aggregate_batch(batch, node.group_by, node.aggregates,
+                                 partials_map=self._partials_map())
         work = self.context.cost_model.aggregate(batch.num_rows,
                                                  result.num_rows).total
+        # The per-input-row transition work spreads over segment morsels;
+        # the per-group emit / merge share stays serial.
+        parallel_work = self.context.cost_model.aggregate(
+            batch.num_rows, 0).total
         self.metrics.record(node, result.num_rows, work,
-                            input_rows=batch.num_rows)
+                            input_rows=batch.num_rows,
+                            parallel_work=min(parallel_work, work),
+                            parallel_rows=batch.num_rows)
         return result
+
+    def _partials_map(self) -> Callable[
+            [Sequence[CallData], np.ndarray, int, Sequence[Tuple[int, int]]],
+            List[List[Partial]]]:
+        """The backend hook :func:`aggregate_batch` fans partials out with.
+
+        Thread / serial executions map :func:`compute_segment_partials`
+        through :meth:`_segment_map` (per-segment cancel polling included);
+        the process backend exports the operand arrays and group ids into
+        shared memory once and runs the segment kernel in worker processes.
+        """
+        if self._process_backend_active():
+            def process_partials(calls_data: Sequence[CallData],
+                                 group_ids: np.ndarray, num_groups: int,
+                                 spans: Sequence[Tuple[int, int]],
+                                 ) -> List[List[Partial]]:
+                payload = export_partials_task(self._arena(), calls_data,
+                                               group_ids, num_groups)
+                return self.context.pools.process_map(
+                    "repro.executor.aggregate:segment_partials_kernel",
+                    [(payload, start, stop) for start, stop in spans],
+                    self.cancel, self._morsel_workers())
+            return process_partials
+
+        def local_partials(calls_data: Sequence[CallData],
+                           group_ids: np.ndarray, num_groups: int,
+                           spans: Sequence[Tuple[int, int]],
+                           ) -> List[List[Partial]]:
+            return self._segment_map(
+                lambda span: compute_segment_partials(
+                    calls_data, group_ids, num_groups, *span),
+                spans)
+        return local_partials
 
     def _execute_project(self, node: ProjectNode) -> Batch:
         batch = self._execute(node.child)
@@ -401,7 +538,9 @@ class Executor:
         work = self.context.cost_model.project(batch.num_rows,
                                                len(node.items)).total
         self.metrics.record(node, result.num_rows, work,
-                            input_rows=batch.num_rows)
+                            input_rows=batch.num_rows,
+                            parallel_work=work,
+                            parallel_rows=batch.num_rows)
         return result
 
     @staticmethod
@@ -447,7 +586,7 @@ class Executor:
                     # The mask outranks the values: NULLs sort last by
                     # default, first when the item says NULLS FIRST.
                     keys.append(~null_mask if item.nulls_first else null_mask)
-            order = np.lexsort(keys)
+            order = self._sort_order(keys, batch.num_rows)
             batch = batch.take(order)
         if node.drop_keys:
             # Hidden sort keys carried through the projection solely for
@@ -457,9 +596,42 @@ class Executor:
             batch = batch.select([key for key in batch.keys
                                   if key not in hidden])
         work = self.context.cost_model.sort(batch.num_rows).total
+        # Run formation spreads over morsels; the final merge cascade is
+        # charged serially at the merge-join per-row rate.
+        merge_share = batch.num_rows * \
+            self.context.cost_model.params.merge_row_cost
+        parallel_work = max(work - merge_share, 0.0) if node.order_by else 0.0
         self.metrics.record(node, batch.num_rows, work,
-                            input_rows=batch.num_rows)
+                            input_rows=batch.num_rows,
+                            parallel_work=parallel_work,
+                            parallel_rows=batch.num_rows)
         return batch
+
+    def _sort_order(self, keys: List[np.ndarray], num_rows: int) -> np.ndarray:
+        """The sort permutation: serial ``lexsort`` or parallel merge sort.
+
+        The parallel path folds the key arrays into one int64 rank key,
+        stable-sorts morsel runs (threads, or worker processes over a
+        shared-memory key) and merges pairwise — the stable ascending
+        permutation is unique, so the result equals ``np.lexsort(keys)``
+        bit-for-bit (property-tested in ``tests/test_parallel_operators.py``).
+        """
+        morsel_size = max(int(self.context.morsel_size), 1)
+        if self._morsel_workers() <= 1 or num_rows <= morsel_size:
+            return np.lexsort(keys)
+        key = combined_sort_key(keys)
+        spans = [(start, min(start + morsel_size, num_rows))
+                 for start in range(0, num_rows, morsel_size)]
+        if self._process_backend_active():
+            key_ref = self._arena().export(key)
+            runs = self.context.pools.process_map(
+                "repro.executor.sort:sort_run_kernel",
+                [(key_ref, start, stop) for start, stop in spans],
+                self.cancel, self._morsel_workers())
+        else:
+            runs = self._segment_map(lambda span: sort_run(key, *span),
+                                     spans)
+        return merge_run_list(key, runs, self._segment_map)
 
     def _execute_limit(self, node: LimitNode) -> Batch:
         batch = self._execute(node.child)

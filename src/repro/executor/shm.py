@@ -1,0 +1,180 @@
+"""Shared-memory column transport for the process morsel backend.
+
+The GIL-escape process backend must hand worker processes the arrays a
+morsel kernel reads — build-side join indexes, group-id vectors, sort keys —
+without pickling the data through the task queue.  An :class:`ShmArena`
+exports a numpy array into a ``multiprocessing.shared_memory`` segment
+exactly once (one copy on export, memoized per array) and hands out a
+picklable :class:`ArrayRef` descriptor; the worker side attaches the segment
+and reconstructs a **zero-copy read-only view** over the same physical
+pages.  Only the small task descriptors and the (morsel-sized) results cross
+the process boundary through pickle.
+
+Object-dtype columns cannot live in a flat buffer, so their refs fall back
+to an inline pickle payload — the descriptor records which transport was
+used, and ``docs/executor.md`` documents the memory model.
+
+Lifetimes: the arena (parent side) owns its segments and unlinks them in
+:meth:`ShmArena.close`; segment names are never reused, so the worker-side
+attach cache (bounded, LRU) can never resurrect a stale mapping.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ArrayRef", "ShmArena", "attach_array"]
+
+#: Worker-side cap on cached segment attachments; evicted segments are
+#: closed (the parent's unlink already happened or will happen — closing a
+#: mapping is always safe, the memory lives until every handle is gone).
+_ATTACH_CACHE_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """Picklable descriptor of one exported array.
+
+    ``shm_name`` names the shared-memory segment holding the raw buffer
+    (``dtype``/``shape`` reconstruct the view); ``inline`` carries a pickled
+    copy instead for dtypes that cannot live in a flat buffer (object
+    columns) — exactly one of the two transports is used.
+    """
+
+    shm_name: Optional[str]
+    dtype: str
+    shape: Tuple[int, ...]
+    inline: Optional[bytes] = None
+
+    @property
+    def zero_copy(self) -> bool:
+        """True when the worker view aliases shared pages (no pickling)."""
+        return self.shm_name is not None
+
+
+class ShmArena:
+    """Parent-side owner of shared-memory segments for one export scope.
+
+    ``export`` is memoized by array identity: a build-side index probed by
+    fifty morsels is copied into shared memory once, not fifty times.  The
+    arena keeps the exported arrays alive (so the identity memo can never
+    alias a collected array) and owns every segment until :meth:`close`.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._memo: Dict[int, ArrayRef] = {}
+        self._keepalive: list[np.ndarray] = []
+        self._bytes_exported = 0
+        self._closed = False
+
+    @property
+    def bytes_exported(self) -> int:
+        """Total shared-memory bytes this arena has published."""
+        return self._bytes_exported
+
+    def export(self, array: np.ndarray) -> ArrayRef:
+        """Publish ``array`` and return its picklable descriptor.
+
+        Non-contiguous inputs are compacted during the (single) export copy;
+        object-dtype arrays fall back to an inline pickle payload.
+        """
+        if self._closed:
+            raise RuntimeError("arena is closed")
+        array = np.asarray(array)
+        ref = self._memo.get(id(array))
+        if ref is not None:
+            return ref
+        if array.dtype.kind == "O" or array.nbytes == 0:
+            ref = ArrayRef(shm_name=None, dtype=array.dtype.str,
+                           shape=tuple(array.shape),
+                           inline=pickle.dumps(array, protocol=-1))
+        else:
+            segment = shared_memory.SharedMemory(create=True,
+                                                 size=array.nbytes)
+            view = np.ndarray(array.shape, dtype=array.dtype,
+                              buffer=segment.buf)
+            view[...] = array
+            self._segments.append(segment)
+            self._bytes_exported += array.nbytes
+            ref = ArrayRef(shm_name=segment.name, dtype=array.dtype.str,
+                           shape=tuple(array.shape))
+        self._memo[id(array)] = ref
+        self._keepalive.append(array)
+        return ref
+
+    def export_optional(self, array: Optional[np.ndarray],
+                        ) -> Optional[ArrayRef]:
+        """Export an optional array (``None`` passes through)."""
+        return None if array is None else self.export(array)
+
+    def close(self) -> None:
+        """Unlink and release every segment (idempotent).
+
+        Worker processes holding an attachment keep the pages alive until
+        their own handles close; unlinking only removes the name.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+        self._memo.clear()
+        self._keepalive.clear()
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+#: Worker-process attachment cache: segment name -> open handle.  Process
+#: local by construction (each worker has its own module instance), bounded
+#: so long-lived pools do not accumulate mappings without end.
+_ATTACHED: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    segment = _ATTACHED.get(name)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=name)
+        # lint: allow(worker-shared-mutation) — process-local attachment
+        # cache: each worker process owns its private copy of this module.
+        _ATTACHED[name] = segment
+        while len(_ATTACHED) > _ATTACH_CACHE_LIMIT:
+            _, evicted = _ATTACHED.popitem(last=False)
+            evicted.close()
+    else:
+        _ATTACHED.move_to_end(name)
+    return segment
+
+
+def attach_array(ref: Optional[ArrayRef]) -> Optional[np.ndarray]:
+    """Worker-side reconstruction of an exported array.
+
+    Shared-memory refs come back as read-only zero-copy views over the
+    exported pages; inline refs unpickle their payload.  ``None`` passes
+    through so optional masks need no special-casing at call sites.
+    """
+    if ref is None:
+        return None
+    if ref.shm_name is None:
+        assert ref.inline is not None
+        return pickle.loads(ref.inline)
+    segment = _attach_segment(ref.shm_name)
+    view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype),
+                      buffer=segment.buf)
+    view.flags.writeable = False
+    return view

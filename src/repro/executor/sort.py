@@ -1,0 +1,128 @@
+"""Parallel merge sort over combined rank keys.
+
+The executor's serial sort is a stable ``np.lexsort`` over the ORDER BY key
+arrays.  A stable ascending permutation is *unique*, so any algorithm that
+(1) orders rows by the same lexicographic comparison and (2) breaks ties by
+original position produces the identical permutation — which is what makes
+the parallel path bit-identical to serial by construction rather than by
+accident:
+
+1. :func:`combined_sort_key` folds the key arrays (in ``lexsort``'s
+   least-significant-first convention, including null-mask and hidden sort
+   keys) into one int64 array via order-preserving rank codes
+   (:func:`repro.executor.keys.column_ranks`).
+2. Each morsel span is stable-argsorted into a run — independently, on any
+   backend (:func:`sort_run` in threads, :func:`sort_run_kernel` in worker
+   processes over a shared-memory key).
+3. Runs are merged pairwise (:func:`merge_runs`): a vectorised
+   ``searchsorted`` with ``side="right"`` places every right-run element
+   after all equal left-run elements, preserving stability because left
+   runs always hold lower original row numbers.
+
+Descending keys and NULLS FIRST/LAST are already encoded in the key arrays
+by the executor (rank inversion and mask-outranks-value), so this module
+only ever sorts ascending.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .keys import _fold_codes, column_ranks
+from .shm import ArrayRef, attach_array
+
+__all__ = [
+    "combined_sort_key",
+    "merge_run_list",
+    "merge_runs",
+    "parallel_sort_order",
+    "sort_run",
+    "sort_run_kernel",
+]
+
+#: A runner maps a function over items, preserving item order (the
+#: executor's morsel dispatch hook; an inline loop is a valid runner).
+Runner = Callable[[Callable[[Tuple[int, int]], np.ndarray],
+                   Sequence[Tuple[int, int]]], List[np.ndarray]]
+
+
+def combined_sort_key(keys: Sequence[np.ndarray]) -> np.ndarray:
+    """One int64 key whose stable argsort equals ``np.lexsort(keys)``.
+
+    ``keys`` follows the ``lexsort`` convention: the *last* array is the
+    primary sort key.  Each column is rank-coded (order-preserving, exact
+    for every dtype including strings and NaN floats) and the codes are
+    folded most-significant-first, densifying on overflow, so distinct key
+    tuples always map to distinct int64 values in the same relative order.
+    """
+    code_columns = []
+    for values in reversed(keys):
+        code_columns.append(column_ranks(values))
+    return _fold_codes(code_columns)[0]
+
+
+def sort_run(key: np.ndarray, start: int, stop: int) -> np.ndarray:
+    """Stable-sorted row indices of one span (a sorted *run*)."""
+    order = np.argsort(key[start:stop], kind="stable")
+    return order.astype(np.int64, copy=False) + np.int64(start)
+
+
+def sort_run_kernel(key_ref: ArrayRef, start: int, stop: int) -> np.ndarray:
+    """Process-pool kernel: form one run from the shared-memory key."""
+    return sort_run(attach_array(key_ref), start, stop)
+
+
+def merge_runs(key: np.ndarray, left: np.ndarray,
+               right: np.ndarray) -> np.ndarray:
+    """Stable two-way merge of sorted runs (``left`` precedes on ties).
+
+    Every ``left`` row index is smaller than every ``right`` row index (runs
+    cover disjoint ascending spans), so inserting right elements *after*
+    equal left elements (``side="right"``) is exactly the stable order.
+    """
+    positions = np.searchsorted(key[left], key[right], side="right")
+    out = np.empty(left.size + right.size, dtype=np.int64)
+    right_slots = positions + np.arange(right.size, dtype=np.int64)
+    out[right_slots] = right
+    left_slots = np.ones(out.size, dtype=bool)
+    left_slots[right_slots] = False
+    out[left_slots] = left
+    return out
+
+
+def merge_run_list(key: np.ndarray, runs: List[np.ndarray],
+                   runner: Optional[Runner] = None) -> np.ndarray:
+    """Merge sorted runs pairwise until one permutation remains.
+
+    Adjacent runs are merged per round (preserving span order, hence
+    stability); ``runner`` parallelises the independent merges of one round
+    when there are several.  The merge tree shape depends only on the run
+    count, so the result is deterministic for a given segmentation.
+    """
+    if not runs:
+        return np.zeros(0, dtype=np.int64)
+    while len(runs) > 1:
+        pairs = [(runs[i], runs[i + 1]) for i in range(0, len(runs) - 1, 2)]
+        tail = [runs[-1]] if len(runs) % 2 else []
+        if runner is not None and len(pairs) > 1:
+            merged = runner(lambda pair: merge_runs(key, *pair), pairs)
+        else:
+            merged = [merge_runs(key, left, right) for left, right in pairs]
+        runs = merged + tail
+    return runs[0]
+
+
+def parallel_sort_order(key: np.ndarray, spans: Sequence[Tuple[int, int]],
+                        runner: Optional[Runner] = None) -> np.ndarray:
+    """The stable ascending permutation of ``key``, computed morsel-wise.
+
+    Equal to ``np.argsort(key, kind="stable")`` — and therefore to
+    ``np.lexsort`` over the original key arrays — for any span partition.
+    """
+    if runner is not None and len(spans) > 1:
+        runs = runner(lambda span: sort_run(key, *span), spans)
+    else:
+        runs = [sort_run(key, start, stop) for start, stop in spans]
+    return merge_run_list(key, runs, runner)

@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
 from .types import DataType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..executor.shm import ArrayRef, ShmArena
 
 
 @dataclass(frozen=True)
@@ -69,3 +72,14 @@ class ColumnData:
         """Return a new column with rows selected by a boolean ``mask``."""
         nulls = None if self.null_mask is None else self.null_mask[mask]
         return ColumnData(self.definition, self.values[mask], nulls)
+
+    def export(self, arena: "ShmArena",
+               ) -> Tuple["ArrayRef", Optional["ArrayRef"]]:
+        """``(values_ref, mask_ref)`` for shipping this column to a worker.
+
+        The arena copies each distinct array into shared memory exactly once
+        (exports are memoized per array object), so a column shipped to many
+        process-backend morsels pays for one copy; workers attach read-only
+        zero-copy views (see :mod:`repro.executor.shm`).
+        """
+        return arena.export(self.values), arena.export_optional(self.null_mask)

@@ -15,12 +15,25 @@ and ``None``-bearing object arrays.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from .column import ColumnData, ColumnDef
 from .schema import TableSchema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..executor.shm import ArrayRef, ShmArena
 
 
 def infer_null_mask(values: np.ndarray) -> Optional[np.ndarray]:
@@ -164,6 +177,20 @@ class Table:
             for start in range(seg_start, seg_stop, morsel_size):
                 spans.append((start, min(start + morsel_size, seg_stop)))
         return spans
+
+    def export_columns(self, arena: "ShmArena",
+                       names: Optional[Sequence[str]] = None,
+                       ) -> Dict[str, Tuple["ArrayRef", Optional["ArrayRef"]]]:
+        """Shared-memory refs ``{name: (values_ref, mask_ref)}`` per column.
+
+        The storage-side entry point of the process backend's zero-copy
+        shipping: each listed column (default: all) is exported through
+        ``arena`` at most once regardless of how many morsels reference it
+        (see :meth:`ColumnData.export
+        <repro.storage.column.ColumnData.export>`).
+        """
+        return {name: self.column_data(name).export(arena)
+                for name in (self.column_names if names is None else names)}
 
     # -- row-oriented helpers (testing / verification) ----------------------
 

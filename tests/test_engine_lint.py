@@ -232,6 +232,37 @@ class TestWorkerSharedMutation:
         """)
         assert findings == []
 
+    def test_thread_map_dispatch_is_covered(self):
+        # The morsel-backend dispatcher counts as a worker entry point just
+        # like bare pool.submit/map.
+        findings = findings_for("""
+            class Runtime:
+                def run(self, pools: object, spans: list) -> list:
+                    return pools.thread_map(self.work, spans, None, 4)
+
+                def work(self, span: int) -> int:
+                    self.hits += 1
+                    return span
+        """)
+        assert rules_of(findings) == {"worker-shared-mutation"}
+
+    def test_segment_map_dispatch_is_covered(self):
+        # The runtime's inline-or-pool hook dispatches to workers too, so a
+        # mutation reachable from its callable is flagged.
+        findings = findings_for("""
+            class Runtime:
+                def run(self, spans: list) -> list:
+                    return self._segment_map(self.work, spans)
+
+                def _segment_map(self, fn: object, items: list) -> list:
+                    return [fn(item) for item in items]
+
+                def work(self, span: int) -> int:
+                    self.hits += 1
+                    return span
+        """)
+        assert rules_of(findings) == {"worker-shared-mutation"}
+
     def test_shared_attribute_store_outside_constructor(self):
         findings = findings_for("""
             class Batch:

@@ -251,9 +251,9 @@ class TestCloseLifecycle:
         # actually gets built.
         session = db.connect(executor_workers=2, morsel_size=64)
         session.execute(Q_JOIN)
-        assert session.context._morsel_pool is not None
+        assert session.context.executor_stats()["thread_pool_size"] == 2
         session.close()
-        assert session.context._morsel_pool is None
+        assert session.context.executor_stats()["thread_pool_size"] == 0
 
     def test_session_context_manager(self, db):
         with db.connect() as session:
