@@ -9,14 +9,17 @@
 # invalidation — see docs/serving.md), an examples smoke run that
 # drives the session API (docs/api.md) end to end at tiny scale, plus the
 # static-analysis gate: the engine lint suite, strict typing, and the
-# plan-contract verifier over the golden-plan corpus (see docs/analysis.md).
+# plan-contract verifier over the golden-plan corpus (see docs/analysis.md),
+# plus the chaos gate: the fault-injection suite run once per executor
+# backend (see docs/robustness.md).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test smoke examples bench golden lint typecheck verify-plans
+.PHONY: check test smoke examples bench golden lint typecheck verify-plans \
+	chaos
 
-check: lint typecheck verify-plans test smoke examples
+check: lint typecheck verify-plans test chaos smoke examples
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -48,6 +51,17 @@ typecheck:
 # Plan-contract verifier over every TPC-H golden plan configuration.
 verify-plans:
 	$(PYTHON) -m repro.analysis verify --scale-factor 100
+
+# Chaos gate: the fault-injection suite once per executor backend
+# (docs/robustness.md).  Override the backends to isolate one, e.g.
+# `make chaos CHAOS_BACKENDS=process`.
+CHAOS_BACKENDS ?= thread process
+chaos:
+	@for backend in $(CHAOS_BACKENDS); do \
+		echo "chaos: executor_backend=$$backend"; \
+		REPRO_CHAOS_BACKEND=$$backend \
+			$(PYTHON) -m pytest tests/test_faults.py -x -q || exit 1; \
+	done
 
 bench:
 	$(PYTHON) -m pytest benchmarks -x -q

@@ -5,6 +5,8 @@ The package is organised as:
 * :mod:`repro.api` — the embeddable session API (``Database`` / ``Session``)
   with the shared plan and enumeration-sequence caches;
 * :mod:`repro.errors` — the typed error hierarchy (``ReproError``);
+* :mod:`repro.faults` — deterministic fault injection (``FaultPlan``) for
+  chaos-testing the executor and serving tiers;
 * :mod:`repro.bloom` — Bloom filter primitives;
 * :mod:`repro.storage` — columnar tables, catalog and statistics;
 * :mod:`repro.sql` — SQL front end for the supported subset;
@@ -34,10 +36,14 @@ from .errors import (
     QueryCancelledError,
     ReproError,
     SessionClosedError,
+    ShmPressureError,
+    TransientError,
+    WorkerCrashError,
 )
+from .faults import FaultPlan, FaultSpec
 from .sql.errors import SqlError
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AdmissionError",
@@ -45,6 +51,8 @@ __all__ = [
     "CancelToken",
     "Database",
     "ExecutionError",
+    "FaultPlan",
+    "FaultSpec",
     "PlanningError",
     "PreparedQuery",
     "QueryCancelledError",
@@ -52,6 +60,9 @@ __all__ = [
     "ReproError",
     "Session",
     "SessionClosedError",
+    "ShmPressureError",
     "SqlError",
+    "TransientError",
+    "WorkerCrashError",
     "__version__",
 ]

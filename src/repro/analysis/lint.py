@@ -29,7 +29,8 @@ patched (rationale and motivating PRs in ``docs/analysis.md``):
     everywhere.
 ``untyped-def``
     In the strictly-typed packages (``core/``, ``executor/``, ``api/``,
-    ``analysis/``, ``serving/``) every ``def`` must annotate all parameters
+    ``analysis/``, ``serving/``, ``faults/``) every ``def`` must annotate
+    all parameters
     and its return type — the local enforcement arm of the strict mypy
     configuration (mypy itself is optional in the container; see
     ``make typecheck``).
@@ -40,6 +41,16 @@ patched (rationale and motivating PRs in ``docs/analysis.md``):
     for every tenant at once.  Engine work belongs on the worker threads;
     the coroutine side must only ``await``.  Awaited calls and nested sync
     ``def``s (which run on workers) are exempt.
+``broad-except-swallow``
+    No bare ``except:`` or ``except BaseException:`` whose handler fails to
+    ``raise``: a handler that catches *everything* and returns normally
+    also swallows ``KeyboardInterrupt``, ``MemoryError`` and injected
+    chaos faults, turning crashes into silent wrong answers — the exact
+    failure mode the fault-injection framework (:mod:`repro.faults`)
+    exists to surface.  Handlers that re-raise (cleanup-then-``raise``)
+    are exempt; a handler that deliberately converts the exception into
+    another channel (e.g. a future) must carry a suppression explaining
+    where the error goes.
 
 Deliberate exceptions carry ``# lint: allow(<rule>) — <reason>`` on the
 flagged line or the line above; the reason is mandatory (a bare ``allow``
@@ -56,7 +67,8 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 #: Packages under strict typing: ``untyped-def`` fires only inside these.
-STRICT_TYPED_PACKAGES = ("core", "executor", "api", "analysis", "serving")
+STRICT_TYPED_PACKAGES = ("core", "executor", "api", "analysis", "serving",
+                         "faults")
 
 #: Attributes known to hold ``frozenset`` values in the engine.  Deliberately
 #: *excludes* ``relations`` — ``PlanNode.relations`` is a frozenset but
@@ -99,7 +111,7 @@ BLOCKING_ENGINE_CALLS = frozenset({"execute", "execute_many"})
 #: suppression mechanism itself).
 RULES = ("unordered-iteration", "mask-accessor-bypass", "sentinel-fill",
          "worker-shared-mutation", "untyped-def", "blocking-in-async",
-         "bad-suppression")
+         "broad-except-swallow", "bad-suppression")
 
 _ALLOW_RE = re.compile(
     r"#\s*lint:\s*allow\(([a-z-]+)\)\s*(?:—|–|-{1,2}|:)?\s*(.*)\s*$")
@@ -590,6 +602,64 @@ def _check_blocking_in_async(tree: ast.AST, path: str,
 
 
 # ---------------------------------------------------------------------------
+# Rule: broad-except-swallow
+# ---------------------------------------------------------------------------
+
+
+def _catches_everything(handler: ast.ExceptHandler) -> Optional[str]:
+    """What makes this handler catch-all, or ``None`` if it is typed.
+
+    Only the genuinely unbounded forms count: a bare ``except:`` and any
+    clause naming ``BaseException`` (alone or in a tuple).  ``except
+    Exception`` stays legal — it already lets ``KeyboardInterrupt`` and
+    ``SystemExit`` through, which is the property this rule protects.
+    """
+    if handler.type is None:
+        return "bare except:"
+    clauses = handler.type.elts if isinstance(handler.type, ast.Tuple) \
+        else [handler.type]
+    for clause in clauses:
+        if isinstance(clause, ast.Name) and clause.id == "BaseException":
+            return "except BaseException"
+    return None
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """True if any code path in the handler body contains ``raise``.
+
+    Nested ``def``s and lambdas are excluded — a ``raise`` inside a
+    callback the handler merely *defines* does not re-raise the caught
+    exception.
+    """
+    stack = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Raise):
+            return True
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _check_broad_except_swallow(tree: ast.AST, path: str,
+                                findings: List[LintFinding]) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        broad = _catches_everything(node)
+        if broad is None or _handler_reraises(node):
+            continue
+        findings.append(LintFinding(
+            path=path, line=node.lineno, rule="broad-except-swallow",
+            message="%s swallows every exception (KeyboardInterrupt, "
+                    "MemoryError, injected faults) without re-raising; "
+                    "catch the specific types, re-raise, or suppress with "
+                    "a reason saying where the error goes" % broad))
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -633,6 +703,7 @@ def lint_source(source: str, path: str = "<string>",
     _check_unordered_iteration(tree, path, raw)
     _check_sentinel_fill(tree, path, raw)
     _check_worker_shared_mutation(tree, path, raw)
+    _check_broad_except_swallow(tree, path, raw)
     if executor_rules:
         _check_mask_accessor_bypass(tree, path, raw)
     if strict_types:

@@ -51,6 +51,7 @@ from ..core.optimizer import (
 from ..core.query import QueryBlock
 from ..errors import PlanningError, SessionClosedError, raise_as
 from ..executor.context import executor_overrides
+from ..faults import FaultPlan, SITE_RESULT_CACHE_GET, SITE_RESULT_CACHE_PUT
 from ..executor.runtime import ExecutionResult
 from ..serving.cache import ResultCache
 from ..sql.binder import bind_sql
@@ -85,6 +86,13 @@ class CacheStats:
     result_misses: int = 0
     result_entries: int = 0
     result_evictions: int = 0
+    #: Result-cache lookups degraded to a miss by an injected
+    #: ``result-cache-get`` fault (the query re-executes; correctness is
+    #: unaffected because the cache is a pure memoization).
+    result_get_degraded: int = 0
+    #: Result-cache stores skipped by an injected ``result-cache-put`` fault
+    #: (the result is simply not memoized).
+    result_put_degraded: int = 0
 
     @property
     def plan_lookups(self) -> int:
@@ -220,6 +228,12 @@ class Database:
             violates an executor contract.  ``None`` (the default) follows
             the ``REPRO_VERIFY_PLANS`` environment variable — on in tests
             and CI, off in production; sessions may override per connection.
+        fault_plan: Optional :class:`~repro.faults.FaultPlan` driving
+            deterministic fault injection: threaded into every session's
+            execution context (morsel dispatch, process-pool submit, shm
+            sites) and consulted at this database's result-cache get/put
+            sites.  ``None`` (the default) is zero-overhead; see
+            ``docs/robustness.md``.
     """
 
     def __init__(self, catalog: Catalog, *,
@@ -238,7 +252,8 @@ class Database:
                  morsel_size: Optional[int] = None,
                  executor_backend: Optional[str] = None,
                  max_cross_join_rows: Optional[int] = None,
-                 verify_plans: Optional[bool] = None) -> None:
+                 verify_plans: Optional[bool] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.catalog = catalog
         self.default_mode = mode
         self.default_settings = settings
@@ -264,6 +279,11 @@ class Database:
         #: ``REPRO_VERIFY_PLANS`` environment default).
         self.verify_plans: bool = (verify_plans_default()
                                    if verify_plans is None else verify_plans)
+        #: Deterministic fault-injection plan shared by every session opened
+        #: on this database (``None`` = no injection, zero overhead).
+        self.fault_plan = fault_plan
+        self._result_get_degraded = 0
+        self._result_put_degraded = 0
         self.sequence_cache: Optional[EnumerationSequenceCache] = (
             EnumerationSequenceCache(sequence_cache_size)
             if sequence_cache_size > 0 else None)
@@ -400,6 +420,7 @@ class Database:
     def execute_many(self, queries: Sequence, *,
                      workers: Optional[int] = None,
                      deduplicate: bool = True,
+                     return_errors: bool = False,
                      **session_kwargs: Any) -> List:
         """Execute a batch of queries concurrently against this database.
 
@@ -408,13 +429,17 @@ class Database:
         (``history_limit=0`` — batch serving should not retain every result
         twice), runs the whole batch through the shared plan cache with
         per-execution filter scopes, and returns the results in input order.
-        ``session_kwargs`` configure the temporary session (e.g.
-        ``executor_workers`` for morsel parallelism inside each query).
+        With ``return_errors=True`` one failing query no longer poisons the
+        batch: its slot carries the error (``QueryResult.error``) and every
+        independent request still succeeds.  ``session_kwargs`` configure
+        the temporary session (e.g. ``executor_workers`` for morsel
+        parallelism inside each query).
         """
         session_kwargs.setdefault("history_limit", 0)
         session = self.connect(**session_kwargs)
         return session.execute_many(queries, workers=workers,
-                                    deduplicate=deduplicate)
+                                    deduplicate=deduplicate,
+                                    return_errors=return_errors)
 
     # ------------------------------------------------------------------
     # Planning (the shared plan cache)
@@ -546,6 +571,12 @@ class Database:
         """
         if not self._result_cache.enabled:
             return None
+        if self.fault_plan is not None \
+                and self.fault_plan.fire(SITE_RESULT_CACHE_GET) is not None:
+            # The cache is pure memoization, so a failed lookup degrades to
+            # a miss (re-execute) instead of failing the query.
+            self._result_get_degraded += 1
+            return None
         self._invalidate_if_catalog_changed()
         if self.catalog.version != version:
             return None
@@ -560,6 +591,11 @@ class Database:
         frozen — every future hit shares it.
         """
         if not self._result_cache.enabled or result.execution is None:
+            return
+        if self.fault_plan is not None \
+                and self.fault_plan.fire(SITE_RESULT_CACHE_PUT) is not None:
+            # A failed store loses only the memoization, never the result.
+            self._result_put_degraded += 1
             return
         if self.catalog.version != version:
             return
@@ -587,7 +623,9 @@ class Database:
             plan_evictions=plans.evictions,
             result_hits=results.hits, result_misses=results.misses,
             result_entries=len(results),
-            result_evictions=results.evictions)
+            result_evictions=results.evictions,
+            result_get_degraded=self._result_get_degraded,
+            result_put_degraded=self._result_put_degraded)
 
     def clear_caches(self) -> None:
         """Drop all cached plans, sequences and results."""

@@ -23,7 +23,8 @@ from ..core.explain import explain as explain_plan
 from ..core.heuristics import BfCboSettings, planner_overrides
 from ..core.optimizer import OptimizationResult, OptimizerMode
 from ..core.query import QueryBlock
-from ..errors import ExecutionError, SessionClosedError, raise_as
+from ..errors import ExecutionError, ReproError, SessionClosedError, raise_as
+from ..faults import FaultPlan
 from ..storage.catalog import Catalog
 from ..executor.cancel import CancelToken
 from ..executor.context import (
@@ -58,6 +59,11 @@ class QueryResult:
     #: True when ``execution`` came from the database's shared result cache
     #: instead of running; cached batches are frozen (read-only arrays).
     from_result_cache: bool = False
+    #: The typed error this query failed with, when it was part of an
+    #: ``execute_many(return_errors=True)`` batch — partial-failure slots
+    #: carry their error here instead of poisoning the whole batch.  Row
+    #: accessors re-raise it.
+    error: Optional[ReproError] = None
 
     # -- result rows ---------------------------------------------------------
 
@@ -65,6 +71,20 @@ class QueryResult:
     def executed(self) -> bool:
         """True if the plan was actually run (not just planned)."""
         return self.execution is not None
+
+    @property
+    def failed(self) -> bool:
+        """True when this batch slot failed (see :attr:`error`)."""
+        return self.error is not None
+
+    def _live_execution(self) -> ExecutionResult:
+        """The execution behind the row accessors, or the typed failure."""
+        if self.error is not None:
+            raise self.error
+        if self.execution is None:
+            raise RuntimeError("query %r was planned but not executed"
+                               % self.query.name)
+        return self.execution
 
     @property
     def num_rows(self) -> int:
@@ -82,12 +102,10 @@ class QueryResult:
         Values at NULL positions (see :meth:`null_mask`) are deterministic
         filler, never data.  Raises ``RuntimeError`` (a caller-state error,
         deliberately outside the :class:`~repro.errors.ReproError`
-        hierarchy) when the result was only planned, never executed.
+        hierarchy) when the result was only planned, never executed — or
+        re-raises :attr:`error` for a failed partial-batch slot.
         """
-        if self.execution is None:
-            raise RuntimeError("query %r was planned but not executed"
-                               % self.query.name)
-        return self.execution.batch.column(name)
+        return self._live_execution().batch.column(name)
 
     def null_mask(self, name: str) -> Optional[np.ndarray]:
         """Null mask of one result column (``None`` = every row valid).
@@ -96,10 +114,7 @@ class QueryResult:
         e.g. a ``SUM`` over an all-NULL group stores ``0.0`` in the value
         array and ``True`` here (``RuntimeError`` if plan-only).
         """
-        if self.execution is None:
-            raise RuntimeError("query %r was planned but not executed"
-                               % self.query.name)
-        return self.execution.batch.null_mask(name)
+        return self._live_execution().batch.null_mask(name)
 
     def to_dict(self) -> Dict[str, np.ndarray]:
         """All result columns keyed by name (``RuntimeError`` if plan-only).
@@ -107,10 +122,7 @@ class QueryResult:
         NULL cells hold filler values; consult :meth:`null_mask` (or
         :meth:`to_pylist` for a ``None``-substituted view) to detect them.
         """
-        if self.execution is None:
-            raise RuntimeError("query %r was planned but not executed"
-                               % self.query.name)
-        return self.execution.batch.to_dict()
+        return self._live_execution().batch.to_dict()
 
     def to_pylist(self) -> List[Dict[str, object]]:
         """Result rows as plain dicts with ``None`` at NULL positions.
@@ -118,10 +130,7 @@ class QueryResult:
         The mask-honouring convenience accessor for small result sets
         (``RuntimeError`` if plan-only).
         """
-        if self.execution is None:
-            raise RuntimeError("query %r was planned but not executed"
-                               % self.query.name)
-        batch = self.execution.batch
+        batch = self._live_execution().batch
         columns = {key: (batch.column(key), batch.null_mask(key))
                    for key in batch.keys}
         rows: List[Dict[str, object]] = []
@@ -224,6 +233,10 @@ class Session:
             knob (falls back to the database's, then the
             ``REPRO_VERIFY_PLANS`` environment default); see
             :mod:`repro.analysis.contracts`.
+        fault_plan: Per-session override of the deterministic
+            fault-injection plan (falls back to the database's
+            ``fault_plan``; ``None`` with no database plan = zero-overhead
+            production path — see ``docs/robustness.md``).
     """
 
     def __init__(self, database: Database, *,
@@ -240,7 +253,8 @@ class Session:
                  morsel_size: Optional[int] = None,
                  executor_backend: Optional[str] = None,
                  max_cross_join_rows: Optional[int] = None,
-                 verify_plans: Optional[bool] = None) -> None:
+                 verify_plans: Optional[bool] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.database = database
         self.mode = mode
         self.settings = settings
@@ -274,6 +288,8 @@ class Session:
             "max_cross_join_rows", DEFAULT_MAX_CROSS_JOIN_ROWS)
         self.context.executor_backend = resolved.get("executor_backend",
                                                      "thread")
+        self.context.fault_plan = (fault_plan if fault_plan is not None
+                                   else database.fault_plan)
         #: The most recent results this session produced (every `plan`,
         #: `execute` and `explain` call), oldest first, capped at
         #: ``history_limit``.
@@ -360,6 +376,7 @@ class Session:
                      settings: Optional[BfCboSettings] = None, *,
                      workers: Optional[int] = None,
                      deduplicate: bool = True,
+                     return_errors: bool = False,
                      name: str = "batch") -> List[QueryResult]:
         """Execute a batch of queries; results come back in input order.
 
@@ -380,8 +397,13 @@ class Session:
         ``workers`` defaults to the session's ``executor_workers`` knob
         (minimum 1).  The batch pool is separate from the morsel pool, so
         per-query morsel parallelism composes with batch parallelism without
-        deadlock.  The first failing query raises its typed error; results
-        are recorded in :attr:`history` only when the whole batch succeeds.
+        deadlock.  By default the first failing query raises its typed
+        error and results are recorded in :attr:`history` only when the
+        whole batch succeeds.  With ``return_errors=True`` the batch has
+        partial-failure semantics instead: every independent request runs
+        to completion, a failing slot carries its typed error in
+        ``QueryResult.error`` (row accessors re-raise it; collapsed
+        duplicates share the slot's error), and every slot is recorded.
 
         A shared :class:`~repro.executor.runtime.ExecutionResult` (collapsed
         duplicates and result-cache hits alike) has its batch frozen: the
@@ -409,7 +431,13 @@ class Session:
             slot_of.append(slot)
 
         def run(result: QueryResult) -> QueryResult:
-            return self._execute_result(result, None)
+            try:
+                return self._execute_result(result, None)
+            except ReproError as exc:
+                if not return_errors:
+                    raise
+                result.error = exc
+                return result
 
         pool_size = workers if workers is not None \
             else self.context.executor_workers
@@ -437,6 +465,7 @@ class Session:
             source = slots[slot]
             result.execution = source.execution
             result.from_result_cache = source.from_result_cache
+            result.error = source.error
             self._record(result)
         return planned
 

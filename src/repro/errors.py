@@ -11,6 +11,13 @@ Every failure the library raises on behalf of a user query descends from
   example because the catalog is statistics-only and holds no data);
 * :class:`QueryCancelledError` (an ``ExecutionError``) — the request was
   cancelled or its deadline expired mid-execution;
+* :class:`TransientError` (an ``ExecutionError``) — the *retryable* branch:
+  the query itself is fine but the machinery under it hiccuped (a worker
+  process died, :class:`WorkerCrashError`; shared memory ran out,
+  :class:`ShmPressureError`; an injected fault fired).  Re-running the same
+  query may succeed, and the serving tier's
+  :class:`~repro.serving.retry.RetryPolicy` retries exactly this branch —
+  never ``SqlError``/``PlanningError``/cancellation;
 * :class:`AdmissionError` / :class:`SessionClosedError` — the serving tier
   shed the request before execution (queue overflow / closed facade).
 
@@ -77,6 +84,42 @@ class QueryCancelledError(ExecutionError):
         self.reason = reason
 
 
+class TransientError(ExecutionError):
+    """A retryable execution failure: the environment, not the query.
+
+    The contract that makes retries safe: a ``TransientError`` is only
+    raised when *no* query state has been externalized — the executor fails
+    the whole query, the serving tier may transparently re-run it, and the
+    re-run is indistinguishable from a first run.  Semantic failures
+    (``SqlError``, :class:`PlanningError`, data errors) and
+    :class:`QueryCancelledError` are deliberately **not** transient and are
+    never retried.
+    """
+
+
+class WorkerCrashError(TransientError):
+    """A process-pool worker died and supervision could not recover.
+
+    The executor's windowed dispatch already absorbs one worker death per
+    dispatch — it rebuilds the pool and re-runs only the unfinished morsel
+    spans (:meth:`repro.executor.backend.MorselPools.process_map`).  This
+    error surfaces only when the rebuilt pool breaks *again*, at which point
+    the circuit breaker counts the failure toward tripping the process
+    backend over to threads.
+    """
+
+
+class ShmPressureError(TransientError):
+    """Shared-memory transport failed after a segment was published.
+
+    Allocation-time pressure never raises this — the arena degrades to
+    in-band pickled arguments (:mod:`repro.executor.shm`).  It surfaces only
+    when a worker cannot attach a segment the parent believes is live (for
+    example the segment vanished under ``/dev/shm`` pressure), which is
+    transient: a retry re-exports the payload.
+    """
+
+
 class AdmissionError(ReproError):
     """Raised when the serving tier refuses to admit a request.
 
@@ -122,4 +165,5 @@ def raise_as(error_cls: Type[ReproError], context: str) -> Iterator[None]:
 
 __all__ = ["AdmissionError", "DATA_ERROR_TYPES", "ExecutionError",
            "PlanContractError", "PlanningError", "QueryCancelledError",
-           "ReproError", "SessionClosedError", "raise_as"]
+           "ReproError", "SessionClosedError", "ShmPressureError",
+           "TransientError", "WorkerCrashError", "raise_as"]

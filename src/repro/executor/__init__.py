@@ -3,6 +3,7 @@
 from .aggregate import aggregate_batch
 from .backend import EXECUTOR_BACKENDS, MorselPools, resolve_backend
 from .batch import Batch
+from .breaker import CircuitBreaker
 from .cancel import CancelToken
 from .context import (
     DEFAULT_MORSEL_SIZE,
@@ -22,13 +23,15 @@ from .joins import (
 from .keys import CompositeKeyIndex, FactorizedKeys
 from .metrics import ExecutionMetrics, OperatorMetrics
 from .runtime import ExecutionResult, Executor
-from .shm import ArrayRef, ShmArena, attach_array
+from .shm import ArrayRef, ShmArena, attach_array, live_segment_names, \
+    sweep_arenas
 from .sort import combined_sort_key, parallel_sort_order
 
 __all__ = [
     "ArrayRef",
     "Batch",
     "CancelToken",
+    "CircuitBreaker",
     "CompositeKeyIndex",
     "DEFAULT_MORSEL_SIZE",
     "EXECUTOR_BACKENDS",
@@ -49,9 +52,11 @@ __all__ = [
     "cross_join",
     "equi_join",
     "join_indices",
+    "live_segment_names",
     "merge_join",
     "nested_loop_join",
     "parallel_sort_order",
     "resolve_backend",
     "sort_search_join_indices",
+    "sweep_arenas",
 ]

@@ -26,6 +26,16 @@ token before every submission, so a cancelled query stops issuing work
 within one dispatch window and its error surfaces on the next collected
 future.
 
+Supervision: a worker-process death surfaces as ``BrokenExecutor`` on the
+in-flight futures.  :meth:`MorselPools.process_map` absorbs exactly one such
+failure per dispatch — it rebuilds the pool and re-runs only the morsel
+spans whose results were not yet collected, so the result list is
+bit-identical to an undisturbed run (results concatenate in span order and
+every span is pure).  A second break in the same dispatch surfaces as
+:class:`~repro.errors.WorkerCrashError`, a transient error the circuit
+breaker (:mod:`repro.executor.breaker`) counts toward tripping the process
+backend over to threads.
+
 Pools are created lazily, kept for the lifetime of their
 :class:`~repro.executor.context.ExecutionContext` (no per-execution or
 per-``execute_many`` churn) and observable through
@@ -37,10 +47,13 @@ from __future__ import annotations
 import importlib
 import sys
 import threading
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (BrokenExecutor, Future, ProcessPoolExecutor,
+                                ThreadPoolExecutor)
 from multiprocessing import get_context
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..errors import ShmPressureError, WorkerCrashError
+from ..faults import FaultPlan, SITE_MORSEL_DISPATCH, SITE_POOL_SUBMIT
 from .cancel import CancelToken
 
 __all__ = [
@@ -93,7 +106,15 @@ def run_kernel(spec: str, args: tuple) -> Any:
         # lint: allow(worker-shared-mutation) — process-local resolution
         # cache: each worker process owns its private copy of this module.
         _KERNELS[spec] = kernel
-    return kernel(*args)
+    try:
+        return kernel(*args)
+    except FileNotFoundError as exc:
+        # A shared-memory attach failed: the segment the parent exported is
+        # gone (/dev/shm pressure or an early unlink).  Surface it as the
+        # typed transient error so the serving tier knows a retry is safe.
+        raise ShmPressureError(
+            "worker could not attach shared memory for kernel %r: %s"
+            % (spec, exc)) from exc
 
 
 class MorselPools:
@@ -120,6 +141,10 @@ class MorselPools:
         self._process_tasks = 0
         self._batch_tasks = 0
         self._shm_bytes = 0
+        self._shm_fallbacks = 0
+        self._process_pool_rebuilds = 0
+        self._worker_crashes = 0
+        self._morsel_retries = 0
 
     # -- pool acquisition ---------------------------------------------------
 
@@ -177,7 +202,8 @@ class MorselPools:
     # -- dispatch -----------------------------------------------------------
 
     def thread_map(self, fn: Callable[[Any], Any], items: Sequence[Any],
-                   cancel: Optional[CancelToken], workers: int) -> List[Any]:
+                   cancel: Optional[CancelToken], workers: int,
+                   faults: Optional[FaultPlan] = None) -> List[Any]:
         """Run ``fn`` over ``items`` on the thread pool, results in order.
 
         Submission order is preserved, so concatenating the results
@@ -185,51 +211,105 @@ class MorselPools:
         propagates.  With a cancel token, every morsel re-checks the token
         before doing any work — a request abandoned mid-operator stops
         within one morsel: in-flight morsels finish, queued ones raise
-        immediately.
+        immediately.  With a fault plan, the ``morsel-dispatch`` site is
+        consulted before each submission (hit ordinal == morsel index, so
+        injection is deterministic).
         """
         pool = self.thread_pool(workers)
         if cancel is not None:
             fn = cancel.guard(fn)
         with self._lock:
             self._morsel_tasks += len(items)
-        futures = [pool.submit(fn, item) for item in items]
+        futures = []
+        for item in items:
+            if faults is not None:
+                faults.check(SITE_MORSEL_DISPATCH)
+            futures.append(pool.submit(fn, item))
         return [future.result() for future in futures]
 
     def process_map(self, kernel: str, args_list: Sequence[tuple],
                     cancel: Optional[CancelToken], workers: int,
-                    ) -> List[Any]:
+                    faults: Optional[FaultPlan] = None) -> List[Any]:
         """Run a named kernel over per-morsel args on the process pool.
+
+        Supervised: if the pool breaks mid-dispatch (a worker died), it is
+        rebuilt **once** and only the spans whose results were not yet
+        collected are re-submitted — spans are pure functions of their args,
+        so the recovered result list is bit-identical to an undisturbed run.
+        A second break in the same dispatch gives up with
+        :class:`~repro.errors.WorkerCrashError` (transient, retryable).
+        Results come back in submission order.
+        """
+        workers = max(int(workers), 1)
+        with self._lock:
+            self._process_tasks += len(args_list)
+        results: List[Any] = [None] * len(args_list)
+        pending = list(range(len(args_list)))
+        rebuilt = False
+        while True:
+            pool = self.process_pool(workers)
+            try:
+                self._dispatch_window(pool, kernel, args_list, results,
+                                      pending, cancel, workers, faults)
+                return results
+            except BrokenExecutor as exc:
+                with self._lock:
+                    self._worker_crashes += 1
+                if rebuilt:
+                    raise WorkerCrashError(
+                        "process pool broke again after a rebuild while "
+                        "dispatching kernel %r; giving up on this dispatch"
+                        % kernel) from exc
+                rebuilt = True
+                with self._lock:
+                    self._morsel_retries += len(pending)
+                self._discard_process_pool()
+
+    def _dispatch_window(self, pool: ProcessPoolExecutor, kernel: str,
+                         args_list: Sequence[tuple], results: List[Any],
+                         pending: List[int], cancel: Optional[CancelToken],
+                         workers: int, faults: Optional[FaultPlan]) -> None:
+        """One windowed dispatch attempt over the still-pending spans.
 
         Tasks flow through a bounded window (two per worker) and the cancel
         token is polled before every submission, so a cancelled query stops
         issuing new work within one dispatch step; outstanding futures are
-        cancelled when an error unwinds.  Results come back in submission
-        order.
+        cancelled when an error unwinds.  ``pending`` is trimmed to the
+        uncollected suffix on every exit path — that is exactly what a
+        supervision re-run re-submits.
         """
-        workers = max(int(workers), 1)
-        pool = self.process_pool(workers)
-        with self._lock:
-            self._process_tasks += len(args_list)
         window = workers * 2
+        todo = list(pending)
         futures: Dict[int, Future] = {}
-        results: List[Any] = [None] * len(args_list)
         submitted = collected = 0
         try:
-            while collected < len(args_list):
-                while submitted < len(args_list) \
+            while collected < len(todo):
+                while submitted < len(todo) \
                         and submitted - collected < window:
                     if cancel is not None:
                         cancel.check()
+                    if faults is not None:
+                        faults.check(SITE_POOL_SUBMIT)
                     futures[submitted] = pool.submit(
-                        run_kernel, kernel, args_list[submitted])
+                        run_kernel, kernel, args_list[todo[submitted]])
                     submitted += 1
-                results[collected] = futures.pop(collected).result()
+                results[todo[collected]] = futures.pop(collected).result()
                 collected += 1
         except BaseException:
             for future in futures.values():
                 future.cancel()
             raise
-        return results
+        finally:
+            del pending[:collected]
+
+    def _discard_process_pool(self) -> None:
+        """Drop the (broken) process pool so the next acquisition rebuilds."""
+        with self._lock:
+            if self._process_pool is not None:
+                self._process_pool.shutdown(wait=False)
+                self._process_pool = None
+                self._process_pool_size = 0
+            self._process_pool_rebuilds += 1
 
     def count_batch_tasks(self, count: int) -> None:
         """Record ``count`` whole-query tasks dispatched to the batch pool."""
@@ -240,6 +320,11 @@ class MorselPools:
         """Record shared-memory bytes exported for process-backend morsels."""
         with self._lock:
             self._shm_bytes += count
+
+    def count_shm_fallbacks(self, count: int) -> None:
+        """Record exports that degraded to inline transport (shm pressure)."""
+        with self._lock:
+            self._shm_fallbacks += count
 
     # -- observability / lifecycle ------------------------------------------
 
@@ -252,6 +337,10 @@ class MorselPools:
                 "process_tasks": self._process_tasks,
                 "batch_tasks": self._batch_tasks,
                 "shm_bytes_exported": self._shm_bytes,
+                "shm_fallbacks": self._shm_fallbacks,
+                "process_pool_rebuilds": self._process_pool_rebuilds,
+                "worker_crashes": self._worker_crashes,
+                "morsel_retries": self._morsel_retries,
                 "thread_pool_size": self._thread_pool_size,
                 "process_pool_size": self._process_pool_size,
                 "batch_pool_size": self._batch_pool_size,

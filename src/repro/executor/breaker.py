@@ -1,0 +1,134 @@
+"""A circuit breaker over the process backend.
+
+The process backend buys GIL escape at the price of a whole class of
+failures the thread backend cannot have: spawn-worker deaths, broken pools,
+shared-memory pressure.  When those failures keep happening — a host under
+memory pressure OOM-killing workers, ``/dev/shm`` exhausted — retrying the
+process path on every operator just burns pool rebuilds.  The breaker makes
+the executor *stop trying*: after ``failure_threshold`` consecutive
+transient process-dispatch failures it trips **open** and every
+process-eligible operator silently runs on the thread backend instead
+(results are identical; only the parallelism substrate changes).  After
+``cooldown`` degraded dispatches it goes **half-open** and lets exactly one
+probe dispatch through; a successful probe closes the breaker, a failed one
+re-trips it.
+
+Cooldown is counted in dispatch decisions, not wall-clock seconds, so
+breaker behaviour is deterministic under the fault-injection chaos suite —
+the same :class:`~repro.faults.FaultPlan` always produces the same
+open/half-open/closed trajectory and the same counter values in
+``session.executor_stats()["circuit_breaker"]``.
+
+Thread safety: one breaker lives on each :class:`~repro.executor.context.
+ExecutionContext`, and a context may be driven concurrently by the serving
+tier's worker threads, so every transition happens under a single lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+__all__ = ["CircuitBreaker", "STATE_CLOSED", "STATE_HALF_OPEN", "STATE_OPEN"]
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Count-based breaker gating process-backend dispatch.
+
+    Args:
+        failure_threshold: Consecutive transient failures (while closed)
+            that trip the breaker open.
+        cooldown: Degraded dispatch decisions to sit out while open before
+            allowing a half-open probe.
+    """
+
+    def __init__(self, failure_threshold: int = 3, cooldown: int = 8) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1, got %r"
+                             % failure_threshold)
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0, got %r" % cooldown)
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._cooldown_remaining = 0
+        self._failures = 0
+        self._trips = 0
+        self._probes = 0
+        self._degraded = 0
+        self._recoveries = 0
+
+    @property
+    def state(self) -> str:
+        """Current state: ``closed`` | ``open`` | ``half-open``."""
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """One dispatch decision: may this operator use the process backend?
+
+        Closed: yes.  Open: no (and one cooldown tick is consumed); once the
+        cooldown is spent the breaker moves to half-open and admits the
+        probe.  Half-open: yes — the probe's outcome decides the next state.
+        """
+        with self._lock:
+            if self._state == STATE_CLOSED:
+                return True
+            if self._state == STATE_OPEN:
+                if self._cooldown_remaining > 0:
+                    self._cooldown_remaining -= 1
+                    self._degraded += 1
+                    return False
+                self._state = STATE_HALF_OPEN
+                self._probes += 1
+            return True
+
+    def record_failure(self) -> None:
+        """A process dispatch failed with a transient error."""
+        with self._lock:
+            self._failures += 1
+            self._consecutive_failures += 1
+            if self._state == STATE_HALF_OPEN:
+                self._trip_locked()
+            elif (self._state == STATE_CLOSED
+                  and self._consecutive_failures >= self.failure_threshold):
+                self._trip_locked()
+
+    def record_success(self) -> None:
+        """A process dispatch completed; closes the breaker after a probe."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == STATE_HALF_OPEN:
+                self._state = STATE_CLOSED
+                self._recoveries += 1
+
+    def _trip_locked(self) -> None:
+        self._state = STATE_OPEN
+        self._trips += 1
+        self._cooldown_remaining = self.cooldown
+
+    def stats(self) -> Dict[str, object]:
+        """Snapshot for ``executor_stats()``; all counters are cumulative."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "failure_threshold": self.failure_threshold,
+                "cooldown": self.cooldown,
+                "cooldown_remaining": self._cooldown_remaining,
+                "consecutive_failures": self._consecutive_failures,
+                "failures": self._failures,
+                "trips": self._trips,
+                "probes": self._probes,
+                "degraded_dispatches": self._degraded,
+                "recoveries": self._recoveries,
+            }
+
+    def __repr__(self) -> str:
+        return ("CircuitBreaker(state=%r, failures=%d, trips=%d)"
+                % (self.state, self._failures, self._trips))

@@ -8,8 +8,10 @@ from typing import Dict, Optional
 
 from ..bloom import BloomFilter, PartitionedBloomFilter
 from ..core.cost import CostModel, CostParameters, DEFAULT_COST_PARAMETERS
+from ..faults import FaultPlan
 from ..storage.catalog import Catalog
 from .backend import EXECUTOR_BACKENDS, MorselPools, resolve_backend
+from .breaker import CircuitBreaker
 from .cancel import CancelToken
 from .joins import DEFAULT_MAX_CROSS_JOIN_ROWS
 
@@ -134,6 +136,11 @@ class ExecutionContext:
             :meth:`Executor.execute <repro.executor.runtime.Executor.execute>`
             takes precedence — concurrent executions sharing one context
             should always use per-call tokens.
+        fault_plan: Optional :class:`~repro.faults.FaultPlan` consulted at
+            the named injection sites (morsel dispatch, pool submit, shm
+            allocate/attach) by every execution on this context.  ``None``
+            (the default) costs a single ``is None`` check per site — zero
+            overhead in production; see ``docs/robustness.md``.
 
     Bloom filters built at runtime are *not* shared context state: every
     execution publishes them into its own :class:`FilterScope` (see
@@ -154,6 +161,7 @@ class ExecutionContext:
     max_cross_join_rows: int = DEFAULT_MAX_CROSS_JOIN_ROWS
     executor_backend: str = "thread"
     cancel_token: Optional[CancelToken] = None
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.executor_backend not in EXECUTOR_BACKENDS:
@@ -163,6 +171,11 @@ class ExecutionContext:
         #: every execution on this context (see
         #: :class:`repro.executor.backend.MorselPools`).
         self.pools = MorselPools()
+        #: Circuit breaker gating the process backend: repeated transient
+        #: process-dispatch failures trip every process-eligible operator
+        #: over to the thread backend until a half-open probe succeeds (see
+        #: :mod:`repro.executor.breaker`).
+        self.breaker = CircuitBreaker()
 
     @classmethod
     def for_catalog(cls, catalog: Catalog,
@@ -209,6 +222,9 @@ class ExecutionContext:
         stats["resolved_backend"] = resolve_backend(self.executor_backend)
         stats["executor_workers"] = self.executor_workers
         stats["morsel_size"] = self.morsel_size
+        stats["circuit_breaker"] = self.breaker.stats()
+        stats["fault_injections"] = (
+            {} if self.fault_plan is None else self.fault_plan.counters())
         return stats
 
     def close(self) -> None:

@@ -45,6 +45,8 @@ from typing import (
 import numpy as np
 
 from ..bloom import BloomFilter, PartitionedBloomFilter
+from ..errors import QueryCancelledError, TransientError
+from ..faults import SITE_MORSEL_DISPATCH
 from ..core.expressions import (
     ColumnRef,
     Predicate,
@@ -158,6 +160,8 @@ class Executor:
             if self._shm_arena is not None:
                 self.context.pools.count_shm_bytes(
                     self._shm_arena.bytes_exported)
+                self.context.pools.count_shm_fallbacks(
+                    self._shm_arena.fallback_count)
                 self._shm_arena.close()
                 self._shm_arena = None
         self.metrics.wall_time_seconds = time.perf_counter() - started
@@ -197,14 +201,43 @@ class Executor:
         return resolve_backend(self.context.executor_backend)
 
     def _process_backend_active(self) -> bool:
-        """True when morsels should run in the GIL-escape process pool."""
-        return self._morsel_workers() > 1 \
-            and self._resolved_backend() == "process"
+        """True when morsels should run in the GIL-escape process pool.
+
+        One call is one dispatch decision for the context's circuit
+        breaker: while the breaker is open the operator silently runs on
+        the thread backend instead (identical results, different
+        parallelism substrate), and the call that exhausts the cooldown
+        admits the half-open probe.
+        """
+        if self._morsel_workers() <= 1 \
+                or self._resolved_backend() != "process":
+            return False
+        return self.context.breaker.allow()
+
+    def _process_map(self, kernel: str, args_list: Sequence[tuple]) -> List:
+        """Supervised process dispatch, reporting outcome to the breaker.
+
+        Transient failures (worker crash that supervision could not absorb,
+        shm pressure in a worker, injected faults) count toward tripping the
+        breaker; cancellation and programming errors do not.
+        """
+        breaker = self.context.breaker
+        try:
+            results = self.context.pools.process_map(
+                kernel, args_list, self.cancel, self._morsel_workers(),
+                faults=self.context.fault_plan)
+        except QueryCancelledError:
+            raise
+        except TransientError:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+        return results
 
     def _arena(self) -> ShmArena:
         """This execution's shared-memory arena (created on first use)."""
         if self._shm_arena is None:
-            self._shm_arena = ShmArena()
+            self._shm_arena = ShmArena(faults=self.context.fault_plan)
         return self._shm_arena
 
     def _map_ordered(self, fn: Callable, items: Sequence) -> List:
@@ -221,7 +254,8 @@ class Executor:
         failing future.
         """
         return self.context.pools.thread_map(fn, items, self.cancel,
-                                             self._morsel_workers())
+                                             self._morsel_workers(),
+                                             faults=self.context.fault_plan)
 
     def _segment_map(self, fn: Callable, items: Sequence) -> List:
         """Map ``fn`` over morsel spans on whichever path is active.
@@ -233,10 +267,13 @@ class Executor:
         """
         if self._morsel_workers() > 1 and len(items) > 1:
             return self._map_ordered(fn, items)
+        faults = self.context.fault_plan
         results = []
         for item in items:
             if self.cancel is not None:
                 self.cancel.check()
+            if faults is not None:
+                faults.check(SITE_MORSEL_DISPATCH)
             results.append(fn(item))
         return results
 
@@ -397,10 +434,9 @@ class Executor:
             if self._process_backend_active():
                 payload = export_probe_task(index, probe_cols, probe_null,
                                             self._arena())
-                results = self.context.pools.process_map(
+                results = self._process_map(
                     "repro.executor.joins:probe_morsel_kernel",
-                    [(payload, start, stop) for start, stop in spans],
-                    self.cancel, self._morsel_workers())
+                    [(payload, start, stop) for start, stop in spans])
             else:
                 results = self._segment_map(
                     lambda span: probe_span_pairs(index, probe_cols,
@@ -503,10 +539,9 @@ class Executor:
                                  ) -> List[List[Partial]]:
                 payload = export_partials_task(self._arena(), calls_data,
                                                group_ids, num_groups)
-                return self.context.pools.process_map(
+                return self._process_map(
                     "repro.executor.aggregate:segment_partials_kernel",
-                    [(payload, start, stop) for start, stop in spans],
-                    self.cancel, self._morsel_workers())
+                    [(payload, start, stop) for start, stop in spans])
             return process_partials
 
         def local_partials(calls_data: Sequence[CallData],
@@ -624,10 +659,9 @@ class Executor:
                  for start in range(0, num_rows, morsel_size)]
         if self._process_backend_active():
             key_ref = self._arena().export(key)
-            runs = self.context.pools.process_map(
+            runs = self._process_map(
                 "repro.executor.sort:sort_run_kernel",
-                [(key_ref, start, stop) for start, stop in spans],
-                self.cancel, self._morsel_workers())
+                [(key_ref, start, stop) for start, stop in spans])
         else:
             runs = self._segment_map(lambda span: sort_run(key, *span),
                                      spans)

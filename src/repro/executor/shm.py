@@ -14,22 +14,38 @@ Object-dtype columns cannot live in a flat buffer, so their refs fall back
 to an inline pickle payload — the descriptor records which transport was
 used, and ``docs/executor.md`` documents the memory model.
 
+Degradation: shared memory is an optimization, never a requirement.  If a
+segment cannot be allocated (``OSError`` — real ``/dev/shm`` exhaustion or
+an injected ``shm-allocate`` fault) or the freshly written segment cannot be
+handed off (``shm-attach``), the export silently falls back to the inline
+pickle transport and the query proceeds; ``ShmArena.fallback_count`` and the
+pool-level ``shm_fallbacks`` stat record every degradation.
+
 Lifetimes: the arena (parent side) owns its segments and unlinks them in
 :meth:`ShmArena.close`; segment names are never reused, so the worker-side
-attach cache (bounded, LRU) can never resurrect a stale mapping.
+attach cache (bounded, LRU) can never resurrect a stale mapping.  Every
+arena additionally registers itself in a module-level weak registry swept at
+interpreter exit (:func:`sweep_arenas`), so even an exit path that skips the
+executor's ``finally`` cannot leak ``/dev/shm`` segments; the chaos suite
+asserts :func:`live_segment_names` is empty after induced failures.
 """
 
 from __future__ import annotations
 
+import atexit
 import pickle
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["ArrayRef", "ShmArena", "attach_array"]
+from ..faults import FaultPlan, SITE_SHM_ALLOCATE, SITE_SHM_ATTACH
+
+__all__ = ["ArrayRef", "ShmArena", "attach_array", "live_segment_names",
+           "sweep_arenas"]
 
 #: Worker-side cap on cached segment attachments; evicted segments are
 #: closed (the parent's unlink already happened or will happen — closing a
@@ -67,23 +83,38 @@ class ShmArena:
     alias a collected array) and owns every segment until :meth:`close`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, faults: Optional[FaultPlan] = None) -> None:
         self._segments: list[shared_memory.SharedMemory] = []
         self._memo: Dict[int, ArrayRef] = {}
         self._keepalive: list[np.ndarray] = []
         self._bytes_exported = 0
+        self._fallbacks = 0
+        self._faults = faults
         self._closed = False
+        _LIVE_ARENAS.add(self)
 
     @property
     def bytes_exported(self) -> int:
         """Total shared-memory bytes this arena has published."""
         return self._bytes_exported
 
+    @property
+    def fallback_count(self) -> int:
+        """Exports that degraded to inline transport under shm pressure."""
+        return self._fallbacks
+
+    @property
+    def segment_names(self) -> List[str]:
+        """Names of the live segments this arena currently owns."""
+        return [segment.name for segment in self._segments]
+
     def export(self, array: np.ndarray) -> ArrayRef:
         """Publish ``array`` and return its picklable descriptor.
 
         Non-contiguous inputs are compacted during the (single) export copy;
-        object-dtype arrays fall back to an inline pickle payload.
+        object-dtype arrays fall back to an inline pickle payload, and
+        shared-memory pressure (allocation or hand-off failure) degrades to
+        the same inline transport instead of failing the query.
         """
         if self._closed:
             raise RuntimeError("arena is closed")
@@ -92,22 +123,52 @@ class ShmArena:
         if ref is not None:
             return ref
         if array.dtype.kind == "O" or array.nbytes == 0:
-            ref = ArrayRef(shm_name=None, dtype=array.dtype.str,
-                           shape=tuple(array.shape),
-                           inline=pickle.dumps(array, protocol=-1))
+            ref = self._inline_ref(array)
         else:
-            segment = shared_memory.SharedMemory(create=True,
-                                                 size=array.nbytes)
-            view = np.ndarray(array.shape, dtype=array.dtype,
-                              buffer=segment.buf)
-            view[...] = array
-            self._segments.append(segment)
-            self._bytes_exported += array.nbytes
-            ref = ArrayRef(shm_name=segment.name, dtype=array.dtype.str,
-                           shape=tuple(array.shape))
+            ref = self._export_shared(array)
         self._memo[id(array)] = ref
         self._keepalive.append(array)
         return ref
+
+    @staticmethod
+    def _inline_ref(array: np.ndarray) -> ArrayRef:
+        return ArrayRef(shm_name=None, dtype=array.dtype.str,
+                        shape=tuple(array.shape),
+                        inline=pickle.dumps(array, protocol=-1))
+
+    def _export_shared(self, array: np.ndarray) -> ArrayRef:
+        """Export into shared memory, degrading inline on shm pressure.
+
+        A segment is never left behind on any failure path: once created it
+        is either published into ``self._segments`` (and unlinked by
+        :meth:`close`) or unlinked right here before the fallback/raise.
+        """
+        try:
+            if self._faults is not None:
+                self._faults.check(SITE_SHM_ALLOCATE)
+            segment = shared_memory.SharedMemory(create=True,
+                                                 size=array.nbytes)
+        except OSError:
+            self._fallbacks += 1
+            return self._inline_ref(array)
+        try:
+            view = np.ndarray(array.shape, dtype=array.dtype,
+                              buffer=segment.buf)
+            view[...] = array
+            del view
+            if self._faults is not None:
+                self._faults.check(SITE_SHM_ATTACH)
+        except OSError:
+            _unlink_segment(segment)
+            self._fallbacks += 1
+            return self._inline_ref(array)
+        except BaseException:
+            _unlink_segment(segment)
+            raise
+        self._segments.append(segment)
+        self._bytes_exported += array.nbytes
+        return ArrayRef(shm_name=segment.name, dtype=array.dtype.str,
+                        shape=tuple(array.shape))
 
     def export_optional(self, array: Optional[np.ndarray],
                         ) -> Optional[ArrayRef]:
@@ -124,11 +185,7 @@ class ShmArena:
             return
         self._closed = True
         for segment in self._segments:
-            try:
-                segment.close()
-                segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
+            _unlink_segment(segment)
         self._segments.clear()
         self._memo.clear()
         self._keepalive.clear()
@@ -138,6 +195,51 @@ class ShmArena:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+def _unlink_segment(segment: shared_memory.SharedMemory) -> None:
+    """Close and unlink one segment, tolerating an already-removed name."""
+    try:
+        segment.close()
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
+#: Weak registry of every arena ever constructed; the crash-safe backstop
+#: behind :func:`sweep_arenas`.  Weak so a collected arena (whose segments
+#: were already unlinked by ``close``) costs nothing.
+_LIVE_ARENAS: "weakref.WeakSet[ShmArena]" = weakref.WeakSet()
+
+
+def live_segment_names() -> List[str]:
+    """Segment names currently owned by any live arena.
+
+    Empty whenever no query is mid-execution; the chaos suite asserts this
+    after induced failures to prove nothing leaked into ``/dev/shm``.
+    """
+    names: List[str] = []
+    for arena in list(_LIVE_ARENAS):
+        names.extend(arena.segment_names)
+    return names
+
+
+def sweep_arenas() -> int:
+    """Close every live arena, returning how many segments were unlinked.
+
+    Registered with :mod:`atexit` so segments are guaranteed to be unlinked
+    on any orderly interpreter exit, even when an exit path skipped the
+    executor's per-query ``finally``.  (Nothing can run after ``SIGKILL``;
+    the next process's sweep is the only remedy there.)
+    """
+    unlinked = 0
+    for arena in list(_LIVE_ARENAS):
+        unlinked += len(arena.segment_names)
+        arena.close()
+    return unlinked
+
+
+atexit.register(sweep_arenas)
 
 
 #: Worker-process attachment cache: segment name -> open handle.  Process

@@ -1,0 +1,39 @@
+"""Deterministic fault injection for the executor and serving tiers.
+
+See :mod:`repro.faults.plan` for the model and ``docs/robustness.md`` for
+how each injection site maps onto the engine's recovery machinery.
+"""
+
+from .plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    INJECTION_SITES,
+    KIND_SHM_ENOSPC,
+    KIND_TRANSIENT,
+    KIND_WORKER_CRASH,
+    SITE_ADMISSION_DEQUEUE,
+    SITE_MORSEL_DISPATCH,
+    SITE_POOL_SUBMIT,
+    SITE_RESULT_CACHE_GET,
+    SITE_RESULT_CACHE_PUT,
+    SITE_SHM_ALLOCATE,
+    SITE_SHM_ATTACH,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "INJECTION_SITES",
+    "KIND_SHM_ENOSPC",
+    "KIND_TRANSIENT",
+    "KIND_WORKER_CRASH",
+    "SITE_ADMISSION_DEQUEUE",
+    "SITE_MORSEL_DISPATCH",
+    "SITE_POOL_SUBMIT",
+    "SITE_RESULT_CACHE_GET",
+    "SITE_RESULT_CACHE_PUT",
+    "SITE_SHM_ALLOCATE",
+    "SITE_SHM_ATTACH",
+]

@@ -1,0 +1,51 @@
+"""Chaos kernels: genuine process-level failures for the fault suite.
+
+:class:`~repro.faults.plan.FaultPlan` injects failures parent-side so its
+counters stay exact, but that only *simulates* a worker death.  The kernels
+here are registered by name (``"repro.faults.chaos:kill_worker"``) exactly
+like production kernels, so spawn-based workers can import and run them —
+letting the chaos suite kill a real worker process and assert the executor's
+supervision path (pool rebuild + morsel re-run) against the real
+``BrokenProcessPool`` the standard library raises.
+
+Never dispatch these outside a test.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["echo", "kill_worker", "kill_worker_once"]
+
+
+def kill_worker(code: int = 17) -> None:
+    """Terminate the calling worker process immediately.
+
+    ``os._exit`` bypasses ``atexit`` and exception handling — the closest
+    stand-in for a segfault or OOM kill that pure Python can produce.  The
+    parent observes ``BrokenProcessPool`` on the in-flight futures.
+    """
+    os._exit(code)
+
+
+def kill_worker_once(latch_path: str, value: object) -> object:
+    """Die on the first call across all workers, echo afterwards.
+
+    The latch is an ``O_EXCL``-created file, so exactly one worker (the one
+    that wins the create) dies even under concurrent dispatch; every later
+    call — including the supervision re-run after the pool rebuild — sees
+    the latch and behaves like :func:`echo`.  This is how the chaos suite
+    asserts recovery against a *real* ``BrokenProcessPool`` while still
+    letting the retried dispatch complete.
+    """
+    try:
+        fd = os.open(latch_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return value
+    os.close(fd)
+    os._exit(23)
+
+
+def echo(value: object) -> object:
+    """Return ``value`` unchanged; a healthy-worker probe for tests."""
+    return value

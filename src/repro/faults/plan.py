@@ -1,0 +1,249 @@
+"""Deterministic fault injection: seeded plans over named injection sites.
+
+A :class:`FaultPlan` is a declarative script of failures — "the third
+process-pool submission breaks the pool", "every shared-memory allocation
+hits ENOSPC" — threaded through :class:`~repro.executor.context.
+ExecutionContext` (``Database(fault_plan=...)``) so the recovery machinery
+built in this package's sibling layers can be driven and asserted
+deterministically:
+
+* **executor supervision** rebuilds a broken process pool once and re-runs
+  only the failed morsel spans (``repro.executor.backend``);
+* the **circuit breaker** trips the process backend over to threads after
+  repeated failures (``repro.executor.breaker``);
+* **shared-memory degradation** falls back to in-band pickled arguments when
+  a segment cannot be allocated or attached (``repro.executor.shm``);
+* **serving retries** re-run requests that failed with a
+  :class:`~repro.errors.TransientError` (``repro.serving.retry``).
+
+Injection is *deterministic*: every site keeps a hit counter and a spec
+fires on exact hit ordinals (``after`` skips, ``times`` caps), with an
+optional ``probability`` drawn from a per-spec ``random.Random`` seeded from
+``(plan seed, site, spec index)`` — the same plan against the same execution
+produces the same faults, which is what lets the chaos suite assert
+bit-identical results and exact counter values.  When no plan is installed
+every site costs a single ``is None`` check — zero overhead in production.
+
+Sites (see ``docs/robustness.md`` for the full table):
+
+========================  ===================================================
+``morsel-dispatch``        before each thread-pool morsel submission (and on
+                           the serial inline path)
+``pool-submit``            before each process-pool task submission
+``shm-allocate``           before a shared-memory segment is created
+``shm-attach``             after segment creation, simulating a worker-side
+                           attach failure (the segment is unlinked and the
+                           export degrades to inline transport)
+``result-cache-get``       before a result-cache lookup (degrades to a miss)
+``result-cache-put``       before a result-cache store (the store is skipped)
+``admission-dequeue``      when a serving worker dequeues a request (the
+                           dequeue is skipped and retried)
+========================  ===================================================
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import TransientError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "INJECTION_SITES",
+    "KIND_SHM_ENOSPC",
+    "KIND_TRANSIENT",
+    "KIND_WORKER_CRASH",
+    "SITE_ADMISSION_DEQUEUE",
+    "SITE_MORSEL_DISPATCH",
+    "SITE_POOL_SUBMIT",
+    "SITE_RESULT_CACHE_GET",
+    "SITE_RESULT_CACHE_PUT",
+    "SITE_SHM_ALLOCATE",
+    "SITE_SHM_ATTACH",
+]
+
+SITE_MORSEL_DISPATCH = "morsel-dispatch"
+SITE_POOL_SUBMIT = "pool-submit"
+SITE_SHM_ALLOCATE = "shm-allocate"
+SITE_SHM_ATTACH = "shm-attach"
+SITE_RESULT_CACHE_GET = "result-cache-get"
+SITE_RESULT_CACHE_PUT = "result-cache-put"
+SITE_ADMISSION_DEQUEUE = "admission-dequeue"
+
+#: Every named injection site a :class:`FaultSpec` may target.
+INJECTION_SITES = (
+    SITE_MORSEL_DISPATCH,
+    SITE_POOL_SUBMIT,
+    SITE_SHM_ALLOCATE,
+    SITE_SHM_ATTACH,
+    SITE_RESULT_CACHE_GET,
+    SITE_RESULT_CACHE_PUT,
+    SITE_ADMISSION_DEQUEUE,
+)
+
+#: A retryable executor failure (:class:`~repro.errors.TransientError`).
+KIND_TRANSIENT = "transient"
+#: A worker-process death: raises ``BrokenProcessPool`` so the executor's
+#: supervision path (pool rebuild + morsel re-run) engages exactly as it
+#: would on a real crash.  Only meaningful at ``pool-submit``.
+KIND_WORKER_CRASH = "worker-crash"
+#: Shared-memory pressure: raises ``OSError(ENOSPC)``, which the shm sites
+#: catch and degrade on.  Only meaningful at ``shm-allocate``/``shm-attach``.
+KIND_SHM_ENOSPC = "shm-enospc"
+
+#: Every fault kind a :class:`FaultSpec` may inject.
+FAULT_KINDS = (KIND_TRANSIENT, KIND_WORKER_CRASH, KIND_SHM_ENOSPC)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault: where, what, and on which hits it fires.
+
+    Args:
+        site: Injection site name (one of :data:`INJECTION_SITES`).
+        kind: What to inject (one of :data:`FAULT_KINDS`).
+        times: Maximum number of injections (``<= 0`` = unlimited).
+        after: Eligible site hits skipped before the first injection —
+            ``after=2`` leaves the first two hits untouched.
+        probability: Chance an eligible hit actually injects, drawn from a
+            deterministic per-spec stream seeded by the plan (1.0 = always).
+    """
+
+    site: str
+    kind: str = KIND_TRANSIENT
+    times: int = 1
+    after: int = 0
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.site not in INJECTION_SITES:
+            raise ValueError("unknown injection site %r; expected one of %r"
+                             % (self.site, INJECTION_SITES))
+        if self.kind not in FAULT_KINDS:
+            raise ValueError("unknown fault kind %r; expected one of %r"
+                             % (self.kind, FAULT_KINDS))
+        if self.after < 0:
+            raise ValueError("after must be >= 0, got %r" % self.after)
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1], got %r"
+                             % self.probability)
+
+
+def _spec_seed(seed: int, site: str, index: int) -> int:
+    """Stable per-spec RNG seed (``hash()`` is interpreter-seed dependent)."""
+    return zlib.crc32(("%d:%s:%d" % (seed, site, index)).encode("utf-8"))
+
+
+class FaultPlan:
+    """A seeded, thread-safe schedule of faults over named injection sites.
+
+    The plan is consulted (``fire``/``check``) at every instrumented site by
+    the executor, the shared-memory arena, the result cache and the serving
+    queue; it decides deterministically whether that hit injects.  Counters
+    (:meth:`counters` / :meth:`hit_counts`) record exactly what fired where,
+    which is what the chaos suite compares component counters against.
+
+    A plan instance is stateful — its hit counters advance as the workload
+    runs — so use one fresh plan per scenario.  It is safe to share across
+    the threads of one engine (everything is guarded by one lock), but it is
+    **not** shipped into worker processes: injection happens parent-side so
+    counters stay exact.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec], *, seed: int = 0) -> None:
+        self.seed = seed
+        self._specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self._by_site: Dict[str, List[int]] = {}
+        for index, spec in enumerate(self._specs):
+            self._by_site.setdefault(spec.site, []).append(index)
+        self._rng: Dict[int, random.Random] = {
+            index: random.Random(_spec_seed(seed, spec.site, index))
+            for index, spec in enumerate(self._specs)
+            if spec.probability < 1.0}
+        self._hits: Dict[str, int] = {site: 0 for site in self._by_site}
+        self._injected: Dict[int, int] = {index: 0
+                                          for index in range(len(self._specs))}
+        self._lock = threading.Lock()
+
+    @property
+    def specs(self) -> Tuple[FaultSpec, ...]:
+        return self._specs
+
+    # -- the decision point -------------------------------------------------
+
+    def fire(self, site: str) -> Optional[FaultSpec]:
+        """Record one hit of ``site`` and return the spec that fires, if any.
+
+        The soft form of :meth:`check` for sites that degrade instead of
+        raising (shm fallback, cache miss, dequeue retry).  First matching
+        spec wins; the decision depends only on the plan's seed and the hit
+        ordinal, never on wall-clock time or thread identity.
+        """
+        with self._lock:
+            if site not in self._by_site:
+                return None
+            hit = self._hits[site]
+            self._hits[site] = hit + 1
+            for index in self._by_site[site]:
+                spec = self._specs[index]
+                if hit < spec.after:
+                    continue
+                if 0 < spec.times <= self._injected[index]:
+                    continue
+                rng = self._rng.get(index)
+                if rng is not None and rng.random() >= spec.probability:
+                    continue
+                self._injected[index] += 1
+                return spec
+        return None
+
+    def check(self, site: str) -> None:
+        """Raise the scripted error if ``site``'s current hit injects."""
+        spec = self.fire(site)
+        if spec is not None:
+            raise self.error_for(spec)
+
+    @staticmethod
+    def error_for(spec: FaultSpec) -> BaseException:
+        """The exception instance a firing ``spec`` injects."""
+        if spec.kind == KIND_WORKER_CRASH:
+            from concurrent.futures.process import BrokenProcessPool
+
+            return BrokenProcessPool("injected worker crash at %r"
+                                     % spec.site)
+        if spec.kind == KIND_SHM_ENOSPC:
+            return OSError(errno.ENOSPC,
+                           "injected shared-memory pressure at %r"
+                           % spec.site)
+        return TransientError("injected transient fault at %r" % spec.site)
+
+    # -- observability ------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        """Injections per site (zero for scripted-but-silent sites)."""
+        with self._lock:
+            totals = {site: 0 for site in self._by_site}
+            for index, count in self._injected.items():
+                totals[self._specs[index].site] += count
+            return totals
+
+    def hit_counts(self) -> Dict[str, int]:
+        """Raw hit counts per scripted site (fired or not)."""
+        with self._lock:
+            return dict(self._hits)
+
+    @property
+    def total_injected(self) -> int:
+        """Total faults injected across every site."""
+        with self._lock:
+            return sum(self._injected.values())
+
+    def __repr__(self) -> str:
+        return "FaultPlan(seed=%d, specs=%r)" % (self.seed, list(self._specs))

@@ -18,7 +18,11 @@ worker pool, with
   fingerprint/mode/settings projection as the plan cache plus the catalog
   version, with per-table invalidation,
 * **observability** — :class:`ServingMetrics` with p50/p95/p99 latency
-  snapshots per tenant.
+  snapshots per tenant,
+* **fault tolerance** — an optional :class:`RetryPolicy` retries
+  *transient* failures (worker crashes, shared-memory pressure) with
+  deterministic backoff and per-tenant retry budgets; see
+  ``docs/robustness.md``.
 
 See ``docs/serving.md`` for the architecture and knob reference.
 """
@@ -39,11 +43,14 @@ from .metrics import (
 )
 from .queue import DEFAULT_MAX_DEPTH, AdmissionQueue
 from .quotas import DEFAULT_QUOTA, TenantQuota
+from .retry import DEFAULT_BACKOFF_BASE_S, DEFAULT_MAX_ATTEMPTS, RetryPolicy
 
 __all__ = [
     "AdmissionQueue",
     "AsyncDatabase",
     "AsyncSession",
+    "DEFAULT_BACKOFF_BASE_S",
+    "DEFAULT_MAX_ATTEMPTS",
     "DEFAULT_MAX_DEPTH",
     "DEFAULT_QUOTA",
     "DEFAULT_TENANT",
@@ -51,6 +58,7 @@ __all__ = [
     "LatencyRecorder",
     "LatencySnapshot",
     "ResultCache",
+    "RetryPolicy",
     "ServingMetrics",
     "ServingSnapshot",
     "TenantQuota",

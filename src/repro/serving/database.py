@@ -18,6 +18,11 @@ bounded worker pool and the admission-control queue:
   concurrency quotas bound each tenant's in-flight work and weighted fair
   dequeueing divides the backlog bandwidth, so one flooding tenant cannot
   starve the rest.
+* Transient failures (:class:`~repro.errors.TransientError` — worker
+  crashes, shared-memory pressure) are retried on the worker under an
+  optional :class:`~repro.serving.retry.RetryPolicy` with deterministic
+  backoff and per-tenant retry budgets; permanent errors and cancellation
+  never retry.  See ``docs/robustness.md``.
 
 :class:`AsyncSession` is the tenant-bound handle (`adb.session("t1")`) with
 the same ``execute``/``execute_async`` surface.
@@ -34,7 +39,18 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, List, Mapping, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core.heuristics import BfCboSettings
 from ..core.optimizer import OptimizerMode
@@ -43,11 +59,13 @@ from ..errors import (
     AdmissionError,
     QueryCancelledError,
     SessionClosedError,
+    TransientError,
 )
 from ..executor.cancel import CancelToken, DEADLINE_REASON
 from .metrics import ServingMetrics, ServingSnapshot
 from .queue import AdmissionQueue, DEFAULT_MAX_DEPTH
 from .quotas import DEFAULT_QUOTA, TenantQuota
+from .retry import RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..api.database import Database
@@ -92,9 +110,22 @@ class AsyncDatabase:
         default_quota: Quota for tenants without an explicit entry.
         quotas: Per-tenant :class:`~repro.serving.quotas.TenantQuota`
             overrides.
+        retry_policy: Optional :class:`~repro.serving.retry.RetryPolicy`.
+            When set, a request failing with
+            :class:`~repro.errors.TransientError` is re-executed on the
+            same worker after deterministic backoff, up to
+            ``max_attempts`` and the tenant's retry budget.  Permanent
+            errors and cancellation are never retried.  ``None`` (the
+            default) fails fast, matching the pre-retry behaviour.
+        retry_sleep: Backoff sleep function (seconds); injectable so tests
+            assert the schedule without waiting it out.
         session_kwargs: Forwarded to ``database.connect`` for the serving
             session (e.g. ``executor_workers`` for morsel parallelism
             inside each query); ``history_limit`` is forced to 0.
+
+    The wrapped database's :class:`~repro.faults.FaultPlan` (if any) also
+    drives the serving tier's ``admission-dequeue`` and result-cache fault
+    sites, so one seeded plan exercises the whole stack.
     """
 
     def __init__(self, database: "Database", *,
@@ -102,14 +133,21 @@ class AsyncDatabase:
                  max_queue_depth: int = DEFAULT_MAX_DEPTH,
                  default_quota: TenantQuota = DEFAULT_QUOTA,
                  quotas: Optional[Mapping[str, TenantQuota]] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 retry_sleep: Callable[[float], None] = time.sleep,
                  **session_kwargs: Any) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1, got %r" % workers)
         self.database = database
         self.queue = AdmissionQueue(max_queue_depth,
                                     default_quota=default_quota,
-                                    quotas=quotas)
+                                    quotas=quotas,
+                                    faults=database.fault_plan)
         self.metrics = ServingMetrics()
+        self._retry_policy = retry_policy
+        self._retry_sleep = retry_sleep
+        self._retry_lock = threading.Lock()
+        self._retry_used: Dict[str, int] = {}
         session_kwargs["history_limit"] = 0
         self._session: "Session" = database.connect(**session_kwargs)
         self._closed = False
@@ -181,6 +219,38 @@ class AsyncDatabase:
         self.metrics.count("admitted")
         return request
 
+    async def execute_many(self, queries: Sequence[QueryLike], *,
+                           tenant: str = DEFAULT_TENANT,
+                           timeout: Optional[float] = None,
+                           mode: Optional[OptimizerMode] = None,
+                           settings: Optional[BfCboSettings] = None,
+                           name: str = "batch",
+                           return_errors: bool = True,
+                           ) -> "List[Union[QueryResult, BaseException]]":
+        """Admit and await a batch concurrently, with partial-failure slots.
+
+        All queries are admitted up front and awaited together, so the
+        batch shares the queue's weighted-fair bandwidth like any other
+        traffic.  With ``return_errors=True`` (the default here — a batch
+        caller usually wants every outcome) the returned list holds, per
+        slot, either the :class:`~repro.api.session.QueryResult` or the
+        typed exception that query raised; one bad query never voids its
+        siblings' results.  With ``return_errors=False`` the first failing
+        slot's exception is re-raised after the whole batch settles,
+        matching the sync :meth:`Database.execute_many
+        <repro.api.database.Database.execute_many>` contract.
+        """
+        pending = [self.execute_async(query, tenant=tenant, timeout=timeout,
+                                      mode=mode, settings=settings,
+                                      name="%s[%d]" % (name, index))
+                   for index, query in enumerate(queries)]
+        outcomes = await asyncio.gather(*pending, return_exceptions=True)
+        if not return_errors:
+            for outcome in outcomes:
+                if isinstance(outcome, BaseException):
+                    raise outcome
+        return list(outcomes)
+
     def session(self, tenant: str = DEFAULT_TENANT, *,
                 mode: Optional[OptimizerMode] = None,
                 settings: Optional[BfCboSettings] = None,
@@ -214,31 +284,83 @@ class AsyncDatabase:
                 self.queue.release(tenant)
 
     def _serve(self, tenant: str, request: _ServingRequest) -> None:
-        """Execute one dequeued request and resolve its future."""
+        """Execute one dequeued request, retrying transient failures.
+
+        The retry loop discriminates on the error taxonomy
+        (``docs/robustness.md``): cancellation resolves immediately
+        (retrying a cancelled query defeats the cancel),
+        :class:`~repro.errors.TransientError` consults
+        :meth:`_retry_delay`, and everything else — permanent, by
+        definition — fails the future on the first occurrence.
+        """
         future = request.future
         if not future.set_running_or_notify_cancel():
             # The awaiting side gave up while the request was queued.
             self.metrics.count("cancelled")
             return
-        try:
-            # Shed without executing if the deadline passed while queued.
-            request.token.check()
-            result = self._session.execute(
-                request.query, request.mode, request.settings,
-                name=request.name, cancel=request.token)
-        except QueryCancelledError as exc:
-            self.metrics.count("cancelled")
-            future.set_exception(exc)
-        except BaseException as exc:  # surfaced through the future, typed
-            self.metrics.count("failed")
-            future.set_exception(exc)
-        else:
+        attempt = 1
+        while True:
+            try:
+                # Shed without executing if the deadline passed while
+                # queued (or between retry attempts).
+                request.token.check()
+                result = self._session.execute(
+                    request.query, request.mode, request.settings,
+                    name=request.name, cancel=request.token)
+            except QueryCancelledError as exc:
+                self.metrics.count("cancelled")
+                future.set_exception(exc)
+                return
+            except TransientError as exc:
+                delay = self._retry_delay(tenant, request, attempt)
+                if delay is None:
+                    self.metrics.count("failed")
+                    future.set_exception(exc)
+                    return
+                attempt += 1
+                if delay > 0:
+                    self._retry_sleep(delay)
+                continue
+            # lint: allow(broad-except-swallow) — the failure is not
+            # swallowed: it is re-raised in the awaiting task through
+            # future.set_exception; a worker thread must never die.
+            except BaseException as exc:
+                self.metrics.count("failed")
+                future.set_exception(exc)
+                return
             latency_ms = (time.perf_counter() - request.submitted_at) * 1e3
             self.metrics.count("completed")
             if result.from_result_cache:
                 self.metrics.count("result_cache_hits")
             self.metrics.record_latency(tenant, latency_ms)
             future.set_result(result)
+            return
+
+    def _retry_delay(self, tenant: str, request: _ServingRequest,
+                     attempt: int) -> Optional[float]:
+        """Grant one retry (the backoff in seconds) or deny it (``None``).
+
+        Denials that hit a configured limit — the attempt cap or the
+        tenant's lifetime budget — count as ``retry_denied``; a ``None``
+        policy or an already-cancelled token deny silently because no
+        retry was ever on offer.
+        """
+        policy = self._retry_policy
+        if policy is None or request.token.cancelled:
+            return None
+        if attempt >= policy.max_attempts:
+            self.metrics.count("retry_denied")
+            return None
+        budget = policy.tenant_retry_budget
+        if budget is not None:
+            with self._retry_lock:
+                used = self._retry_used.get(tenant, 0)
+                if used >= budget:
+                    self.metrics.count("retry_denied")
+                    return None
+                self._retry_used[tenant] = used + 1
+        self.metrics.count("retried")
+        return policy.delay(attempt, key=request.name)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -313,6 +435,22 @@ class AsyncSession:
     #: ``execute_async`` and ``execute`` are the same awaitable call; both
     #: names exist so call sites can mirror either API generation.
     execute_async = execute
+
+    async def execute_many(self, queries: Sequence[QueryLike], *,
+                           timeout: Optional[float] = None,
+                           mode: Optional[OptimizerMode] = None,
+                           settings: Optional[BfCboSettings] = None,
+                           name: str = "batch",
+                           return_errors: bool = True,
+                           ) -> "List[Union[QueryResult, BaseException]]":
+        """Concurrent batch as this tenant (see
+        :meth:`AsyncDatabase.execute_many`)."""
+        return await self.serving.execute_many(
+            queries, tenant=self.tenant,
+            timeout=timeout if timeout is not None else self.timeout,
+            mode=mode if mode is not None else self.mode,
+            settings=settings if settings is not None else self.settings,
+            name=name, return_errors=return_errors)
 
     @property
     def in_flight(self) -> int:

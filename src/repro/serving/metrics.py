@@ -5,7 +5,8 @@ bounded reservoir of per-request latencies and derives p50/p95/p99 on demand
 (nearest-rank over the sorted sample — no numpy dependency, the recorder sits
 on the request hot path).  :class:`ServingMetrics` aggregates one global
 recorder, one per tenant, and the outcome counters
-(admitted/rejected/completed/cancelled/failed + result-cache hits), snapshot
+(admitted/rejected/completed/cancelled/failed/retried + result-cache hits),
+snapshot
 via :meth:`ServingMetrics.snapshot` as plain frozen dataclasses that
 benchmarks serialise straight into ``BENCH_serving_latency.json``.
 
@@ -118,6 +119,10 @@ class ServingSnapshot:
     result_cache_hits: int
     latency: LatencySnapshot
     tenants: Dict[str, LatencySnapshot]
+    #: Transient-failure retries granted (each re-execution counts one).
+    retries: int = 0
+    #: Retries refused because the attempt cap or tenant budget was spent.
+    retries_denied: int = 0
 
     @property
     def in_flight_or_queued(self) -> int:
@@ -133,7 +138,8 @@ class ServingMetrics:
         self._latency = LatencyRecorder(reservoir)
         self._tenant_latency: Dict[str, LatencyRecorder] = {}
         self._counters = {"admitted": 0, "rejected": 0, "completed": 0,
-                          "cancelled": 0, "failed": 0, "result_cache_hits": 0}
+                          "cancelled": 0, "failed": 0, "result_cache_hits": 0,
+                          "retried": 0, "retry_denied": 0}
         self._lock = threading.Lock()
 
     def count(self, counter: str, delta: int = 1) -> None:
@@ -165,6 +171,8 @@ class ServingMetrics:
             cancelled=counters["cancelled"],
             failed=counters["failed"],
             result_cache_hits=counters["result_cache_hits"],
+            retries=counters["retried"],
+            retries_denied=counters["retry_denied"],
             latency=self._latency.snapshot(),
             tenants={name: recorder.snapshot()
                      for name, recorder in sorted(tenants.items())})

@@ -28,6 +28,7 @@ import threading
 from typing import Dict, Mapping, Optional, Tuple, TypeVar
 
 from ..errors import AdmissionError
+from ..faults import SITE_ADMISSION_DEQUEUE, FaultPlan
 from .quotas import DEFAULT_QUOTA, TenantQuota, TenantState
 
 T = TypeVar("T")
@@ -45,11 +46,17 @@ class AdmissionQueue:
         default_quota: Quota applied to tenants without an explicit entry
             in ``quotas``.
         quotas: Per-tenant quota overrides, keyed by tenant name.
+        faults: Optional :class:`~repro.faults.FaultPlan` consulted at the
+            ``admission-dequeue`` site.  An injected fault makes
+            :meth:`next` drop the pick *before* charging or incrementing
+            in-flight and return ``None``, modelling a worker losing a
+            dequeue race — the request stays queued for the next worker.
     """
 
     def __init__(self, max_depth: int = DEFAULT_MAX_DEPTH, *,
                  default_quota: TenantQuota = DEFAULT_QUOTA,
-                 quotas: Optional[Mapping[str, TenantQuota]] = None) -> None:
+                 quotas: Optional[Mapping[str, TenantQuota]] = None,
+                 faults: Optional[FaultPlan] = None) -> None:
         if max_depth < 1:
             raise ValueError("max_depth must be >= 1, got %r" % max_depth)
         self.max_depth = max_depth
@@ -59,6 +66,8 @@ class AdmissionQueue:
         self._depth = 0
         self._virtual_time = 0.0
         self._closed = False
+        self._faults = faults
+        self._dequeue_faults = 0
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
 
@@ -74,6 +83,13 @@ class AdmissionQueue:
     def closed(self) -> bool:
         with self._lock:
             return self._closed
+
+    @property
+    def dequeue_faults(self) -> int:
+        """Dequeue attempts dropped by an injected ``admission-dequeue``
+        fault (the request stayed queued and was re-picked later)."""
+        with self._lock:
+            return self._dequeue_faults
 
     def in_flight(self, tenant: str) -> int:
         """Requests of ``tenant`` dequeued and not yet released."""
@@ -128,6 +144,15 @@ class AdmissionQueue:
             while True:
                 state = self._pick_locked()
                 if state is not None:
+                    if self._faults is not None \
+                            and self._faults.fire(SITE_ADMISSION_DEQUEUE) \
+                            is not None:
+                        # Injected lost dequeue: leave the request queued
+                        # (nothing charged, nothing in flight) and make this
+                        # worker poll again, as a crashed-between-pick-and-run
+                        # worker would.
+                        self._dequeue_faults += 1
+                        return None
                     request = state.backlog.popleft()
                     self._depth -= 1
                     state.in_flight += 1

@@ -1,0 +1,110 @@
+"""Retry policy for the serving tier: bounded, deterministic, budgeted.
+
+The serving tier retries exactly one class of failure: *transient* errors
+(:class:`~repro.errors.TransientError` — worker crashes, shared-memory
+pressure, injected faults), which by contract leave no externalized state
+behind.  Permanent errors (:class:`~repro.errors.SqlError`,
+:class:`~repro.errors.PlanningError`, :class:`~repro.errors.ExecutionError`
+proper) and cancellation are never retried — re-running a query that failed
+deterministically just doubles the damage, and retrying a cancelled query
+defeats the point of cancelling it.
+
+:class:`RetryPolicy` is pure decision logic, deliberately free of clocks and
+randomness at call time:
+
+* **Bounded attempts** — ``max_attempts`` caps total executions per request
+  (the first attempt counts; ``max_attempts=3`` means at most two retries).
+* **Deterministic backoff** — :meth:`delay` computes exponential backoff
+  with jitter derived from ``crc32(seed, key, attempt)`` rather than a
+  global RNG, so a replay of the same request sequence sleeps the same
+  schedule (the same discipline as :class:`~repro.faults.FaultPlan`).
+* **Per-tenant budgets** — ``tenant_retry_budget`` caps the *total* retries
+  any one tenant may consume over the server's lifetime.  A tenant whose
+  queries keep hitting transient faults degrades to fail-fast instead of
+  amplifying a sick backend with retry storms; denials are counted in
+  ``snapshot().retries_denied``.
+
+The policy object is immutable configuration; the mutable budget ledger
+lives in :class:`AsyncDatabase`, which is the component that knows about
+tenants.  See ``docs/robustness.md`` for how retries compose with the
+executor's own worker-crash recovery (inner recovery first, serving retry
+as the outer backstop).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from random import Random
+from typing import Optional
+
+#: Total executions allowed per request (first attempt included).
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Base backoff before the first retry, seconds.
+DEFAULT_BACKOFF_BASE_S = 0.01
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Immutable retry configuration for :class:`AsyncDatabase`.
+
+    Args:
+        max_attempts: Total executions per request, >= 1.  ``1`` disables
+            retries while keeping the accounting surface.
+        backoff_base_s: Sleep before the first retry; each further retry
+            multiplies it by ``multiplier``.
+        multiplier: Exponential backoff factor, >= 1.
+        jitter: Fraction of the backoff added as deterministic jitter in
+            ``[0, jitter)`` — ``0.5`` means each delay lands in
+            ``[base, 1.5 * base)``.  ``0`` disables jitter.
+        seed: Seeds the per-(request, attempt) jitter stream, mirroring
+            :class:`~repro.faults.FaultPlan` determinism.
+        tenant_retry_budget: Lifetime cap on retries per tenant; ``None``
+            means unbudgeted.  Exhausted budgets fail fast and count as
+            ``retries_denied``.
+    """
+
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    backoff_base_s: float = DEFAULT_BACKOFF_BASE_S
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    tenant_retry_budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1, got %r"
+                             % self.max_attempts)
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0, got %r"
+                             % self.backoff_base_s)
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1, got %r"
+                             % self.multiplier)
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0, got %r" % self.jitter)
+        if self.tenant_retry_budget is not None \
+                and self.tenant_retry_budget < 0:
+            raise ValueError("tenant_retry_budget must be >= 0, got %r"
+                             % self.tenant_retry_budget)
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1-based), seconds.
+
+        Deterministic: the jitter stream is seeded from
+        ``(seed, key, attempt)`` via CRC-32 — never Python's salted
+        ``hash()`` — so the same request name replays the same schedule
+        across processes.
+        """
+        if attempt < 1:
+            raise ValueError("attempt must be >= 1, got %r" % attempt)
+        base = self.backoff_base_s * (self.multiplier ** (attempt - 1))
+        if self.jitter == 0 or base == 0:
+            return base
+        token = ("%d:%s:%d" % (self.seed, key, attempt)).encode("utf-8")
+        rng = Random(zlib.crc32(token))
+        return base * (1.0 + self.jitter * rng.random())
+
+
+__all__ = ["DEFAULT_BACKOFF_BASE_S", "DEFAULT_MAX_ATTEMPTS", "RetryPolicy"]

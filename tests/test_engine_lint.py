@@ -400,6 +400,104 @@ class TestBlockingInAsync:
 
 
 # ---------------------------------------------------------------------------
+# broad-except-swallow
+# ---------------------------------------------------------------------------
+
+
+class TestBroadExceptSwallow:
+    def test_bare_except_without_raise(self):
+        findings = findings_for("""
+            def f() -> int:
+                try:
+                    return g()
+                except:
+                    return 0
+        """)
+        assert rules_of(findings) == {"broad-except-swallow"}
+
+    def test_base_exception_without_raise(self):
+        findings = findings_for("""
+            def f() -> int:
+                try:
+                    return g()
+                except BaseException:
+                    return 0
+        """)
+        assert rules_of(findings) == {"broad-except-swallow"}
+
+    def test_base_exception_in_tuple_without_raise(self):
+        findings = findings_for("""
+            def f() -> int:
+                try:
+                    return g()
+                except (ValueError, BaseException) as exc:
+                    return 0
+        """)
+        assert rules_of(findings) == {"broad-except-swallow"}
+
+    def test_cleanup_then_reraise_is_clean(self):
+        findings = findings_for("""
+            def f(resource: object) -> int:
+                try:
+                    return g()
+                except BaseException:
+                    resource.release()
+                    raise
+        """)
+        assert findings == []
+
+    def test_conditional_reraise_is_clean(self):
+        # Any raise on any path counts: the rule is a swallow detector,
+        # not a path-sensitive prover.
+        findings = findings_for("""
+            def f(strict: bool) -> int:
+                try:
+                    return g()
+                except BaseException as exc:
+                    if strict:
+                        raise
+                    return 0
+        """)
+        assert findings == []
+
+    def test_raise_in_nested_def_does_not_count(self):
+        findings = findings_for("""
+            def f() -> object:
+                try:
+                    return g()
+                except BaseException:
+                    def reraise() -> None:
+                        raise ValueError("later")
+                    return reraise
+        """)
+        assert rules_of(findings) == {"broad-except-swallow"}
+
+    def test_except_exception_is_legal(self):
+        # `except Exception` already lets KeyboardInterrupt/SystemExit
+        # through; the rule only guards the truly unbounded forms.
+        findings = findings_for("""
+            def f() -> int:
+                try:
+                    return g()
+                except Exception:
+                    return 0
+        """)
+        assert findings == []
+
+    def test_suppression_is_honoured(self):
+        findings = findings_for("""
+            def f(future: object) -> None:
+                try:
+                    g()
+                # lint: allow(broad-except-swallow) — error resolves the
+                # caller's future instead of unwinding the worker thread
+                except BaseException as exc:
+                    future.set_exception(exc)
+        """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 # ---------------------------------------------------------------------------
 
