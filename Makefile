@@ -11,15 +11,17 @@
 # static-analysis gate: the engine lint suite, strict typing, and the
 # plan-contract verifier over the golden-plan corpus (see docs/analysis.md),
 # plus the chaos gate: the fault-injection suite run once per executor
-# backend (see docs/robustness.md).
+# backend (see docs/robustness.md), and the memory gate: the governance
+# and chaos suites re-run under a constrained process-wide memory pool so
+# every operator's spill path is exercised for real (see docs/memory.md).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check test smoke examples bench golden lint typecheck verify-plans \
-	chaos
+	chaos chaos-mem
 
-check: lint typecheck verify-plans test chaos smoke examples
+check: lint typecheck verify-plans test chaos chaos-mem smoke examples
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -62,6 +64,16 @@ chaos:
 		REPRO_CHAOS_BACKEND=$$backend \
 			$(PYTHON) -m pytest tests/test_faults.py -x -q || exit 1; \
 	done
+
+# Memory gate: the governance suite plus the chaos matrix under a
+# process-wide governor pool far below the suites' unlimited working set
+# (docs/memory.md).  Queries must complete bit-identically via spill —
+# zero OOM — with every denial and spilled byte counted.
+CHAOS_MEM_POOL ?= 67108864
+chaos-mem:
+	REPRO_MEMORY_POOL_BYTES=$(CHAOS_MEM_POOL) \
+		$(PYTHON) -m pytest tests/test_memory_governance.py \
+		tests/test_faults.py -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -x -q

@@ -32,9 +32,11 @@ from .api import (
 from .errors import (
     AdmissionError,
     ExecutionError,
+    GovernorExhaustedError,
     PlanningError,
     QueryCancelledError,
     ReproError,
+    ResourceExhaustedError,
     SessionClosedError,
     ShmPressureError,
     TransientError,
@@ -43,7 +45,7 @@ from .errors import (
 from .faults import FaultPlan, FaultSpec
 from .sql.errors import SqlError
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AdmissionError",
@@ -53,11 +55,13 @@ __all__ = [
     "ExecutionError",
     "FaultPlan",
     "FaultSpec",
+    "GovernorExhaustedError",
     "PlanningError",
     "PreparedQuery",
     "QueryCancelledError",
     "QueryResult",
     "ReproError",
+    "ResourceExhaustedError",
     "Session",
     "SessionClosedError",
     "ShmPressureError",

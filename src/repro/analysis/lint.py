@@ -41,6 +41,15 @@ patched (rationale and motivating PRs in ``docs/analysis.md``):
     for every tenant at once.  Engine work belongs on the worker threads;
     the coroutine side must only ``await``.  Awaited calls and nested sync
     ``def``s (which run on workers) are exempt.
+``unaccounted-allocation``
+    Inside the spill-capable operator modules (``executor/joins.py``,
+    ``executor/aggregate.py``, ``executor/sort.py``), no data-sized array
+    constructor (``np.empty`` / ``np.zeros`` / ``np.ones`` / ``np.full``)
+    may run in a function without a ``budget`` parameter: allocations that
+    bypass the :class:`~repro.executor.memory.MemoryBudget` reservation API
+    are invisible to the governor, so a "within budget" query could still
+    blow past its grant.  Constant-size allocations (a literal first
+    argument) are exempt — they are O(1), not O(rows).
 ``broad-except-swallow``
     No bare ``except:`` or ``except BaseException:`` whose handler fails to
     ``raise``: a handler that catches *everything* and returns normally
@@ -107,11 +116,21 @@ SHARED_ATTRIBUTES = frozenset({"_kernel_memo"})
 #: issued from a coroutine.
 BLOCKING_ENGINE_CALLS = frozenset({"execute", "execute_many"})
 
+#: Array constructors that materialise data-sized scratch; in spill-capable
+#: operator modules these must run under a ``budget`` parameter so the
+#: memory governor sees them.
+ACCOUNTED_ALLOCATORS = frozenset({"empty", "zeros", "ones", "full"})
+
+#: Executor modules with a spill path: the ``unaccounted-allocation`` rule
+#: fires only inside these.
+SPILL_OPERATOR_MODULES = frozenset({"joins.py", "aggregate.py", "sort.py"})
+
 #: All rule ids, in reporting order (``bad-suppression`` guards the
 #: suppression mechanism itself).
 RULES = ("unordered-iteration", "mask-accessor-bypass", "sentinel-fill",
          "worker-shared-mutation", "untyped-def", "blocking-in-async",
-         "broad-except-swallow", "bad-suppression")
+         "unaccounted-allocation", "broad-except-swallow",
+         "bad-suppression")
 
 _ALLOW_RE = re.compile(
     r"#\s*lint:\s*allow\(([a-z-]+)\)\s*(?:—|–|-{1,2}|:)?\s*(.*)\s*$")
@@ -602,6 +621,72 @@ def _check_blocking_in_async(tree: ast.AST, path: str,
 
 
 # ---------------------------------------------------------------------------
+# Rule: unaccounted-allocation
+# ---------------------------------------------------------------------------
+
+
+def _is_constant_size(node: ast.AST) -> bool:
+    """Literal int (or tuple of literal ints) shape: an O(1) allocation."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return True
+    if isinstance(node, ast.Tuple):
+        return bool(node.elts) and all(
+            isinstance(elt, ast.Constant) and isinstance(elt.value, int)
+            for elt in node.elts)
+    return False
+
+
+def _enclosing_function(node: ast.AST) -> Optional[ast.AST]:
+    current = _parent(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = _parent(current)
+    return None
+
+
+def _has_budget_parameter(fn: ast.AST) -> bool:
+    args = fn.args  # type: ignore[attr-defined]
+    all_args = (args.posonlyargs + args.args + args.kwonlyargs
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else []))
+    return any(arg.arg == "budget" for arg in all_args)
+
+
+def _check_unaccounted_allocation(tree: ast.AST, path: str,
+                                  findings: List[LintFinding]) -> None:
+    """Data-sized ``np.*`` constructors outside budget-carrying functions.
+
+    A function that takes a ``budget`` parameter participates in the
+    reservation protocol — its caller reserved (or the function reserves)
+    the bytes it materialises.  A data-sized allocation anywhere else in a
+    spill-capable operator module bypasses the governor and must either
+    move under the budget or carry a suppression explaining why the bytes
+    are already accounted for.
+    """
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ACCOUNTED_ALLOCATORS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "np"):
+            continue
+        if node.args and _is_constant_size(node.args[0]):
+            continue
+        fn = _enclosing_function(node)
+        if fn is not None and _has_budget_parameter(fn):
+            continue
+        where = getattr(fn, "name", "<module>")
+        findings.append(LintFinding(
+            path=path, line=node.lineno, rule="unaccounted-allocation",
+            message="np.%s allocates data-sized memory in %r, which has no "
+                    "'budget' parameter: the reservation API cannot see "
+                    "these bytes; thread the MemoryBudget through or "
+                    "annotate why they are already accounted"
+                    % (node.func.attr, where)))
+
+
+# ---------------------------------------------------------------------------
 # Rule: broad-except-swallow
 # ---------------------------------------------------------------------------
 
@@ -680,15 +765,23 @@ def _in_serving(path: str) -> bool:
     return "serving" in Path(path).parts
 
 
+def _in_spill_operator(path: str) -> bool:
+    p = Path(path)
+    return "executor" in p.parts and p.name in SPILL_OPERATOR_MODULES
+
+
 def lint_source(source: str, path: str = "<string>",
                 strict_types: Optional[bool] = None,
                 executor_rules: Optional[bool] = None,
-                async_rules: Optional[bool] = None) -> List[LintFinding]:
+                async_rules: Optional[bool] = None,
+                spill_rules: Optional[bool] = None) -> List[LintFinding]:
     """Lint one module's source text; returns unsuppressed findings.
 
-    ``strict_types`` / ``executor_rules`` / ``async_rules`` force the
-    path-derived defaults for the ``untyped-def``, ``mask-accessor-bypass``
-    and ``blocking-in-async`` rules (used by tests linting inline snippets).
+    ``strict_types`` / ``executor_rules`` / ``async_rules`` /
+    ``spill_rules`` force the path-derived defaults for the
+    ``untyped-def``, ``mask-accessor-bypass``, ``blocking-in-async`` and
+    ``unaccounted-allocation`` rules (used by tests linting inline
+    snippets).
     """
     if strict_types is None:
         strict_types = _in_strict_package(path)
@@ -696,6 +789,8 @@ def lint_source(source: str, path: str = "<string>",
         executor_rules = _in_executor(path)
     if async_rules is None:
         async_rules = _in_serving(path)
+    if spill_rules is None:
+        spill_rules = _in_spill_operator(path)
     tree = ast.parse(source, filename=path)
     _add_parents(tree)
     allows, findings = _parse_allows(source, path)
@@ -710,6 +805,8 @@ def lint_source(source: str, path: str = "<string>",
         _check_untyped_defs(tree, path, raw)
     if async_rules:
         _check_blocking_in_async(tree, path, raw)
+    if spill_rules:
+        _check_unaccounted_allocation(tree, path, raw)
     for finding in raw:
         if finding.rule in allows.get(finding.line, ()):
             continue

@@ -51,6 +51,7 @@ from ..core.optimizer import (
 from ..core.query import QueryBlock
 from ..errors import PlanningError, SessionClosedError, raise_as
 from ..executor.context import executor_overrides
+from ..executor.memory import MemoryGovernor, default_governor
 from ..faults import FaultPlan, SITE_RESULT_CACHE_GET, SITE_RESULT_CACHE_PUT
 from ..executor.runtime import ExecutionResult
 from ..serving.cache import ResultCache
@@ -93,6 +94,10 @@ class CacheStats:
     #: Result-cache stores skipped by an injected ``result-cache-put`` fault
     #: (the result is simply not memoized).
     result_put_degraded: int = 0
+    #: Batch bytes currently resident in the result cache (the quantity the
+    #: ``result_cache_bytes`` knob bounds; 0 when byte-weighting is off or
+    #: the cache is empty).
+    result_resident_bytes: int = 0
 
     @property
     def plan_lookups(self) -> int:
@@ -231,9 +236,28 @@ class Database:
         fault_plan: Optional :class:`~repro.faults.FaultPlan` driving
             deterministic fault injection: threaded into every session's
             execution context (morsel dispatch, process-pool submit, shm
-            sites) and consulted at this database's result-cache get/put
-            sites.  ``None`` (the default) is zero-overhead; see
-            ``docs/robustness.md``.
+            sites, memory pressure) and consulted at this database's
+            result-cache get/put sites.  ``None`` (the default) is
+            zero-overhead; see ``docs/robustness.md``.
+        memory_pool_bytes: Size of this database's memory-governor pool.
+            ``None`` (the default) shares the process-wide governor
+            (:func:`~repro.executor.memory.default_governor`, sized by
+            ``REPRO_MEMORY_POOL_BYTES``); an explicit size gives this
+            database its own pool.  Operators whose reservations the pool
+            cannot cover degrade to their spill paths — see
+            ``docs/memory.md``.
+        result_cache_bytes: Byte bound on the result cache: stored batches
+            are weighted by their actual resident bytes and eviction is by
+            size, not entry count (``None`` keeps the entry-count bound
+            only).
+        max_memory_bytes: Default per-query reserved-byte cap for sessions;
+            reservations above it degrade the operator to its spill path.
+        max_spill_bytes: Default per-query spill cap for sessions; exceeding
+            it raises :class:`~repro.errors.ResourceExhaustedError` — the
+            runaway-query watchdog.
+        max_rows: Default per-query materialized-row cap for sessions.
+        spill_dir: Root directory for per-query spill files (``None`` = the
+            system temp dir).
     """
 
     def __init__(self, catalog: Catalog, *,
@@ -253,7 +277,13 @@ class Database:
                  executor_backend: Optional[str] = None,
                  max_cross_join_rows: Optional[int] = None,
                  verify_plans: Optional[bool] = None,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 memory_pool_bytes: Optional[int] = None,
+                 result_cache_bytes: Optional[int] = None,
+                 max_memory_bytes: Optional[int] = None,
+                 max_spill_bytes: Optional[int] = None,
+                 max_rows: Optional[int] = None,
+                 spill_dir: Optional[str] = None) -> None:
         self.catalog = catalog
         self.default_mode = mode
         self.default_settings = settings
@@ -273,7 +303,18 @@ class Database:
             executor_workers=executor_workers,
             morsel_size=morsel_size,
             max_cross_join_rows=max_cross_join_rows,
-            executor_backend=executor_backend)
+            executor_backend=executor_backend,
+            max_memory_bytes=max_memory_bytes,
+            max_spill_bytes=max_spill_bytes,
+            max_rows=max_rows,
+            spill_dir=spill_dir)
+        #: The memory governor every session's per-query budgets draw from
+        #: (and the serving tier's admission queue consults): this
+        #: database's own pool when ``memory_pool_bytes`` was given, the
+        #: process-wide default governor otherwise.
+        self.memory_governor: MemoryGovernor = (
+            MemoryGovernor(memory_pool_bytes)
+            if memory_pool_bytes is not None else default_governor())
         #: Whether cold-planned queries run the plan-contract verifier;
         #: resolved like every other knob (session kwarg > database kwarg >
         #: ``REPRO_VERIFY_PLANS`` environment default).
@@ -293,7 +334,8 @@ class Database:
         #: (see :meth:`from_tpch`).
         self.workload = None
         self._plan_cache: "LruCache" = LruCache(plan_cache_size)
-        self._result_cache = ResultCache(result_cache_size)
+        self._result_cache = ResultCache(result_cache_size,
+                                         max_bytes=result_cache_bytes)
         #: Result-cache full-invalidation epoch: part of every result key,
         #: bumped on out-of-band catalog changes so older keys become
         #: unreachable instantly.  Table registration does NOT bump it —
@@ -625,7 +667,8 @@ class Database:
             result_entries=len(results),
             result_evictions=results.evictions,
             result_get_degraded=self._result_get_degraded,
-            result_put_degraded=self._result_put_degraded)
+            result_put_degraded=self._result_put_degraded,
+            result_resident_bytes=results.resident_bytes)
 
     def clear_caches(self) -> None:
         """Drop all cached plans, sequences and results."""

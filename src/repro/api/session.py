@@ -237,6 +237,15 @@ class Session:
             fault-injection plan (falls back to the database's
             ``fault_plan``; ``None`` with no database plan = zero-overhead
             production path — see ``docs/robustness.md``).
+        max_memory_bytes: Per-session override of the per-query
+            reserved-byte cap; a reservation above it degrades the operator
+            to its spill path (see ``docs/memory.md``).
+        max_spill_bytes: Per-session override of the per-query spill cap
+            (exceeding it raises
+            :class:`~repro.errors.ResourceExhaustedError`).
+        max_rows: Per-session override of the per-query materialized-row
+            cap.
+        spill_dir: Per-session override of the spill-file root directory.
     """
 
     def __init__(self, database: Database, *,
@@ -254,7 +263,11 @@ class Session:
                  executor_backend: Optional[str] = None,
                  max_cross_join_rows: Optional[int] = None,
                  verify_plans: Optional[bool] = None,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 max_memory_bytes: Optional[int] = None,
+                 max_spill_bytes: Optional[int] = None,
+                 max_rows: Optional[int] = None,
+                 spill_dir: Optional[str] = None) -> None:
         self.database = database
         self.mode = mode
         self.settings = settings
@@ -280,7 +293,11 @@ class Session:
             executor_workers=executor_workers,
             morsel_size=morsel_size,
             max_cross_join_rows=max_cross_join_rows,
-            executor_backend=executor_backend))
+            executor_backend=executor_backend,
+            max_memory_bytes=max_memory_bytes,
+            max_spill_bytes=max_spill_bytes,
+            max_rows=max_rows,
+            spill_dir=spill_dir))
         self.context.executor_workers = resolved.get("executor_workers", 0)
         self.context.morsel_size = resolved.get("morsel_size",
                                                 DEFAULT_MORSEL_SIZE)
@@ -288,6 +305,14 @@ class Session:
             "max_cross_join_rows", DEFAULT_MAX_CROSS_JOIN_ROWS)
         self.context.executor_backend = resolved.get("executor_backend",
                                                      "thread")
+        self.context.max_memory_bytes = resolved.get("max_memory_bytes")
+        self.context.max_spill_bytes = resolved.get("max_spill_bytes")
+        self.context.max_rows = resolved.get("max_rows")
+        self.context.spill_dir = resolved.get("spill_dir")
+        # Per-query budgets draw from the database's governor — explicit
+        # pool when constructed with memory_pool_bytes, the process-wide
+        # default otherwise.
+        self.context.memory_governor = database.memory_governor
         self.context.fault_plan = (fault_plan if fault_plan is not None
                                    else database.fault_plan)
         #: The most recent results this session produced (every `plan`,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Callable, Hashable, Optional
+from typing import Any, Callable, Dict, Hashable, Optional
 
 
 class LruCache:
@@ -20,21 +20,44 @@ class LruCache:
 
     ``max_entries <= 0`` means disabled: lookups miss and stores are
     discarded, so callers can pass a size of 0 without special-casing.
+
+    Bounds are entry-count *and* optionally byte-weighted: pass
+    ``max_bytes`` and give each store its actual weight via
+    ``store(key, value, nbytes=...)`` and eviction drops least-recently-used
+    entries until the measured bytes fit — the memory-governance story for
+    caches holding real data (result batches) rather than small plan
+    objects.  An entry weighing more than the whole byte budget is not
+    stored at all, keeping :attr:`resident_bytes` a hard bound.
     """
 
-    def __init__(self, max_entries: int = 128) -> None:
+    def __init__(self, max_entries: int = 128,
+                 max_bytes: Optional[int] = None) -> None:
         self.max_entries = max_entries
+        #: Byte cap over all resident entries (``None`` = unweighted).
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         #: Entries dropped by invalidation (:meth:`evict_all` /
         #: :meth:`evict_if`), excluding LRU-capacity replacement.
         self.evictions = 0
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._weights: Dict[Hashable, int] = {}
+        self._resident_bytes = 0
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Total declared bytes of the resident entries."""
+        with self._lock:
+            return self._resident_bytes
+
+    def _drop_locked(self, key: Hashable) -> None:
+        del self._entries[key]
+        self._resident_bytes -= self._weights.pop(key, 0)
 
     def lookup(self, key: Hashable) -> Optional[Any]:
         """The cached value for ``key`` (marked most-recent), counting hit/miss."""
@@ -47,18 +70,43 @@ class LruCache:
             self._entries.move_to_end(key)
             return value
 
-    def store(self, key: Hashable, value: Any) -> None:
-        """Insert or overwrite a value, evicting LRU entries beyond the cap."""
+    def store(self, key: Hashable, value: Any, nbytes: int = 0) -> None:
+        """Insert or overwrite a value, evicting LRU entries beyond the caps.
+
+        ``nbytes`` is the entry's declared weight against :attr:`max_bytes`
+        (ignored when the cache is unweighted).  A value too large for the
+        whole byte budget is silently not cached — storing it would evict
+        everything and still break the bound.
+        """
         if self.max_entries <= 0:
+            return
+        nbytes = max(int(nbytes), 0)
+        if self.max_bytes is not None and nbytes > self.max_bytes:
             return
         with self._lock:
             if key in self._entries:
+                self._resident_bytes -= self._weights.pop(key, 0)
                 self._entries[key] = value
                 self._entries.move_to_end(key)
-                return
-            while len(self._entries) >= self.max_entries:
-                self._entries.popitem(last=False)
-            self._entries[key] = value
+            else:
+                while len(self._entries) >= self.max_entries:
+                    oldest, _ = self._entries.popitem(last=False)
+                    self._resident_bytes -= self._weights.pop(oldest, 0)
+                self._entries[key] = value
+            if self.max_bytes is not None:
+                while self._entries \
+                        and self._resident_bytes + nbytes > self.max_bytes:
+                    oldest, _ = self._entries.popitem(last=False)
+                    if oldest == key:
+                        # Never evict the entry being stored; everything
+                        # older is already gone, so the new weight fits.
+                        self._entries[key] = value
+                        self._entries.move_to_end(key)
+                        break
+                    self._resident_bytes -= self._weights.pop(oldest, 0)
+            if nbytes:
+                self._weights[key] = nbytes
+                self._resident_bytes += nbytes
 
     def evict_all(self) -> int:
         """Drop all entries but keep the lifetime hit/miss counters.
@@ -69,6 +117,8 @@ class LruCache:
         with self._lock:
             dropped = len(self._entries)
             self._entries.clear()
+            self._weights.clear()
+            self._resident_bytes = 0
             self.evictions += dropped
             return dropped
 
@@ -83,7 +133,7 @@ class LruCache:
             doomed = [key for key, value in self._entries.items()
                       if predicate(key, value)]
             for key in doomed:
-                del self._entries[key]
+                self._drop_locked(key)
             self.evictions += len(doomed)
             return len(doomed)
 
@@ -91,6 +141,8 @@ class LruCache:
         """Drop all entries and reset the counters."""
         with self._lock:
             self._entries.clear()
+            self._weights.clear()
+            self._resident_bytes = 0
             self.hits = 0
             self.misses = 0
             self.evictions = 0

@@ -14,10 +14,17 @@ Every failure the library raises on behalf of a user query descends from
 * :class:`TransientError` (an ``ExecutionError``) — the *retryable* branch:
   the query itself is fine but the machinery under it hiccuped (a worker
   process died, :class:`WorkerCrashError`; shared memory ran out,
-  :class:`ShmPressureError`; an injected fault fired).  Re-running the same
-  query may succeed, and the serving tier's
+  :class:`ShmPressureError`; the process-wide memory pool was contended,
+  :class:`GovernorExhaustedError`; an injected fault fired).  Re-running
+  the same query may succeed, and the serving tier's
   :class:`~repro.serving.retry.RetryPolicy` retries exactly this branch —
   never ``SqlError``/``PlanningError``/cancellation;
+* :class:`ResourceExhaustedError` (an ``ExecutionError``) — the runaway
+  query hit one of its own per-query limits (``max_memory_bytes`` /
+  ``max_spill_bytes`` / ``max_rows``).  Permanent by default: re-running
+  the same query hits the same limit.  The one retryable special case is
+  :class:`GovernorExhaustedError`, which is *also* a ``TransientError``
+  because the contended resource is shared and may free up;
 * :class:`AdmissionError` / :class:`SessionClosedError` — the serving tier
   shed the request before execution (queue overflow / closed facade).
 
@@ -120,6 +127,40 @@ class ShmPressureError(TransientError):
     """
 
 
+class ResourceExhaustedError(ExecutionError):
+    """A query exceeded one of its per-query resource limits.
+
+    Raised by the memory governor's runaway-query watchdog when a query's
+    ``max_memory_bytes`` cannot be respected even by spilling, its spill
+    volume exceeds ``max_spill_bytes``, or an operator materializes more
+    than ``max_rows`` rows.  Deliberately **not** transient: re-running the
+    same query against the same data hits the same limit, so retrying is
+    wasted work.  ``resource`` names the exhausted dimension
+    (``"memory"`` / ``"spill"`` / ``"rows"``).
+    """
+
+    def __init__(self, message: str, resource: str = "memory") -> None:
+        super().__init__(message)
+        #: The exhausted dimension: ``"memory"``, ``"spill"`` or ``"rows"``.
+        self.resource = resource
+
+
+class GovernorExhaustedError(TransientError, ResourceExhaustedError):
+    """The process-wide memory pool is contended, not the query oversized.
+
+    Raised when a reservation fails because *other* queries hold the
+    :class:`~repro.executor.memory.MemoryGovernor` pool — the query's own
+    limits are fine and the working set fits the pool in isolation.  This
+    is the one :class:`ResourceExhaustedError` that is also a
+    :class:`TransientError`: once concurrent queries release their grants a
+    retry can plausibly succeed, so the serving tier's
+    :class:`~repro.serving.retry.RetryPolicy` composes with it.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, resource="memory")
+
+
 class AdmissionError(ReproError):
     """Raised when the serving tier refuses to admit a request.
 
@@ -164,6 +205,7 @@ def raise_as(error_cls: Type[ReproError], context: str) -> Iterator[None]:
 
 
 __all__ = ["AdmissionError", "DATA_ERROR_TYPES", "ExecutionError",
-           "PlanContractError", "PlanningError", "QueryCancelledError",
-           "ReproError", "SessionClosedError", "ShmPressureError",
-           "TransientError", "WorkerCrashError", "raise_as"]
+           "GovernorExhaustedError", "PlanContractError", "PlanningError",
+           "QueryCancelledError", "ReproError", "ResourceExhaustedError",
+           "SessionClosedError", "ShmPressureError", "TransientError",
+           "WorkerCrashError", "raise_as"]

@@ -19,13 +19,21 @@ from .joins import (
     merge_join,
     nested_loop_join,
     sort_search_join_indices,
+    spill_equi_join,
 )
 from .keys import CompositeKeyIndex, FactorizedKeys
+from .memory import (
+    MemoryBudget,
+    MemoryGovernor,
+    MemoryStats,
+    default_governor,
+    reset_default_governor,
+)
 from .metrics import ExecutionMetrics, OperatorMetrics
 from .runtime import ExecutionResult, Executor
 from .shm import ArrayRef, ShmArena, attach_array, live_segment_names, \
-    sweep_arenas
-from .sort import combined_sort_key, parallel_sort_order
+    live_segment_stats, sweep_arenas
+from .sort import combined_sort_key, parallel_sort_order, spill_sort_order
 
 __all__ = [
     "ArrayRef",
@@ -42,6 +50,9 @@ __all__ = [
     "Executor",
     "FactorizedKeys",
     "FilterScope",
+    "MemoryBudget",
+    "MemoryGovernor",
+    "MemoryStats",
     "MorselPools",
     "OperatorMetrics",
     "ShmArena",
@@ -50,13 +61,18 @@ __all__ = [
     "combine_key_columns",
     "combined_sort_key",
     "cross_join",
+    "default_governor",
     "equi_join",
     "join_indices",
     "live_segment_names",
+    "live_segment_stats",
     "merge_join",
     "nested_loop_join",
     "parallel_sort_order",
+    "reset_default_governor",
     "resolve_backend",
     "sort_search_join_indices",
+    "spill_equi_join",
+    "spill_sort_order",
     "sweep_arenas",
 ]

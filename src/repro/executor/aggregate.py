@@ -34,6 +34,7 @@ from ..core.expressions import (
 from ..core.query import OutputItem
 from .batch import Batch
 from .keys import combine_key_columns
+from .memory import MemoryBudget
 from .shm import ShmArena, attach_array
 
 #: Fixed partial-state segment width (rows).  Per-morsel thread-local
@@ -62,10 +63,15 @@ def _expand(values: np.ndarray, mask: Optional[np.ndarray], num_rows: int,
     """Broadcast a scalar evaluation result (and its mask) to batch length."""
     values = np.asarray(values)
     if values.ndim == 0:
+        # lint: allow(unaccounted-allocation) — broadcast scratch bounded
+        # by the input batch, which is charged as the upstream operator's
+        # output; the aggregate reservation covers only the partial state.
         values = np.full(num_rows, values)
     if mask is not None:
         mask = np.asarray(mask, dtype=bool)
         if mask.ndim == 0:
+            # lint: allow(unaccounted-allocation) — same bound as the
+            # values broadcast above: one bool per input-batch row.
             mask = np.full(num_rows, bool(mask))
     return values, mask
 
@@ -81,7 +87,11 @@ def _group_ids(batch: Batch, group_by: Sequence[ScalarExpression],
     Returns ``(group_ids, first_row_index_per_group, num_groups)``.
     """
     if not group_by:
+        # lint: allow(unaccounted-allocation) — one int64 per input-batch
+        # row; the batch itself is charged as the upstream operator's
+        # output, and group ids are bounded by it.
         ids = np.zeros(batch.num_rows, dtype=np.int64)
+        # lint: allow(unaccounted-allocation) — at most one element.
         first = np.zeros(1 if batch.num_rows else 0, dtype=np.int64)
         return ids, first, 1 if batch.num_rows else 0
     resolve = batch.masked_resolver()
@@ -112,6 +122,8 @@ def _aggregate_column(call: AggregateCall, batch: Batch, group_ids: np.ndarray,
     """Compute one aggregate over all groups; returns ``(values, null_mask)``."""
     if call.operand is None:
         # COUNT(*) counts rows regardless of null content.
+        # lint: allow(unaccounted-allocation) — COUNT(*) weights: one
+        # float64 per input-batch row, bounded by the charged input batch.
         values = np.ones(batch.num_rows, dtype=np.float64)
         null_mask: Optional[np.ndarray] = None
     else:
@@ -150,9 +162,13 @@ def _aggregate_column(call: AggregateCall, batch: Batch, group_ids: np.ndarray,
         out = np.divide(sums, valid_counts, out=np.zeros_like(sums),
                         where=valid_counts > 0)
     elif call.func is AggregateFunction.MIN:
+        # lint: allow(unaccounted-allocation) — one float64 per group
+        # (groups <= rows), inside the caller's partials reservation.
         out = np.full(num_groups, np.inf)
         np.minimum.at(out, group_ids, numeric)
     elif call.func is AggregateFunction.MAX:
+        # lint: allow(unaccounted-allocation) — same per-group bound as
+        # the MIN branch above.
         out = np.full(num_groups, -np.inf)
         np.maximum.at(out, group_ids, numeric)
     else:
@@ -219,15 +235,63 @@ def compute_segment_partials(calls_data: Sequence[CallData],
         if func in (AggregateFunction.SUM, AggregateFunction.AVG):
             stat = np.bincount(ids, weights=numeric, minlength=num_groups)
         elif func is AggregateFunction.MIN:
+            # lint: allow(unaccounted-allocation) — per-span partial state
+            # (16 bytes x calls x groups), exactly what the executor's
+            # estimate_partials_bytes reservation covers.
             stat = np.full(num_groups, np.inf)
             np.minimum.at(stat, ids, numeric)
         elif func is AggregateFunction.MAX:
+            # lint: allow(unaccounted-allocation) — same partials-
+            # reservation bound as the MIN branch above.
             stat = np.full(num_groups, -np.inf)
             np.maximum.at(stat, ids, numeric)
         else:
             raise ValueError("unsupported aggregate %r" % func)
         partials.append((counts, stat))
     return partials
+
+
+def fold_partial_pair(func: AggregateFunction, left: Partial,
+                      right: Partial) -> Partial:
+    """Fold one later-segment partial into the running accumulation.
+
+    The single fold step shared by the in-memory merge and the spill path's
+    streaming merge: applying it left-to-right over the canonical segment
+    sequence performs exactly the same float operations either way, which is
+    what keeps spilled aggregation bit-identical.
+    """
+    counts = left[0] + right[0]
+    if left[1] is None or right[1] is None:
+        return counts, None
+    if func in (AggregateFunction.SUM, AggregateFunction.AVG):
+        stat = left[1] + right[1]
+    elif func is AggregateFunction.MIN:
+        stat = np.minimum(left[1], right[1])
+    else:
+        stat = np.maximum(left[1], right[1])
+    return counts, stat
+
+
+def finalize_partial(func: AggregateFunction, folded: Partial,
+                     ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Turn the fully folded partial state into final group values."""
+    counts, stat = folded
+    if func is AggregateFunction.COUNT:
+        return counts.astype(np.float64), None
+
+    # Groups with no valid input aggregate to NULL (SQL semantics).
+    empty = counts == 0
+    result_mask: Optional[np.ndarray] = empty if bool(empty.any()) else None
+
+    if func is AggregateFunction.AVG:
+        out = np.divide(stat, counts, out=np.zeros_like(stat),
+                        where=counts > 0)
+    else:
+        out = stat
+    if result_mask is not None:
+        out = out.copy()
+        out[result_mask] = 0.0  # filler under the mask, never read as data
+    return out, result_mask
 
 
 def merge_partials(func: AggregateFunction, partials: Sequence[Partial],
@@ -238,33 +302,10 @@ def merge_partials(func: AggregateFunction, partials: Sequence[Partial],
     floating-point result depends only on the segment width, never on which
     backend computed the partials.
     """
-    counts = partials[0][0]
+    folded = partials[0]
     for partial in partials[1:]:
-        counts = counts + partial[0]
-    if func is AggregateFunction.COUNT:
-        return counts.astype(np.float64), None
-
-    # Groups with no valid input aggregate to NULL (SQL semantics).
-    empty = counts == 0
-    result_mask: Optional[np.ndarray] = empty if bool(empty.any()) else None
-
-    stat = partials[0][1]
-    for partial in partials[1:]:
-        if func in (AggregateFunction.SUM, AggregateFunction.AVG):
-            stat = stat + partial[1]
-        elif func is AggregateFunction.MIN:
-            stat = np.minimum(stat, partial[1])
-        else:
-            stat = np.maximum(stat, partial[1])
-    if func is AggregateFunction.AVG:
-        out = np.divide(stat, counts, out=np.zeros_like(stat),
-                        where=counts > 0)
-    else:
-        out = stat
-    if result_mask is not None:
-        out = out.copy()
-        out[result_mask] = 0.0  # filler under the mask, never read as data
-    return out, result_mask
+        folded = fold_partial_pair(func, folded, partial)
+    return finalize_partial(func, folded)
 
 
 # -- process-backend partials kernel ------------------------------------------
@@ -316,9 +357,77 @@ def _segmented(call: AggregateCall) -> bool:
     return not (call.distinct and call.operand is not None)
 
 
+def estimate_partials_bytes(num_calls: int, num_groups: int,
+                            num_spans: int) -> int:
+    """Bytes the in-memory partial states of all segments occupy at once.
+
+    Every call keeps an int64 count vector and (for non-COUNT) a float64
+    statistic vector per segment; sixteen bytes per group per call per
+    segment is the upper bound the budget reservation covers.
+    """
+    return 16 * num_calls * max(num_groups, 1) * max(num_spans, 1)
+
+
+def _spill_partials(calls_data: Sequence[CallData], group_ids: np.ndarray,
+                    num_groups: int, spans: Sequence[Tuple[int, int]],
+                    budget: MemoryBudget,
+                    poll: Optional[Callable[[], None]] = None,
+                    ) -> List[Partial]:
+    """Compute segment partials through spill files; returns folded partials.
+
+    The degraded path when all segments' partials do not fit the budget:
+    each segment's partials are written to a spill chunk as they are
+    produced (phase one holds one segment of state), then the chunks are
+    re-read *in segment order* and folded with :func:`fold_partial_pair` —
+    the identical left-to-right fold the in-memory merge performs, so the
+    result is bit-identical.  ``poll`` runs once per chunk in both phases,
+    making the spill cancellable at chunk granularity.
+    """
+    budget.count_operator_spill("aggregate")
+    paths: List[str] = []
+    for start, stop in spans:
+        if poll is not None:
+            poll()
+        partials = compute_segment_partials(calls_data, group_ids,
+                                            num_groups, start, stop)
+        arrays: Dict[str, np.ndarray] = {}
+        for position, (counts, stat) in enumerate(partials):
+            arrays["counts%d" % position] = counts
+            if stat is not None:
+                arrays["stat%d" % position] = stat
+        paths.append(budget.write_spill("aggregate", arrays))
+
+    # One accumulator (a single segment's worth of state) streams the
+    # chunks back in segment order.
+    accum_bytes = estimate_partials_bytes(len(calls_data), num_groups, 1)
+    budget.require(accum_bytes, "aggregate spill accumulator")
+    try:
+        folded: Optional[List[Partial]] = None
+        for path in paths:
+            if poll is not None:
+                poll()
+            arrays = MemoryBudget.read_spill(path)
+            MemoryBudget.drop_spill(path)
+            partials = [(arrays["counts%d" % position],
+                         arrays.get("stat%d" % position))
+                        for position in range(len(calls_data))]
+            if folded is None:
+                folded = partials
+            else:
+                folded = [fold_partial_pair(func, left, right)
+                          for (func, _, _), left, right
+                          in zip(calls_data, folded, partials)]
+        assert folded is not None  # segment_spans always yields >= 1 span
+        return folded
+    finally:
+        budget.release(accum_bytes)
+
+
 def aggregate_batch(batch: Batch, group_by: Sequence[ScalarExpression],
                     items: Sequence[OutputItem],
-                    partials_map: Optional[PartialsMap] = None) -> Batch:
+                    partials_map: Optional[PartialsMap] = None,
+                    budget: Optional[MemoryBudget] = None,
+                    poll: Optional[Callable[[], None]] = None) -> Batch:
     """Group ``batch`` and compute the SELECT-list items.
 
     The output batch contains one column per item, keyed by the item's output
@@ -328,6 +437,11 @@ def aggregate_batch(batch: Batch, group_by: Sequence[ScalarExpression],
     ``partials_map`` is the executor's hook for computing segment partials
     on a worker backend; results are bit-identical to the inline fallback
     because the segmentation (and the merge order) never varies with it.
+
+    ``budget`` arms the memory-governed path: the partial states of all
+    segments are reserved up front, and a denied reservation degrades to
+    :func:`_spill_partials` (segment partials through spill files, streamed
+    back in segment order) instead of failing — with bit-identical results.
     """
     group_ids, first_rows, num_groups = _group_ids(batch, group_by)
     if num_groups == 0:
@@ -348,14 +462,33 @@ def aggregate_batch(batch: Batch, group_by: Sequence[ScalarExpression],
         calls_data = [_call_input(item.expression, batch)
                       for item in segmented]
         spans = segment_spans(batch.num_rows)
-        if partials_map is None or len(spans) == 1:
-            per_span = _inline_partials_map(calls_data, group_ids,
+        partial_bytes = estimate_partials_bytes(len(calls_data), num_groups,
+                                                len(spans))
+        reserved = budget.try_reserve(partial_bytes) if budget is not None \
+            else True
+        try:
+            if not reserved:
+                assert budget is not None  # a denial implies a budget
+                folded = _spill_partials(calls_data, group_ids, num_groups,
+                                         spans, budget, poll)
+                for position, item in enumerate(segmented):
+                    merged[item.name] = finalize_partial(
+                        item.expression.func, folded[position])
+            else:
+                if partials_map is None or len(spans) == 1:
+                    per_span = _inline_partials_map(calls_data, group_ids,
+                                                    num_groups, spans)
+                else:
+                    per_span = partials_map(calls_data, group_ids,
                                             num_groups, spans)
-        else:
-            per_span = partials_map(calls_data, group_ids, num_groups, spans)
-        for position, item in enumerate(segmented):
-            partials = [span_partials[position] for span_partials in per_span]
-            merged[item.name] = merge_partials(item.expression.func, partials)
+                for position, item in enumerate(segmented):
+                    partials = [span_partials[position]
+                                for span_partials in per_span]
+                    merged[item.name] = merge_partials(item.expression.func,
+                                                       partials)
+        finally:
+            if reserved and budget is not None:
+                budget.release(partial_bytes)
 
     columns: Dict[str, np.ndarray] = {}
     masks: Dict[str, Optional[np.ndarray]] = {}

@@ -135,6 +135,18 @@ class Batch:
     def keys(self) -> List[str]:
         return list(self._columns)
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of this batch's columns and null masks.
+
+        The number a memory reservation for the batch must cover — views
+        report their viewed extent, so zero-copy morsels count their own
+        rows, not the whole parent array.
+        """
+        total = sum(array.nbytes for array in self._columns.values())
+        total += sum(mask.nbytes for mask in self._masks.values())
+        return int(total)
+
     def column(self, key: str) -> np.ndarray:
         if key not in self._columns:
             raise KeyError("batch has no column %r (available: %r)"

@@ -14,6 +14,8 @@ from .backend import EXECUTOR_BACKENDS, MorselPools, resolve_backend
 from .breaker import CircuitBreaker
 from .cancel import CancelToken
 from .joins import DEFAULT_MAX_CROSS_JOIN_ROWS
+from .memory import MemoryGovernor, MemoryStats, default_governor
+from .shm import live_segment_stats
 
 #: Default morsel row count: large enough that per-morsel dispatch overhead
 #: stays negligible, small enough that a skewed partition still splits into
@@ -24,7 +26,11 @@ DEFAULT_MORSEL_SIZE = 65_536
 def executor_overrides(executor_workers: Optional[int] = None,
                        morsel_size: Optional[int] = None,
                        max_cross_join_rows: Optional[int] = None,
-                       executor_backend: Optional[str] = None) -> dict:
+                       executor_backend: Optional[str] = None,
+                       max_memory_bytes: Optional[int] = None,
+                       max_spill_bytes: Optional[int] = None,
+                       max_rows: Optional[int] = None,
+                       spill_dir: Optional[str] = None) -> dict:
     """Non-``None`` executor knobs as an override-ready dict.
 
     Shared by :class:`repro.api.Database` and :class:`repro.api.Session` so
@@ -42,11 +48,21 @@ def executor_overrides(executor_workers: Optional[int] = None,
             and executor_backend not in EXECUTOR_BACKENDS:
         raise ValueError("executor_backend must be one of %r, got %r"
                          % (EXECUTOR_BACKENDS, executor_backend))
+    for name, value in (("max_memory_bytes", max_memory_bytes),
+                        ("max_spill_bytes", max_spill_bytes),
+                        ("max_rows", max_rows)):
+        if value is not None and value <= 0:
+            raise ValueError("%s must be positive or None, got %r"
+                             % (name, value))
     return {key: value for key, value in (
         ("executor_workers", executor_workers),
         ("morsel_size", morsel_size),
         ("max_cross_join_rows", max_cross_join_rows),
-        ("executor_backend", executor_backend)) if value is not None}
+        ("executor_backend", executor_backend),
+        ("max_memory_bytes", max_memory_bytes),
+        ("max_spill_bytes", max_spill_bytes),
+        ("max_rows", max_rows),
+        ("spill_dir", spill_dir)) if value is not None}
 
 
 class FilterScope:
@@ -138,9 +154,26 @@ class ExecutionContext:
             should always use per-call tokens.
         fault_plan: Optional :class:`~repro.faults.FaultPlan` consulted at
             the named injection sites (morsel dispatch, pool submit, shm
-            allocate/attach) by every execution on this context.  ``None``
-            (the default) costs a single ``is None`` check per site — zero
-            overhead in production; see ``docs/robustness.md``.
+            allocate/attach, memory pressure) by every execution on this
+            context.  ``None`` (the default) costs a single ``is None``
+            check per site — zero overhead in production; see
+            ``docs/robustness.md``.
+        memory_governor: The process-wide byte pool executions draw their
+            per-query :class:`~repro.executor.memory.MemoryBudget` grants
+            from.  ``None`` (the default) resolves to
+            :func:`~repro.executor.memory.default_governor`, whose pool
+            size comes from ``REPRO_MEMORY_POOL_BYTES``; see
+            ``docs/memory.md``.
+        max_memory_bytes: Per-query reserved-byte cap; a reservation above
+            the cap is denied, degrading the operator to its spill path
+            (``None`` = uncapped).
+        max_spill_bytes: Per-query spill-file cap; exceeding it raises a
+            permanent :class:`~repro.errors.ResourceExhaustedError` — the
+            watchdog against a runaway query trading RAM for disk.
+        max_rows: Per-query materialized-row cap enforced at operator
+            outputs (``None`` = uncapped).
+        spill_dir: Root directory for per-query spill directories
+            (``None`` = the system temp dir).
 
     Bloom filters built at runtime are *not* shared context state: every
     execution publishes them into its own :class:`FilterScope` (see
@@ -162,6 +195,11 @@ class ExecutionContext:
     executor_backend: str = "thread"
     cancel_token: Optional[CancelToken] = None
     fault_plan: Optional[FaultPlan] = None
+    memory_governor: Optional[MemoryGovernor] = None
+    max_memory_bytes: Optional[int] = None
+    max_spill_bytes: Optional[int] = None
+    max_rows: Optional[int] = None
+    spill_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.executor_backend not in EXECUTOR_BACKENDS:
@@ -176,6 +214,16 @@ class ExecutionContext:
         #: over to the thread backend until a half-open probe succeeds (see
         #: :mod:`repro.executor.breaker`).
         self.breaker = CircuitBreaker()
+        #: Cumulative memory counters: every per-query budget created on
+        #: this context writes its reservations, denials and spill bytes
+        #: here, so ``executor_stats()["memory"]`` reports session totals.
+        self.memory_stats = MemoryStats()
+
+    def governor(self) -> MemoryGovernor:
+        """The governor executions draw budget grants from (resolved)."""
+        if self.memory_governor is not None:
+            return self.memory_governor
+        return default_governor()
 
     @classmethod
     def for_catalog(cls, catalog: Catalog,
@@ -225,6 +273,10 @@ class ExecutionContext:
         stats["circuit_breaker"] = self.breaker.stats()
         stats["fault_injections"] = (
             {} if self.fault_plan is None else self.fault_plan.counters())
+        memory: Dict[str, object] = dict(self.memory_stats.as_dict())
+        memory["governor"] = self.governor().stats()
+        memory["shm"] = live_segment_stats()
+        stats["memory"] = memory
         return stats
 
     def close(self) -> None:

@@ -20,7 +20,8 @@ sentinel values — padded columns carry an all-null mask, so a legitimate
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,10 +30,12 @@ from ..core.query import JoinClause, JoinType
 from ..errors import ExecutionError
 from .batch import Batch
 from .keys import CompositeKeyIndex, FactorizedKeys, combine_key_columns
+from .memory import MemoryBudget
 from .shm import ShmArena, attach_array
 
 __all__ = [
     "DEFAULT_MAX_CROSS_JOIN_ROWS",
+    "SPILL_JOIN_PARTITIONS",
     "build_probe_state",
     "clause_key_columns",
     "combine_key_columns",
@@ -46,6 +49,7 @@ __all__ = [
     "probe_morsel_kernel",
     "probe_span_pairs",
     "sort_search_join_indices",
+    "spill_equi_join",
     "stitch_equi_join",
 ]
 
@@ -70,6 +74,9 @@ def sort_search_join_indices(probe_keys: np.ndarray, build_keys: np.ndarray,
     """
     if build_keys.size == 0 or probe_keys.size == 0:
         empty = np.zeros(0, dtype=np.int64)
+        # lint: allow(unaccounted-allocation) — one int64 per probe row in
+        # the reference kernel; the executor reserved the build side plus
+        # 8 bytes per row before probing (estimate_build_bytes).
         return empty, empty, np.zeros(probe_keys.shape[0], dtype=np.int64)
     order = np.argsort(build_keys, kind="stable")
     sorted_build = build_keys[order]
@@ -130,6 +137,9 @@ class BuildSideIndex:
             build_idx = self.selection[build_idx]
         if probe_sel is not None:
             probe_idx = probe_sel[probe_idx]
+            # lint: allow(unaccounted-allocation) — per-probe-row match
+            # counts: the 8 bytes per row estimate_build_bytes added to
+            # the build-side reservation.
             counts = np.zeros(
                 probe_null.shape[0] if probe_null is not None else 0,
                 dtype=np.int64)
@@ -218,12 +228,19 @@ def _null_batch(like: Batch, num_rows: int) -> Batch:
     """
     columns = {}
     masks = {}
+    # lint: allow(unaccounted-allocation) — NULL padding is part of the
+    # join's output batch, which the executor charges per operator output
+    # (check_rows / the downstream reservation), not build-side state.
     all_null = np.ones(num_rows, dtype=bool)
     for key in like.keys:
         dtype = like.column(key).dtype
         if dtype.kind == "O":
+            # lint: allow(unaccounted-allocation) — output-batch padding,
+            # same accounting as the all-null mask above.
             columns[key] = np.full(num_rows, None, dtype=object)
         else:
+            # lint: allow(unaccounted-allocation) — output-batch padding,
+            # same accounting as the all-null mask above.
             columns[key] = np.zeros(num_rows, dtype=dtype)
         masks[key] = all_null
     return Batch(columns, masks)
@@ -305,6 +322,8 @@ def stitch_equi_join(probe: Batch, build: Batch, join_type: JoinType,
             pieces.append(unmatched.merge(_null_batch(build,
                                                       unmatched.num_rows)))
         if join_type is JoinType.FULL:
+            # lint: allow(unaccounted-allocation) — one bool per build row,
+            # within the build-side reservation held while stitching.
             build_matched = np.zeros(build.num_rows, dtype=bool)
             build_matched[build_idx] = True
             if not build_matched.all():
@@ -332,6 +351,169 @@ def equi_join(probe: Batch, build: Batch, clauses: Sequence[JoinClause],
         return cross_join(probe, build, max_cross_join_rows)
     index, probe_cols, probe_null = build_probe_state(probe, build, clauses)
     probe_idx, build_idx, counts = index.probe(probe_cols, probe_null)
+    return stitch_equi_join(probe, build, join_type,
+                            probe_idx, build_idx, counts)
+
+
+# -- grace-style spill join --------------------------------------------------
+
+#: Partition fan-out of the spill join.  Constant (not derived from the data)
+#: so the chaos suite's spill-chunk counters are exactly reproducible.
+SPILL_JOIN_PARTITIONS = 8
+
+#: Multiplier applied when an equal float key must land in one partition:
+#: signed zeros are collapsed by adding +0.0 and NaNs by rewriting to one
+#: canonical bit pattern, mirroring the match kernel's NaN-matches-NaN rule.
+_CANONICAL_NAN_BITS = np.float64(np.nan).view(np.int64)
+
+
+def estimate_build_bytes(build: Batch) -> int:
+    """Bytes the in-memory build phase pins: the batch plus index overhead.
+
+    The factorized index keeps an int64 ``row_order`` (plus smaller
+    unique/count arrays) alongside the build batch itself, so the
+    reservation a hash join asks its budget for is the batch's resident
+    bytes plus eight bytes per build row.
+    """
+    return build.nbytes + 8 * build.num_rows
+
+
+def _column_hash_bits(values: np.ndarray) -> np.ndarray:
+    """Value-stable int64 hash input for one key column.
+
+    Partitioning must send equal keys from *both* sides to the same
+    partition, so the mapping may depend only on values, never on per-batch
+    factorization.  Floats are canonicalised first (``-0.0`` folded into
+    ``+0.0``, every NaN to one bit pattern) because the match kernel treats
+    those as equal; strings/objects hash their distinct values through
+    ``crc32`` so both sides agree without sharing a code space.
+    """
+    values = np.asarray(values)
+    kind = values.dtype.kind
+    if kind in ("i", "u", "b"):
+        return values.astype(np.int64, copy=False)
+    if kind == "f":
+        floats = values.astype(np.float64, copy=False) + 0.0
+        bits = floats.view(np.int64).copy()
+        nan = np.isnan(floats)
+        if nan.any():
+            bits[nan] = _CANONICAL_NAN_BITS
+        return bits
+    if kind in ("M", "m"):
+        return values.view(np.int64).astype(np.int64, copy=False)
+    uniques, codes = np.unique(values, return_inverse=True)
+    unique_bits = np.fromiter(
+        (zlib.crc32(repr(value).encode("utf-8")) for value in uniques),
+        dtype=np.int64, count=uniques.shape[0])
+    return unique_bits[codes]
+
+
+def _partition_ids(columns: Sequence[np.ndarray],
+                   num_partitions: int) -> np.ndarray:
+    """Deterministic per-row partition ids over composite key columns."""
+    combined: Optional[np.ndarray] = None
+    for column in columns:
+        bits = _column_hash_bits(column)
+        if combined is None:
+            combined = bits.copy()
+        else:
+            combined = combined * np.int64(0x9E3779B1) + bits
+    if combined is None:
+        return np.zeros(0, dtype=np.int64)
+    # Cheap avalanche so dense consecutive keys spread over partitions.
+    combined = combined * np.int64(0x9E3779B1) + np.int64(0x85EBCA6B)
+    return combined % np.int64(num_partitions)
+
+
+def spill_equi_join(probe: Batch, build: Batch,
+                    clauses: Sequence[JoinClause], join_type: JoinType,
+                    budget: MemoryBudget,
+                    poll: Optional[Callable[[], None]] = None,
+                    num_partitions: int = SPILL_JOIN_PARTITIONS) -> Batch:
+    """Grace-style partitioned hash join, bit-identical to :func:`equi_join`.
+
+    The degraded path taken when the budget denies the build-side
+    reservation: valid build rows are hash-partitioned *by key value* into
+    spill files, then each partition is loaded back one at a time, indexed,
+    and probed with the matching probe partition.  Because every key maps
+    to exactly one partition, each probe row's matches all come from one
+    partition in ascending build-row order — a stable sort of the combined
+    pairs by probe row therefore reproduces the canonical pair order of the
+    in-memory kernel exactly, and :func:`stitch_equi_join` does the rest.
+
+    ``poll`` is called once per partition (the spill-chunk granularity), so
+    a cancelled query stops within one partition of work.
+    """
+    probe_cols, build_cols, probe_null, build_null, _ = _clause_key_parts(
+        clauses, probe, build)
+    if probe_null is not None and not probe_null.any():
+        probe_null = None
+    if build_null is not None and not build_null.any():
+        build_null = None
+    build_valid = np.flatnonzero(~build_null) if build_null is not None \
+        else np.arange(build.num_rows, dtype=np.int64)
+    probe_valid = np.flatnonzero(~probe_null) if probe_null is not None \
+        else np.arange(probe.num_rows, dtype=np.int64)
+
+    budget.count_operator_spill("join")
+    build_parts = _partition_ids(
+        [np.asarray(col)[build_valid] for col in build_cols], num_partitions)
+    probe_parts = _partition_ids(
+        [np.asarray(col)[probe_valid] for col in probe_cols], num_partitions)
+
+    # Build phase: every non-empty build partition goes to a spill file; the
+    # in-memory footprint from here on is one partition at a time.
+    spill_paths: List[Optional[str]] = [None] * num_partitions
+    for part in range(num_partitions):
+        rows = build_valid[build_parts == part]
+        if rows.shape[0] == 0:
+            continue
+        arrays: Dict[str, np.ndarray] = {
+            "col%d" % i: np.ascontiguousarray(np.asarray(col)[rows])
+            for i, col in enumerate(build_cols)}
+        arrays["rows"] = rows
+        spill_paths[part] = budget.write_spill("join", arrays)
+
+    # Probe phase, partition-wise.  NULL-keyed and unmatched rows keep
+    # count 0, exactly as the in-memory kernel leaves them.
+    counts = np.zeros(probe.num_rows, dtype=np.int64)
+    pair_pieces: List[Tuple[np.ndarray, np.ndarray]] = []
+    for part in range(num_partitions):
+        if poll is not None:
+            poll()
+        path = spill_paths[part]
+        if path is None:
+            continue
+        arrays = MemoryBudget.read_spill(path)
+        MemoryBudget.drop_spill(path)
+        part_rows = arrays["rows"]
+        part_cols = [arrays["col%d" % i] for i in range(len(build_cols))]
+        chunk_bytes = int(sum(array.nbytes for array in arrays.values()))
+        budget.require(chunk_bytes, "join spill partition %d" % part)
+        try:
+            index = BuildSideIndex(part_cols, None)
+            probe_rows = probe_valid[probe_parts == part]
+            if probe_rows.shape[0]:
+                sub_cols = [np.asarray(col)[probe_rows]
+                            for col in probe_cols]
+                sub_probe, sub_build, sub_counts = index.probe(sub_cols,
+                                                               None)
+                counts[probe_rows] = sub_counts
+                if sub_probe.shape[0]:
+                    pair_pieces.append((probe_rows[sub_probe],
+                                        part_rows[sub_build]))
+        finally:
+            budget.release(chunk_bytes)
+
+    if pair_pieces:
+        probe_idx = np.concatenate([piece[0] for piece in pair_pieces])
+        build_idx = np.concatenate([piece[1] for piece in pair_pieces])
+        order = np.argsort(probe_idx, kind="stable")
+        probe_idx = probe_idx[order]
+        build_idx = build_idx[order]
+    else:
+        probe_idx = np.zeros(0, dtype=np.int64)
+        build_idx = np.zeros(0, dtype=np.int64)
     return stitch_equi_join(probe, build, join_type,
                             probe_idx, build_idx, counts)
 

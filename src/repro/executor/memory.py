@@ -1,0 +1,423 @@
+"""Memory governance: a process-wide pool, per-query budgets and spill files.
+
+The governance model has three layers (``docs/memory.md`` for the full
+degradation ladder):
+
+* :class:`MemoryGovernor` — one process-wide byte pool shared by every
+  query (and consulted by the serving tier's admission queue).  The pool
+  size comes from ``Database(memory_pool_bytes=...)`` or, for the default
+  governor, the ``REPRO_MEMORY_POOL_BYTES`` environment variable — which is
+  how ``make chaos-mem`` runs the whole suite under a constrained pool
+  without touching any test.
+* :class:`MemoryBudget` — one per-query grant handed out by the executor at
+  the top of :meth:`~repro.executor.runtime.Executor.execute`.  Operators
+  *reserve* bytes for unbounded state (hash-join build indexes, aggregation
+  partials, sort-run permutations, materialized batches) before allocating
+  it.  A denied reservation is not an error: it is the signal to degrade to
+  the operator's spill path, which keeps only bounded chunks in memory.
+* The **runaway-query watchdog** — per-query ``max_memory_bytes`` /
+  ``max_spill_bytes`` / ``max_rows`` limits enforced by the budget with a
+  typed :class:`~repro.errors.ResourceExhaustedError`.  Per-query limits
+  are permanent (a retry hits the same wall); only pool *contention*
+  (:class:`~repro.errors.GovernorExhaustedError`) is transient, so the
+  serving tier's :class:`~repro.serving.retry.RetryPolicy` composes.
+
+Reservations are advisory for correctness and mandatory for accounting:
+every denial and every spilled byte is counted exactly (surfaced through
+``executor_stats()["memory"]``), and the deterministic ``memory-pressure``
+fault site (:data:`repro.faults.SITE_MEMORY_PRESSURE`) denies grants on
+scripted hit ordinals so the chaos suite can force every spill path and
+assert bit-identical results.
+
+Spill files are plain uncompressed ``.npz`` archives under a per-budget
+temporary directory, removed when the budget closes (including on error
+paths) — a crashed query leaves no residue.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import GovernorExhaustedError, ResourceExhaustedError
+from ..faults import SITE_MEMORY_PRESSURE, FaultPlan
+
+__all__ = [
+    "MemoryBudget",
+    "MemoryGovernor",
+    "MemoryStats",
+    "POOL_ENV_VAR",
+    "default_governor",
+    "reset_default_governor",
+]
+
+#: Environment variable giving the default governor's pool size in bytes;
+#: unset or empty means an unbounded pool (accounting only, no denials).
+POOL_ENV_VAR = "REPRO_MEMORY_POOL_BYTES"
+
+#: Operator names used for per-operator spill counters.
+SPILL_OPERATORS = ("join", "aggregate", "sort")
+
+
+class MemoryGovernor:
+    """The process-wide memory pool every query draws its grants from.
+
+    ``pool_bytes=None`` means unbounded: every acquisition succeeds and the
+    governor only keeps the accounting.  Thread-safe; one instance is shared
+    by all sessions of a :class:`~repro.api.database.Database` and by its
+    serving tier's admission queue.
+    """
+
+    def __init__(self, pool_bytes: Optional[int] = None) -> None:
+        if pool_bytes is not None and pool_bytes <= 0:
+            raise ValueError("pool_bytes must be positive or None, got %r"
+                             % pool_bytes)
+        #: Pool capacity in bytes (``None`` = unbounded).
+        self.pool_bytes = pool_bytes
+        self._granted = 0
+        self._peak = 0
+        self._denials = 0
+        self._lock = threading.Lock()
+
+    def try_acquire(self, nbytes: int) -> bool:
+        """Grant ``nbytes`` from the pool, or refuse without side effects."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0, got %r" % nbytes)
+        with self._lock:
+            if self.pool_bytes is not None \
+                    and self._granted + nbytes > self.pool_bytes:
+                self._denials += 1
+                return False
+            self._granted += nbytes
+            self._peak = max(self._peak, self._granted)
+            return True
+
+    def release(self, nbytes: int) -> None:
+        """Return ``nbytes`` to the pool (never below zero)."""
+        with self._lock:
+            self._granted = max(0, self._granted - nbytes)
+
+    def available(self) -> Optional[int]:
+        """Bytes currently grantable (``None`` = unbounded pool)."""
+        with self._lock:
+            if self.pool_bytes is None:
+                return None
+            return max(0, self.pool_bytes - self._granted)
+
+    @property
+    def granted_bytes(self) -> int:
+        """Bytes currently granted across all live budgets."""
+        with self._lock:
+            return self._granted
+
+    def stats(self) -> Dict[str, object]:
+        """Pool capacity, live grant, high-water mark and denial count."""
+        with self._lock:
+            return {"pool_bytes": self.pool_bytes,
+                    "granted_bytes": self._granted,
+                    "peak_granted_bytes": self._peak,
+                    "denials": self._denials}
+
+
+_DEFAULT_GOVERNOR: Optional[MemoryGovernor] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_governor() -> MemoryGovernor:
+    """The lazily created process-default governor.
+
+    Its pool size is read from :data:`POOL_ENV_VAR` once, at first use;
+    databases constructed without an explicit ``memory_pool_bytes`` share
+    this instance, which is what makes the pool genuinely process-wide.
+    """
+    global _DEFAULT_GOVERNOR
+    with _DEFAULT_LOCK:
+        if _DEFAULT_GOVERNOR is None:
+            raw = os.environ.get(POOL_ENV_VAR, "").strip()
+            _DEFAULT_GOVERNOR = MemoryGovernor(int(raw) if raw else None)
+        return _DEFAULT_GOVERNOR
+
+
+def reset_default_governor() -> None:
+    """Drop the cached default governor (tests re-reading the env var)."""
+    global _DEFAULT_GOVERNOR
+    with _DEFAULT_LOCK:
+        _DEFAULT_GOVERNOR = None
+
+
+@dataclass
+class MemoryStats:
+    """Cumulative memory counters owned by one execution context.
+
+    Budgets write into this bag as they run, so the counters survive
+    individual queries and ``executor_stats()`` reports session totals —
+    the same pattern the morsel pools use for dispatch counters.
+    """
+
+    #: Bytes currently reserved by live budgets of this context.
+    reserved_bytes: int = 0
+    #: High-water mark of :attr:`reserved_bytes`.
+    peak_reserved_bytes: int = 0
+    #: Cumulative bytes ever reserved (grants, not peak).
+    total_reserved_bytes: int = 0
+    #: Reservations denied for any reason (cap, pool, injected pressure).
+    reservation_denials: int = 0
+    #: Denials caused by the ``memory-pressure`` fault site specifically.
+    pressure_faults: int = 0
+    #: Bytes written to spill files.
+    spill_bytes_written: int = 0
+    #: Spill files written (one per chunk; the cancellation granularity).
+    spill_chunks: int = 0
+    #: Times each operator entered its spill path, keyed by operator name.
+    operator_spills: Dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name in SPILL_OPERATORS})
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat counter mapping for ``executor_stats()``."""
+        counters: Dict[str, object] = {
+            "reserved_bytes": self.reserved_bytes,
+            "peak_reserved_bytes": self.peak_reserved_bytes,
+            "total_reserved_bytes": self.total_reserved_bytes,
+            "reservation_denials": self.reservation_denials,
+            "pressure_faults": self.pressure_faults,
+            "spill_bytes_written": self.spill_bytes_written,
+            "spill_chunks": self.spill_chunks,
+        }
+        for name in SPILL_OPERATORS:
+            counters["%s_spills" % name] = self.operator_spills.get(name, 0)
+        return counters
+
+
+class MemoryBudget:
+    """One query's grant from the governor, plus its runaway watchdog.
+
+    The reservation protocol:
+
+    * :meth:`try_reserve` — ask before allocating unbounded operator state.
+      ``False`` means *degrade*: the per-query cap or the governor pool
+      cannot cover the bytes (or the ``memory-pressure`` fault fired), and
+      the caller must take its spill path instead.  Never raises.
+    * :meth:`require` — reserve bytes the caller cannot do without (the
+      bounded per-chunk scratch of a spill path).  Raises
+      :class:`~repro.errors.GovernorExhaustedError` (transient) on pool
+      contention; per-query caps never apply to required scratch, because
+      spilling *is* the degraded path already.
+    * :meth:`release` — return bytes when the state dies.
+
+    Spill writes go through :meth:`write_spill`, which enforces
+    ``max_spill_bytes``; materialized row counts go through
+    :meth:`check_rows`, which enforces ``max_rows``.  :meth:`close`
+    releases every outstanding byte and removes the spill directory, and
+    is safe to call on error paths.
+    """
+
+    def __init__(self, *, governor: Optional[MemoryGovernor] = None,
+                 max_memory_bytes: Optional[int] = None,
+                 max_spill_bytes: Optional[int] = None,
+                 max_rows: Optional[int] = None,
+                 spill_dir: Optional[str] = None,
+                 faults: Optional[FaultPlan] = None,
+                 stats: Optional[MemoryStats] = None) -> None:
+        self.governor = governor if governor is not None \
+            else default_governor()
+        self.max_memory_bytes = max_memory_bytes
+        self.max_spill_bytes = max_spill_bytes
+        self.max_rows = max_rows
+        self.faults = faults
+        self.stats = stats if stats is not None else MemoryStats()
+        self._spill_root = spill_dir
+        self._spill_path: Optional[str] = None
+        self._spill_seq = 0
+        self._reserved = 0
+        self._spilled = 0
+        self._closed = False
+        self._lock = threading.Lock()
+
+    # -- reservations -------------------------------------------------------
+
+    @property
+    def reserved_bytes(self) -> int:
+        """Bytes this budget currently holds from the governor."""
+        with self._lock:
+            return self._reserved
+
+    @property
+    def spill_bytes(self) -> int:
+        """Bytes this budget has written to spill files."""
+        with self._lock:
+            return self._spilled
+
+    def try_reserve(self, nbytes: int) -> bool:
+        """Reserve ``nbytes`` for unbounded state, or signal "spill".
+
+        The single decision point of the degradation ladder: the scripted
+        ``memory-pressure`` fault, the per-query ``max_memory_bytes`` cap
+        and the governor pool are consulted in that order, and any of them
+        denying turns the caller down its spill path.  Never raises — a
+        denial is a degradation signal, not a failure.
+        """
+        nbytes = int(nbytes)
+        if nbytes <= 0:
+            return True
+        if self.faults is not None \
+                and self.faults.fire(SITE_MEMORY_PRESSURE) is not None:
+            with self._lock:
+                self.stats.pressure_faults += 1
+                self.stats.reservation_denials += 1
+            return False
+        with self._lock:
+            if self.max_memory_bytes is not None \
+                    and self._reserved + nbytes > self.max_memory_bytes:
+                self.stats.reservation_denials += 1
+                return False
+            if not self.governor.try_acquire(nbytes):
+                self.stats.reservation_denials += 1
+                return False
+            self._account_locked(nbytes)
+        return True
+
+    def require(self, nbytes: int, context: str) -> None:
+        """Reserve bytes the caller cannot degrade away from.
+
+        Used for the *bounded* scratch of spill paths (one chunk at a
+        time).  Pool contention raises
+        :class:`~repro.errors.GovernorExhaustedError` — transient, because
+        concurrent queries releasing their grants lets a retry succeed.
+        The ``memory-pressure`` fault never fires here: forced denial of a
+        bounded chunk would fail the query instead of degrading it.
+        """
+        nbytes = int(nbytes)
+        if nbytes <= 0:
+            return
+        with self._lock:
+            if not self.governor.try_acquire(nbytes):
+                self.stats.reservation_denials += 1
+                raise GovernorExhaustedError(
+                    "memory pool exhausted: %s needs %d bytes but the "
+                    "governor has %r available" %
+                    (context, nbytes, self.governor.available()))
+            self._account_locked(nbytes)
+
+    def _account_locked(self, nbytes: int) -> None:
+        self._reserved += nbytes
+        self.stats.reserved_bytes += nbytes
+        self.stats.total_reserved_bytes += nbytes
+        self.stats.peak_reserved_bytes = max(
+            self.stats.peak_reserved_bytes, self.stats.reserved_bytes)
+
+    def release(self, nbytes: int) -> None:
+        """Return previously reserved bytes to the governor."""
+        nbytes = int(nbytes)
+        if nbytes <= 0:
+            return
+        with self._lock:
+            nbytes = min(nbytes, self._reserved)
+            self._reserved -= nbytes
+            self.stats.reserved_bytes -= nbytes
+        self.governor.release(nbytes)
+
+    # -- the runaway watchdog -----------------------------------------------
+
+    def check_rows(self, num_rows: int, context: str) -> None:
+        """Enforce the per-query ``max_rows`` materialization limit."""
+        if self.max_rows is not None and num_rows > self.max_rows:
+            raise ResourceExhaustedError(
+                "%s materialized %d rows, above the per-query max_rows "
+                "limit of %d" % (context, num_rows, self.max_rows),
+                resource="rows")
+
+    def count_operator_spill(self, operator: str) -> None:
+        """Record one operator entering its spill path."""
+        with self._lock:
+            spills = self.stats.operator_spills
+            spills[operator] = spills.get(operator, 0) + 1
+
+    # -- spill files --------------------------------------------------------
+
+    def _spill_dir(self) -> str:
+        """The budget's spill directory, created on first use."""
+        with self._lock:
+            if self._spill_path is None:
+                if self._spill_root is not None:
+                    os.makedirs(self._spill_root, exist_ok=True)
+                self._spill_path = tempfile.mkdtemp(
+                    prefix="repro-spill-", dir=self._spill_root)
+            return self._spill_path
+
+    def write_spill(self, operator: str,
+                    arrays: Dict[str, np.ndarray]) -> str:
+        """Write one spill chunk and charge it against ``max_spill_bytes``.
+
+        Chunks are uncompressed ``.npz`` archives; the returned path feeds
+        :meth:`read_spill`.  Exceeding the per-query spill limit raises a
+        permanent :class:`~repro.errors.ResourceExhaustedError` — the
+        watchdog against a runaway query trading RAM for unbounded disk.
+        """
+        directory = self._spill_dir()
+        with self._lock:
+            sequence = self._spill_seq
+            self._spill_seq += 1
+        path = os.path.join(directory,
+                            "%s-%06d.npz" % (operator, sequence))
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        nbytes = os.path.getsize(path)
+        with self._lock:
+            self._spilled += nbytes
+            self.stats.spill_bytes_written += nbytes
+            self.stats.spill_chunks += 1
+            over = self.max_spill_bytes is not None \
+                and self._spilled > self.max_spill_bytes
+        if over:
+            raise ResourceExhaustedError(
+                "query spilled %d bytes, above the per-query "
+                "max_spill_bytes limit of %d"
+                % (self._spilled, self.max_spill_bytes), resource="spill")
+        return path
+
+    @staticmethod
+    def read_spill(path: str) -> Dict[str, np.ndarray]:
+        """Load one spill chunk back into memory."""
+        with np.load(path) as archive:
+            return {name: archive[name] for name in archive.files}
+
+    @staticmethod
+    def drop_spill(path: str) -> None:
+        """Delete one spill chunk that has been fully consumed."""
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every outstanding byte and remove the spill directory.
+
+        Idempotent and safe on error paths: a query failing mid-spill
+        leaves neither governor grants nor spill files behind.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            outstanding = self._reserved
+            self._reserved = 0
+            self.stats.reserved_bytes -= outstanding
+            spill_path = self._spill_path
+            self._spill_path = None
+        self.governor.release(outstanding)
+        if spill_path is not None:
+            shutil.rmtree(spill_path, ignore_errors=True)
+
+    def __enter__(self) -> "MemoryBudget":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -81,13 +81,22 @@ from .joins import (
     build_probe_state,
     concat_pair_results,
     cross_join,
+    estimate_build_bytes,
     export_probe_task,
     probe_span_pairs,
+    spill_equi_join,
     stitch_equi_join,
 )
+from .memory import MemoryBudget
 from .metrics import ExecutionMetrics
 from .shm import ShmArena
-from .sort import combined_sort_key, merge_run_list, sort_run
+from .sort import (
+    combined_sort_key,
+    estimate_sort_bytes,
+    merge_run_list,
+    sort_run,
+    spill_sort_order,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..storage.table import Table
@@ -128,6 +137,10 @@ class Executor:
         #: only); created lazily by :meth:`_arena`, closed by
         #: :meth:`execute` when the query finishes.
         self._shm_arena: Optional[ShmArena] = None
+        #: The current execution's memory budget — its grant from the
+        #: context's governor plus the runaway watchdog; created and closed
+        #: by :meth:`execute` (see :mod:`repro.executor.memory`).
+        self._budget: Optional[MemoryBudget] = None
 
     # ------------------------------------------------------------------
 
@@ -153,6 +166,14 @@ class Executor:
             else self.context.new_filter_scope()
         self.cancel = cancel if cancel is not None \
             else self.context.cancel_token
+        self._budget = MemoryBudget(
+            governor=self.context.governor(),
+            max_memory_bytes=self.context.max_memory_bytes,
+            max_spill_bytes=self.context.max_spill_bytes,
+            max_rows=self.context.max_rows,
+            spill_dir=self.context.spill_dir,
+            faults=self.context.fault_plan,
+            stats=self.context.memory_stats)
         started = time.perf_counter()
         try:
             batch = self._execute(plan)
@@ -164,6 +185,11 @@ class Executor:
                     self._shm_arena.fallback_count)
                 self._shm_arena.close()
                 self._shm_arena = None
+            # The budget's close releases every grant and removes the
+            # spill directory — also on error paths, so a failed query
+            # leaves neither governor bytes nor spill files behind.
+            self._budget.close()
+            self._budget = None
         self.metrics.wall_time_seconds = time.perf_counter() - started
         return ExecutionResult(batch=batch, metrics=self.metrics, plan=plan)
 
@@ -175,20 +201,32 @@ class Executor:
             # per plan node on the live path.
             self.cancel.check()
         if isinstance(node, ScanNode):
-            return self._execute_scan(node)
-        if isinstance(node, JoinNode):
-            return self._execute_join(node)
-        if isinstance(node, ExchangeNode):
-            return self._execute_exchange(node)
-        if isinstance(node, AggregateNode):
-            return self._execute_aggregate(node)
-        if isinstance(node, ProjectNode):
-            return self._execute_project(node)
-        if isinstance(node, SortNode):
-            return self._execute_sort(node)
-        if isinstance(node, LimitNode):
-            return self._execute_limit(node)
-        raise TypeError("executor does not support plan node %r" % type(node))
+            batch = self._execute_scan(node)
+        elif isinstance(node, JoinNode):
+            batch = self._execute_join(node)
+        elif isinstance(node, ExchangeNode):
+            batch = self._execute_exchange(node)
+        elif isinstance(node, AggregateNode):
+            batch = self._execute_aggregate(node)
+        elif isinstance(node, ProjectNode):
+            batch = self._execute_project(node)
+        elif isinstance(node, SortNode):
+            batch = self._execute_sort(node)
+        elif isinstance(node, LimitNode):
+            batch = self._execute_limit(node)
+        else:
+            raise TypeError("executor does not support plan node %r"
+                            % type(node))
+        if self._budget is not None:
+            # The runaway watchdog: every materialized operator output is
+            # checked against the per-query max_rows limit.
+            self._budget.check_rows(batch.num_rows, type(node).__name__)
+        return batch
+
+    def _poll(self) -> None:
+        """Per-spill-chunk cancellation checkpoint for degraded operators."""
+        if self.cancel is not None:
+            self.cancel.check()
 
     # -- morsel helpers ----------------------------------------------------
 
@@ -426,27 +464,46 @@ class Executor:
         columns.  Per-span pair results concatenate to the whole-batch pair
         list bit-for-bit, and the serial stitch tail handles SEMI/ANTI
         filtering and LEFT/FULL padding identically on every path.
+
+        The build side's bytes are reserved from the query's memory budget
+        first; a denied reservation (cap, pool pressure or the scripted
+        ``memory-pressure`` fault) degrades to the Grace-style partitioned
+        :func:`~repro.executor.joins.spill_equi_join`, which is
+        bit-identical by construction.
         """
-        index, probe_cols, probe_null = build_probe_state(outer, inner,
-                                                          node.clauses)
-        spans = outer.spans(self.context.morsel_size)
-        if len(spans) > 1:
-            if self._process_backend_active():
-                payload = export_probe_task(index, probe_cols, probe_null,
-                                            self._arena())
-                results = self._process_map(
-                    "repro.executor.joins:probe_morsel_kernel",
-                    [(payload, start, stop) for start, stop in spans])
+        budget = self._budget
+        build_bytes = estimate_build_bytes(inner)
+        reserved = budget.try_reserve(build_bytes) \
+            if budget is not None else True
+        if not reserved:
+            assert budget is not None  # a denial implies a budget
+            return spill_equi_join(outer, inner, node.clauses,
+                                   node.join_type, budget, poll=self._poll)
+        try:
+            index, probe_cols, probe_null = build_probe_state(outer, inner,
+                                                              node.clauses)
+            spans = outer.spans(self.context.morsel_size)
+            if len(spans) > 1:
+                if self._process_backend_active():
+                    payload = export_probe_task(index, probe_cols, probe_null,
+                                                self._arena())
+                    results = self._process_map(
+                        "repro.executor.joins:probe_morsel_kernel",
+                        [(payload, start, stop) for start, stop in spans])
+                else:
+                    results = self._segment_map(
+                        lambda span: probe_span_pairs(index, probe_cols,
+                                                      probe_null, *span),
+                        spans)
+                probe_idx, build_idx, counts = concat_pair_results(results)
             else:
-                results = self._segment_map(
-                    lambda span: probe_span_pairs(index, probe_cols,
-                                                  probe_null, *span),
-                    spans)
-            probe_idx, build_idx, counts = concat_pair_results(results)
-        else:
-            probe_idx, build_idx, counts = index.probe(probe_cols, probe_null)
-        return stitch_equi_join(outer, inner, node.join_type,
-                                probe_idx, build_idx, counts)
+                probe_idx, build_idx, counts = index.probe(probe_cols,
+                                                           probe_null)
+            return stitch_equi_join(outer, inner, node.join_type,
+                                    probe_idx, build_idx, counts)
+        finally:
+            if budget is not None:
+                budget.release(build_bytes)
 
     def _build_bloom_filters(self, node: JoinNode, inner_batch: Batch) -> None:
         """Build and publish the Bloom filters this hash join is charged with.
@@ -509,7 +566,8 @@ class Executor:
     def _execute_aggregate(self, node: AggregateNode) -> Batch:
         batch = self._execute(node.child)
         result = aggregate_batch(batch, node.group_by, node.aggregates,
-                                 partials_map=self._partials_map())
+                                 partials_map=self._partials_map(),
+                                 budget=self._budget, poll=self._poll)
         work = self.context.cost_model.aggregate(batch.num_rows,
                                                  result.num_rows).total
         # The per-input-row transition work spreads over segment morsels;
@@ -650,22 +708,42 @@ class Executor:
         shared-memory key) and merges pairwise — the stable ascending
         permutation is unique, so the result equals ``np.lexsort(keys)``
         bit-for-bit (property-tested in ``tests/test_parallel_operators.py``).
+
+        The run permutations' bytes are reserved from the query's memory
+        budget first; a denied reservation degrades to the external
+        :func:`~repro.executor.sort.spill_sort_order`, which merges sorted
+        runs from spill files with the identical pairing discipline and
+        therefore yields the identical permutation.
         """
         morsel_size = max(int(self.context.morsel_size), 1)
-        if self._morsel_workers() <= 1 or num_rows <= morsel_size:
-            return np.lexsort(keys)
-        key = combined_sort_key(keys)
-        spans = [(start, min(start + morsel_size, num_rows))
-                 for start in range(0, num_rows, morsel_size)]
-        if self._process_backend_active():
-            key_ref = self._arena().export(key)
-            runs = self._process_map(
-                "repro.executor.sort:sort_run_kernel",
-                [(key_ref, start, stop) for start, stop in spans])
-        else:
-            runs = self._segment_map(lambda span: sort_run(key, *span),
-                                     spans)
-        return merge_run_list(key, runs, self._segment_map)
+        budget = self._budget
+        sort_bytes = estimate_sort_bytes(num_rows)
+        reserved = budget.try_reserve(sort_bytes) \
+            if budget is not None else True
+        if not reserved:
+            assert budget is not None  # a denial implies a budget
+            spans = [(start, min(start + morsel_size, num_rows))
+                     for start in range(0, num_rows, morsel_size)]
+            return spill_sort_order(combined_sort_key(keys), spans, budget,
+                                    poll=self._poll)
+        try:
+            if self._morsel_workers() <= 1 or num_rows <= morsel_size:
+                return np.lexsort(keys)
+            key = combined_sort_key(keys)
+            spans = [(start, min(start + morsel_size, num_rows))
+                     for start in range(0, num_rows, morsel_size)]
+            if self._process_backend_active():
+                key_ref = self._arena().export(key)
+                runs = self._process_map(
+                    "repro.executor.sort:sort_run_kernel",
+                    [(key_ref, start, stop) for start, stop in spans])
+            else:
+                runs = self._segment_map(lambda span: sort_run(key, *span),
+                                         spans)
+            return merge_run_list(key, runs, self._segment_map)
+        finally:
+            if budget is not None:
+                budget.release(sort_bytes)
 
     def _execute_limit(self, node: LimitNode) -> Batch:
         batch = self._execute(node.child)

@@ -45,7 +45,7 @@ import numpy as np
 from ..faults import FaultPlan, SITE_SHM_ALLOCATE, SITE_SHM_ATTACH
 
 __all__ = ["ArrayRef", "ShmArena", "attach_array", "live_segment_names",
-           "sweep_arenas"]
+           "live_segment_stats", "sweep_arenas"]
 
 #: Worker-side cap on cached segment attachments; evicted segments are
 #: closed (the parent's unlink already happened or will happen — closing a
@@ -107,6 +107,11 @@ class ShmArena:
     def segment_names(self) -> List[str]:
         """Names of the live segments this arena currently owns."""
         return [segment.name for segment in self._segments]
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently resident in this arena's live segments."""
+        return sum(segment.size for segment in self._segments)
 
     def export(self, array: np.ndarray) -> ArrayRef:
         """Publish ``array`` and return its picklable descriptor.
@@ -222,6 +227,22 @@ def live_segment_names() -> List[str]:
     for arena in list(_LIVE_ARENAS):
         names.extend(arena.segment_names)
     return names
+
+
+def live_segment_stats() -> Dict[str, int]:
+    """Live shared-memory accounting across every arena.
+
+    ``{"live_segments": n, "resident_bytes": b}`` — the pair
+    ``executor_stats()`` surfaces so memory dashboards see shm residency
+    next to the budget counters.  Both are zero whenever no query is
+    mid-execution; the chaos suite asserts exactly that after teardown.
+    """
+    segments = 0
+    resident = 0
+    for arena in list(_LIVE_ARENAS):
+        segments += len(arena.segment_names)
+        resident += arena.resident_bytes
+    return {"live_segments": segments, "resident_bytes": resident}
 
 
 def sweep_arenas() -> int:

@@ -31,16 +31,30 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .keys import _fold_codes, column_ranks
+from .memory import MemoryBudget
 from .shm import ArrayRef, attach_array
 
 __all__ = [
     "combined_sort_key",
+    "estimate_sort_bytes",
     "merge_run_list",
     "merge_runs",
     "parallel_sort_order",
     "sort_run",
     "sort_run_kernel",
+    "spill_sort_order",
 ]
+
+
+def estimate_sort_bytes(num_rows: int) -> int:
+    """Bytes the in-memory sort pins: the int64 key plus the permutation.
+
+    A merge round holds the combined rank key, the run permutations and
+    one merged output — sixteen bytes per row of int64 state on top of the
+    key itself, so twenty-four bytes per row is the reservation the sort
+    asks its budget for before staying in memory.
+    """
+    return 24 * max(int(num_rows), 0)
 
 #: A runner maps a function over items, preserving item order (the
 #: executor's morsel dispatch hook; an inline loop is a valid runner).
@@ -83,9 +97,14 @@ def merge_runs(key: np.ndarray, left: np.ndarray,
     equal left elements (``side="right"``) is exactly the stable order.
     """
     positions = np.searchsorted(key[left], key[right], side="right")
+    # lint: allow(unaccounted-allocation) — merge scratch bounded by the
+    # run sizes: the in-memory path reserved estimate_sort_bytes up front
+    # and the spill path charges each two-run merge via budget.require.
     out = np.empty(left.size + right.size, dtype=np.int64)
     right_slots = positions + np.arange(right.size, dtype=np.int64)
     out[right_slots] = right
+    # lint: allow(unaccounted-allocation) — same merge-scratch bound as
+    # the output buffer above (one bool per merged row).
     left_slots = np.ones(out.size, dtype=bool)
     left_slots[right_slots] = False
     out[left_slots] = left
@@ -126,3 +145,51 @@ def parallel_sort_order(key: np.ndarray, spans: Sequence[Tuple[int, int]],
     else:
         runs = [sort_run(key, start, stop) for start, stop in spans]
     return merge_run_list(key, runs, runner)
+
+
+def spill_sort_order(key: np.ndarray, spans: Sequence[Tuple[int, int]],
+                     budget: MemoryBudget,
+                     poll: Optional[Callable[[], None]] = None) -> np.ndarray:
+    """External merge sort, bit-identical to :func:`parallel_sort_order`.
+
+    The degraded path when the run permutations do not fit the budget:
+    every span's run goes straight to a spill file, then the merge rounds
+    replay :func:`merge_run_list`'s exact pairing discipline (adjacent
+    pairs per round, odd tail carried) with only two runs resident at a
+    time.  Each merge step is the same :func:`merge_runs` call over the
+    same in-memory key, so the resulting permutation is the one the
+    in-memory merge tree produces, bit for bit.  ``poll`` runs once per
+    run and per merge (the spill-chunk granularity) for cancellation.
+    """
+    budget.count_operator_spill("sort")
+    paths: List[str] = []
+    for start, stop in spans:
+        if poll is not None:
+            poll()
+        paths.append(budget.write_spill(
+            "sort", {"run": sort_run(key, start, stop)}))
+    if not paths:
+        return np.zeros(0, dtype=np.int64)
+    while len(paths) > 1:
+        pairs = [(paths[i], paths[i + 1])
+                 for i in range(0, len(paths) - 1, 2)]
+        tail = [paths[-1]] if len(paths) % 2 else []
+        merged_paths: List[str] = []
+        for left_path, right_path in pairs:
+            if poll is not None:
+                poll()
+            left = MemoryBudget.read_spill(left_path)["run"]
+            right = MemoryBudget.read_spill(right_path)["run"]
+            MemoryBudget.drop_spill(left_path)
+            MemoryBudget.drop_spill(right_path)
+            chunk_bytes = int(left.nbytes + right.nbytes)
+            budget.require(chunk_bytes, "sort spill merge")
+            try:
+                merged = merge_runs(key, left, right)
+            finally:
+                budget.release(chunk_bytes)
+            merged_paths.append(budget.write_spill("sort", {"run": merged}))
+        paths = merged_paths + tail
+    final = MemoryBudget.read_spill(paths[0])["run"]
+    MemoryBudget.drop_spill(paths[0])
+    return final

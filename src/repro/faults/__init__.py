@@ -13,6 +13,7 @@ from .plan import (
     KIND_TRANSIENT,
     KIND_WORKER_CRASH,
     SITE_ADMISSION_DEQUEUE,
+    SITE_MEMORY_PRESSURE,
     SITE_MORSEL_DISPATCH,
     SITE_POOL_SUBMIT,
     SITE_RESULT_CACHE_GET,
@@ -30,6 +31,7 @@ __all__ = [
     "KIND_TRANSIENT",
     "KIND_WORKER_CRASH",
     "SITE_ADMISSION_DEQUEUE",
+    "SITE_MEMORY_PRESSURE",
     "SITE_MORSEL_DISPATCH",
     "SITE_POOL_SUBMIT",
     "SITE_RESULT_CACHE_GET",

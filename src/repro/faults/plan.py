@@ -38,6 +38,9 @@ Sites (see ``docs/robustness.md`` for the full table):
 ``result-cache-put``       before a result-cache store (the store is skipped)
 ``admission-dequeue``      when a serving worker dequeues a request (the
                            dequeue is skipped and retried)
+``memory-pressure``        when an operator asks its per-query memory budget
+                           for a reservation (the grant is denied, forcing
+                           the operator down its spill path)
 ========================  ===================================================
 """
 
@@ -61,6 +64,7 @@ __all__ = [
     "KIND_TRANSIENT",
     "KIND_WORKER_CRASH",
     "SITE_ADMISSION_DEQUEUE",
+    "SITE_MEMORY_PRESSURE",
     "SITE_MORSEL_DISPATCH",
     "SITE_POOL_SUBMIT",
     "SITE_RESULT_CACHE_GET",
@@ -76,6 +80,7 @@ SITE_SHM_ATTACH = "shm-attach"
 SITE_RESULT_CACHE_GET = "result-cache-get"
 SITE_RESULT_CACHE_PUT = "result-cache-put"
 SITE_ADMISSION_DEQUEUE = "admission-dequeue"
+SITE_MEMORY_PRESSURE = "memory-pressure"
 
 #: Every named injection site a :class:`FaultSpec` may target.
 INJECTION_SITES = (
@@ -86,6 +91,7 @@ INJECTION_SITES = (
     SITE_RESULT_CACHE_GET,
     SITE_RESULT_CACHE_PUT,
     SITE_ADMISSION_DEQUEUE,
+    SITE_MEMORY_PRESSURE,
 )
 
 #: A retryable executor failure (:class:`~repro.errors.TransientError`).

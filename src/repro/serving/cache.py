@@ -40,10 +40,18 @@ class ResultCache:
     discarded — callers never special-case it.  Thread-safe (the underlying
     :class:`~repro.cache.LruCache` locks internally), so any number of
     serving workers can share one instance.
+
+    ``max_bytes`` bounds the cache by what actually occupies memory: every
+    stored execution is weighted by its batch's resident bytes
+    (:attr:`Batch.nbytes <repro.executor.batch.Batch.nbytes>`) and eviction
+    drops least-recently-used entries until the *bytes* fit — a thousand
+    tiny aggregates and three huge scans are charged what they really cost,
+    not one entry each.  ``None`` keeps the entry-count-only bound.
     """
 
-    def __init__(self, max_entries: int = 256) -> None:
-        self._cache = LruCache(max_entries)
+    def __init__(self, max_entries: int = 256,
+                 max_bytes: Optional[int] = None) -> None:
+        self._cache = LruCache(max_entries, max_bytes=max_bytes)
 
     @staticmethod
     def key(fingerprint: str, mode: object, settings: object,
@@ -88,7 +96,8 @@ class ResultCache:
         if not self.enabled:
             return
         execution.batch.freeze()
-        self._cache.store(key, (execution, tables))
+        self._cache.store(key, (execution, tables),
+                          nbytes=execution.batch.nbytes)
 
     # -- invalidation -------------------------------------------------------
 
@@ -119,6 +128,11 @@ class ResultCache:
     def evictions(self) -> int:
         """Entries dropped by invalidation (not LRU-capacity replacement)."""
         return self._cache.evictions
+
+    @property
+    def resident_bytes(self) -> int:
+        """Batch bytes currently held by the cached executions."""
+        return self._cache.resident_bytes
 
 
 __all__ = ["ResultCache"]

@@ -19,10 +19,17 @@ bounded worker pool and the admission-control queue:
   dequeueing divides the backlog bandwidth, so one flooding tenant cannot
   starve the rest.
 * Transient failures (:class:`~repro.errors.TransientError` — worker
-  crashes, shared-memory pressure) are retried on the worker under an
-  optional :class:`~repro.serving.retry.RetryPolicy` with deterministic
-  backoff and per-tenant retry budgets; permanent errors and cancellation
-  never retry.  See ``docs/robustness.md``.
+  crashes, shared-memory pressure, an exhausted memory-governor pool) are
+  retried on the worker under an optional
+  :class:`~repro.serving.retry.RetryPolicy` with deterministic backoff and
+  per-tenant retry budgets; permanent errors and cancellation never retry.
+  See ``docs/robustness.md``.
+* Memory pressure defers rather than sheds: each admitted
+  :class:`~repro.core.query.QueryBlock` carries a scan-bytes estimate from
+  the catalog statistics (cardinality × row width), and the queue holds a
+  request whose estimate exceeds the governor's free pool until running
+  queries release their grants — the "queue" rung of the degradation
+  ladder in ``docs/memory.md``.
 
 :class:`AsyncSession` is the tenant-bound handle (`adb.session("t1")`) with
 the same ``execute``/``execute_async`` surface.
@@ -62,6 +69,7 @@ from ..errors import (
     TransientError,
 )
 from ..executor.cancel import CancelToken, DEADLINE_REASON
+from ..storage.catalog import CatalogError
 from .metrics import ServingMetrics, ServingSnapshot
 from .queue import AdmissionQueue, DEFAULT_MAX_DEPTH
 from .quotas import DEFAULT_QUOTA, TenantQuota
@@ -94,6 +102,10 @@ class _ServingRequest:
     token: CancelToken
     future: "Future[QueryResult]"
     submitted_at: float = field(default_factory=time.perf_counter)
+    #: Catalog-derived scan-bytes estimate; the admission queue's memory
+    #: dimension defers dispatch while this exceeds the governor's free
+    #: pool.  Zero (unknown) never defers.
+    estimated_bytes: int = 0
 
 
 class AsyncDatabase:
@@ -142,7 +154,8 @@ class AsyncDatabase:
         self.queue = AdmissionQueue(max_queue_depth,
                                     default_quota=default_quota,
                                     quotas=quotas,
-                                    faults=database.fault_plan)
+                                    faults=database.fault_plan,
+                                    governor=database.memory_governor)
         self.metrics = ServingMetrics()
         self._retry_policy = retry_policy
         self._retry_sleep = retry_sleep
@@ -210,7 +223,8 @@ class AsyncDatabase:
         if self._closed:
             raise SessionClosedError("serving tier is closed")
         request = _ServingRequest(query=query, mode=mode, settings=settings,
-                                  name=name, token=token, future=Future())
+                                  name=name, token=token, future=Future(),
+                                  estimated_bytes=self._estimate_bytes(query))
         try:
             self.queue.submit(tenant, request)
         except AdmissionError:
@@ -218,6 +232,27 @@ class AsyncDatabase:
             raise
         self.metrics.count("admitted")
         return request
+
+    def _estimate_bytes(self, query: QueryLike) -> int:
+        """Catalog scan-bytes estimate for the queue's memory dimension.
+
+        Sums cardinality × estimated row width over the query's base
+        relations — a cheap statistics-only upper-ish bound on what the
+        execution materialises.  Plain SQL strings (not yet bound) and
+        relations without statistics estimate zero, which never defers:
+        an unknown footprint dispatches and the executor's per-query
+        budget degrades it to spill if it does not fit.
+        """
+        if not isinstance(query, QueryBlock):
+            return 0
+        catalog = self.database.catalog
+        total = 0
+        for relation in query.relations:
+            try:
+                total += catalog.statistics(relation.table_name).estimated_bytes
+            except CatalogError:
+                continue
+        return total
 
     async def execute_many(self, queries: Sequence[QueryLike], *,
                            tenant: str = DEFAULT_TENANT,

@@ -17,6 +17,18 @@ concurrency quota is simply ineligible — its backlog waits without blocking
 anyone else's, which is what "an over-quota tenant cannot starve others"
 means operationally.
 
+Admission also has a **memory dimension** when the queue is built with a
+:class:`~repro.executor.memory.MemoryGovernor`: a request carrying an
+``estimated_bytes`` attribute larger than the governor's currently
+available pool is *deferred* — it stays queued (counted in
+``memory_deferrals``) and the scheduler serves other tenants until running
+queries release their grants.  Deferral, not shedding: memory pressure is
+transient by nature, so queueing is the right rung of the degradation
+ladder (cache-evict → spill → queue → shed; ``docs/memory.md``).  A request
+whose estimate exceeds the *whole* pool can never fit and is dispatched
+anyway — the executor's per-query budget will deny its reservations and the
+operators degrade to their spill paths, which is the livelock guard.
+
 The queue is a plain ``threading.Condition`` machine with no asyncio
 dependency: the async front end submits from the event loop (submit never
 blocks) and thread workers block in :meth:`next`.
@@ -28,6 +40,7 @@ import threading
 from typing import Dict, Mapping, Optional, Tuple, TypeVar
 
 from ..errors import AdmissionError
+from ..executor.memory import MemoryGovernor
 from ..faults import SITE_ADMISSION_DEQUEUE, FaultPlan
 from .quotas import DEFAULT_QUOTA, TenantQuota, TenantState
 
@@ -51,16 +64,25 @@ class AdmissionQueue:
             :meth:`next` drop the pick *before* charging or incrementing
             in-flight and return ``None``, modelling a worker losing a
             dequeue race — the request stays queued for the next worker.
+        governor: Optional :class:`~repro.executor.memory.MemoryGovernor`
+            adding the memory dimension to scheduling: a tenant whose
+            head-of-backlog request declares more ``estimated_bytes`` than
+            the governor currently has available is deferred (stays queued,
+            counted in :attr:`memory_deferrals`) instead of dispatched —
+            unless the estimate exceeds the whole pool, which dispatches
+            anyway and lets the executor spill (the livelock guard).
     """
 
     def __init__(self, max_depth: int = DEFAULT_MAX_DEPTH, *,
                  default_quota: TenantQuota = DEFAULT_QUOTA,
                  quotas: Optional[Mapping[str, TenantQuota]] = None,
-                 faults: Optional[FaultPlan] = None) -> None:
+                 faults: Optional[FaultPlan] = None,
+                 governor: Optional[MemoryGovernor] = None) -> None:
         if max_depth < 1:
             raise ValueError("max_depth must be >= 1, got %r" % max_depth)
         self.max_depth = max_depth
         self.default_quota = default_quota
+        self.governor = governor
         self._configured = dict(quotas or {})
         self._tenants: Dict[str, TenantState] = {}
         self._depth = 0
@@ -68,6 +90,7 @@ class AdmissionQueue:
         self._closed = False
         self._faults = faults
         self._dequeue_faults = 0
+        self._memory_deferrals = 0
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
 
@@ -90,6 +113,13 @@ class AdmissionQueue:
         fault (the request stayed queued and was re-picked later)."""
         with self._lock:
             return self._dequeue_faults
+
+    @property
+    def memory_deferrals(self) -> int:
+        """Scheduling decisions that skipped a tenant because its head
+        request's memory estimate did not fit the governor's free pool."""
+        with self._lock:
+            return self._memory_deferrals
 
     def in_flight(self, tenant: str) -> int:
         """Requests of ``tenant`` dequeued and not yet released."""
@@ -171,14 +201,37 @@ class AdmissionQueue:
                     return None
 
     def _pick_locked(self) -> Optional[TenantState]:
-        """The eligible tenant with the smallest virtual time, if any."""
+        """The eligible tenant with the smallest virtual time, if any.
+
+        With a governor, a tenant whose head-of-backlog request estimates
+        more bytes than the pool has free is deferred (skipped and
+        counted); an estimate above the whole pool can never fit and is
+        not deferred — the executor's budget degrades it to spill instead
+        (the livelock guard).
+        """
         best: Optional[TenantState] = None
         for name in sorted(self._tenants):
             state = self._tenants[name]
-            if state.eligible and (best is None
-                                   or state.sort_key() < best.sort_key()):
+            if not state.eligible:
+                continue
+            if self._deferred_locked(state):
+                continue
+            if best is None or state.sort_key() < best.sort_key():
                 best = state
         return best
+
+    def _deferred_locked(self, state: TenantState) -> bool:
+        """True when ``state``'s head request must wait for pool bytes."""
+        if self.governor is None or self.governor.pool_bytes is None:
+            return False
+        estimated = int(getattr(state.backlog[0], "estimated_bytes", 0) or 0)
+        if estimated <= 0 or estimated > self.governor.pool_bytes:
+            return False
+        available = self.governor.available()
+        if available is None or estimated <= available:
+            return False
+        self._memory_deferrals += 1
+        return True
 
     def release(self, tenant: str) -> None:
         """Mark one of ``tenant``'s in-flight requests finished."""
@@ -218,3 +271,4 @@ class AdmissionQueue:
 
 
 __all__ = ["AdmissionQueue", "DEFAULT_MAX_DEPTH"]
+

@@ -148,6 +148,23 @@ class TableStatistics:
         return ColumnStatistics(name=name, num_rows=self.num_rows,
                                 ndv=max(1, self.num_rows))
 
+    @property
+    def estimated_row_width(self) -> int:
+        """Estimated bytes per materialised row (eight per column).
+
+        Every physical column in this engine is eight bytes wide (int64,
+        float64, days-since-epoch dates) except strings, which this
+        deliberately underestimates — admission estimates feed a
+        *degradation* decision (queue vs dispatch), where a low estimate
+        merely means the executor spills instead.
+        """
+        return 8 * max(1, len(self.columns))
+
+    @property
+    def estimated_bytes(self) -> int:
+        """Estimated bytes a full scan of the table materialises."""
+        return self.num_rows * self.estimated_row_width
+
 
 def _column_statistics(name: str, values: np.ndarray,
                        histogram_buckets: int,

@@ -400,6 +400,67 @@ class TestBlockingInAsync:
 
 
 # ---------------------------------------------------------------------------
+# unaccounted-allocation
+# ---------------------------------------------------------------------------
+
+
+def spill_findings_for(source: str, **kwargs) -> list:
+    return lint_source(textwrap.dedent(source),
+                       "src/repro/executor/joins.py", **kwargs)
+
+
+class TestUnaccountedAllocation:
+    def test_data_sized_alloc_without_budget_parameter(self):
+        findings = spill_findings_for("""
+            import numpy as np
+
+            def probe(keys: np.ndarray) -> np.ndarray:
+                return np.zeros(keys.shape[0], dtype=np.int64)
+        """)
+        assert rules_of(findings) == {"unaccounted-allocation"}
+
+    def test_alloc_under_budget_parameter_is_clean(self):
+        findings = spill_findings_for("""
+            import numpy as np
+
+            def probe(keys: np.ndarray, budget: object) -> np.ndarray:
+                return np.zeros(keys.shape[0], dtype=np.int64)
+        """)
+        assert findings == []
+
+    def test_constant_size_alloc_is_exempt(self):
+        findings = spill_findings_for("""
+            import numpy as np
+
+            def empty_result() -> np.ndarray:
+                return np.zeros(0, dtype=np.int64)
+        """)
+        assert findings == []
+
+    def test_rule_gated_to_spill_operator_modules(self):
+        # The same data-sized allocation in a non-spill module is fine:
+        # only operators with a degrade-to-spill path must account bytes.
+        findings = findings_for("""
+            import numpy as np
+
+            def scratch(n: int) -> np.ndarray:
+                return np.zeros(n, dtype=np.int64)
+        """)
+        assert findings == []
+
+    def test_suppression_with_reason_is_honoured(self):
+        findings = spill_findings_for("""
+            import numpy as np
+
+            def pad(n: int) -> np.ndarray:
+                # lint: allow(unaccounted-allocation) — output-batch bytes,
+                # charged by the executor per operator output
+                return np.zeros(n, dtype=np.int64)
+        """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # broad-except-swallow
 # ---------------------------------------------------------------------------
 

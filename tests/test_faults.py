@@ -41,6 +41,7 @@ from repro.faults import (
     FaultPlan,
     FaultSpec,
     SITE_ADMISSION_DEQUEUE,
+    SITE_MEMORY_PRESSURE,
     SITE_MORSEL_DISPATCH,
     SITE_POOL_SUBMIT,
     SITE_RESULT_CACHE_GET,
@@ -442,6 +443,7 @@ def test_chaos_matrix_bit_identical(tpch_workload, serial_results, backend):
         FaultSpec(SITE_SHM_ATTACH, kind="shm-enospc", times=2),
         FaultSpec(SITE_RESULT_CACHE_GET, times=1, after=1),
         FaultSpec(SITE_RESULT_CACHE_PUT, times=1),
+        FaultSpec(SITE_MEMORY_PRESSURE, times=2),
     ]
     if backend == "process":
         specs.append(FaultSpec(SITE_POOL_SUBMIT, kind="worker-crash",
@@ -464,6 +466,17 @@ def test_chaos_matrix_bit_identical(tpch_workload, serial_results, backend):
             SITE_RESULT_CACHE_PUT]
         stats = session.executor_stats()
         assert stats["circuit_breaker"]["state"] == STATE_CLOSED
+        # Injected memory pressure forced exactly two operators down their
+        # spill paths; the results above already proved bit-identity.
+        memory = stats["memory"]
+        assert memory["pressure_faults"] == 2 == counters[
+            SITE_MEMORY_PRESSURE]
+        assert (memory["join_spills"] + memory["aggregate_spills"]
+                + memory["sort_spills"]) == 2
+        # Zero residue: every grant, spill file and shm segment is gone.
+        assert memory["reserved_bytes"] == 0
+        assert memory["governor"]["granted_bytes"] == 0
+        assert memory["shm"] == {"live_segments": 0, "resident_bytes": 0}
         if backend == "process":
             assert counters[SITE_POOL_SUBMIT] == 1
             assert stats["worker_crashes"] == 1
